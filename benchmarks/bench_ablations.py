@@ -1,0 +1,95 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Not figures from the paper, but direct tests of its arguments:
+
+* **skip-2 targeting** (EBCP vs EBCP-minus at matched budgets) — the
+  value of not storing the un-prefetchable next epoch;
+* **main-memory vs on-chip table** — how much performance the in-memory
+  table costs (and how much SRAM it saves);
+* **epoch keying vs miss keying** (EBCP vs Solihin at the same degree) —
+  keying the table per epoch instead of per miss;
+* **prefetch-buffer-hit lookup chaining** (Section 3.4.3) — disabling the
+  pb-hit-as-key mechanism.
+"""
+
+from __future__ import annotations
+
+from repro.core.prefetcher import EBCPConfig, EpochBasedCorrelationPrefetcher
+from repro.engine.config import ProcessorConfig
+from repro.engine.simulator import EpochSimulator
+from repro.prefetchers.solihin import SolihinPrefetcher
+from repro.workloads.registry import COMMERCIAL_WORKLOADS, make_workload
+
+from conftest import publish
+
+
+class _NoHitChainEBCP(EpochBasedCorrelationPrefetcher):
+    """EBCP without the prefetch-buffer-hit lookup substitution."""
+
+    name = "ebcp_no_hit_chain"
+
+    def observe_prefetch_hit(self, access, line, table_index, epoch_index, first_in_epoch):
+        # Keep the LRU touch and EMAB recording but never key a lookup.
+        return super().observe_prefetch_hit(
+            access, line, table_index, epoch_index, False
+        )
+
+
+def _improvement(trace, prefetcher):
+    config = ProcessorConfig.scaled()
+    kwargs = {"cpi_perf": trace.meta.cpi_perf, "overlap": trace.meta.overlap}
+    base = EpochSimulator(config, None, **kwargs).run(trace)
+    result = EpochSimulator(config, prefetcher, **kwargs).run(trace)
+    return result.improvement_over(base)
+
+
+def test_ablations(benchmark, bench_records, bench_seed):
+    def run():
+        rows = []
+        for workload in COMMERCIAL_WORKLOADS:
+            trace = make_workload(workload, records=bench_records, seed=bench_seed)
+            ebcp = _improvement(
+                trace, EpochBasedCorrelationPrefetcher(EBCPConfig(prefetch_degree=8))
+            )
+            minus = _improvement(
+                trace,
+                EpochBasedCorrelationPrefetcher(
+                    EBCPConfig(prefetch_degree=8, skip_epochs=1)
+                ),
+            )
+            onchip = _improvement(
+                trace,
+                EpochBasedCorrelationPrefetcher(
+                    EBCPConfig(
+                        prefetch_degree=8, table_entries=16 * 1024, table_in_memory=False
+                    )
+                ),
+            )
+            solihin = _improvement(
+                trace, SolihinPrefetcher(depth=8, width=1, degree=8)
+            )
+            no_chain = _NoHitChainEBCP(EBCPConfig(prefetch_degree=8))
+            no_chain_imp = _improvement(trace, no_chain)
+            rows.append((workload, ebcp, minus, onchip, solihin, no_chain_imp))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [
+        "EBCP ablations (degree 8, improvement over no prefetching):",
+        f"{'workload':16s} {'ebcp':>8s} {'skip-1':>8s} {'onchip-16K':>10s} "
+        f"{'solihin-8,1':>11s} {'no-hit-chain':>12s}",
+    ]
+    for workload, ebcp, minus, onchip, solihin, no_chain in rows:
+        lines.append(
+            f"{workload:16s} {ebcp:+8.1%} {minus:+8.1%} {onchip:+10.1%} "
+            f"{solihin:+11.1%} {no_chain:+12.1%}"
+        )
+    publish("ablations", "\n".join(lines))
+
+    for workload, ebcp, minus, onchip, solihin, no_chain in rows:
+        # Skip-2 targeting beats storing the next epoch.
+        assert ebcp > minus, workload
+        # The pb-hit lookup chain contributes (Section 3.4.3).
+        assert ebcp >= no_chain, workload
+        # The in-memory table costs little over an (expensive) on-chip one.
+        assert onchip - ebcp < 0.08, workload

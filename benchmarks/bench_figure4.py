@@ -1,0 +1,23 @@
+"""Bench: Figure 4 — overall improvement vs prefetch degree."""
+
+from __future__ import annotations
+
+from repro.experiments import figure4
+from repro.workloads.registry import COMMERCIAL_WORKLOADS
+
+from conftest import publish
+
+
+def test_figure4(benchmark, bench_records, bench_seed):
+    result = benchmark.pedantic(
+        lambda: figure4.run(records=bench_records, seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    publish("figure4", result.render())
+    # Paper shape: at the default 9.6 GB/s read bandwidth, performance
+    # improves (weakly) monotonically with degree for every workload.
+    for workload in COMMERCIAL_WORKLOADS:
+        series = result.series[workload]
+        assert series[-1] > series[0], workload
+        assert max(series) == series[-1] or max(series) - series[-1] < 0.02, workload

@@ -1,0 +1,24 @@
+"""Bench: Figure 7 — improvement vs prefetch-buffer entries."""
+
+from __future__ import annotations
+
+from repro.experiments import figure7
+from repro.workloads.registry import COMMERCIAL_WORKLOADS
+
+from conftest import publish
+
+
+def test_figure7(benchmark, bench_records, bench_seed):
+    result = benchmark.pedantic(
+        lambda: figure7.run(records=bench_records, seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    publish("figure7", result.render())
+    for workload in COMMERCIAL_WORKLOADS:
+        small = result.value(workload, 16)
+        tuned = result.value(workload, 64)
+        huge = result.value(workload, 1024)
+        # The paper's conclusion: 64 entries (512 B) are adequate.
+        assert tuned > small, workload
+        assert huge - tuned < 0.08, workload

@@ -1,0 +1,29 @@
+"""Bench: Figure 9 — EBCP vs the other prefetchers."""
+
+from __future__ import annotations
+
+from repro.experiments import figure9
+from repro.workloads.registry import COMMERCIAL_WORKLOADS
+
+from conftest import publish
+
+
+def test_figure9(benchmark, bench_records, bench_seed):
+    result = benchmark.pedantic(
+        lambda: figure9.run(records=bench_records, seed=bench_seed),
+        rounds=1,
+        iterations=1,
+    )
+    publish("figure9", result.render())
+    for workload in COMMERCIAL_WORKLOADS:
+        ebcp = result.value(workload, "ebcp")
+        # The headline: EBCP significantly outperforms every other scheme.
+        for scheme in figure9.SCHEMES:
+            if scheme != "ebcp":
+                assert ebcp >= result.value(workload, scheme), (workload, scheme)
+        # Skipping the un-prefetchable next epoch matters.
+        assert ebcp > result.value(workload, "ebcp_minus"), workload
+        # Depth beats width for these workloads (Wenisch et al's point).
+        assert result.value(workload, "solihin_6_1") >= result.value(
+            workload, "solihin_3_2"
+        ), workload

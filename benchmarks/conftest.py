@@ -1,0 +1,39 @@
+"""Shared bench configuration.
+
+Each bench regenerates one table/figure of the paper at full trace length
+and both prints the rendered rows/series and writes them under
+``benchmarks/results/`` (pytest captures stdout, the files always
+survive).  Set ``REPRO_BENCH_RECORDS`` to trade fidelity for speed.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+#: Full-length default (the EXPERIMENTS.md protocol); override with
+#: REPRO_BENCH_RECORDS=120000 for a quick pass.
+BENCH_RECORDS = int(os.environ.get("REPRO_BENCH_RECORDS", "200000"))
+BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_records() -> int:
+    return BENCH_RECORDS
+
+
+@pytest.fixture(scope="session")
+def bench_seed() -> int:
+    return BENCH_SEED
+
+
+def publish(name: str, text: str) -> None:
+    """Print a rendered result and persist it under results/."""
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Build a custom workload from transaction templates and simulate it.
+
+Demonstrates the workload-construction API: regions, ops, transaction
+templates, and the trace builder — the same machinery behind the four
+commercial workload models.  The custom workload here is a miniature
+"key-value store": a hash probe (one chase hop), a bucket walk (chase),
+a value read (spatial burst within a page) and logging (stores), with
+two transaction types whose order mostly alternates.
+
+Usage:  python examples/custom_workload.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import EpochSimulator, ProcessorConfig, build_prefetcher
+from repro.workloads.patterns import RegionAllocator, spatial_page_lines
+from repro.workloads.templates import Op, TransactionTemplate
+from repro.workloads.trace import TraceBuilder, TraceMeta
+
+
+def build_kv_trace(records: int = 80_000, seed: int = 11):
+    rng = np.random.default_rng(seed)
+    alloc = RegionAllocator(base=0x4000_0000)
+    code = alloc.allocate("code", 2048)
+    table = alloc.allocate("hash_table", 1 << 22)  # sparse heap
+    values = alloc.allocate("values", 1 << 22)
+    log = alloc.allocate("log", 4096)
+
+    templates = []
+    for t in range(400):
+        pc = 0x0900_0000 + t * 0x1000
+        start = int(rng.integers(0, code.lines - 4))
+        ops = [
+            # Request dispatch: a couple of instruction-miss lines.
+            Op("code", pc=pc, addrs=tuple(code.sequential_lines(start, 2)), step_gap=40),
+            # Hash probe -> bucket walk: a dependent chain.
+            Op("chase", pc=pc + 16, addrs=tuple(table.sample_lines(rng, 3))),
+            # Value read: several lines of one page, overlapping.
+            Op("burst", pc=pc + 32, addrs=tuple(spatial_page_lines(values, rng, 4))),
+            # Write-ahead log append.
+            Op("store", pc=pc + 48, addrs=tuple(log.sample_lines(rng, 2, distinct=False))),
+        ]
+        template = TransactionTemplate(template_id=t, ops=ops, name=f"kv-{t}")
+        template.tail_pad = max(0, 1500 - template.instruction_cost())
+        templates.append(template)
+
+    meta = TraceMeta(name="kv_store", seed=seed, cpi_perf=1.1, overlap=0.1)
+    builder = TraceBuilder(meta)
+    current = 0
+    while len(builder) < records:
+        templates[current].emit(builder, rng, variant_prob=0.0, cold_region=None)
+        # Mostly sequential transaction order with occasional jumps.
+        if rng.random() < 0.8:
+            current = (current + 1) % len(templates)
+        else:
+            current = int(rng.integers(0, len(templates)))
+    trace = builder.build()
+    return trace.slice(0, records)
+
+
+def main() -> None:
+    trace = build_kv_trace()
+    print(f"custom workload: {len(trace):,} records, "
+          f"{trace.unique_lines():,} distinct lines\n")
+
+    config = ProcessorConfig.scaled()
+    timing = {"cpi_perf": trace.meta.cpi_perf, "overlap": trace.meta.overlap}
+    baseline = EpochSimulator(config, None, **timing).run(trace)
+    print(f"baseline:  CPI {baseline.cpi:.2f}  "
+          f"epochs/1k {baseline.epochs_per_kilo_inst:.2f}")
+
+    for name in ("stream", "ghb_large", "solihin_6_1", "ebcp"):
+        result = EpochSimulator(config, build_prefetcher(name), **timing).run(trace)
+        print(f"{name:12s} improvement {result.improvement_over(baseline):+6.1%}  "
+              f"coverage {result.coverage:5.1%}  accuracy {result.accuracy:5.1%}")
+
+
+if __name__ == "__main__":
+    main()

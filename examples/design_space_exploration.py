@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Design-space exploration: sweep EBCP's three knobs on one workload.
+
+Mirrors the paper's Section 5.2 methodology in miniature: start from an
+idealized predictor, then sweep (a) prefetch degree, (b) correlation
+table entries, (c) prefetch-buffer entries, and watch where the knees
+fall.  Full-suite versions of these sweeps are Figures 4, 6 and 7
+(``benchmarks/bench_figure{4,6,7}.py``).
+
+Usage:  python examples/design_space_exploration.py [workload] [records]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import EpochSimulator, ProcessorConfig, make_workload
+from repro.analysis.reporting import format_table
+from repro.core.prefetcher import EBCPConfig, EpochBasedCorrelationPrefetcher
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "specjbb2005"
+    records = int(sys.argv[2]) if len(sys.argv) > 2 else 140_000
+
+    trace = make_workload(workload, records=records)
+    timing = {"cpi_perf": trace.meta.cpi_perf, "overlap": trace.meta.overlap}
+
+    def improvement(config: ProcessorConfig, prefetcher) -> float:
+        base = EpochSimulator(config, None, **timing).run(trace)
+        result = EpochSimulator(config, prefetcher, **timing).run(trace)
+        return result.improvement_over(base)
+
+    # --- (a) prefetch degree, idealized table and buffer ---------------
+    ideal = ProcessorConfig.scaled().replace(prefetch_buffer_entries=1024)
+    degree_rows = []
+    for degree in (1, 2, 4, 8, 16, 32):
+        pf = EpochBasedCorrelationPrefetcher(EBCPConfig.idealized(prefetch_degree=degree))
+        degree_rows.append([degree, f"{improvement(ideal, pf):+.1%}"])
+    print(format_table(["degree", "improvement"], degree_rows,
+                       title=f"(a) prefetch degree — {workload}"))
+    print()
+
+    # --- (b) correlation-table entries, degree 8 ------------------------
+    default = ProcessorConfig.scaled()
+    table_rows = []
+    for entries in (1024, 8 * 1024, 32 * 1024, 128 * 1024):
+        pf = EpochBasedCorrelationPrefetcher(
+            EBCPConfig(prefetch_degree=8, table_entries=entries)
+        )
+        table_rows.append(
+            [entries, f"{entries * 64 // 1024} KiB", f"{improvement(default, pf):+.1%}"]
+        )
+    print(format_table(["entries", "memory", "improvement"], table_rows,
+                       title="(b) correlation-table entries (main memory)"))
+    print()
+
+    # --- (c) prefetch-buffer entries, degree 8 --------------------------
+    buffer_rows = []
+    for entries in (16, 64, 256):
+        config = ProcessorConfig.scaled().replace(prefetch_buffer_entries=entries)
+        pf = EpochBasedCorrelationPrefetcher(EBCPConfig(prefetch_degree=8))
+        buffer_rows.append(
+            [entries, f"{entries * 8} B on-chip", f"{improvement(config, pf):+.1%}"]
+        )
+    print(format_table(["entries", "cost", "improvement"], buffer_rows,
+                       title="(c) prefetch-buffer entries"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: simulate the database workload with and without EBCP.
+
+Runs the no-prefetching baseline and the tuned epoch-based correlation
+prefetcher (degree 8, 64-entry prefetch buffer, main-memory table) on the
+synthetic OLTP workload, then prints the paper's primary and secondary
+metrics.
+
+Usage:  python examples/quickstart.py [records]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import EpochSimulator, ProcessorConfig, build_prefetcher, make_workload
+
+
+def main() -> None:
+    records = int(sys.argv[1]) if len(sys.argv) > 1 else 160_000
+
+    # 1. Build a deterministic synthetic trace of the OLTP workload.
+    trace = make_workload("database", records=records)
+    print(f"workload: {trace.meta.name} — {trace.meta.description}")
+    print(f"  {len(trace):,} records spanning {trace.instructions:,} instructions,")
+    print(f"  {trace.unique_lines():,} distinct cache lines\n")
+
+    # 2. The scaled default processor (Section 4.4 of the paper, with the
+    #    L2 and footprints scaled 8x down — see DESIGN.md).
+    config = ProcessorConfig.scaled()
+    timing = {"cpi_perf": trace.meta.cpi_perf, "overlap": trace.meta.overlap}
+
+    # 3. Baseline: no prefetching (the paper's Table 1 row).
+    baseline = EpochSimulator(config, None, **timing).run(trace)
+    print("baseline (no prefetching):")
+    print(f"  CPI                 {baseline.cpi:6.2f}")
+    print(f"  epochs / 1k inst    {baseline.epochs_per_kilo_inst:6.2f}")
+    print(f"  L2 I-miss / 1k inst {baseline.l2_inst_miss_rate:6.2f}")
+    print(f"  L2 L-miss / 1k inst {baseline.l2_load_miss_rate:6.2f}\n")
+
+    # 4. The epoch-based correlation prefetcher, tuned configuration.
+    ebcp = build_prefetcher("ebcp")  # degree 8, 128 K-entry in-memory table
+    result = EpochSimulator(config, ebcp, **timing).run(trace)
+    print("EBCP (tuned: degree 8, main-memory correlation table):")
+    print(f"  CPI                 {result.cpi:6.2f}")
+    print(f"  coverage            {result.coverage:6.1%}")
+    print(f"  accuracy            {result.accuracy:6.1%}")
+    print(f"  EPI reduction       {result.epi_reduction_over(baseline):6.1%}")
+    print(f"  improvement         {result.improvement_over(baseline):+6.1%}")
+    print(f"\n  on-chip state       {ebcp.onchip_storage_bytes:,} B")
+    print(f"  main-memory table   {ebcp.memory_table_bytes // 1024:,} KiB")
+
+
+if __name__ == "__main__":
+    main()

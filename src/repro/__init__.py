@@ -1,0 +1,67 @@
+"""repro — reproduction of "Low-Cost Epoch-Based Correlation Prefetching
+for Commercial Applications" (Yuan Chou, MICRO 2007).
+
+Public API tour
+---------------
+>>> from repro import make_workload, EpochSimulator, build_prefetcher, ProcessorConfig
+>>> trace = make_workload("database", records=50_000)
+>>> config = ProcessorConfig.scaled()
+>>> base = EpochSimulator(config, prefetcher=None,
+...                       cpi_perf=trace.meta.cpi_perf).run(trace)
+>>> ebcp = EpochSimulator(config, build_prefetcher("ebcp"),
+...                       cpi_perf=trace.meta.cpi_perf).run(trace)
+>>> ebcp.improvement_over(base) > 0
+True
+
+Packages
+--------
+``repro.core``         the EBCP itself (EMAB, correlation table, control)
+``repro.engine``       the epoch-model timing simulator
+``repro.memory``       caches, MSHRs, prefetch buffer, DRAM, buses
+``repro.prefetchers``  GHB PC/DC, TCP, stream, SMS, Solihin baselines
+``repro.workloads``    synthetic commercial workload traces
+``repro.analysis``     metrics, sweeps, report rendering
+``repro.experiments``  one module per paper table/figure
+"""
+
+from .core import (
+    EBCPConfig,
+    EpochBasedCorrelationPrefetcher,
+    make_ebcp,
+    make_ebcp_minus,
+    make_ebcp_onchip,
+)
+from .engine import (
+    CacheConfig,
+    EpochSimulator,
+    ProcessorConfig,
+    SCALE_FACTOR,
+    SimulationResult,
+    SimulationStats,
+)
+from .prefetchers import PREFETCHERS, Prefetcher, build_prefetcher
+from .workloads import COMMERCIAL_WORKLOADS, WORKLOADS, Trace, make_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CacheConfig",
+    "COMMERCIAL_WORKLOADS",
+    "EBCPConfig",
+    "EpochBasedCorrelationPrefetcher",
+    "EpochSimulator",
+    "PREFETCHERS",
+    "Prefetcher",
+    "ProcessorConfig",
+    "SCALE_FACTOR",
+    "SimulationResult",
+    "SimulationStats",
+    "Trace",
+    "WORKLOADS",
+    "build_prefetcher",
+    "make_ebcp",
+    "make_ebcp_minus",
+    "make_ebcp_onchip",
+    "make_workload",
+    "__version__",
+]

@@ -1,0 +1,94 @@
+"""Calibration check: measured baselines vs the paper's Table 1.
+
+The synthetic workloads are only credible stand-ins if the no-prefetching
+baseline reproduces the paper's published workload characteristics.  This
+module holds the Table 1 targets and a checker used by the test suite,
+the Table 1 bench and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..engine.config import ProcessorConfig
+from ..engine.simulator import EpochSimulator
+from ..engine.stats import SimulationResult
+from ..workloads.registry import make_workload
+
+__all__ = ["Table1Targets", "TABLE1_TARGETS", "CalibrationReport", "check_baseline"]
+
+
+@dataclass(frozen=True)
+class Table1Targets:
+    """One workload's row of the paper's Table 1."""
+
+    cpi_overall: float
+    epochs_per_kilo_inst: float
+    l2_inst_miss_rate: float
+    l2_load_miss_rate: float
+
+
+TABLE1_TARGETS: dict[str, Table1Targets] = {
+    "database": Table1Targets(3.27, 4.07, 1.00, 6.23),
+    "tpcw": Table1Targets(2.00, 1.59, 0.71, 1.27),
+    "specjbb2005": Table1Targets(2.06, 2.65, 0.12, 4.30),
+    "jappserver2004": Table1Targets(2.78, 3.25, 1.57, 2.64),
+}
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Measured baseline vs target, with relative errors."""
+
+    workload: str
+    measured: SimulationResult
+    targets: Table1Targets
+
+    def _rel(self, measured: float, target: float) -> float:
+        return abs(measured - target) / target if target else abs(measured)
+
+    @property
+    def cpi_error(self) -> float:
+        return self._rel(self.measured.cpi, self.targets.cpi_overall)
+
+    @property
+    def epi_error(self) -> float:
+        return self._rel(
+            self.measured.epochs_per_kilo_inst, self.targets.epochs_per_kilo_inst
+        )
+
+    @property
+    def inst_miss_error(self) -> float:
+        return self._rel(self.measured.l2_inst_miss_rate, self.targets.l2_inst_miss_rate)
+
+    @property
+    def load_miss_error(self) -> float:
+        return self._rel(self.measured.l2_load_miss_rate, self.targets.l2_load_miss_rate)
+
+    def within(self, tolerance: float) -> bool:
+        """All four Table 1 statistics within a relative tolerance."""
+        return (
+            self.cpi_error <= tolerance
+            and self.epi_error <= tolerance
+            and self.inst_miss_error <= tolerance
+            and self.load_miss_error <= tolerance
+        )
+
+
+def check_baseline(
+    workload: str,
+    records: int = 280_000,
+    seed: int = 7,
+    config: ProcessorConfig | None = None,
+) -> CalibrationReport:
+    """Simulate the no-prefetching baseline and compare against Table 1."""
+    if workload not in TABLE1_TARGETS:
+        raise KeyError(f"no Table 1 targets for '{workload}'")
+    trace = make_workload(workload, records=records, seed=seed)
+    config = config or ProcessorConfig.scaled()
+    result = EpochSimulator(
+        config, None, cpi_perf=trace.meta.cpi_perf, overlap=trace.meta.overlap
+    ).run(trace)
+    return CalibrationReport(
+        workload=workload, measured=result, targets=TABLE1_TARGETS[workload]
+    )

@@ -1,0 +1,137 @@
+"""Per-run diagnostic breakdowns.
+
+A :class:`SimulationResult` carries more than the headline metrics; this
+module renders the detail a microarchitect actually debugs with:
+
+* the **window-termination census** — why epochs ended (serial chains vs
+  ROB span vs instruction-miss seals vs MSHR pressure), the paper's
+  Section 2.1 decomposition;
+* the **miss mix** — remaining off-chip misses and averted misses by
+  access kind;
+* the **bus breakdown** — read/write bytes by priority class (demand,
+  table lookups, prefetches, training, LRU write-backs) plus drop and
+  utilisation figures;
+* the **prefetch lifecycle** — generated / staged / dropped / redundant /
+  used / late.
+
+Used by ``python -m repro simulate --diagnose`` and handy in notebooks.
+"""
+
+from __future__ import annotations
+
+from ..engine.stats import SimulationResult
+from ..memory.bandwidth import BandwidthModel
+from ..memory.request import AccessKind, Priority
+from .reporting import format_table
+
+__all__ = [
+    "termination_census",
+    "miss_mix",
+    "prefetch_lifecycle",
+    "bus_breakdown",
+    "render_diagnostics",
+]
+
+
+def termination_census(result: SimulationResult) -> list[tuple[str, int, float]]:
+    """(reason, count, fraction) rows for why new epochs were opened."""
+    reasons = result.stats.termination_reasons
+    total = sum(reasons.values())
+    rows = []
+    for reason, count in sorted(reasons.items(), key=lambda kv: -kv[1]):
+        rows.append((reason, count, count / total if total else 0.0))
+    return rows
+
+
+def miss_mix(result: SimulationResult) -> list[tuple[str, int, int]]:
+    """(kind, remaining off-chip misses, averted misses) rows."""
+    stats = result.stats
+    return [
+        (
+            kind.name.lower(),
+            stats.offchip_misses[kind],
+            stats.prefetch_hits[kind],
+        )
+        for kind in AccessKind
+    ]
+
+
+def prefetch_lifecycle(result: SimulationResult) -> dict[str, int]:
+    stats = result.stats
+    return {
+        "generated": stats.prefetches_generated,
+        "staged (bus)": stats.prefetches_filled,
+        "dropped (bandwidth)": stats.prefetches_dropped,
+        "redundant (on-chip)": stats.prefetches_redundant,
+        "used (averted misses)": stats.total_prefetch_hits,
+        "late": stats.late_prefetches,
+    }
+
+
+def bus_breakdown(bandwidth: BandwidthModel) -> list[tuple[str, str, int, int]]:
+    """(bus, priority, bytes, dropped bytes) rows."""
+    rows = []
+    for bus_name, stats in (("read", bandwidth.read_stats), ("write", bandwidth.write_stats)):
+        for priority in Priority:
+            moved = stats.bytes_by_priority.get(int(priority), 0)
+            dropped = stats.dropped_by_priority.get(int(priority), 0)
+            if moved or dropped:
+                rows.append((bus_name, priority.name.lower(), moved, dropped))
+    return rows
+
+
+def render_diagnostics(
+    result: SimulationResult, bandwidth: BandwidthModel | None = None
+) -> str:
+    """Full multi-section diagnostic report."""
+    sections = []
+
+    rows = [
+        (reason, count, f"{fraction:.1%}")
+        for reason, count, fraction in termination_census(result)
+    ]
+    if rows:
+        sections.append(
+            format_table(
+                ["termination reason", "epochs", "fraction"],
+                rows,
+                title="Window-termination census",
+            )
+        )
+
+    sections.append(
+        format_table(
+            ["kind", "off-chip misses", "averted"],
+            [(k, m, a) for k, m, a in miss_mix(result)],
+            title="Miss mix",
+        )
+    )
+
+    lifecycle = prefetch_lifecycle(result)
+    if lifecycle["generated"]:
+        sections.append(
+            format_table(
+                ["stage", "count"],
+                list(lifecycle.items()),
+                title="Prefetch lifecycle",
+            )
+        )
+
+    if bandwidth is not None:
+        rows = [
+            (bus, prio, f"{moved:,}", f"{dropped:,}")
+            for bus, prio, moved, dropped in bus_breakdown(bandwidth)
+        ]
+        if rows:
+            sections.append(
+                format_table(
+                    ["bus", "priority", "bytes", "dropped"],
+                    rows,
+                    title="Bus traffic by priority",
+                )
+            )
+        sections.append(
+            f"read-bus utilisation (measured mean): {result.read_bus_utilization:.1%}"
+        )
+
+    return "\n\n".join(sections)

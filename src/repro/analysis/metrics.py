@@ -1,0 +1,91 @@
+"""Derived metrics over simulation results.
+
+Thin, well-tested arithmetic shared by the experiment modules: pairwise
+improvements, EPI reductions, miss-rate splits, and aggregation over
+(workload x configuration) result grids.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Mapping
+
+from ..engine.stats import SimulationResult
+from ..memory.request import AccessKind
+
+__all__ = [
+    "improvement",
+    "epi_reduction",
+    "miss_rate_split",
+    "geometric_mean",
+    "ComparisonRow",
+    "compare_to_baseline",
+]
+
+
+def improvement(baseline: SimulationResult, candidate: SimulationResult) -> float:
+    """Overall performance improvement (speedup - 1), e.g. 0.23 = +23 %."""
+    return candidate.improvement_over(baseline)
+
+
+def epi_reduction(baseline: SimulationResult, candidate: SimulationResult) -> float:
+    """Fractional reduction in epochs per instruction."""
+    return candidate.epi_reduction_over(baseline)
+
+
+def miss_rate_split(result: SimulationResult) -> dict[str, float]:
+    """Remaining off-chip misses per kilo-instruction, by access kind."""
+    stats = result.stats
+    return {
+        "inst": stats.per_kilo_inst(stats.offchip_misses[AccessKind.IFETCH]),
+        "load": stats.per_kilo_inst(stats.offchip_misses[AccessKind.LOAD]),
+        "store": stats.per_kilo_inst(stats.offchip_misses[AccessKind.STORE]),
+    }
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of speedups (1 + improvement terms)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    product = 1.0
+    for v in values:
+        if v <= 0:
+            raise ValueError("geometric mean requires positive values")
+        product *= v
+    return product ** (1.0 / len(values))
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One (workload, prefetcher) cell of a comparison grid."""
+
+    workload: str
+    prefetcher: str
+    improvement: float
+    coverage: float
+    accuracy: float
+    epi_reduction: float
+    cpi: float
+
+
+def compare_to_baseline(
+    baselines: Mapping[str, SimulationResult],
+    candidates: Iterable[SimulationResult],
+) -> list[ComparisonRow]:
+    """Join candidate results against per-workload baselines."""
+    rows = []
+    for result in candidates:
+        base = baselines[result.workload]
+        rows.append(
+            ComparisonRow(
+                workload=result.workload,
+                prefetcher=result.prefetcher,
+                improvement=improvement(base, result),
+                coverage=result.coverage,
+                accuracy=result.accuracy,
+                epi_reduction=epi_reduction(base, result),
+                cpi=result.cpi,
+            )
+        )
+    return rows

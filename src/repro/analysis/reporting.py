@@ -1,0 +1,70 @@
+"""ASCII rendering of experiment outputs.
+
+The benches print the same rows/series the paper's tables and figures
+report; these helpers keep that formatting in one place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_series", "format_percent", "banner"]
+
+
+def format_percent(value: float, digits: int = 1) -> str:
+    """0.234 -> '+23.4 %' (improvements are signed)."""
+    return f"{value * 100:+.{digits}f} %"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a simple aligned ASCII table."""
+    str_rows = [[_cell(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(f"row has {len(row)} cells, expected {len(headers)}")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    title: str = "",
+    value_format: str = "+.1%",
+) -> str:
+    """Render figure-style series: one row per series, one column per x."""
+    headers = [x_label] + [str(x) for x in x_values]
+    rows = []
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series '{name}' has {len(values)} points, expected {len(x_values)}"
+            )
+        rows.append([name] + [format(v, value_format) for v in values])
+    return format_table(headers, rows, title=title)
+
+
+def banner(text: str, width: int = 72) -> str:
+    bar = "=" * width
+    return f"{bar}\n{text}\n{bar}"
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)

@@ -1,0 +1,115 @@
+"""Parameter-sweep runner.
+
+The design-space figures (4-8) are sweeps of one or two parameters over
+the four commercial workloads with the no-prefetching baseline held
+fixed.  :class:`SweepRunner` owns the mechanical part: workload traces
+are built once (the registry memoises them), each workload's baseline is
+simulated once per processor configuration, and candidate points reuse
+both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..engine.config import ProcessorConfig
+from ..engine.simulator import EpochSimulator
+from ..engine.stats import SimulationResult
+from ..prefetchers.base import Prefetcher
+from ..workloads.registry import COMMERCIAL_WORKLOADS, make_workload
+from ..workloads.trace import Trace
+
+__all__ = ["SweepPoint", "SweepRunner"]
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One simulated point of a sweep."""
+
+    workload: str
+    label: str
+    result: SimulationResult
+    baseline: SimulationResult
+
+    @property
+    def improvement(self) -> float:
+        return self.result.improvement_over(self.baseline)
+
+    @property
+    def epi_reduction(self) -> float:
+        return self.result.epi_reduction_over(self.baseline)
+
+
+@dataclass
+class SweepRunner:
+    """Runs (workload x configuration) grids against shared baselines."""
+
+    records: int = 280_000
+    seed: int = 7
+    workloads: tuple[str, ...] = COMMERCIAL_WORKLOADS
+    _baselines: dict[tuple[str, int], SimulationResult] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def trace(self, workload: str) -> Trace:
+        return make_workload(workload, records=self.records, seed=self.seed)
+
+    def _timing_kwargs(self, trace: Trace) -> dict[str, float]:
+        return {"cpi_perf": trace.meta.cpi_perf, "overlap": trace.meta.overlap}
+
+    def baseline(self, workload: str, config: ProcessorConfig) -> SimulationResult:
+        """Simulate (and cache) the no-prefetching baseline."""
+        key = (workload, hash(config))
+        cached = self._baselines.get(key)
+        if cached is not None:
+            return cached
+        trace = self.trace(workload)
+        result = EpochSimulator(config, None, **self._timing_kwargs(trace)).run(trace)
+        self._baselines[key] = result
+        return result
+
+    def run_point(
+        self,
+        workload: str,
+        config: ProcessorConfig,
+        prefetcher: Prefetcher,
+        label: str,
+    ) -> SweepPoint:
+        """Simulate one candidate configuration for one workload."""
+        trace = self.trace(workload)
+        result = EpochSimulator(config, prefetcher, **self._timing_kwargs(trace)).run(trace)
+        return SweepPoint(
+            workload=workload,
+            label=label,
+            result=result,
+            baseline=self.baseline(workload, config),
+        )
+
+    # ------------------------------------------------------------------
+    def sweep(
+        self,
+        labels: list[str],
+        prefetcher_factory: Callable[[str], Prefetcher],
+        config_factory: Callable[[str], ProcessorConfig] | None = None,
+        config: ProcessorConfig | None = None,
+    ) -> dict[str, list[SweepPoint]]:
+        """Run every (workload, label) combination.
+
+        ``prefetcher_factory(label)`` builds a fresh prefetcher per point
+        (prefetcher state is never shared between runs).  Either a fixed
+        ``config`` or a per-label ``config_factory`` must be given.
+
+        Returns ``{workload: [SweepPoint per label, in label order]}``.
+        """
+        if (config is None) == (config_factory is None):
+            raise ValueError("provide exactly one of config / config_factory")
+        grid: dict[str, list[SweepPoint]] = {}
+        for workload in self.workloads:
+            points = []
+            for label in labels:
+                point_config = config if config is not None else config_factory(label)  # type: ignore[misc]
+                points.append(
+                    self.run_point(workload, point_config, prefetcher_factory(label), label)
+                )
+            grid[workload] = points
+        return grid

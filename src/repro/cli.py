@@ -1,0 +1,141 @@
+"""Command-line interface: ``python -m repro`` / ``repro-ebcp``.
+
+Subcommands
+-----------
+``experiments``      list the available experiments
+``run <experiment>`` regenerate one paper table/figure and print it
+``workloads``        summarise the synthetic workload traces
+``simulate``         run one (workload, prefetcher) pair and print metrics
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from .analysis.reporting import banner, format_table
+from .engine.config import ProcessorConfig
+from .engine.simulator import EpochSimulator
+from .experiments import EXPERIMENTS
+from .prefetchers.registry import PREFETCHERS, build_prefetcher
+from .workloads.registry import COMMERCIAL_WORKLOADS, WORKLOADS, make_workload
+
+__all__ = ["main"]
+
+
+def _cmd_experiments(_: argparse.Namespace) -> int:
+    print("Available experiments (paper tables/figures):")
+    for name in EXPERIMENTS:
+        print(f"  {name}")
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    module = EXPERIMENTS.get(args.experiment)
+    if module is None:
+        print(f"unknown experiment '{args.experiment}'", file=sys.stderr)
+        return 2
+    started = time.time()
+    result = module.run(records=args.records, seed=args.seed)
+    print(banner(f"{args.experiment} ({args.records} records, seed {args.seed})"))
+    print(result.render())
+    print(f"\n[{time.time() - started:.1f} s]")
+    return 0
+
+
+def _cmd_workloads(args: argparse.Namespace) -> int:
+    rows = []
+    for name in COMMERCIAL_WORKLOADS:
+        trace = make_workload(name, records=args.records, seed=args.seed)
+        counts = trace.kind_counts()
+        rows.append(
+            [
+                name,
+                len(trace),
+                trace.instructions,
+                trace.unique_lines(),
+                counts[min(counts)],  # ifetch count (AccessKind.IFETCH == 0)
+                f"{trace.meta.cpi_perf:.2f}",
+            ]
+        )
+    print(
+        format_table(
+            ["workload", "records", "instructions", "unique lines", "ifetches", "cpi_perf"],
+            rows,
+            title="Synthetic commercial workloads",
+        )
+    )
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    trace = make_workload(args.workload, records=args.records, seed=args.seed)
+    config = ProcessorConfig.scaled()
+    kwargs = {"cpi_perf": trace.meta.cpi_perf, "overlap": trace.meta.overlap}
+    baseline = EpochSimulator(config, None, **kwargs).run(trace)
+    if args.prefetcher == "none":
+        sim = EpochSimulator(config, None, **kwargs)
+        result = sim.run(trace)
+    else:
+        sim = EpochSimulator(config, build_prefetcher(args.prefetcher), **kwargs)
+        result = sim.run(trace)
+    print(banner(f"{args.workload} / {args.prefetcher}"))
+    for key, value in result.to_dict().items():
+        print(f"  {key:26s} {value}")
+    if args.prefetcher != "none":
+        print(f"  {'improvement':26s} {result.improvement_over(baseline) * 100:+.1f} %")
+    if args.diagnose:
+        from .analysis.diagnostics import render_diagnostics
+
+        print()
+        print(render_diagnostics(result, sim.bandwidth))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-ebcp",
+        description="Epoch-Based Correlation Prefetching (MICRO 2007) reproduction",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list available experiments").set_defaults(
+        func=_cmd_experiments
+    )
+
+    p_run = sub.add_parser("run", help="regenerate one paper table/figure")
+    p_run.add_argument("experiment", choices=sorted(EXPERIMENTS))
+    p_run.add_argument("--records", type=int, default=280_000)
+    p_run.add_argument("--seed", type=int, default=7)
+    p_run.set_defaults(func=_cmd_run)
+
+    p_wl = sub.add_parser("workloads", help="summarise the synthetic workloads")
+    p_wl.add_argument("--records", type=int, default=280_000)
+    p_wl.add_argument("--seed", type=int, default=7)
+    p_wl.set_defaults(func=_cmd_workloads)
+
+    p_sim = sub.add_parser("simulate", help="run one workload/prefetcher pair")
+    p_sim.add_argument("workload", choices=sorted(WORKLOADS))
+    p_sim.add_argument("prefetcher", choices=sorted(PREFETCHERS))
+    p_sim.add_argument("--records", type=int, default=280_000)
+    p_sim.add_argument("--seed", type=int, default=7)
+    p_sim.add_argument(
+        "--diagnose",
+        action="store_true",
+        help="print the full diagnostic breakdown (termination census, "
+        "miss mix, prefetch lifecycle, bus traffic)",
+    )
+    p_sim.set_defaults(func=_cmd_simulate)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,23 @@
+"""The paper's primary contribution: the epoch-based correlation prefetcher."""
+
+from .cmp import CMPEBCPConfig, InterleavedStreamEBCP, PerThreadEpochPrefetcher
+from .correlation_table import CorrelationTable, TableEntry, TableStats
+from .emab import EpochMissAddressBuffer, TrainingView
+from .prefetcher import EBCPConfig, EpochBasedCorrelationPrefetcher
+from .variants import make_ebcp, make_ebcp_minus, make_ebcp_onchip
+
+__all__ = [
+    "CMPEBCPConfig",
+    "CorrelationTable",
+    "InterleavedStreamEBCP",
+    "PerThreadEpochPrefetcher",
+    "EBCPConfig",
+    "EpochBasedCorrelationPrefetcher",
+    "EpochMissAddressBuffer",
+    "TableEntry",
+    "TableStats",
+    "TrainingView",
+    "make_ebcp",
+    "make_ebcp_minus",
+    "make_ebcp_onchip",
+]

@@ -1,0 +1,115 @@
+"""Epoch Miss Addresses Buffer (EMAB) — paper Section 3.4.2.
+
+The EMAB is the only training structure EBCP keeps on chip: a small
+circular buffer whose entries each hold the (instruction and load) miss
+line addresses of one epoch.  The newest entry accumulates the current
+epoch's misses; when an epoch boundary occurs the buffer rotates and, once
+full, yields a *training view*:
+
+* the **key** is the first miss address of the oldest buffered epoch
+  (epoch ``i``), and
+* the **payload** is the miss addresses of the buffered epochs starting
+  ``skip`` epochs after it (epochs ``i+skip .. i+skip+X-1``), ordered
+  oldest epoch first because older-epoch addresses get priority when the
+  correlation-table entry cannot hold them all.
+
+For the paper's EBCP, ``skip = 2`` and ``X = 2`` (store epochs i+2 and
+i+3): misses of epoch i itself are naturally overlapped with the trigger,
+and misses of epoch i+1 could never be prefetched timely because reading
+the main-memory table consumes epoch i and the prefetch itself consumes
+epoch i+1.  The handicapped *EBCP minus* variant uses ``skip = 1``
+(stores epochs i+1 and i+2).  The buffer depth is always ``skip + X`` —
+4 entries for EBCP, matching the paper.
+
+Store misses are never recorded (weak consistency makes store prefetching
+non-essential); the engine simply never reports them here.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+
+__all__ = ["TrainingView", "EpochMissAddressBuffer"]
+
+
+@dataclass(frozen=True)
+class TrainingView:
+    """One training opportunity produced at an epoch boundary."""
+
+    key_line: int
+    #: Payload miss lines, oldest epoch first, duplicates removed.
+    payload: tuple[int, ...]
+
+
+class EpochMissAddressBuffer:
+    """Circular buffer of per-epoch miss address lists."""
+
+    def __init__(
+        self,
+        skip_epochs: int = 2,
+        stored_epochs: int = 2,
+        capacity_per_epoch: int = 32,
+    ) -> None:
+        if skip_epochs < 1:
+            raise ValueError("skip_epochs must be >= 1 (same-epoch misses are never stored)")
+        if stored_epochs < 1:
+            raise ValueError("stored_epochs must be >= 1")
+        if capacity_per_epoch < 1:
+            raise ValueError("capacity_per_epoch must be >= 1")
+        self.skip_epochs = skip_epochs
+        self.stored_epochs = stored_epochs
+        self.capacity_per_epoch = capacity_per_epoch
+        self.depth = skip_epochs + stored_epochs
+        self._entries: deque[list[int]] = deque(maxlen=self.depth)
+        self._entries.append([])
+        self.overflow_drops = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def current_entry(self) -> list[int]:
+        return self._entries[-1]
+
+    @property
+    def filled_entries(self) -> int:
+        return len(self._entries)
+
+    def record_miss(self, line: int) -> None:
+        """Record an L2 instruction/load miss of the current epoch."""
+        entry = self._entries[-1]
+        if len(entry) >= self.capacity_per_epoch:
+            self.overflow_drops += 1
+            return
+        entry.append(line)
+
+    # ------------------------------------------------------------------
+    def epoch_boundary(self) -> TrainingView | None:
+        """Rotate at an epoch boundary; return a training view when full.
+
+        The view is produced *before* rotation, covering the just-ended
+        epoch as the newest entry — i.e. the oldest buffered epoch is
+        ``depth - 1`` epochs behind the one that just ended.
+        """
+        view: TrainingView | None = None
+        if len(self._entries) == self.depth:
+            oldest = self._entries[0]
+            if oldest:
+                payload: list[int] = []
+                seen: set[int] = set()
+                for entry in list(self._entries)[self.skip_epochs :]:
+                    for line in entry:
+                        if line not in seen:
+                            seen.add(line)
+                            payload.append(line)
+                if payload:
+                    view = TrainingView(key_line=oldest[0], payload=tuple(payload))
+        self._entries.append([])  # deque maxlen drops the oldest entry
+        return view
+
+    def reset(self) -> None:
+        self._entries.clear()
+        self._entries.append([])
+
+    def snapshot(self) -> list[list[int]]:
+        """Copy of all buffered entries, oldest first (for tests)."""
+        return [list(entry) for entry in self._entries]

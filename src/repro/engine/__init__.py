@@ -1,0 +1,17 @@
+"""Timing substrate: configuration, epochs, statistics, simulator."""
+
+from .config import CacheConfig, ProcessorConfig, SCALE_FACTOR
+from .epoch import Epoch, EpochTracker
+from .simulator import EpochSimulator
+from .stats import SimulationResult, SimulationStats
+
+__all__ = [
+    "CacheConfig",
+    "Epoch",
+    "EpochSimulator",
+    "EpochTracker",
+    "ProcessorConfig",
+    "SCALE_FACTOR",
+    "SimulationResult",
+    "SimulationStats",
+]

@@ -1,0 +1,121 @@
+"""Simulation configuration dataclasses.
+
+``ProcessorConfig`` mirrors the paper's default processor configuration
+table (Section 4.4).  Two presets are provided:
+
+* :meth:`ProcessorConfig.paper` — the full-size MICRO 2007 configuration
+  (2 MB L2, 500-cycle memory, 9.6/4.8 GB/s buses, 128-entry ROB, ...).
+* :meth:`ProcessorConfig.scaled` (the default) — identical latencies,
+  bandwidths and window sizes, but with the L2 capacity scaled down 8x
+  (256 KB) so that pure-Python trace-driven runs finish quickly.  The
+  synthetic workloads scale their footprints by the same factor, keeping
+  every capacity *ratio* of the paper intact (see DESIGN.md Section 2).
+
+Timing parameters of the epoch MLP model (Section 2.1) live here too:
+``cpi_perf`` (CPI with a perfect L2) and ``overlap`` (fraction of on-chip
+cycles hidden under off-chip accesses) — per-workload values override
+these from the trace metadata.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Any
+
+__all__ = ["CacheConfig", "ProcessorConfig", "SCALE_FACTOR"]
+
+#: Capacity scale-down applied by the default (scaled) configuration and
+#: by the synthetic workload footprints, relative to the paper.
+SCALE_FACTOR = 8
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    size_bytes: int
+    ways: int
+    line_size: int = 64
+    hit_latency: int = 1
+
+    @property
+    def n_lines(self) -> int:
+        return self.size_bytes // self.line_size
+
+    @property
+    def n_sets(self) -> int:
+        return self.n_lines // self.ways
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Everything the epoch engine needs to time a trace."""
+
+    # Core
+    core_ghz: float = 3.0
+    rob_size: int = 128
+    # Epoch MLP timing model defaults (overridden per workload)
+    cpi_perf: float = 1.0
+    overlap: float = 0.10
+    # Caches
+    l1i: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024, 4, 64, 3))
+    l1d: CacheConfig = field(default_factory=lambda: CacheConfig(32 * 1024, 4, 64, 3))
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig((2 * 1024 * 1024) // SCALE_FACTOR, 4, 64, 20)
+    )
+    l2_mshrs: int = 32
+    # Memory system
+    memory_latency: int = 500
+    read_bw_gbps: float = 9.6
+    write_bw_gbps: float = 4.8
+    # Prefetch buffer (shared by every evaluated prefetcher)
+    prefetch_buffer_entries: int = 64
+    prefetch_buffer_ways: int = 4
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def scaled(cls, **overrides: Any) -> "ProcessorConfig":
+        """The default scaled configuration (see module docstring)."""
+        return cls(**overrides)
+
+    @classmethod
+    def paper(cls, **overrides: Any) -> "ProcessorConfig":
+        """The full-size MICRO 2007 default configuration."""
+        base: dict[str, Any] = {"l2": CacheConfig(2 * 1024 * 1024, 4, 64, 20)}
+        base.update(overrides)
+        return cls(**base)
+
+    def replace(self, **changes: Any) -> "ProcessorConfig":
+        """Return a copy with the given fields changed."""
+        return dataclasses.replace(self, **changes)
+
+    # ------------------------------------------------------------------
+    @property
+    def line_size(self) -> int:
+        return self.l2.line_size
+
+    @property
+    def line_shift(self) -> int:
+        return self.line_size.bit_length() - 1
+
+    @property
+    def read_bytes_per_cycle(self) -> float:
+        return self.read_bw_gbps / self.core_ghz
+
+    @property
+    def write_bytes_per_cycle(self) -> float:
+        return self.write_bw_gbps / self.core_ghz
+
+    def validate(self) -> None:
+        if not (0.0 <= self.overlap < 1.0):
+            raise ValueError("overlap must be in [0, 1)")
+        if self.cpi_perf <= 0:
+            raise ValueError("cpi_perf must be positive")
+        if self.rob_size <= 0:
+            raise ValueError("rob_size must be positive")
+        if self.memory_latency <= 0:
+            raise ValueError("memory_latency must be positive")
+        for cache in (self.l1i, self.l1d, self.l2):
+            if cache.line_size != self.line_size:
+                raise ValueError("all cache levels must share one line size")

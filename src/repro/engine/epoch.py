@@ -1,0 +1,125 @@
+"""Epoch bookkeeping for the epoch MLP model (paper Section 2.1).
+
+An *epoch* is a period of on-chip computation followed by overlapped
+off-chip accesses.  The first off-chip miss of an epoch is the *epoch
+trigger*; the epoch count increments exactly when the number of
+outstanding off-chip misses transitions from 0 to 1.
+
+:class:`EpochTracker` implements the membership rules: a new off-chip
+miss joins the open epoch unless a window-termination condition applies.
+The termination conditions modelled (from [26] via Section 2.1) are:
+
+* no epoch is open (trivially a new trigger);
+* the miss is data-dependent on an earlier miss of the open epoch
+  (``Access.serial`` — pointer chasing serialises);
+* the reorder buffer would fill: more than ``rob_size`` instructions
+  separate the miss from the epoch trigger;
+* the MSHR file is exhausted (checked by the engine before joining);
+* the open epoch was sealed by an off-chip *instruction* miss — an
+  instruction miss prevents any later instruction from executing until it
+  resolves, so nothing after it can overlap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..memory.request import Access, AccessKind
+
+__all__ = ["Epoch", "EpochTracker"]
+
+
+@dataclass
+class Epoch:
+    """One closed or open epoch."""
+
+    index: int
+    trigger_line: int
+    trigger_kind: AccessKind
+    trigger_pc: int
+    trigger_inst: int
+    miss_lines: list[int] = field(default_factory=list)
+    miss_kinds: list[AccessKind] = field(default_factory=list)
+    sealed: bool = False
+    #: Instruction index at which the epoch was closed (set on close).
+    close_inst: int = 0
+
+    @property
+    def n_misses(self) -> int:
+        return len(self.miss_lines)
+
+    def add_miss(self, line: int, kind: AccessKind) -> None:
+        self.miss_lines.append(line)
+        self.miss_kinds.append(kind)
+        if kind is AccessKind.IFETCH:
+            # Off-chip instruction misses terminate the window: no later
+            # miss may overlap with this epoch.
+            self.sealed = True
+
+
+class EpochTracker:
+    """Tracks the open epoch and applies membership rules."""
+
+    def __init__(self, rob_size: int) -> None:
+        if rob_size <= 0:
+            raise ValueError("rob_size must be positive")
+        self.rob_size = rob_size
+        self.open_epoch: Epoch | None = None
+        self.epoch_count = 0
+        #: Why new epochs were opened, for diagnostics.
+        self.termination_reasons: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def can_join(self, access: Access, mshr_ok: bool) -> tuple[bool, str]:
+        """Would this off-chip miss join the open epoch?
+
+        Returns ``(joins, reason)`` where ``reason`` names the
+        window-termination condition when ``joins`` is False.
+        """
+        epoch = self.open_epoch
+        if epoch is None:
+            return False, "first_miss"
+        if access.serial:
+            return False, "serial_dependence"
+        if epoch.sealed:
+            return False, "instruction_miss_seal"
+        if access.inst_index - epoch.trigger_inst > self.rob_size:
+            return False, "rob_window"
+        if not mshr_ok:
+            return False, "mshr_full"
+        return True, ""
+
+    def join(self, access: Access, line: int) -> Epoch:
+        """Add an overlapped miss to the open epoch."""
+        epoch = self.open_epoch
+        assert epoch is not None, "join() with no open epoch"
+        epoch.add_miss(line, access.kind)
+        return epoch
+
+    def open_new(self, access: Access, line: int, reason: str) -> tuple[Epoch | None, Epoch]:
+        """Close the open epoch (if any) and open a new one.
+
+        Returns ``(closed_epoch, new_epoch)``; ``closed_epoch`` is None
+        for the very first epoch of the run.
+        """
+        closed = self.close(access.inst_index)
+        self.termination_reasons[reason] = self.termination_reasons.get(reason, 0) + 1
+        epoch = Epoch(
+            index=self.epoch_count,
+            trigger_line=line,
+            trigger_kind=access.kind,
+            trigger_pc=access.pc,
+            trigger_inst=access.inst_index,
+        )
+        epoch.add_miss(line, access.kind)
+        self.epoch_count += 1
+        self.open_epoch = epoch
+        return closed, epoch
+
+    def close(self, at_inst: int) -> Epoch | None:
+        """Close the open epoch, if any, and return it."""
+        closed = self.open_epoch
+        if closed is not None:
+            closed.close_inst = at_inst
+            self.open_epoch = None
+        return closed

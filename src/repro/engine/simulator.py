@@ -1,0 +1,449 @@
+"""The epoch-model trace-driven timing simulator.
+
+This is the reproduction's substitute for the paper's proprietary
+cycle-accurate SPARC simulator (DESIGN.md Section 2).  It is built
+directly on the paper's epoch MLP performance model:
+
+``cycles = instructions * CPI_perf * (1 - Overlap) + sum(epoch penalties)``
+
+The simulator walks an L1-level access trace, filters it through the
+functional cache hierarchy, partitions off-chip misses into epochs using
+the window-termination rules of :mod:`repro.engine.epoch`, drives the
+configured prefetcher, and accounts bandwidth per epoch window with
+demand-first priorities.
+
+Prefetch lifecycle
+------------------
+A request generated during epoch ``e`` with ``epochs_until_ready = r`` is
+staged into the prefetch buffer immediately with ``ready_epoch = e + r``
+(the buffer's readiness check enforces epoch-granular timeliness), and its
+bus transfer is charged to the window of epoch ``e + r - 1`` when that
+window closes.  If the read-bus budget of that window is exhausted the
+transfer is dropped and the staged line is invalidated — it never became
+usable, matching the paper's "prefetches may sometimes be dropped when
+the available memory bandwidth is saturated".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterable
+
+from ..memory.bandwidth import BandwidthModel, BusStats, EpochBudget
+from ..memory.hierarchy import AccessOutcome, CacheHierarchy
+from ..memory.mshr import MSHRFile
+from ..memory.request import Access, AccessKind, PrefetchRequest, Priority
+from ..prefetchers.base import Prefetcher
+from .config import ProcessorConfig
+from .epoch import Epoch, EpochTracker
+from .stats import SimulationResult, SimulationStats
+
+__all__ = ["EpochSimulator"]
+
+
+@dataclass
+class _PendingTransfer:
+    """A staged prefetch whose bus transfer is awaiting its window."""
+
+    request: PrefetchRequest
+    issue_epoch: int
+    line: int
+
+
+class EpochSimulator:
+    """Runs one trace against one configuration and prefetcher."""
+
+    def __init__(
+        self,
+        config: ProcessorConfig | None = None,
+        prefetcher: Prefetcher | None = None,
+        cpi_perf: float | None = None,
+        overlap: float | None = None,
+    ) -> None:
+        self.config = config or ProcessorConfig.scaled()
+        self.config.validate()
+        self.cpi_perf = cpi_perf if cpi_perf is not None else self.config.cpi_perf
+        self.overlap = overlap if overlap is not None else self.config.overlap
+        self.prefetcher = prefetcher
+        self.hierarchy = CacheHierarchy(self.config)
+        self.mshrs = MSHRFile(self.config.l2_mshrs)
+        self.tracker = EpochTracker(self.config.rob_size)
+        self.bandwidth = BandwidthModel(
+            read_bytes_per_cycle=self.config.read_bytes_per_cycle,
+            write_bytes_per_cycle=self.config.write_bytes_per_cycle,
+        )
+        self.stats = SimulationStats()
+        self._pending: list[_PendingTransfer] = []
+        self._store_read_bytes = 0
+        self._store_write_bytes = 0
+        # Would-be epoch (interval) tracking for the prefetcher.
+        self._interval_trigger_inst: int | None = None
+        self._interval_sealed = False
+        self._measuring = False
+        self._cpi_onchip = self.cpi_perf * (1.0 - self.overlap)
+        #: Wall-clock cycle accumulator: retired instructions contribute
+        #: ``cpi_onchip`` cycles each, and every closed epoch adds its
+        #: effective miss penalty.  Prefetch readiness is judged on this
+        #: clock (see PrefetchBuffer's docstring).
+        self._penalty_accum = 0.0
+        #: Optional observation hooks (research/diagnostic instrumentation).
+        #: ``epoch_listener(closed_epoch)`` fires at every epoch close;
+        #: ``access_listener(access, line, result)`` fires for every L2
+        #: access (i.e. every L1 miss) with its hierarchy outcome.
+        self.epoch_listener: Any | None = None
+        self.access_listener: Any | None = None
+        if self.prefetcher is not None:
+            self.prefetcher.bind(self.hierarchy)  # type: ignore[attr-defined]
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def run(self, trace: Any, warmup_records: int | None = None) -> SimulationResult:
+        """Simulate ``trace`` and return the measured-region result.
+
+        ``trace`` must expose integer sequences ``gap``, ``kind``, ``pc``,
+        ``addr`` and ``serial`` of equal length (see
+        :class:`repro.workloads.trace.Trace`).  The first
+        ``warmup_records`` records warm the caches, the prefetcher and the
+        correlation table without collecting statistics — mirroring the
+        paper's 150 M-instruction warm-up before the 100 M-instruction
+        measurement window.  The default warm-up is 30 % of the trace.
+        """
+        n = len(trace.gap)
+        if warmup_records is None:
+            warmup_records = int(0.3 * n)
+        warmup_records = max(0, min(warmup_records, n))
+
+        gaps = trace.gap.tolist() if hasattr(trace.gap, "tolist") else list(trace.gap)
+        kinds = trace.kind.tolist() if hasattr(trace.kind, "tolist") else list(trace.kind)
+        pcs = trace.pc.tolist() if hasattr(trace.pc, "tolist") else list(trace.pc)
+        addrs = trace.addr.tolist() if hasattr(trace.addr, "tolist") else list(trace.addr)
+        serials = (
+            trace.serial.tolist() if hasattr(trace.serial, "tolist") else list(trace.serial)
+        )
+        tids = (
+            trace.tid.tolist()
+            if hasattr(trace, "tid") and hasattr(trace.tid, "tolist")
+            else [0] * n
+        )
+
+        self._measuring = False
+        inst = 0
+        measure_start_inst = 0
+        for i in range(n):
+            if i == warmup_records:
+                measure_start_inst = inst
+                self._begin_measurement()
+            inst += gaps[i]
+            self._step(kinds[i], pcs[i], addrs[i], bool(serials[i]), inst, tids[i])
+        # Close the final epoch and flush pending transfers.
+        closed = self.tracker.close(inst)
+        if closed is not None:
+            self._process_epoch_close(closed, inst)
+        if self._pending:
+            self._flush_pending(inst)
+
+        if self._measuring:
+            self.stats.instructions = inst - measure_start_inst
+        workload_name = getattr(getattr(trace, "meta", None), "name", "trace")
+        pf_name = self.prefetcher.name if self.prefetcher is not None else "none"
+        return SimulationResult(
+            workload=workload_name,
+            prefetcher=pf_name,
+            stats=self.stats,
+            cpi_perf=self.cpi_perf,
+            overlap=self.overlap,
+            config_summary={
+                "l2_bytes": self.config.l2.size_bytes,
+                "read_bw_gbps": self.config.read_bw_gbps,
+                "prefetch_buffer_entries": self.config.prefetch_buffer_entries,
+            },
+        )
+
+    # ------------------------------------------------------------------
+    # Measurement control
+    # ------------------------------------------------------------------
+    def _begin_measurement(self) -> None:
+        """Reset statistics at the warm-up / measurement boundary."""
+        self.stats = SimulationStats()
+        self.bandwidth.read_stats = BusStats()
+        self.bandwidth.write_stats = BusStats()
+        self._measuring = True
+
+    # ------------------------------------------------------------------
+    # Per-record step
+    # ------------------------------------------------------------------
+    def _step(
+        self, kind_code: int, pc: int, addr: int, serial: bool, inst: int, tid: int = 0
+    ) -> None:
+        stats = self.stats
+        if self._measuring:
+            stats.accesses += 1
+        line = addr >> self.hierarchy.line_shift
+        kind = AccessKind(kind_code)
+        l1 = self.hierarchy.l1i if kind_code == 0 else self.hierarchy.l1d
+        if l1.lookup(line):
+            if self._measuring:
+                if kind_code == 0:
+                    stats.l1i_hits += 1
+                else:
+                    stats.l1d_hits += 1
+            return
+
+        access = Access(kind=kind, pc=pc, addr=addr, serial=serial, inst_index=inst, tid=tid)
+        requests: list[PrefetchRequest] = []
+
+        # Prospective epoch membership: would this access overlap the
+        # open epoch, or does it logically execute after its stall?
+        open_epoch = self.tracker.open_epoch
+        if open_epoch is None:
+            prospective = self.tracker.epoch_count
+            joins = False
+            reason = "first_miss"
+        else:
+            mshr_ok = self.mshrs.has(line) or not self.mshrs.is_full
+            joins, reason = self.tracker.can_join(access, mshr_ok)
+            prospective = open_epoch.index if joins else self.tracker.epoch_count
+        # Wall-clock time of this access: instructions retired so far plus
+        # all resolved stalls, plus the still-open epoch's stall if the
+        # access can only execute after it resolves.
+        cycle = inst * self._cpi_onchip + self._penalty_accum
+        if open_epoch is not None and not joins:
+            cycle += self.config.memory_latency
+
+        # Every L1 miss is an L2 access the prefetcher control can see.
+        if self.prefetcher is not None:
+            requests.extend(self.prefetcher.observe_access(access, line, prospective))
+
+        result = self.hierarchy.access(access, cycle)
+        if self.access_listener is not None:
+            self.access_listener(access, line, result)
+        if result.writeback_line is not None:
+            # Dirty L2 victim: a memory write, visible to memory-side
+            # prefetchers as part of the raw request stream.
+            self._store_write_bytes += self.config.line_size
+            if self.prefetcher is not None and self.prefetcher.observes_stores:
+                wb_access = Access(
+                    kind=AccessKind.STORE,
+                    pc=0,
+                    addr=result.writeback_line << self.hierarchy.line_shift,
+                    inst_index=inst,
+                )
+                requests.extend(
+                    self.prefetcher.observe_offchip_miss(
+                        wb_access, result.writeback_line, None, False
+                    )
+                )
+        if self._measuring:
+            stats.l2_accesses += 1
+
+        if result.outcome is AccessOutcome.L2_HIT:
+            if self._measuring:
+                stats.l2_hits += 1
+            self._register_requests(requests, prospective, cycle)
+            return
+
+        if result.outcome is AccessOutcome.PREFETCH_HIT:
+            if self._measuring:
+                stats.prefetch_hits[kind] += 1
+            if kind is not AccessKind.STORE:
+                # An averted miss still marks the would-be epoch structure
+                # the prefetcher tracks (paper Section 3.4.3: a prefetch
+                # buffer hit substitutes for the first miss of a new epoch).
+                first = self._interval_event(kind, serial, inst)
+                if self.prefetcher is not None:
+                    requests.extend(
+                        self.prefetcher.observe_prefetch_hit(
+                            access, line, result.table_index, prospective, first
+                        )
+                    )
+            self._register_requests(requests, prospective, cycle)
+            return
+
+        # Genuine off-chip miss.
+        if self._measuring:
+            stats.offchip_misses[kind] += 1
+            if result.late_prefetch:
+                stats.late_prefetches += 1
+
+        if kind is AccessKind.STORE:
+            # Weak consistency: store misses never stall the window and
+            # never create epochs; they only consume bandwidth.
+            self._store_read_bytes += self.config.line_size
+            self._store_write_bytes += self.config.line_size
+            self._register_requests(requests, prospective, cycle)
+            return
+
+        if joins:
+            self.mshrs.allocate(line)
+            epoch = self.tracker.join(access, line)
+        else:
+            closed, epoch = self.tracker.open_new(access, line, reason)
+            if closed is not None:
+                self._process_epoch_close(closed, inst)
+            if self._measuring:
+                stats.epochs += 1
+                if serial:
+                    stats.serial_epochs += 1
+            self.mshrs.allocate(line)
+
+        is_trigger = self._interval_event(kind, serial, inst)
+        if self.prefetcher is not None:
+            requests.extend(
+                self.prefetcher.observe_offchip_miss(access, line, epoch, is_trigger)
+            )
+        self._register_requests(requests, epoch.index if not joins else prospective, cycle)
+
+    # ------------------------------------------------------------------
+    # Would-be epoch (interval) tracking for the prefetcher
+    # ------------------------------------------------------------------
+    def _interval_event(self, kind: AccessKind, serial: bool, inst: int) -> bool:
+        """Advance the would-be epoch structure on an off-chip-class event.
+
+        Real misses *and* prefetch-buffer hits advance this structure: it
+        is the epoch partitioning the program would exhibit without
+        prefetching, which is what the prefetcher keys its correlation
+        table on.  (With no prefetcher it coincides with the real epoch
+        sequence.)  Returns True when the event opens a new interval —
+        i.e. it is the (would-be) epoch trigger.
+        """
+        new_interval = (
+            self._interval_trigger_inst is None
+            or serial
+            or self._interval_sealed
+            or inst - self._interval_trigger_inst > self.config.rob_size
+        )
+        if new_interval:
+            if self.prefetcher is not None and self._interval_trigger_inst is not None:
+                boundary_requests = self.prefetcher.on_epoch_boundary(self.tracker.open_epoch)
+                if boundary_requests:
+                    self._register_requests(
+                        boundary_requests,
+                        self.tracker.epoch_count,
+                        inst * self._cpi_onchip + self._penalty_accum,
+                    )
+            self._interval_trigger_inst = inst
+            self._interval_sealed = False
+        if kind is AccessKind.IFETCH:
+            # An off-chip instruction miss terminates the window: nothing
+            # after it can overlap into the same (would-be) epoch.
+            self._interval_sealed = True
+        return new_interval
+
+    # ------------------------------------------------------------------
+    # Prefetch registration
+    # ------------------------------------------------------------------
+    def _register_requests(
+        self, requests: Iterable[PrefetchRequest], epoch_index: int, cycle: float
+    ) -> None:
+        for req in requests:
+            if self._measuring:
+                self.stats.prefetches_generated += 1
+            # One miss penalty per pipeline step: the table read occupies
+            # the first, the prefetch transfer the last (Section 3.2).
+            ready_cycle = cycle + req.epochs_until_ready * self.config.memory_latency
+            # Bandwidth is charged to the epoch window the request was
+            # created in: that window's duration spans the wall time in
+            # which the transfer occupies the bus.
+            issue_epoch = epoch_index
+            line = req.line_addr
+            if not self.hierarchy.fill_prefetch(line, ready_cycle, req.table_index, req.source):
+                if self._measuring:
+                    self.stats.prefetches_redundant += 1
+                continue
+            req.issue_epoch = issue_epoch
+            self._pending.append(_PendingTransfer(req, issue_epoch, line))
+
+    # ------------------------------------------------------------------
+    # Epoch close: timing + bandwidth accounting
+    # ------------------------------------------------------------------
+    def _process_epoch_close(self, closed: Epoch, now_inst: int) -> None:
+        if self.epoch_listener is not None:
+            self.epoch_listener(closed)
+        self.mshrs.drain()
+        base_penalty = float(self.config.memory_latency)
+        span_insts = max(0, now_inst - closed.trigger_inst)
+        duration = span_insts * self._cpi_onchip + base_penalty
+        budget = self.bandwidth.open_epoch(duration)
+        line_bytes = self.config.line_size
+
+        # 1. Demand fills (never droppable).
+        budget.charge_read(Priority.DEMAND, closed.n_misses * line_bytes, droppable=False)
+        if self._store_read_bytes:
+            budget.charge_read(Priority.DEMAND, self._store_read_bytes, droppable=False)
+            self._store_read_bytes = 0
+        if self._store_write_bytes:
+            budget.charge_write(Priority.DEMAND, self._store_write_bytes, droppable=False)
+            self._store_write_bytes = 0
+
+        # 2. Correlation-table traffic.
+        if self.prefetcher is not None:
+            lookup_r, update_r, update_w, lru_w = self.prefetcher.traffic.drain()
+            if lookup_r:
+                budget.charge_read(Priority.TABLE_LOOKUP, lookup_r, droppable=False)
+            if update_r:
+                budget.charge_read(Priority.TABLE_UPDATE, update_r, droppable=True)
+            if update_w:
+                budget.charge_write(Priority.TABLE_UPDATE, update_w)
+            if lru_w:
+                budget.charge_write(Priority.LRU_WRITEBACK, lru_w)
+            if self._measuring:
+                self.stats.table_read_bytes += lookup_r + update_r
+                self.stats.table_write_bytes += update_w + lru_w
+
+        # 3. Prefetch transfers whose window this is.
+        if self._pending:
+            still_pending: list[_PendingTransfer] = []
+            for transfer in self._pending:
+                if transfer.issue_epoch > closed.index:
+                    still_pending.append(transfer)
+                    continue
+                self._charge_transfer(transfer, budget, line_bytes)
+            self._pending = still_pending
+
+        self.bandwidth.close_epoch(budget)
+
+        # 4. Effective penalty: queueing from this window's utilisation.
+        queueing = self.bandwidth.queueing_delay(base_penalty)
+        self._penalty_accum += base_penalty + queueing
+        if self._measuring:
+            self.stats.offchip_cycles += base_penalty + queueing
+            self.stats.queueing_cycles += queueing
+            self.stats.read_bytes += int(budget.read_used)
+            self.stats.write_bytes += int(budget.write_used)
+            self.stats.read_budget_bytes += int(budget.read_budget)
+            for reason, count in self.tracker.termination_reasons.items():
+                self.stats.termination_reasons[reason] = (
+                    self.stats.termination_reasons.get(reason, 0) + count
+                )
+            self.tracker.termination_reasons.clear()
+        else:
+            self.tracker.termination_reasons.clear()
+
+    def _charge_transfer(
+        self, transfer: _PendingTransfer, budget: EpochBudget, line_bytes: int
+    ) -> None:
+        entry = self.hierarchy.prefetch_buffer.peek(transfer.line)
+        if entry is None or entry.used:
+            # Consumed or already evicted: the transfer physically
+            # happened, charge it unconditionally.
+            budget.charge_read(Priority.PREFETCH, line_bytes, droppable=False)
+            if self._measuring:
+                self.stats.prefetches_filled += 1
+            return
+        if budget.charge_read(Priority.PREFETCH, line_bytes, droppable=True):
+            if self._measuring:
+                self.stats.prefetches_filled += 1
+        else:
+            self.hierarchy.prefetch_buffer.invalidate(transfer.line)
+            if self._measuring:
+                self.stats.prefetches_dropped += 1
+
+    def _flush_pending(self, now_inst: int) -> None:
+        """Charge transfers still pending at end of trace."""
+        duration = float(self.config.memory_latency)
+        budget = self.bandwidth.open_epoch(duration)
+        for transfer in self._pending:
+            self._charge_transfer(transfer, budget, self.config.line_size)
+        self._pending.clear()
+        self.bandwidth.close_epoch(budget)

@@ -1,0 +1,37 @@
+"""One module per table/figure of the paper's evaluation (Section 5).
+
+Each module exposes ``run(records=..., seed=...)`` returning a rich
+result object with a ``render()`` method that prints the same rows or
+series the paper reports.  The benches under ``benchmarks/`` are thin
+wrappers over these.
+"""
+
+from . import extension_cmp, figure4, figure5, figure6, figure7, figure8, figure9, table1
+from .common import DEFAULT_RECORDS, DEFAULT_SEED, FigureResult, TableResult
+
+__all__ = [
+    "DEFAULT_RECORDS",
+    "DEFAULT_SEED",
+    "FigureResult",
+    "TableResult",
+    "extension_cmp",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "figure9",
+    "table1",
+]
+
+#: Registry used by the CLI: experiment id -> module.
+EXPERIMENTS = {
+    "table1": table1,
+    "extension_cmp": extension_cmp,
+    "figure4": figure4,
+    "figure5": figure5,
+    "figure6": figure6,
+    "figure7": figure7,
+    "figure8": figure8,
+    "figure9": figure9,
+}

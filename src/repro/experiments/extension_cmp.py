@@ -1,0 +1,107 @@
+"""Extension E1: EBCP on a chip multiprocessor (paper Section 6).
+
+Not a figure from the paper — its named future work, built to quantify
+the Section 3.3.1 placement argument: on a CMP, the request stream
+reaching memory is an interleaving of the threads' streams, which "do
+not exhibit sufficient correlation to enable effective prefetching",
+while EBCP's in-front-of-the-crossbar control can track each thread's
+stream separately.
+
+For each workload and thread count, four schemes run on the interleaved
+trace:
+
+* ``ebcp_cmp``         — per-thread EMABs + shared main-memory table;
+* ``ebcp_interleaved`` — identical logic, thread-blind (one EMAB over
+                         the union stream);
+* ``solihin_6_1``      — the memory-side baseline (inherently
+                         thread-blind);
+* ``ghb_large``        — on-chip PC/DC: PC indexing gives it *implicit*
+                         per-thread separation (thread PCs are disjoint),
+                         an interesting middle point.
+
+Expected shape: per-thread tracking retains most of the single-thread
+gain as threads are added; the thread-blind variants decay toward zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.cmp import CMPEBCPConfig, InterleavedStreamEBCP, PerThreadEpochPrefetcher
+from ..core.prefetcher import EBCPConfig
+from ..engine.config import ProcessorConfig
+from ..engine.simulator import EpochSimulator
+from ..prefetchers.base import Prefetcher
+from ..prefetchers.ghb import make_ghb_large
+from ..prefetchers.solihin import make_solihin_6_1
+from ..workloads.multithread import make_cmp_workload
+from .common import DEFAULT_SEED, FigureResult
+
+__all__ = ["SCHEMES", "THREAD_COUNTS", "ExtensionCMPResult", "run"]
+
+SCHEMES: tuple[str, ...] = ("ebcp_cmp", "ebcp_interleaved", "solihin_6_1", "ghb_large")
+THREAD_COUNTS: tuple[int, ...] = (1, 2, 4)
+
+
+def _build(scheme: str) -> Prefetcher:
+    if scheme == "ebcp_cmp":
+        return PerThreadEpochPrefetcher(CMPEBCPConfig(EBCPConfig(prefetch_degree=8)))
+    if scheme == "ebcp_interleaved":
+        return InterleavedStreamEBCP(CMPEBCPConfig(EBCPConfig(prefetch_degree=8)))
+    if scheme == "solihin_6_1":
+        return make_solihin_6_1(degree=8)
+    if scheme == "ghb_large":
+        return make_ghb_large(degree=8)
+    raise KeyError(scheme)
+
+
+@dataclass
+class ExtensionCMPResult:
+    """One improvement-vs-thread-count panel per workload."""
+
+    panels: Mapping[str, FigureResult]  # keyed by workload
+
+    def render(self) -> str:
+        return "\n\n".join(panel.render() for panel in self.panels.values())
+
+    def improvement(self, workload: str, scheme: str, n_threads: int) -> float:
+        panel = self.panels[workload]
+        return panel.series[scheme][list(panel.x_values).index(n_threads)]
+
+
+def run(
+    records: int = 140_000,
+    seed: int = DEFAULT_SEED,
+    workloads: Sequence[str] = ("database", "specjbb2005"),
+    thread_counts: Sequence[int] = THREAD_COUNTS,
+) -> ExtensionCMPResult:
+    """Run the CMP interleaving experiment.
+
+    ``records`` is the *total* interleaved trace length per point, so the
+    comparison across thread counts holds work constant.
+    """
+    config = ProcessorConfig.scaled()
+    panels: dict[str, FigureResult] = {}
+    for workload in workloads:
+        series: dict[str, list[float]] = {scheme: [] for scheme in SCHEMES}
+        for n_threads in thread_counts:
+            trace = make_cmp_workload(
+                workload,
+                n_threads=n_threads,
+                records_per_thread=max(20_000, records // n_threads),
+                seed=seed,
+            )
+            timing = {"cpi_perf": trace.meta.cpi_perf, "overlap": trace.meta.overlap}
+            baseline = EpochSimulator(config, None, **timing).run(trace)
+            for scheme in SCHEMES:
+                result = EpochSimulator(config, _build(scheme), **timing).run(trace)
+                series[scheme].append(result.improvement_over(baseline))
+        panels[workload] = FigureResult(
+            figure_id=f"Extension E1 ({workload})",
+            title="CMP interleaving: per-thread vs thread-blind prefetching",
+            x_label="threads",
+            x_values=tuple(thread_counts),
+            series=series,
+        )
+    return ExtensionCMPResult(panels=panels)

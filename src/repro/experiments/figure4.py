@@ -1,0 +1,60 @@
+"""Figure 4: effect of prefetch degree on overall performance.
+
+The paper starts from an idealized predictor (8 M-entry table, 32
+addresses per entry, 1024-entry prefetch buffer) and sweeps the maximum
+number of prefetches issued per correlation-table match from 1 to 32,
+reporting the overall performance improvement over the no-prefetching
+baseline.  Performance keeps improving with degree at the default
+9.6 GB/s read bandwidth.
+
+This module runs the same sweep (table scaled with the rest of the
+configuration, DESIGN.md Section 2) and exposes the full sweep points so
+Figure 5 can present its secondary metrics without re-simulating.
+"""
+
+from __future__ import annotations
+
+from .common import (
+    DEFAULT_RECORDS,
+    DEFAULT_SEED,
+    FigureResult,
+    idealized_config,
+    make_sweep_ebcp,
+    memoized,
+    new_runner,
+)
+
+__all__ = ["DEGREES", "run", "sweep_points"]
+
+DEGREES: tuple[int, ...] = (1, 2, 4, 8, 16, 32)
+
+
+def sweep_points(records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED):
+    """The degree sweep grid, memoised for sharing with Figure 5."""
+
+    def compute():
+        runner = new_runner(records, seed)
+        config = idealized_config()
+        return runner.sweep(
+            labels=[str(d) for d in DEGREES],
+            prefetcher_factory=lambda label: make_sweep_ebcp(degree=int(label)),
+            config=config,
+        )
+
+    return memoized(("degree_sweep", records, seed), compute)
+
+
+def run(records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED) -> FigureResult:
+    grid = sweep_points(records, seed)
+    series = {
+        workload: [point.improvement for point in points]
+        for workload, points in grid.items()
+    }
+    return FigureResult(
+        figure_id="Figure 4",
+        title="Effect of limiting number of prefetches on overall performance improvement",
+        x_label="degree",
+        x_values=DEGREES,
+        series=series,
+        points=grid,
+    )

@@ -1,0 +1,101 @@
+"""Figure 9: EBCP versus other prefetchers.
+
+The paper's headline comparison.  All prefetchers use a uniform degree of
+six (except SMS, which may issue up to 32 prefetches on a pattern match —
+all lines of a spatial region) and a 64-entry prefetch buffer; the
+memory-table prefetchers (EBCP, EBCP-minus, Solihin) use same-sized
+main-memory tables.  Published shape the tests assert:
+
+* EBCP beats every other scheme on every workload;
+* EBCP beats EBCP-minus everywhere (skipping the un-prefetchable next
+  epoch matters);
+* Solihin 6,1 beats Solihin 3,2 everywhere (depth beats width);
+* GHB large beats GHB small; TCP large beats TCP small (capacity);
+* the sub-megabyte on-chip schemes (GHB small, TCP small, stream) are
+  largely ineffective on these workloads, with SMS the exception;
+* SMS does relatively well on database/SPECjbb2005 but poorly on
+  TPC-W/SPECjAppServer2004 (no instruction prefetching).
+"""
+
+from __future__ import annotations
+
+from ..core.prefetcher import EBCPConfig, EpochBasedCorrelationPrefetcher
+from ..prefetchers.base import Prefetcher
+from ..prefetchers.ghb import make_ghb_large, make_ghb_small
+from ..prefetchers.sms import SpatialMemoryStreaming
+from ..prefetchers.solihin import make_solihin_3_2, make_solihin_6_1
+from ..prefetchers.stream import StreamPrefetcher
+from ..prefetchers.tcp import make_tcp_large, make_tcp_small
+from .common import (
+    DEFAULT_RECORDS,
+    DEFAULT_SEED,
+    FigureResult,
+    default_config,
+    new_runner,
+)
+
+__all__ = ["SCHEMES", "run", "build_comparison_prefetcher"]
+
+#: Figure 9's x-axis, in the paper's order.
+SCHEMES: tuple[str, ...] = (
+    "ghb_small",
+    "ghb_large",
+    "tcp_small",
+    "tcp_large",
+    "stream",
+    "sms",
+    "solihin_3_2",
+    "solihin_6_1",
+    "ebcp_minus",
+    "ebcp",
+)
+
+_UNIFORM_DEGREE = 6
+
+
+def build_comparison_prefetcher(name: str) -> Prefetcher:
+    """Build one Figure 9 scheme with the paper's comparison settings."""
+    if name == "ghb_small":
+        return make_ghb_small(degree=_UNIFORM_DEGREE)
+    if name == "ghb_large":
+        return make_ghb_large(degree=_UNIFORM_DEGREE)
+    if name == "tcp_small":
+        return make_tcp_small(degree=_UNIFORM_DEGREE)
+    if name == "tcp_large":
+        return make_tcp_large(degree=_UNIFORM_DEGREE)
+    if name == "stream":
+        return StreamPrefetcher(degree=_UNIFORM_DEGREE)
+    if name == "sms":
+        return SpatialMemoryStreaming()  # up to 32 prefetches per match
+    if name == "solihin_3_2":
+        return make_solihin_3_2(degree=_UNIFORM_DEGREE)
+    if name == "solihin_6_1":
+        return make_solihin_6_1(degree=_UNIFORM_DEGREE)
+    if name == "ebcp_minus":
+        return EpochBasedCorrelationPrefetcher(
+            EBCPConfig(prefetch_degree=_UNIFORM_DEGREE, addrs_per_entry=6, skip_epochs=1)
+        )
+    if name == "ebcp":
+        return EpochBasedCorrelationPrefetcher(
+            EBCPConfig(prefetch_degree=_UNIFORM_DEGREE, addrs_per_entry=6)
+        )
+    raise KeyError(f"unknown Figure 9 scheme '{name}'")
+
+
+def run(records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED) -> FigureResult:
+    runner = new_runner(records, seed)
+    grid = runner.sweep(
+        labels=list(SCHEMES),
+        prefetcher_factory=build_comparison_prefetcher,
+        config=default_config(),
+    )
+    series = {w: [p.improvement for p in points] for w, points in grid.items()}
+    return FigureResult(
+        figure_id="Figure 9",
+        title="Performance comparison of EBCP with other prefetchers "
+        f"(uniform degree {_UNIFORM_DEGREE})",
+        x_label="scheme",
+        x_values=SCHEMES,
+        series=series,
+        points=grid,
+    )

@@ -1,0 +1,35 @@
+"""Memory-hierarchy substrate: caches, MSHRs, prefetch buffer, DRAM, buses."""
+
+from .bandwidth import BandwidthModel, BusStats, EpochBudget
+from .cache import CacheStats, SetAssociativeCache
+from .hierarchy import AccessOutcome, CacheHierarchy, HierarchyResult
+from .main_memory import Allocation, MainMemory, OutOfMemoryError
+from .mshr import MSHRFile, MSHRStats
+from .prefetch_buffer import BufferEntry, LookupResult, PrefetchBuffer, PrefetchBufferStats
+from .request import Access, AccessKind, PrefetchRequest, Priority, line_address, line_number
+
+__all__ = [
+    "Access",
+    "AccessKind",
+    "AccessOutcome",
+    "Allocation",
+    "BandwidthModel",
+    "BufferEntry",
+    "BusStats",
+    "CacheHierarchy",
+    "CacheStats",
+    "EpochBudget",
+    "HierarchyResult",
+    "LookupResult",
+    "MSHRFile",
+    "MSHRStats",
+    "MainMemory",
+    "OutOfMemoryError",
+    "PrefetchBuffer",
+    "PrefetchBufferStats",
+    "PrefetchRequest",
+    "Priority",
+    "SetAssociativeCache",
+    "line_address",
+    "line_number",
+]

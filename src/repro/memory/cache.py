@@ -1,0 +1,207 @@
+"""Set-associative cache with true-LRU replacement.
+
+This is the functional cache model used for the L1 instruction cache, the
+L1 data cache and the shared L2 cache.  It tracks hits, misses and
+evictions but carries no timing — timing is the job of the epoch engine
+(:mod:`repro.engine.simulator`).
+
+Design notes
+------------
+* The cache operates on *line numbers* (byte address >> line_shift); the
+  caller is responsible for the shift so the hot path avoids repeated
+  masking.
+* Each set is a ``dict[tag -> last_use]``; LRU eviction scans the set,
+  which is cheap for the small associativities (4-16 ways) used here and
+  avoids per-access ``OrderedDict`` churn.
+* ``insert`` returns the evicted line number (or ``None``), letting
+  callers model dirty writebacks or feed eviction-driven prefetchers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CacheStats", "SetAssociativeCache"]
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/eviction counters for one cache."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    insertions: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_ratio(self) -> float:
+        total = self.accesses
+        return self.misses / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.insertions = 0
+
+
+class SetAssociativeCache:
+    """A set-associative cache of lines with true-LRU replacement.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity in bytes.
+    ways:
+        Associativity.  ``size_bytes / (ways * line_size)`` must be a
+        power of two (the set index is taken by masking).
+    line_size:
+        Line size in bytes (must be a power of two).
+    name:
+        Label used in statistics and error messages.
+    """
+
+    def __init__(self, size_bytes: int, ways: int, line_size: int, name: str = "cache") -> None:
+        if size_bytes <= 0 or ways <= 0 or line_size <= 0:
+            raise ValueError("cache geometry must be positive")
+        if line_size & (line_size - 1):
+            raise ValueError(f"line_size must be a power of two, got {line_size}")
+        n_lines = size_bytes // line_size
+        if n_lines % ways:
+            raise ValueError(
+                f"{name}: {size_bytes} bytes / {line_size} B lines not divisible by {ways} ways"
+            )
+        n_sets = n_lines // ways
+        if n_sets == 0 or n_sets & (n_sets - 1):
+            raise ValueError(f"{name}: number of sets ({n_sets}) must be a power of two")
+        self.name = name
+        self.size_bytes = size_bytes
+        self.ways = ways
+        self.line_size = line_size
+        self.line_shift = line_size.bit_length() - 1
+        self.n_sets = n_sets
+        self._set_mask = n_sets - 1
+        # Per-set mapping: tag -> last-use stamp.
+        self._sets: list[dict[int, int]] = [dict() for _ in range(n_sets)]
+        self._stamp = 0
+        #: Lines written since fill; their eviction is a memory writeback.
+        self._dirty: set[int] = set()
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # Line-number helpers
+    # ------------------------------------------------------------------
+    def line_of(self, byte_addr: int) -> int:
+        """Line number containing a byte address."""
+        return byte_addr >> self.line_shift
+
+    def _index_tag(self, line: int) -> tuple[int, int]:
+        return line & self._set_mask, line >> (self.n_sets.bit_length() - 1)
+
+    # ------------------------------------------------------------------
+    # Core operations (all take line numbers)
+    # ------------------------------------------------------------------
+    def lookup(self, line: int, update_lru: bool = True) -> bool:
+        """Probe for ``line``; returns True on hit.  Counts a hit/miss."""
+        index, tag = self._index_tag(line)
+        cache_set = self._sets[index]
+        if tag in cache_set:
+            if update_lru:
+                self._stamp += 1
+                cache_set[tag] = self._stamp
+            self.stats.hits += 1
+            return True
+        self.stats.misses += 1
+        return False
+
+    def contains(self, line: int) -> bool:
+        """Probe without disturbing LRU state or statistics."""
+        index, tag = self._index_tag(line)
+        return tag in self._sets[index]
+
+    def insert(self, line: int) -> int | None:
+        """Install ``line``; returns the evicted line number, if any.
+
+        Inserting a line already present simply refreshes its LRU stamp.
+        """
+        index, tag = self._index_tag(line)
+        cache_set = self._sets[index]
+        self._stamp += 1
+        if tag in cache_set:
+            cache_set[tag] = self._stamp
+            return None
+        victim_line: int | None = None
+        if len(cache_set) >= self.ways:
+            victim_tag = min(cache_set, key=cache_set.__getitem__)
+            del cache_set[victim_tag]
+            victim_line = (victim_tag << (self.n_sets.bit_length() - 1)) | index
+            self.stats.evictions += 1
+        cache_set[tag] = self._stamp
+        self.stats.insertions += 1
+        return victim_line
+
+    # ------------------------------------------------------------------
+    # Dirty-line tracking (for writeback modelling)
+    # ------------------------------------------------------------------
+    def mark_dirty(self, line: int) -> None:
+        """Mark a resident line as written."""
+        self._dirty.add(line)
+
+    def pop_dirty(self, line: int) -> bool:
+        """Consume a line's dirty status (call when it leaves the cache)."""
+        if line in self._dirty:
+            self._dirty.discard(line)
+            return True
+        return False
+
+    def is_dirty(self, line: int) -> bool:
+        return line in self._dirty
+
+    def access(self, line: int) -> bool:
+        """Lookup and, on miss, insert.  Returns True on hit."""
+        if self.lookup(line):
+            return True
+        self.insert(line)
+        return False
+
+    def invalidate(self, line: int) -> bool:
+        """Remove ``line`` if present; returns True if it was present."""
+        index, tag = self._index_tag(line)
+        self._dirty.discard(line)
+        return self._sets[index].pop(tag, None) is not None
+
+    def flush(self) -> None:
+        """Empty the cache (statistics are preserved)."""
+        for cache_set in self._sets:
+            cache_set.clear()
+        self._dirty.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return sum(len(s) for s in self._sets)
+
+    def resident_lines(self) -> list[int]:
+        """All resident line numbers (test/diagnostic helper)."""
+        shift = self.n_sets.bit_length() - 1
+        lines = []
+        for index, cache_set in enumerate(self._sets):
+            for tag in cache_set:
+                lines.append((tag << shift) | index)
+        return lines
+
+    def set_occupancy(self, index: int) -> int:
+        return len(self._sets[index])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SetAssociativeCache({self.name}: {self.size_bytes}B, "
+            f"{self.ways}-way, {self.line_size}B lines, {self.n_sets} sets)"
+        )

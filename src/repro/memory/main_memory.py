@@ -1,0 +1,121 @@
+"""Main memory (DRAM) model.
+
+Beyond providing the unloaded miss penalty, this module models the part of
+the paper that makes EBCP "low-cost": the correlation table is an ordinary
+region of physical memory handed out by the operating system
+(Section 3.4.1).  ``MainMemory`` therefore exposes a tiny physical-page
+allocator; the prefetcher control requests a contiguous region at start-up
+and enters the *active* state on success.  If the OS reclaims the region
+(memory pressure), the prefetcher goes *inactive* until a re-request
+succeeds.
+
+The data contents of DRAM are not simulated — caches and the prefetch
+buffer track line presence only — but the table region's base address and
+size are, because table reads/updates are generated as physical-address
+memory requests that bypass the cache hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Allocation", "OutOfMemoryError", "MainMemory"]
+
+
+class OutOfMemoryError(Exception):
+    """The OS could not supply a contiguous region of the requested size."""
+
+
+@dataclass(frozen=True)
+class Allocation:
+    """A contiguous physical region returned by the OS."""
+
+    base: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+
+@dataclass
+class MainMemory:
+    """DRAM with an unloaded access latency and a bump page allocator.
+
+    Parameters
+    ----------
+    latency_cycles:
+        Unloaded access latency in core cycles (500 in the paper's default
+        configuration).
+    size_bytes:
+        Total physical memory.  Server-class defaults are generous; the
+        correlation table is a small fraction of it.
+    page_bytes:
+        OS page granularity for allocations.
+    """
+
+    latency_cycles: int = 500
+    size_bytes: int = 4 << 30
+    page_bytes: int = 8192
+    _next_free: int = field(default=0, init=False)
+    _allocations: list[Allocation] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if self.latency_cycles <= 0:
+            raise ValueError("memory latency must be positive")
+        if self.page_bytes <= 0 or self.page_bytes & (self.page_bytes - 1):
+            raise ValueError("page size must be a positive power of two")
+
+    # ------------------------------------------------------------------
+    # OS allocation interface (Section 3.4.1)
+    # ------------------------------------------------------------------
+    def allocate(self, size_bytes: int) -> Allocation:
+        """Allocate a series of contiguous physical pages.
+
+        Returns the base physical address and rounded-up size, as the
+        paper's OS trap does.  Raises :class:`OutOfMemoryError` when the
+        request cannot be satisfied.
+        """
+        if size_bytes <= 0:
+            raise ValueError("allocation size must be positive")
+        pages = -(-size_bytes // self.page_bytes)
+        size = pages * self.page_bytes
+        if self._next_free + size > self.size_bytes:
+            raise OutOfMemoryError(
+                f"requested {size} B but only "
+                f"{self.size_bytes - self._next_free} B remain"
+            )
+        alloc = Allocation(base=self._next_free, size=size)
+        self._next_free += size
+        self._allocations.append(alloc)
+        return alloc
+
+    def reclaim(self, alloc: Allocation) -> None:
+        """OS reclaims a region (memory pressure).
+
+        The bump allocator does not coalesce; reclamation simply removes
+        the region from the live set (this models the *signal* the
+        prefetcher receives, which is what matters for its state machine).
+        """
+        try:
+            self._allocations.remove(alloc)
+        except ValueError:
+            raise ValueError("region was not allocated from this memory") from None
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(a.size for a in self._allocations)
+
+    @property
+    def free_bytes(self) -> int:
+        return self.size_bytes - self._next_free
+
+    def owns(self, addr: int) -> Allocation | None:
+        """Return the live allocation containing ``addr``, if any."""
+        for alloc in self._allocations:
+            if alloc.contains(addr):
+                return alloc
+        return None

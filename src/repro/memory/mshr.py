@@ -1,0 +1,74 @@
+"""Miss Status Holding Register (MSHR) file.
+
+MSHRs bound how many distinct outstanding off-chip misses the core can
+sustain.  In the epoch model this limits how many misses can *join* one
+epoch: once the MSHR file is full, the next miss cannot issue until the
+epoch resolves, so it becomes the trigger of a new epoch (a window
+termination condition from [26]).
+
+The epoch engine drains the MSHR file at every epoch boundary — in the
+epoch MLP model all overlapped misses of an epoch complete together.
+Secondary misses to a line that already has an MSHR allocated merge into
+it and do not consume a new entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["MSHRStats", "MSHRFile"]
+
+
+@dataclass
+class MSHRStats:
+    allocations: int = 0
+    merges: int = 0
+    full_stalls: int = 0
+
+
+class MSHRFile:
+    """A fixed-capacity set of outstanding miss lines."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("MSHR capacity must be positive")
+        self.capacity = capacity
+        self._lines: set[int] = set()
+        self.stats = MSHRStats()
+
+    @property
+    def outstanding(self) -> int:
+        return len(self._lines)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._lines) >= self.capacity
+
+    def has(self, line: int) -> bool:
+        return line in self._lines
+
+    def allocate(self, line: int) -> bool:
+        """Try to track a miss to ``line``.
+
+        Returns True if the miss is tracked (newly allocated or merged
+        into an existing entry); False if the file is full and the miss
+        must stall (new epoch).
+        """
+        if line in self._lines:
+            self.stats.merges += 1
+            return True
+        if self.is_full:
+            self.stats.full_stalls += 1
+            return False
+        self._lines.add(line)
+        self.stats.allocations += 1
+        return True
+
+    def drain(self) -> int:
+        """Complete all outstanding misses (epoch boundary).
+
+        Returns the number of entries released.
+        """
+        released = len(self._lines)
+        self._lines.clear()
+        return released

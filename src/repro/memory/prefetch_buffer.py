@@ -1,0 +1,173 @@
+"""The on-chip prefetch buffer.
+
+All prefetchers evaluated in the paper bring their prefetched lines into a
+small set-associative prefetch buffer that is searched in parallel with
+the L2 cache (Section 5.2.3: 64 entries, 4-way, 512 B of on-chip storage
+for the tuned design).  Lines are copied into the regular caches only when
+they satisfy a demand request — useless prefetches therefore never pollute
+the caches.
+
+Timeliness is tracked on the engine's cycle clock: each staged line
+carries ``ready_cycle``, the wall-clock cycle at which its transfer
+completes — for a prefetcher with an on-chip table that is one miss
+penalty after the triggering event (the prefetch itself), and for a
+main-memory correlation table it is two (table read, then prefetch;
+paper Section 3.2).  Because an epoch's stall is exactly one miss
+penalty of wall time, this cycle rule reproduces the paper's
+epoch-granular worked examples miss-for-miss (verified by the
+integration tests), while also behaving correctly when prefetching
+eliminates the stalls entirely.
+
+A demand access that finds a line still in flight records a *late*
+prefetch: the miss is not averted, matching the paper's examples where
+e.g. prefetch B issued in epoch i does not avert miss B in the same
+epoch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["PrefetchBufferStats", "BufferEntry", "PrefetchBuffer", "LookupResult"]
+
+
+@dataclass
+class PrefetchBufferStats:
+    fills: int = 0
+    hits: int = 0
+    late_hits: int = 0
+    evictions: int = 0
+    evicted_unused: int = 0
+
+    def reset(self) -> None:
+        self.fills = 0
+        self.hits = 0
+        self.late_hits = 0
+        self.evictions = 0
+        self.evicted_unused = 0
+
+
+@dataclass
+class BufferEntry:
+    """One prefetched line resident in the buffer."""
+
+    line: int
+    ready_cycle: float
+    table_index: int | None = None
+    source: str = ""
+    used: bool = False
+    last_use: int = 0
+
+    def is_ready(self, current_cycle: float) -> bool:
+        return self.ready_cycle <= current_cycle
+
+
+@dataclass(frozen=True)
+class LookupResult:
+    """Outcome of probing the prefetch buffer for a demand miss."""
+
+    hit: bool
+    late: bool
+    entry: BufferEntry | None
+
+
+class PrefetchBuffer:
+    """Set-associative buffer of prefetched lines with LRU replacement."""
+
+    def __init__(self, entries: int, ways: int = 4, name: str = "pbuf") -> None:
+        if entries <= 0:
+            raise ValueError("prefetch buffer needs at least one entry")
+        ways = min(ways, entries)
+        if entries % ways:
+            raise ValueError(f"entries ({entries}) must be divisible by ways ({ways})")
+        n_sets = entries // ways
+        if n_sets & (n_sets - 1):
+            raise ValueError(f"number of sets ({n_sets}) must be a power of two")
+        self.name = name
+        self.entries = entries
+        self.ways = ways
+        self.n_sets = n_sets
+        self._set_mask = n_sets - 1
+        self._sets: list[dict[int, BufferEntry]] = [dict() for _ in range(n_sets)]
+        self._stamp = 0
+        self.stats = PrefetchBufferStats()
+
+    def _set_for(self, line: int) -> dict[int, BufferEntry]:
+        return self._sets[line & self._set_mask]
+
+    # ------------------------------------------------------------------
+    def fill(
+        self,
+        line: int,
+        ready_cycle: float,
+        table_index: int | None = None,
+        source: str = "",
+    ) -> BufferEntry | None:
+        """Install a prefetched line; returns the evicted entry, if any.
+
+        Re-filling a resident line refreshes it but never *delays* an
+        already-staged line (the earliest readiness wins).
+        """
+        bucket = self._set_for(line)
+        self._stamp += 1
+        existing = bucket.get(line)
+        if existing is not None:
+            existing.ready_cycle = min(existing.ready_cycle, ready_cycle)
+            existing.last_use = self._stamp
+            return None
+        victim: BufferEntry | None = None
+        if len(bucket) >= self.ways:
+            victim_line = min(bucket, key=lambda ln: bucket[ln].last_use)
+            victim = bucket.pop(victim_line)
+            self.stats.evictions += 1
+            if not victim.used:
+                self.stats.evicted_unused += 1
+        entry = BufferEntry(
+            line=line,
+            ready_cycle=ready_cycle,
+            table_index=table_index,
+            source=source,
+            last_use=self._stamp,
+        )
+        bucket[line] = entry
+        self.stats.fills += 1
+        return victim
+
+    def lookup(self, line: int, current_cycle: float) -> LookupResult:
+        """Probe for a demand miss at wall-clock ``current_cycle``.
+
+        A ready entry is a hit and is *removed* (the line is promoted into
+        the regular caches by the caller).  A present-but-late entry is
+        left in place (it will be ready for a later access) and reported
+        as ``late``.
+        """
+        bucket = self._set_for(line)
+        entry = bucket.get(line)
+        if entry is None:
+            return LookupResult(hit=False, late=False, entry=None)
+        if not entry.is_ready(current_cycle):
+            self.stats.late_hits += 1
+            return LookupResult(hit=False, late=True, entry=entry)
+        entry.used = True
+        del bucket[line]
+        self.stats.hits += 1
+        return LookupResult(hit=True, late=False, entry=entry)
+
+    def contains(self, line: int) -> bool:
+        return line in self._set_for(line)
+
+    def peek(self, line: int) -> BufferEntry | None:
+        """Inspect an entry without LRU/statistics side effects."""
+        return self._set_for(line).get(line)
+
+    def invalidate(self, line: int) -> bool:
+        """Drop an entry (e.g. its bus transfer was cancelled)."""
+        return self._set_for(line).pop(line, None) is not None
+
+    def flush(self) -> None:
+        for bucket in self._sets:
+            bucket.clear()
+
+    @property
+    def occupancy(self) -> int:
+        return sum(len(bucket) for bucket in self._sets)

@@ -1,0 +1,29 @@
+"""Baseline prefetchers evaluated against EBCP (paper Section 5.3)."""
+
+from .base import Prefetcher, TrafficMeter
+from .ghb import GHBPrefetcher, make_ghb_large, make_ghb_small
+from .none import NoPrefetcher
+from .registry import PREFETCHERS, build_prefetcher
+from .sms import SpatialMemoryStreaming
+from .solihin import SolihinPrefetcher, make_solihin_3_2, make_solihin_6_1
+from .stream import StreamPrefetcher
+from .tcp import TagCorrelatingPrefetcher, make_tcp_large, make_tcp_small
+
+__all__ = [
+    "GHBPrefetcher",
+    "NoPrefetcher",
+    "PREFETCHERS",
+    "Prefetcher",
+    "SolihinPrefetcher",
+    "SpatialMemoryStreaming",
+    "StreamPrefetcher",
+    "TagCorrelatingPrefetcher",
+    "TrafficMeter",
+    "build_prefetcher",
+    "make_ghb_large",
+    "make_ghb_small",
+    "make_solihin_3_2",
+    "make_solihin_6_1",
+    "make_tcp_large",
+    "make_tcp_small",
+]

@@ -1,0 +1,18 @@
+"""The no-prefetching baseline."""
+
+from __future__ import annotations
+
+from .base import Prefetcher
+
+__all__ = ["NoPrefetcher"]
+
+
+class NoPrefetcher(Prefetcher):
+    """Observes nothing, issues nothing: the Table 1 baseline.
+
+    Running the simulator with ``prefetcher=None`` is equivalent; this
+    class exists so the registry can hand back a uniform object.
+    """
+
+    name = "none"
+    targets_instructions = False

@@ -1,0 +1,41 @@
+"""Synthetic workload generation: traces, templates, commercial models."""
+
+from .commercial import PROFILES, WorkloadProfile, build_commercial_trace
+from .multithread import interleave_traces, make_cmp_workload
+from .patterns import Region, RegionAllocator, spatial_page_lines
+from .registry import COMMERCIAL_WORKLOADS, WORKLOADS, make_workload
+from .synthetic import (
+    PAPER_EXAMPLE_EPOCHS,
+    paper_example_trace,
+    pointer_chase,
+    random_uniform,
+    repeating_miss_loop,
+    streaming,
+)
+from .templates import Op, TransactionTemplate
+from .trace import Trace, TraceBuilder, TraceMeta
+
+__all__ = [
+    "COMMERCIAL_WORKLOADS",
+    "Op",
+    "PAPER_EXAMPLE_EPOCHS",
+    "PROFILES",
+    "Region",
+    "RegionAllocator",
+    "Trace",
+    "TraceBuilder",
+    "TraceMeta",
+    "TransactionTemplate",
+    "WORKLOADS",
+    "WorkloadProfile",
+    "build_commercial_trace",
+    "interleave_traces",
+    "make_cmp_workload",
+    "make_workload",
+    "paper_example_trace",
+    "pointer_chase",
+    "random_uniform",
+    "repeating_miss_loop",
+    "spatial_page_lines",
+    "streaming",
+]

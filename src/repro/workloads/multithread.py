@@ -1,0 +1,121 @@
+"""Multi-threaded (CMP/CMT) trace composition.
+
+The paper's Section 6 names a chip-multiprocessor EBCP as future work,
+and its Section 3.3.1 argues that memory-side prefetching breaks down on
+multicores because "the requests received by the memory controller is an
+interleaving of requests from the different threads executing
+concurrently on the processor.  Such interleaved request streams do not
+exhibit sufficient correlation to enable effective prefetching."  EBCP is
+immune because its control sits in front of the core-to-L2 crossbar and
+"sees the entire L2 miss stream of every thread" — i.e. it can keep
+per-thread state.
+
+:func:`interleave_traces` builds the combined request stream of ``k``
+hardware threads, each running its own workload instance in a disjoint
+address-space slice, interleaved in instruction-count order the way a
+shared L2 would observe them.  Records carry the issuing thread id, so a
+prefetcher may either exploit it (the CMP EBCP of
+:mod:`repro.core.cmp`) or ignore it (every memory-side scheme must).
+
+Timing note: the shared engine times the union stream with one epoch
+structure — a fine-grained multithreaded core (the CMT designs this
+paper's group built) rather than k independent cores.  The extension
+experiment's conclusions are *relative* (per-thread vs interleaved
+visibility), which this model isolates cleanly.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from .registry import make_workload
+from .trace import Trace, TraceMeta
+
+__all__ = ["interleave_traces", "make_cmp_workload"]
+
+#: Per-thread address-space offset: threads run distinct instances, so
+#: their footprints must not alias (distinct processes / heap arenas).
+THREAD_ADDR_STRIDE = 1 << 44
+THREAD_PC_STRIDE = 1 << 40
+
+
+def interleave_traces(traces: list[Trace], name: str | None = None) -> Trace:
+    """Merge per-thread traces into one instruction-ordered stream.
+
+    Each input trace is treated as one hardware thread: its addresses and
+    PCs are offset into a private slice of the address space, and records
+    are merged by cumulative instruction count (threads retire at the
+    same rate).  Gaps are recomputed so the merged trace spans the union
+    timeline: the merged gap of a record is its distance to the
+    previously *merged* record, making the total instruction count equal
+    to the per-thread maximum rather than the sum — k threads genuinely
+    run concurrently.
+    """
+    if not traces:
+        raise ValueError("need at least one trace")
+    heap: list[tuple[int, int, int]] = []  # (inst_time, tid, index)
+    cumulative = []
+    for tid, trace in enumerate(traces):
+        times = np.cumsum(trace.gap)
+        cumulative.append(times)
+        if len(trace):
+            heapq.heappush(heap, (int(times[0]), tid, 0))
+
+    total = sum(len(t) for t in traces)
+    gap = np.empty(total, dtype=np.int64)
+    kind = np.empty(total, dtype=np.uint8)
+    pc = np.empty(total, dtype=np.int64)
+    addr = np.empty(total, dtype=np.int64)
+    serial = np.empty(total, dtype=np.uint8)
+    tid_arr = np.empty(total, dtype=np.uint16)
+
+    last_time = 0
+    out = 0
+    while heap:
+        time, tid, index = heapq.heappop(heap)
+        trace = traces[tid]
+        gap[out] = max(0, time - last_time)
+        last_time = max(last_time, time)
+        kind[out] = trace.kind[index]
+        pc[out] = int(trace.pc[index]) + tid * THREAD_PC_STRIDE
+        addr[out] = int(trace.addr[index]) + tid * THREAD_ADDR_STRIDE
+        serial[out] = trace.serial[index]
+        tid_arr[out] = tid
+        out += 1
+        if index + 1 < len(trace):
+            heapq.heappush(heap, (int(cumulative[tid][index + 1]), tid, index + 1))
+
+    first = traces[0].meta
+    meta = TraceMeta(
+        name=name or f"{first.name}_x{len(traces)}",
+        seed=first.seed,
+        description=f"{len(traces)}-thread interleaving of {first.name}",
+        cpi_perf=first.cpi_perf,
+        overlap=first.overlap,
+        scale=first.scale,
+        extra={"n_threads": len(traces), "base_workload": first.name},
+    )
+    return Trace(gap, kind, pc, addr, serial, meta, tid=tid_arr)
+
+
+def make_cmp_workload(
+    name: str,
+    n_threads: int = 2,
+    records_per_thread: int = 120_000,
+    seed: int = 7,
+) -> Trace:
+    """Interleave ``n_threads`` independent instances of a workload.
+
+    Each thread runs the same workload type with a different seed (a
+    different transaction mix), in a disjoint address slice — the
+    combined stream a shared L2 (and a memory controller) observes.
+    """
+    if n_threads < 1:
+        raise ValueError("need at least one thread")
+    traces = [
+        make_workload(name, records=records_per_thread, seed=seed + 101 * t)
+        for t in range(n_threads)
+    ]
+    return interleave_traces(traces, name=f"{name}_cmp{n_threads}")

@@ -1,0 +1,109 @@
+"""Address-space regions and access-pattern building blocks.
+
+The synthetic workloads carve a flat physical address space into named
+regions (code, index, heap, hot, cold, ...) and compose access patterns
+over them.  Regions deal in *lines* (64 B by default); helpers return
+byte addresses ready for trace records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Region", "RegionAllocator", "spatial_page_lines"]
+
+LINE_SIZE = 64
+PAGE_SIZE = 2048  # the spatial-locality unit used by SMS (2 KB regions)
+
+
+@dataclass(frozen=True)
+class Region:
+    """A contiguous range of the synthetic physical address space."""
+
+    name: str
+    base: int
+    lines: int
+    line_size: int = LINE_SIZE
+
+    def __post_init__(self) -> None:
+        if self.lines <= 0:
+            raise ValueError(f"region '{self.name}' needs at least one line")
+        if self.base % self.line_size:
+            raise ValueError(f"region '{self.name}' base must be line-aligned")
+
+    @property
+    def size_bytes(self) -> int:
+        return self.lines * self.line_size
+
+    @property
+    def end(self) -> int:
+        return self.base + self.size_bytes
+
+    def line_addr(self, index: int) -> int:
+        """Byte address of the region's ``index``-th line."""
+        if not 0 <= index < self.lines:
+            raise IndexError(f"line {index} outside region '{self.name}' ({self.lines} lines)")
+        return self.base + index * self.line_size
+
+    def contains(self, addr: int) -> bool:
+        return self.base <= addr < self.end
+
+    # ------------------------------------------------------------------
+    def sample_lines(self, rng: np.random.Generator, n: int, distinct: bool = True) -> list[int]:
+        """Sample ``n`` line byte-addresses uniformly from the region."""
+        if distinct and n <= self.lines:
+            idx = rng.choice(self.lines, size=n, replace=False)
+        else:
+            idx = rng.integers(0, self.lines, size=n)
+        return [self.base + int(i) * self.line_size for i in idx]
+
+    def sequential_lines(self, start_index: int, n: int) -> list[int]:
+        """``n`` consecutive line addresses starting at ``start_index``."""
+        last = start_index + n - 1
+        if last >= self.lines:
+            raise IndexError(f"scan of {n} lines from {start_index} exceeds '{self.name}'")
+        return [self.base + (start_index + i) * self.line_size for i in range(n)]
+
+
+def spatial_page_lines(
+    region: Region, rng: np.random.Generator, n: int, page_bytes: int = PAGE_SIZE
+) -> list[int]:
+    """Sample ``n`` distinct lines clustered inside one aligned page.
+
+    Models the spatial locality of e.g. multiple fields/rows inside a
+    database page — the pattern Spatial Memory Streaming exploits.
+    """
+    lines_per_page = page_bytes // region.line_size
+    n = min(n, lines_per_page)
+    n_pages = max(1, region.lines // lines_per_page)
+    page = int(rng.integers(0, n_pages))
+    offsets = rng.choice(lines_per_page, size=n, replace=False)
+    base_line = page * lines_per_page
+    # Deliberately unsorted: rows/fields within a page are not touched in
+    # address order, so a stride prefetcher gains nothing here while a
+    # spatial-pattern prefetcher (SMS) captures the full set.
+    return [region.base + (base_line + int(o)) * region.line_size for o in offsets]
+
+
+class RegionAllocator:
+    """Lays regions out back to back with guard gaps."""
+
+    def __init__(self, base: int = 0x1000_0000, guard_bytes: int = 1 << 20) -> None:
+        self._next = base
+        self._guard = guard_bytes
+        self.regions: dict[str, Region] = {}
+
+    def allocate(self, name: str, lines: int, line_size: int = LINE_SIZE) -> Region:
+        if name in self.regions:
+            raise ValueError(f"region '{name}' already allocated")
+        region = Region(name=name, base=self._next, lines=lines, line_size=line_size)
+        self.regions[name] = region
+        self._next = region.end + self._guard
+        # Keep the next base line-aligned.
+        self._next -= self._next % line_size
+        return region
+
+    def __getitem__(self, name: str) -> Region:
+        return self.regions[name]

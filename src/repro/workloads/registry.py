@@ -1,0 +1,78 @@
+"""Workload registry and in-process trace cache.
+
+``make_workload`` is the one entry point the examples, tests and benches
+use.  Commercial traces are deterministic in their arguments and moderately
+expensive to generate, so they are memoised per process; parameter sweeps
+re-use one trace across dozens of simulator runs.
+"""
+
+from __future__ import annotations
+
+import inspect
+from functools import lru_cache
+
+from .commercial import PROFILES, build_commercial_trace
+from .synthetic import (
+    paper_example_trace,
+    pointer_chase,
+    random_uniform,
+    repeating_miss_loop,
+    streaming,
+)
+from .trace import Trace
+
+__all__ = ["WORKLOADS", "COMMERCIAL_WORKLOADS", "make_workload"]
+
+#: The paper's benchmark suite, in its reporting order.
+COMMERCIAL_WORKLOADS: tuple[str, ...] = (
+    "database",
+    "tpcw",
+    "specjbb2005",
+    "jappserver2004",
+)
+
+_SYNTHETIC = {
+    "repeating_miss_loop": repeating_miss_loop,
+    "pointer_chase": pointer_chase,
+    "streaming": streaming,
+    "random_uniform": random_uniform,
+    "paper_example": paper_example_trace,
+}
+
+#: All available workload names.
+WORKLOADS: tuple[str, ...] = COMMERCIAL_WORKLOADS + tuple(sorted(_SYNTHETIC))
+
+
+@lru_cache(maxsize=32)
+def _cached_commercial(name: str, records: int, seed: int, scale: float) -> Trace:
+    return build_commercial_trace(name, records=records, seed=seed, scale=scale)
+
+
+def make_workload(
+    name: str,
+    records: int = 280_000,
+    seed: int = 7,
+    scale: float = 1.0,
+    **kwargs: object,
+) -> Trace:
+    """Build (or fetch from cache) a workload trace by name.
+
+    Commercial workloads accept ``records``, ``seed`` and ``scale``;
+    synthetic microbenchmarks accept their own keyword arguments (see
+    :mod:`repro.workloads.synthetic`) and ignore ``records``/``scale``
+    unless they define them.
+    """
+    if name in PROFILES:
+        if kwargs:
+            raise TypeError(f"unexpected arguments for commercial workload: {sorted(kwargs)}")
+        return _cached_commercial(name, records, seed, scale)
+    if name in _SYNTHETIC:
+        factory = _SYNTHETIC[name]
+        accepted = inspect.signature(factory).parameters
+        call_kwargs = dict(kwargs)
+        if "records" in accepted and "records" not in call_kwargs:
+            call_kwargs["records"] = records
+        if "seed" in accepted and "seed" not in call_kwargs:
+            call_kwargs["seed"] = seed
+        return factory(**call_kwargs)  # type: ignore[operator]
+    raise KeyError(f"unknown workload '{name}'; choose from {WORKLOADS}")

@@ -1,0 +1,187 @@
+"""Synthetic microbenchmarks.
+
+Small, fully-controlled traces used by the test suite, the examples and
+the ablation benches.  Each generator isolates one access behaviour so a
+prefetcher's response to it can be verified in isolation:
+
+* :func:`repeating_miss_loop` — a fixed miss sequence replayed forever;
+  the best case for any correlation prefetcher.
+* :func:`pointer_chase` — one long dependent chain over a large ring;
+  every miss is its own epoch (serial MLP = 1).
+* :func:`streaming` — unit-stride walks; the stream prefetcher's home
+  turf and a correlation prefetcher's capacity burner.
+* :func:`random_uniform` — uniformly random lines from a huge region;
+  unpredictable by construction (accuracy floor / noise robustness).
+* :func:`paper_example_trace` — the exact miss sequence A..I from the
+  paper's Section 3.1/3.2 worked example, with the epoch grouping
+  (A,B | C,D,E | F,G | H,I) encoded via gaps, replayed a configurable
+  number of iterations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..memory.request import AccessKind
+from .templates import EPOCH_SPLIT_GAP, OVERLAP_GAP
+from .trace import Trace, TraceBuilder, TraceMeta
+
+__all__ = [
+    "repeating_miss_loop",
+    "pointer_chase",
+    "streaming",
+    "random_uniform",
+    "paper_example_trace",
+    "PAPER_EXAMPLE_EPOCHS",
+]
+
+
+def repeating_miss_loop(
+    unique_lines: int = 12_288,
+    records: int = 120_000,
+    misses_per_epoch: int = 2,
+    seed: int = 1,
+    pad: int = EPOCH_SPLIT_GAP,
+) -> Trace:
+    """A fixed sequence of ``unique_lines`` loads replayed cyclically.
+
+    Lines are grouped into epochs of ``misses_per_epoch`` overlapping
+    loads.  With ``unique_lines`` well above the L2 capacity every access
+    misses, and the sequence recurs exactly — a correlation prefetcher
+    should approach full coverage once trained.
+    """
+    rng = np.random.default_rng(seed)
+    base = 0x8000_0000
+    order = rng.permutation(unique_lines)
+    builder = TraceBuilder(TraceMeta(name="repeating_miss_loop", seed=seed))
+    pc = 0x1000
+    i = 0
+    while len(builder) < records:
+        line = int(order[i % unique_lines])
+        gap = pad if (i % misses_per_epoch) == 0 else OVERLAP_GAP
+        builder.load(pc, base + line * 64, gap=gap)
+        i += 1
+    return builder.build()
+
+
+def pointer_chase(
+    unique_lines: int = 16_384,
+    records: int = 100_000,
+    seed: int = 2,
+) -> Trace:
+    """One long dependent chain over a shuffled ring of lines."""
+    rng = np.random.default_rng(seed)
+    base = 0xA000_0000
+    ring = rng.permutation(unique_lines)
+    builder = TraceBuilder(TraceMeta(name="pointer_chase", seed=seed))
+    pc = 0x2000
+    i = 0
+    while len(builder) < records:
+        line = int(ring[i % unique_lines])
+        builder.load(pc, base + line * 64, gap=60, serial=True)
+        i += 1
+    return builder.build()
+
+
+def streaming(
+    streams: int = 4,
+    lines_per_stream: int = 8192,
+    records: int = 100_000,
+    seed: int = 3,
+) -> Trace:
+    """Interleaved unit-stride walks over large arrays."""
+    base = 0xC000_0000
+    stride_bytes = 64
+    builder = TraceBuilder(TraceMeta(name="streaming", seed=seed))
+    positions = [0] * streams
+    i = 0
+    while len(builder) < records:
+        s = i % streams
+        addr = base + s * (lines_per_stream * stride_bytes * 4) + positions[s] * stride_bytes
+        builder.load(0x3000 + s * 16, addr, gap=50)
+        positions[s] = (positions[s] + 1) % lines_per_stream
+        i += 1
+    return builder.build()
+
+
+def random_uniform(
+    region_lines: int = 1 << 20,
+    records: int = 60_000,
+    seed: int = 4,
+) -> Trace:
+    """Uniformly random isolated loads — unpredictable by construction."""
+    rng = np.random.default_rng(seed)
+    base = 0xE000_0000
+    lines = rng.integers(0, region_lines, size=records)
+    builder = TraceBuilder(TraceMeta(name="random_uniform", seed=seed))
+    for line in lines:
+        builder.load(0x4000, base + int(line) * 64, gap=EPOCH_SPLIT_GAP)
+    return builder.build()
+
+
+#: The paper's Section 3.1 example: miss epochs (A,B)(C,D,E)(F,G)(H,I).
+PAPER_EXAMPLE_EPOCHS: tuple[tuple[str, ...], ...] = (
+    ("A", "B"),
+    ("C", "D", "E"),
+    ("F", "G"),
+    ("H", "I"),
+)
+
+
+def paper_example_trace(
+    iterations: int = 3,
+    eviction_lines: int = 8192,
+    background_lines: int = 0,
+    background_every: int = 2,
+    seed: int = 5,
+) -> Trace:
+    """The worked example of paper Sections 3.1-3.3 as a trace.
+
+    Each iteration replays misses A..I grouped into the paper's four
+    epochs, followed by an eviction phase (a long walk over disjoint
+    lines) so A..I are out of the L2 again when the sequence recurs —
+    "this sequence is assumed to recur after a sufficiently long period
+    of time so that all their associated cache lines have been evicted".
+
+    The eviction walk uses isolated single-miss epochs with
+    never-recurring addresses, which keeps the EMAB and all correlation
+    state free of cross-iteration contamination.
+
+    ``background_lines`` > 0 interleaves the eviction phase with accesses
+    to a *recurring* pool of that many lines (fixed shuffled order).  A
+    correlation prefetcher learns and prefetches this background stream,
+    which keeps the small prefetch buffer churning between iterations —
+    as any real workload would.  Without it, untimely prefetches from one
+    iteration sit undisturbed in the buffer for the ~10^5 cycles until
+    the next iteration and artificially serve it, a situation the paper's
+    isolated example implicitly excludes.
+    """
+    base = 0x5000_0000
+    letter_addr = {
+        letter: base + i * 64
+        for i, letter in enumerate(letter for ep in PAPER_EXAMPLE_EPOCHS for letter in ep)
+    }
+    evict_base = 0x6000_0000
+    bg_base = 0x7000_0000
+    builder = TraceBuilder(
+        TraceMeta(name="paper_example", seed=seed, extra={"letters": letter_addr})
+    )
+    pc = 0x5000
+    evict_cursor = 0
+    bg_cursor = 0
+    rng = np.random.default_rng(seed)
+    bg_order = rng.permutation(background_lines) if background_lines else None
+    for _ in range(iterations):
+        for epoch in PAPER_EXAMPLE_EPOCHS:
+            gap = EPOCH_SPLIT_GAP
+            for letter in epoch:
+                builder.load(pc, letter_addr[letter], gap=gap)
+                gap = OVERLAP_GAP
+        for k in range(eviction_lines):
+            builder.load(pc + 16, evict_base + evict_cursor * 64, gap=EPOCH_SPLIT_GAP)
+            evict_cursor += 1
+            if bg_order is not None and k % background_every == background_every - 1:
+                line = int(bg_order[bg_cursor % background_lines])
+                builder.load(pc + 32, bg_base + line * 64, gap=EPOCH_SPLIT_GAP)
+                bg_cursor += 1
+    return builder.build()

@@ -1,0 +1,154 @@
+"""Transaction templates: the recurring unit of the synthetic workloads.
+
+Commercial workloads are transaction-oriented: a bounded set of
+transaction types executes over and over, each touching a characteristic
+sequence of code and data.  Correlation prefetching works on these
+workloads precisely because the *miss sequence of a transaction type
+recurs*.  A :class:`TransactionTemplate` captures one transaction type as
+an ordered list of :class:`Op` steps whose addresses are fixed when the
+template is built; every execution replays the same sequence, optionally
+substituting pre-built *variant* address sets for some ops (modelling
+data-dependent control flow, which creates prefetch-width demand) and
+drawing fresh addresses for *cold* ops (modelling untrainable misses).
+
+Op kinds
+--------
+``code``   instruction-fetch walk over the op's line addresses (an
+           off-chip instruction miss seals its epoch, so consecutive cold
+           code lines serialise — as real instruction misses do).
+``chase``  dependent-load chain (``serial=True`` records): every hop is
+           its own epoch — pointer chasing.
+``burst``  independent loads issued close together: they overlap into one
+           epoch (index-to-rows fan-out, field accesses...).
+``scan``   short sequential-line walk (the only stream-friendly pattern).
+``hot``    loads to a small shared region that stays L2-resident: L2
+           hits, invisible to the epoch structure.
+``cold``   loads to fresh random lines in a huge region: always miss,
+           never recur, unpredictable by any prefetcher.
+``store``  stores (bandwidth only; never epochs, never EMAB-recorded).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..memory.request import AccessKind
+from .patterns import Region
+from .trace import TraceBuilder
+
+__all__ = ["Op", "TransactionTemplate"]
+
+#: Gap (instructions) placed before a record that must open a new epoch;
+#: comfortably larger than the 128-entry ROB window.
+EPOCH_SPLIT_GAP = 220
+#: Gap between records that should overlap within one epoch.
+OVERLAP_GAP = 12
+
+
+@dataclass
+class Op:
+    """One step of a transaction template."""
+
+    kind: str
+    pc: int
+    addrs: tuple[int, ...] = ()
+    #: For ``cold``/``hot`` ops: number of accesses to emit.
+    n: int = 0
+    lead_gap: int = EPOCH_SPLIT_GAP
+    step_gap: int = OVERLAP_GAP
+    #: Pre-built alternative address sets (data-dependent paths).
+    variants: tuple[tuple[int, ...], ...] = ()
+
+    def instruction_cost(self) -> int:
+        """Instructions this op consumes when emitted."""
+        count = self.n if self.kind == "cold" else len(self.addrs)
+        if count == 0:
+            return 0
+        if self.kind == "cold":
+            # Cold misses are isolated: every access pays the lead gap.
+            return count * self.lead_gap
+        if self.kind == "hot":
+            return count * self.step_gap
+        if self.kind == "chase":
+            # Serial records split epochs regardless of gap.
+            return self.lead_gap + (count - 1) * max(self.step_gap, 30)
+        return self.lead_gap + (count - 1) * self.step_gap
+
+
+@dataclass
+class TransactionTemplate:
+    """A recurring transaction type."""
+
+    template_id: int
+    ops: list[Op]
+    #: Pure-computation padding appended so the transaction spans its
+    #: instruction budget.
+    tail_pad: int = 0
+    name: str = ""
+
+    # ------------------------------------------------------------------
+    def fixed_lines(self, line_shift: int = 6) -> set[int]:
+        """All line numbers this template touches deterministically."""
+        lines: set[int] = set()
+        for op in self.ops:
+            for addr in op.addrs:
+                lines.add(addr >> line_shift)
+            for variant in op.variants:
+                for addr in variant:
+                    lines.add(addr >> line_shift)
+        return lines
+
+    def instruction_cost(self) -> int:
+        return sum(op.instruction_cost() for op in self.ops) + self.tail_pad
+
+    # ------------------------------------------------------------------
+    def emit(
+        self,
+        builder: TraceBuilder,
+        rng: np.random.Generator,
+        variant_prob: float,
+        cold_region: Region | None = None,
+    ) -> None:
+        """Replay one execution of the transaction into ``builder``."""
+        for op in self.ops:
+            addrs: tuple[int, ...] | list[int] = op.addrs
+            if op.variants and rng.random() < variant_prob:
+                addrs = op.variants[int(rng.integers(0, len(op.variants)))]
+            kind = op.kind
+            if kind == "code":
+                gap = op.lead_gap
+                for addr in addrs:
+                    builder.ifetch(addr, gap=gap)
+                    gap = op.step_gap
+            elif kind == "chase":
+                gap = op.lead_gap
+                for addr in addrs:
+                    builder.load(op.pc, addr, gap=gap, serial=True)
+                    gap = max(op.step_gap, 30)
+            elif kind in ("burst", "scan", "hot"):
+                gap = op.lead_gap if kind != "hot" else op.step_gap
+                for addr in addrs:
+                    builder.load(op.pc, addr, gap=gap)
+                    gap = op.step_gap
+            elif kind == "cold":
+                if cold_region is None:
+                    raise ValueError("cold op requires a cold region")
+                for addr in cold_region.sample_lines(rng, op.n, distinct=False):
+                    builder.load(op.pc, addr, gap=op.lead_gap)
+            elif kind == "store":
+                gap = op.step_gap
+                for addr in addrs:
+                    builder.store(op.pc, addr, gap=gap)
+            else:
+                raise ValueError(f"unknown op kind '{kind}'")
+        if self.tail_pad:
+            builder.pad(self.tail_pad)
+
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TransactionTemplate(id={self.template_id}, ops={len(self.ops)}, "
+            f"insts~{self.instruction_cost()})"
+        )

@@ -1,0 +1,27 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.config import CacheConfig, ProcessorConfig
+from repro.workloads.trace import TraceBuilder, TraceMeta
+
+
+@pytest.fixture
+def tiny_config() -> ProcessorConfig:
+    """A very small hierarchy so tests can force misses cheaply.
+
+    4 KB L1s (64 lines), 16 KB L2 (256 lines), 64-entry prefetch buffer,
+    paper-default latency/bandwidth.
+    """
+    return ProcessorConfig(
+        l1i=CacheConfig(4 * 1024, 4, 64, 3),
+        l1d=CacheConfig(4 * 1024, 4, 64, 3),
+        l2=CacheConfig(16 * 1024, 4, 64, 20),
+    )
+
+
+@pytest.fixture
+def builder() -> TraceBuilder:
+    return TraceBuilder(TraceMeta(name="test"))

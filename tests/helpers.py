@@ -1,0 +1,20 @@
+"""Plain helper functions shared across test modules."""
+
+from __future__ import annotations
+
+from repro.memory.request import Access, AccessKind
+
+
+def make_access(
+    addr: int,
+    kind: AccessKind = AccessKind.LOAD,
+    pc: int = 0x1000,
+    serial: bool = False,
+    inst_index: int = 0,
+) -> Access:
+    return Access(kind=kind, pc=pc, addr=addr, serial=serial, inst_index=inst_index)
+
+
+def line_addr(line: int, line_size: int = 64) -> int:
+    """Byte address of a line number."""
+    return line * line_size

@@ -1,0 +1,118 @@
+"""Tests for the bandwidth model: budgets, priorities, drops, queueing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.bandwidth import BandwidthModel
+from repro.memory.request import Priority
+
+
+def make_model(read=3.2, write=1.6, **kwargs):
+    return BandwidthModel(read, write, **kwargs)
+
+
+class TestConstruction:
+    def test_from_gbps(self):
+        model = BandwidthModel.from_gbps(9.6, 4.8, core_ghz=3.0)
+        assert model.read_bytes_per_cycle == pytest.approx(3.2)
+        assert model.write_bytes_per_cycle == pytest.approx(1.6)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            BandwidthModel(0.0, 1.0)
+
+
+class TestBudgets:
+    def test_budget_scales_with_duration(self):
+        model = make_model()
+        budget = model.open_epoch(1000.0)
+        assert budget.read_budget == pytest.approx(3200.0)
+        assert budget.write_budget == pytest.approx(1600.0)
+
+    def test_droppable_traffic_dropped_past_budget(self):
+        model = make_model()
+        budget = model.open_epoch(100.0)  # 320 B read budget
+        assert budget.charge_read(Priority.PREFETCH, 256, droppable=True)
+        assert not budget.charge_read(Priority.PREFETCH, 128, droppable=True)
+        assert model.read_stats.dropped_by_priority[int(Priority.PREFETCH)] == 128
+
+    def test_demand_never_dropped(self):
+        model = make_model()
+        budget = model.open_epoch(10.0)  # 32 B budget
+        assert budget.charge_read(Priority.DEMAND, 1024, droppable=False)
+        assert budget.read_utilization > 1.0  # over-subscribed, not dropped
+
+    def test_write_bus_independent(self):
+        model = make_model()
+        budget = model.open_epoch(100.0)
+        budget.charge_read(Priority.DEMAND, 320, droppable=False)
+        assert budget.charge_write(Priority.DEMAND, 100, droppable=False)
+        assert model.write_stats.used_bytes == 100
+
+    def test_stats_accumulate_by_priority(self):
+        model = make_model()
+        budget = model.open_epoch(1000.0)
+        budget.charge_read(Priority.DEMAND, 128, droppable=False)
+        budget.charge_read(Priority.TABLE_LOOKUP, 64, droppable=False)
+        budget.charge_read(Priority.PREFETCH, 64, droppable=True)
+        assert model.read_stats.bytes_by_priority[int(Priority.DEMAND)] == 128
+        assert model.read_stats.bytes_by_priority[int(Priority.TABLE_LOOKUP)] == 64
+        assert model.read_stats.bytes_by_priority[int(Priority.PREFETCH)] == 64
+
+    def test_headroom(self):
+        model = make_model()
+        budget = model.open_epoch(100.0)
+        budget.charge_read(Priority.DEMAND, 200, droppable=False)
+        assert budget.read_headroom_bytes == pytest.approx(120.0)
+
+
+class TestQueueing:
+    def test_no_queueing_below_threshold(self):
+        model = make_model(queue_threshold=0.75)
+        for _ in range(50):
+            budget = model.open_epoch(100.0)
+            budget.charge_read(Priority.DEMAND, 100, droppable=False)  # 31 % util
+            model.close_epoch(budget)
+        assert model.queueing_delay(500.0) == 0.0
+
+    def test_sustained_saturation_queues(self):
+        model = make_model(queue_threshold=0.75, queue_penalty_factor=0.6)
+        for _ in range(100):
+            budget = model.open_epoch(100.0)
+            budget.charge_read(Priority.DEMAND, 320, droppable=False)  # 100 % util
+            model.close_epoch(budget)
+        delay = model.queueing_delay(500.0)
+        assert delay > 0.0
+        # Over-subscription is capped at 2x span.
+        assert delay <= 500.0 * 0.6 * 2.0
+
+    def test_single_spike_barely_moves_ema(self):
+        model = make_model(queue_threshold=0.75)
+        # Many idle windows then one saturated one.
+        for _ in range(50):
+            budget = model.open_epoch(100.0)
+            model.close_epoch(budget)
+        budget = model.open_epoch(100.0)
+        budget.charge_read(Priority.DEMAND, 640, droppable=False)
+        model.close_epoch(budget)
+        assert model.queueing_delay(500.0) == 0.0
+        assert model.smoothed_read_utilization < 0.25
+
+    def test_last_utilization_tracked(self):
+        model = make_model()
+        budget = model.open_epoch(100.0)
+        budget.charge_read(Priority.DEMAND, 160, droppable=False)
+        model.close_epoch(budget)
+        assert model.last_read_utilization == pytest.approx(0.5)
+
+    def test_monotone_in_utilization(self):
+        def steady_delay(util_bytes: int) -> float:
+            model = make_model()
+            for _ in range(200):
+                budget = model.open_epoch(100.0)
+                budget.charge_read(Priority.DEMAND, util_bytes, droppable=False)
+                model.close_epoch(budget)
+            return model.queueing_delay(500.0)
+
+        assert steady_delay(260) <= steady_delay(300) <= steady_delay(400)

@@ -1,0 +1,199 @@
+"""Unit and property tests for the set-associative cache."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.cache import SetAssociativeCache
+
+
+def make_cache(size=4096, ways=4, line=64):
+    return SetAssociativeCache(size, ways, line, "test")
+
+
+class TestGeometry:
+    def test_basic_geometry(self):
+        cache = make_cache(size=4096, ways=4, line=64)
+        assert cache.n_sets == 16
+        assert cache.line_shift == 6
+
+    def test_single_set(self):
+        cache = SetAssociativeCache(256, 4, 64)
+        assert cache.n_sets == 1
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(4096, 4, 48)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(3 * 64 * 4, 4, 64)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            SetAssociativeCache(0, 4, 64)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(4096, 0, 64)
+
+    def test_line_of(self):
+        cache = make_cache()
+        assert cache.line_of(0) == 0
+        assert cache.line_of(63) == 0
+        assert cache.line_of(64) == 1
+        assert cache.line_of(1000) == 15
+
+
+class TestHitMiss:
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        assert not cache.access(5)
+        assert cache.access(5)
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+
+    def test_lookup_does_not_insert(self):
+        cache = make_cache()
+        assert not cache.lookup(7)
+        assert not cache.contains(7)
+
+    def test_contains_no_stats(self):
+        cache = make_cache()
+        cache.insert(3)
+        before = cache.stats.accesses
+        assert cache.contains(3)
+        assert not cache.contains(4)
+        assert cache.stats.accesses == before
+
+    def test_distinct_sets_do_not_conflict(self):
+        cache = make_cache(size=1024, ways=1, line=64)  # 16 sets, direct-mapped
+        for line in range(16):
+            cache.insert(line)
+        for line in range(16):
+            assert cache.contains(line)
+
+
+class TestLRU:
+    def test_lru_eviction_order(self):
+        # Direct control: 1 set, 4 ways.
+        cache = SetAssociativeCache(256, 4, 64)
+        for line in range(4):
+            cache.insert(line)
+        cache.lookup(0)  # 0 becomes MRU; 1 is now LRU
+        evicted = cache.insert(4)
+        assert evicted == 1
+
+    def test_insert_refreshes_lru(self):
+        cache = SetAssociativeCache(256, 4, 64)
+        for line in range(4):
+            cache.insert(line)
+        cache.insert(0)  # refresh 0
+        evicted = cache.insert(4)
+        assert evicted == 1
+
+    def test_lookup_without_update_preserves_order(self):
+        cache = SetAssociativeCache(256, 4, 64)
+        for line in range(4):
+            cache.insert(line)
+        cache.lookup(0, update_lru=False)
+        evicted = cache.insert(4)
+        assert evicted == 0  # 0 stayed LRU
+
+    def test_eviction_counts(self):
+        cache = SetAssociativeCache(256, 4, 64)
+        for line in range(6):
+            cache.insert(line)
+        assert cache.stats.evictions == 2
+        assert cache.occupancy == 4
+
+
+class TestInvalidateFlush:
+    def test_invalidate(self):
+        cache = make_cache()
+        cache.insert(9)
+        assert cache.invalidate(9)
+        assert not cache.contains(9)
+        assert not cache.invalidate(9)
+
+    def test_flush_preserves_stats(self):
+        cache = make_cache()
+        cache.access(1)
+        cache.access(1)
+        cache.flush()
+        assert cache.occupancy == 0
+        assert cache.stats.hits == 1
+
+    def test_resident_lines_roundtrip(self):
+        cache = make_cache()
+        lines = [0, 17, 33, 255, 1024]
+        for line in lines:
+            cache.insert(line)
+        assert sorted(cache.resident_lines()) == sorted(lines)
+
+
+class TestStats:
+    def test_miss_ratio(self):
+        cache = make_cache()
+        cache.access(1)
+        cache.access(1)
+        cache.access(2)
+        assert cache.stats.miss_ratio == pytest.approx(2 / 3)
+
+    def test_miss_ratio_empty(self):
+        assert make_cache().stats.miss_ratio == 0.0
+
+    def test_reset(self):
+        cache = make_cache()
+        cache.access(1)
+        cache.stats.reset()
+        assert cache.stats.accesses == 0
+
+
+@st.composite
+def line_sequences(draw):
+    return draw(st.lists(st.integers(min_value=0, max_value=512), min_size=1, max_size=300))
+
+
+class TestProperties:
+    @given(line_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, lines):
+        cache = SetAssociativeCache(1024, 2, 64)  # 16 lines total
+        for line in lines:
+            cache.access(line)
+        assert cache.occupancy <= 16
+        for index in range(cache.n_sets):
+            assert cache.set_occupancy(index) <= cache.ways
+
+    @given(line_sequences())
+    @settings(max_examples=60, deadline=None)
+    def test_matches_reference_lru_model(self, lines):
+        """Full-behavioural check against a simple reference LRU."""
+        cache = SetAssociativeCache(512, 4, 64)  # 2 sets x 4 ways
+        reference: dict[int, list[int]] = {0: [], 1: []}  # MRU-first lists
+
+        for line in lines:
+            index = line & 1
+            tags = reference[index]
+            expected_hit = line in tags
+            actual_hit = cache.access(line)
+            assert actual_hit == expected_hit
+            if expected_hit:
+                tags.remove(line)
+            elif len(tags) == 4:
+                tags.pop()  # evict LRU (tail)
+            tags.insert(0, line)
+
+        for index, tags in reference.items():
+            for tag in tags:
+                assert cache.contains(tag)
+
+    @given(line_sequences())
+    @settings(max_examples=40, deadline=None)
+    def test_insert_then_contains(self, lines):
+        cache = SetAssociativeCache(64 * 1024, 16, 64)  # big enough: no eviction
+        for line in lines:
+            cache.insert(line)
+        for line in lines:
+            assert cache.contains(line)

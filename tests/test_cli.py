@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import EXPERIMENTS
+from repro.prefetchers.registry import PREFETCHERS
+
+
+class TestParser:
+    def test_experiment_choices_match_registry(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "table1"])
+        assert args.experiment == "table1"
+        for name in EXPERIMENTS:
+            parser.parse_args(["run", name])
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "figure99"])
+
+    def test_simulate_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["simulate", "pointer_chase", "ebcp"])
+        assert args.workload == "pointer_chase"
+        assert args.prefetcher == "ebcp"
+        assert "ebcp" in PREFETCHERS
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_experiments_listing(self, capsys):
+        assert main(["experiments"]) == 0
+        out = capsys.readouterr().out
+        for name in EXPERIMENTS:
+            assert name in out
+
+    def test_workloads_summary(self, capsys):
+        assert main(["workloads", "--records", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "database" in out and "tpcw" in out
+
+    def test_simulate_baseline(self, capsys):
+        assert main(["simulate", "pointer_chase", "none", "--records", "8000"]) == 0
+        out = capsys.readouterr().out
+        assert "cpi" in out
+
+    def test_simulate_with_prefetcher(self, capsys):
+        assert main(["simulate", "pointer_chase", "ebcp", "--records", "8000"]) == 0
+        out = capsys.readouterr().out
+        assert "improvement" in out
+
+    def test_run_experiment_small(self, capsys):
+        assert main(["run", "table1", "--records", "30000"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "database" in out

@@ -1,0 +1,112 @@
+"""Tests for the synthetic commercial workload generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.memory.request import AccessKind
+from repro.workloads.commercial import PROFILES, build_commercial_trace
+from repro.workloads.registry import COMMERCIAL_WORKLOADS, make_workload
+
+
+class TestProfiles:
+    def test_all_four_paper_workloads_present(self):
+        assert set(COMMERCIAL_WORKLOADS) == set(PROFILES)
+        assert set(PROFILES) == {"database", "tpcw", "specjbb2005", "jappserver2004"}
+
+    def test_cpi_perf_derived_from_table1(self):
+        # database: (3.27 - 4.07e-3 * 500) / 0.9
+        assert PROFILES["database"].cpi_perf == pytest.approx(
+            (3.27 - 4.07 / 1000 * 500) / 0.9
+        )
+
+    def test_qualitative_traits(self):
+        p = PROFILES
+        # TPC-W is the least predictable workload.
+        assert p["tpcw"].variant_prob == max(w.variant_prob for w in p.values())
+        # SPECjbb2005 has the smallest instruction-miss footprint.
+        assert p["specjbb2005"].code_lines == min(w.code_lines for w in p.values())
+        # Database is load-miss dominated with deep chases.
+        assert p["database"].chase_depth >= 3
+
+
+class TestGeneration:
+    def test_deterministic_in_seed(self):
+        a = build_commercial_trace("database", records=5000, seed=3)
+        b = build_commercial_trace("database", records=5000, seed=3)
+        np.testing.assert_array_equal(a.addr, b.addr)
+        np.testing.assert_array_equal(a.gap, b.gap)
+
+    def test_different_seeds_differ(self):
+        a = build_commercial_trace("database", records=5000, seed=3)
+        b = build_commercial_trace("database", records=5000, seed=4)
+        assert not np.array_equal(a.addr, b.addr)
+
+    def test_exact_record_count(self):
+        trace = build_commercial_trace("tpcw", records=4321, seed=1)
+        assert len(trace) == 4321
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            build_commercial_trace("nosuch")
+
+    def test_metadata(self):
+        trace = build_commercial_trace("specjbb2005", records=2000, seed=1)
+        assert trace.meta.name == "specjbb2005"
+        assert trace.meta.cpi_perf == PROFILES["specjbb2005"].cpi_perf
+        assert "n_templates" in trace.meta.extra
+
+    def test_contains_all_access_kinds(self):
+        trace = build_commercial_trace("database", records=30_000, seed=1)
+        counts = trace.kind_counts()
+        assert counts[AccessKind.IFETCH] > 0
+        assert counts[AccessKind.LOAD] > counts[AccessKind.IFETCH]
+        assert counts[AccessKind.STORE] > 0
+
+    def test_contains_serial_dependences(self):
+        trace = build_commercial_trace("database", records=30_000, seed=1)
+        assert trace.serial.sum() > 0
+
+    def test_footprint_exceeds_scaled_l2(self):
+        """The working set must thrash a 256 KB (4096-line) L2."""
+        trace = build_commercial_trace("database", records=60_000, seed=1)
+        assert trace.unique_lines() > 3 * 4096
+
+    def test_scale_grows_footprint(self):
+        small = build_commercial_trace("database", records=30_000, seed=1, scale=1.0)
+        big = build_commercial_trace("database", records=30_000, seed=1, scale=2.0)
+        assert big.unique_lines() > small.unique_lines()
+
+    def test_miss_sequences_recur(self):
+        """The property correlation prefetching needs: transaction miss
+        sequences repeat across the trace."""
+        trace = build_commercial_trace("specjbb2005", records=120_000, seed=1)
+        addrs = trace.addr[trace.kind == 1]
+        # Count 3-grams of the load-address stream that appear twice.
+        trigrams = {}
+        sample = addrs[:: max(1, len(addrs) // 40_000)]
+        for i in range(len(sample) - 2):
+            key = (int(sample[i]), int(sample[i + 1]), int(sample[i + 2]))
+            trigrams[key] = trigrams.get(key, 0) + 1
+        repeats = sum(1 for c in trigrams.values() if c >= 2)
+        assert repeats > 0
+
+
+class TestRegistry:
+    def test_make_workload_caches(self):
+        a = make_workload("tpcw", records=3000, seed=9)
+        b = make_workload("tpcw", records=3000, seed=9)
+        assert a is b  # memoised
+
+    def test_make_workload_synthetic(self):
+        trace = make_workload("pointer_chase", records=1000)
+        assert trace.meta.name == "pointer_chase"
+
+    def test_make_workload_unknown(self):
+        with pytest.raises(KeyError):
+            make_workload("nope")
+
+    def test_commercial_rejects_extra_kwargs(self):
+        with pytest.raises(TypeError):
+            make_workload("database", streams=4)

@@ -1,0 +1,80 @@
+"""Tests for processor configuration presets and validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.config import CacheConfig, ProcessorConfig, SCALE_FACTOR
+
+
+class TestPresets:
+    def test_scaled_l2_is_paper_over_scale_factor(self):
+        scaled = ProcessorConfig.scaled()
+        paper = ProcessorConfig.paper()
+        assert paper.l2.size_bytes == 2 * 1024 * 1024
+        assert scaled.l2.size_bytes * SCALE_FACTOR == paper.l2.size_bytes
+
+    def test_latency_and_bandwidth_not_scaled(self):
+        scaled = ProcessorConfig.scaled()
+        paper = ProcessorConfig.paper()
+        assert scaled.memory_latency == paper.memory_latency == 500
+        assert scaled.read_bw_gbps == paper.read_bw_gbps == 9.6
+        assert scaled.rob_size == paper.rob_size == 128
+
+    def test_paper_section_4_4_defaults(self):
+        config = ProcessorConfig.paper()
+        assert config.core_ghz == 3.0
+        assert config.l1i.size_bytes == 32 * 1024 and config.l1i.ways == 4
+        assert config.l1d.size_bytes == 32 * 1024 and config.l1d.ways == 4
+        assert config.l2.ways == 4 and config.l2.line_size == 64
+        assert config.l2_mshrs == 32
+        assert config.write_bw_gbps == 4.8
+        assert config.prefetch_buffer_entries == 64
+
+    def test_replace(self):
+        config = ProcessorConfig.scaled().replace(read_bw_gbps=3.2)
+        assert config.read_bw_gbps == 3.2
+        assert config.write_bw_gbps == 4.8  # untouched
+
+    def test_replace_returns_new_object(self):
+        base = ProcessorConfig.scaled()
+        other = base.replace(rob_size=64)
+        assert base.rob_size == 128
+        assert other.rob_size == 64
+
+
+class TestDerived:
+    def test_bytes_per_cycle(self):
+        config = ProcessorConfig.scaled()
+        assert config.read_bytes_per_cycle == pytest.approx(3.2)
+        assert config.write_bytes_per_cycle == pytest.approx(1.6)
+
+    def test_line_shift(self):
+        assert ProcessorConfig.scaled().line_shift == 6
+
+    def test_cache_config_derived(self):
+        cache = CacheConfig(32 * 1024, 4, 64)
+        assert cache.n_lines == 512
+        assert cache.n_sets == 128
+
+
+class TestValidation:
+    def test_valid_default(self):
+        ProcessorConfig.scaled().validate()
+
+    def test_rejects_bad_overlap(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig.scaled().replace(overlap=1.0).validate()
+
+    def test_rejects_bad_cpi(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig.scaled().replace(cpi_perf=0.0).validate()
+
+    def test_rejects_mismatched_line_sizes(self):
+        config = ProcessorConfig.scaled().replace(l1i=CacheConfig(32 * 1024, 4, 128))
+        with pytest.raises(ValueError):
+            config.validate()
+
+    def test_rejects_bad_rob(self):
+        with pytest.raises(ValueError):
+            ProcessorConfig.scaled().replace(rob_size=0).validate()

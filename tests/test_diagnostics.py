@@ -1,0 +1,86 @@
+"""Tests for the diagnostics module."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.diagnostics import (
+    bus_breakdown,
+    miss_mix,
+    prefetch_lifecycle,
+    render_diagnostics,
+    termination_census,
+)
+from repro.engine.config import ProcessorConfig
+from repro.engine.simulator import EpochSimulator
+from repro.prefetchers.registry import build_prefetcher
+from repro.workloads.synthetic import pointer_chase
+
+
+@pytest.fixture(scope="module")
+def run():
+    trace = pointer_chase(unique_lines=12_000, records=20_000)
+    sim = EpochSimulator(ProcessorConfig.scaled(), build_prefetcher("ebcp"))
+    result = sim.run(trace, warmup_records=6000)
+    return sim, result
+
+
+class TestCensus:
+    def test_pointer_chase_is_all_serial(self, run):
+        _, result = run
+        census = termination_census(result)
+        reasons = {reason: fraction for reason, _, fraction in census}
+        assert reasons.get("serial_dependence", 0) > 0.95
+
+    def test_fractions_sum_to_one(self, run):
+        _, result = run
+        census = termination_census(result)
+        assert sum(fraction for _, _, fraction in census) == pytest.approx(1.0)
+
+
+class TestMixAndLifecycle:
+    def test_miss_mix_rows(self, run):
+        _, result = run
+        rows = {kind: (misses, averted) for kind, misses, averted in miss_mix(result)}
+        assert rows["load"][0] > 0
+        assert rows["ifetch"] == (0, 0)
+        assert rows["store"] == (0, 0)
+
+    def test_lifecycle_consistency(self, run):
+        _, result = run
+        lifecycle = prefetch_lifecycle(run[1])
+        assert lifecycle["used (averted misses)"] <= lifecycle["staged (bus)"]
+        assert (
+            lifecycle["staged (bus)"]
+            + lifecycle["dropped (bandwidth)"]
+            + lifecycle["redundant (on-chip)"]
+            <= lifecycle["generated"]
+        )
+
+
+class TestBusAndRender:
+    def test_bus_breakdown_has_table_traffic(self, run):
+        sim, _ = run
+        rows = bus_breakdown(sim.bandwidth)
+        priorities = {(bus, prio) for bus, prio, _, _ in rows}
+        assert ("read", "demand") in priorities
+        assert ("read", "table_lookup") in priorities  # EBCP's in-memory table
+        assert ("write", "table_update") in priorities
+
+    def test_render_contains_all_sections(self, run):
+        sim, result = run
+        text = render_diagnostics(result, sim.bandwidth)
+        for heading in (
+            "Window-termination census",
+            "Miss mix",
+            "Prefetch lifecycle",
+            "Bus traffic by priority",
+            "utilisation",
+        ):
+            assert heading in text
+
+    def test_render_without_bandwidth(self, run):
+        _, result = run
+        text = render_diagnostics(result)
+        assert "Bus traffic" not in text
+        assert "Miss mix" in text

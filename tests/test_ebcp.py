@@ -1,0 +1,195 @@
+"""Unit tests for the EBCP control logic (via direct callback driving)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.prefetcher import EBCPConfig, EpochBasedCorrelationPrefetcher
+from repro.engine.config import CacheConfig, ProcessorConfig
+from repro.memory.hierarchy import CacheHierarchy
+from repro.memory.request import AccessKind
+
+from tests.helpers import make_access
+
+
+def make_ebcp(**overrides) -> EpochBasedCorrelationPrefetcher:
+    config = EBCPConfig(
+        prefetch_degree=overrides.pop("prefetch_degree", 4),
+        table_entries=overrides.pop("table_entries", 256),
+        **overrides,
+    )
+    pf = EpochBasedCorrelationPrefetcher(config)
+    hierarchy = CacheHierarchy(ProcessorConfig.scaled())
+    pf.bind(hierarchy)
+    return pf
+
+
+def drive_epochs(pf: EpochBasedCorrelationPrefetcher, epochs: list[list[int]]):
+    """Feed a sequence of epochs of miss lines; returns requests per epoch."""
+    all_requests = []
+    for i, epoch in enumerate(epochs):
+        if i > 0:
+            pf.on_epoch_boundary(None)
+        requests = []
+        for j, line in enumerate(epoch):
+            access = make_access(line * 64)
+            requests.extend(
+                pf.observe_offchip_miss(access, line, epoch=None, is_trigger=(j == 0))
+            )
+        all_requests.append(requests)
+    return all_requests
+
+
+class TestNaming:
+    def test_names_by_variant(self):
+        assert make_ebcp().name == "ebcp"
+        assert make_ebcp(skip_epochs=1).name == "ebcp_minus"
+        assert make_ebcp(table_in_memory=False).name == "ebcp_onchip"
+
+
+class TestConfig:
+    def test_addrs_default_tracks_degree(self):
+        assert EBCPConfig(prefetch_degree=4).effective_addrs_per_entry == 8
+        assert EBCPConfig(prefetch_degree=16).effective_addrs_per_entry == 16
+
+    def test_idealized(self):
+        config = EBCPConfig.idealized()
+        assert config.prefetch_degree == 32
+        assert config.addrs_per_entry == 32
+        assert config.table_entries == 1024 * 1024
+
+    def test_timeliness_by_table_location(self):
+        assert make_ebcp()._epochs_until_ready == 2
+        assert make_ebcp(table_in_memory=False)._epochs_until_ready == 1
+
+
+class TestLearningAndPrediction:
+    def test_predicts_skip2_epochs(self):
+        """After training on (A)(B)(C)(D), key A predicts {C, D}."""
+        pf = make_ebcp()
+        drive_epochs(pf, [[1], [2], [3], [4]])
+        pf.on_epoch_boundary(None)  # training fires here (buffer full)
+        requests = pf.observe_offchip_miss(make_access(64), 1, None, is_trigger=True)
+        assert {r.line_addr for r in requests} == {3, 4}
+        assert all(r.epochs_until_ready == 2 for r in requests)
+
+    def test_minus_variant_predicts_next_epoch(self):
+        pf = make_ebcp(skip_epochs=1)
+        drive_epochs(pf, [[1], [2], [3]])
+        pf.on_epoch_boundary(None)
+        requests = pf.observe_offchip_miss(make_access(64), 1, None, is_trigger=True)
+        assert {r.line_addr for r in requests} == {2, 3}
+
+    def test_only_trigger_looks_up(self):
+        pf = make_ebcp()
+        drive_epochs(pf, [[1, 5], [2], [3], [4]])
+        pf.on_epoch_boundary(None)
+        first = pf.observe_offchip_miss(make_access(64), 1, None, is_trigger=True)
+        second = pf.observe_offchip_miss(make_access(5 * 64), 5, None, is_trigger=False)
+        assert first and not second
+        assert pf.lookups_suppressed >= 1
+
+    def test_degree_caps_issue(self):
+        pf = make_ebcp(prefetch_degree=2, addrs_per_entry=8)
+        drive_epochs(pf, [[1], [2], [10, 11, 12], [13, 14]])
+        pf.on_epoch_boundary(None)
+        requests = pf.observe_offchip_miss(make_access(64), 1, None, is_trigger=True)
+        assert len(requests) == 2
+
+    def test_prefetch_hit_substitutes_as_key(self):
+        """Section 3.4.3: a pb hit keys the lookup for a new epoch."""
+        pf = make_ebcp()
+        drive_epochs(pf, [[1], [2], [3], [4]])
+        pf.on_epoch_boundary(None)
+        requests = pf.observe_prefetch_hit(
+            make_access(64), 1, table_index=None, epoch_index=0, first_in_epoch=True
+        )
+        assert {r.line_addr for r in requests} == {3, 4}
+
+    def test_stores_not_recorded(self):
+        pf = make_ebcp()
+        store = make_access(64, kind=AccessKind.STORE)
+        pf.observe_offchip_miss(store, 1, None, is_trigger=False)
+        assert pf.emab.current_entry == []
+
+    def test_loads_and_ifetches_recorded(self):
+        pf = make_ebcp()
+        pf.observe_offchip_miss(make_access(64), 1, None, is_trigger=False)
+        pf.observe_offchip_miss(
+            make_access(128, kind=AccessKind.IFETCH), 2, None, is_trigger=False
+        )
+        assert pf.emab.current_entry == [1, 2]
+
+
+class TestTableTraffic:
+    def test_lookup_generates_read_traffic(self):
+        pf = make_ebcp()
+        pf.observe_offchip_miss(make_access(64), 1, None, is_trigger=True)
+        assert pf.traffic.lookup_read_bytes == pf.config.entry_bytes
+
+    def test_training_generates_read_and_write(self):
+        pf = make_ebcp()
+        drive_epochs(pf, [[1], [2], [3], [4]])
+        pf.traffic.drain()
+        pf.on_epoch_boundary(None)  # training update: one read + one write
+        _, update_r, update_w, _ = pf.traffic.drain()
+        assert update_r == pf.config.entry_bytes
+        assert update_w == pf.config.entry_bytes
+
+    def test_pb_hit_lru_update_writes(self):
+        pf = make_ebcp()
+        drive_epochs(pf, [[1], [2], [3], [4]])
+        pf.on_epoch_boundary(None)
+        index = pf.table.index_of(1)
+        pf.traffic.drain()
+        pf.observe_prefetch_hit(
+            make_access(3 * 64), 3, table_index=index, epoch_index=0, first_in_epoch=False
+        )
+        assert pf.traffic.lru_write_bytes == pf.config.entry_bytes
+
+    def test_onchip_variant_generates_no_traffic(self):
+        pf = make_ebcp(table_in_memory=False)
+        drive_epochs(pf, [[1], [2], [3], [4]])
+        pf.on_epoch_boundary(None)
+        pf.observe_offchip_miss(make_access(64), 1, None, is_trigger=True)
+        assert pf.traffic.total_read_bytes == 0
+        assert pf.traffic.total_write_bytes == 0
+
+
+class TestResidency:
+    def test_inactive_when_memory_exhausted(self):
+        pf = EpochBasedCorrelationPrefetcher(EBCPConfig(table_entries=1024))
+        hierarchy = CacheHierarchy(ProcessorConfig.scaled())
+        hierarchy.memory.allocate(hierarchy.memory.free_bytes)  # OS has nothing left
+        pf.bind(hierarchy)
+        assert not pf.is_active
+        assert pf.observe_offchip_miss(make_access(64), 1, None, True) == []
+
+    def test_reactivation(self):
+        pf = EpochBasedCorrelationPrefetcher(EBCPConfig(table_entries=1024))
+        hierarchy = CacheHierarchy(ProcessorConfig.scaled())
+        pf.bind(hierarchy)
+        pf.deactivate()
+        assert not pf.is_active
+        pf.reactivate(hierarchy)
+        assert pf.is_active
+
+    def test_deactivation_drops_learned_state(self):
+        pf = make_ebcp()
+        drive_epochs(pf, [[1], [2], [3], [4]])
+        pf.on_epoch_boundary(None)
+        pf.deactivate()
+        assert pf.table.live_entries == 0
+
+
+class TestCostReporting:
+    def test_memory_table_cost(self):
+        pf = make_ebcp(table_entries=1024)
+        assert pf.memory_table_bytes == 1024 * 64
+        # On-chip cost is tiny: just the EMAB and control.
+        assert pf.onchip_storage_bytes < 2048
+
+    def test_onchip_variant_cost(self):
+        pf = make_ebcp(table_in_memory=False, table_entries=1024)
+        assert pf.memory_table_bytes == 0
+        assert pf.onchip_storage_bytes > 1024 * 64

@@ -1,0 +1,137 @@
+"""Tests for the Epoch Miss Addresses Buffer."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.emab import EpochMissAddressBuffer
+
+
+def fill_epochs(emab: EpochMissAddressBuffer, epochs: list[list[int]]):
+    """Record each epoch's misses, rotating between them; returns views."""
+    views = []
+    for i, epoch in enumerate(epochs):
+        if i > 0:
+            views.append(emab.epoch_boundary())
+        for line in epoch:
+            emab.record_miss(line)
+    return views
+
+
+class TestGeometry:
+    def test_default_is_papers_four_entry_buffer(self):
+        emab = EpochMissAddressBuffer()
+        assert emab.depth == 4
+        assert emab.skip_epochs == 2 and emab.stored_epochs == 2
+
+    def test_minus_variant_depth(self):
+        assert EpochMissAddressBuffer(skip_epochs=1).depth == 3
+
+    def test_rejects_zero_skip(self):
+        with pytest.raises(ValueError):
+            EpochMissAddressBuffer(skip_epochs=0)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            EpochMissAddressBuffer(capacity_per_epoch=0)
+
+
+class TestTraining:
+    def test_no_view_until_full(self):
+        emab = EpochMissAddressBuffer()  # depth 4
+        emab.record_miss(1)
+        assert emab.epoch_boundary() is None  # 2 entries
+        emab.record_miss(2)
+        assert emab.epoch_boundary() is None  # 3 entries
+        emab.record_miss(3)
+        assert emab.epoch_boundary() is None  # 4 entries now, but view needs full-before
+
+    def test_paper_example_update(self):
+        """Section 3.4.2: epochs i..i+3 = (A,B)(C,D,E)(F,G)(H,I).
+
+        Key = first miss of epoch i (A); payload = epochs i+2, i+3.
+        """
+        emab = EpochMissAddressBuffer()
+        A, B, C, D, E, F, G, H, I = range(1, 10)
+        fill_epochs(emab, [[A, B], [C, D, E], [F, G], [H, I]])
+        view = emab.epoch_boundary()
+        assert view is not None
+        assert view.key_line == A
+        assert view.payload == (F, G, H, I)  # older epoch first
+
+    def test_minus_variant_stores_next_epoch(self):
+        emab = EpochMissAddressBuffer(skip_epochs=1)  # depth 3
+        A, B, C, D, E, F, G = range(1, 8)
+        fill_epochs(emab, [[A, B], [C, D, E], [F, G]])
+        view = emab.epoch_boundary()
+        assert view.key_line == A
+        assert view.payload == (C, D, E, F, G)
+
+    def test_rolling_views(self):
+        emab = EpochMissAddressBuffer()
+        views = fill_epochs(emab, [[1], [2], [3], [4], [5]])
+        views.append(emab.epoch_boundary())
+        # First three boundaries: buffer not yet full.
+        assert views[:3] == [None, None, None]
+        assert views[3].key_line == 1 and views[3].payload == (3, 4)
+        assert views[4].key_line == 2 and views[4].payload == (4, 5)
+
+    def test_empty_oldest_epoch_yields_no_view(self):
+        emab = EpochMissAddressBuffer()
+        fill_epochs(emab, [[], [1], [2], [3]])
+        assert emab.epoch_boundary() is None
+
+    def test_empty_payload_yields_no_view(self):
+        emab = EpochMissAddressBuffer()
+        fill_epochs(emab, [[1], [2], [], []])
+        assert emab.epoch_boundary() is None
+
+    def test_payload_deduplicated_preserving_old_first(self):
+        emab = EpochMissAddressBuffer()
+        fill_epochs(emab, [[1], [2], [7, 8], [8, 9]])
+        view = emab.epoch_boundary()
+        assert view.payload == (7, 8, 9)
+
+
+class TestCapacity:
+    def test_overflow_drops_and_counts(self):
+        emab = EpochMissAddressBuffer(capacity_per_epoch=2)
+        for line in range(5):
+            emab.record_miss(line)
+        assert emab.current_entry == [0, 1]
+        assert emab.overflow_drops == 3
+
+    def test_reset(self):
+        emab = EpochMissAddressBuffer()
+        fill_epochs(emab, [[1], [2], [3], [4]])
+        emab.reset()
+        assert emab.filled_entries == 1
+        assert emab.current_entry == []
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.lists(st.integers(0, 1000), max_size=8),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_depth_invariant_and_key_correctness(self, epochs):
+        emab = EpochMissAddressBuffer()
+        for i, epoch in enumerate(epochs):
+            if i > 0:
+                view = emab.epoch_boundary()
+                assert emab.filled_entries <= emab.depth
+                # Any view's key must be the first miss of the epoch that
+                # is depth-1 boundaries behind the one just ended.
+                if view is not None:
+                    source_epoch = epochs[i - emab.depth]
+                    assert view.key_line == source_epoch[0]
+            for line in epoch:
+                emab.record_miss(line)
+        snapshot = emab.snapshot()
+        assert len(snapshot) <= emab.depth

@@ -1,0 +1,125 @@
+"""End-to-end behavioural tests on synthetic microbenchmarks.
+
+Each prefetcher must shine on its home-turf pattern and do no harm on
+patterns it cannot predict.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.config import ProcessorConfig
+from repro.engine.simulator import EpochSimulator
+from repro.prefetchers.registry import build_prefetcher
+from repro.workloads.synthetic import (
+    pointer_chase,
+    random_uniform,
+    repeating_miss_loop,
+    streaming,
+)
+
+
+def simulate(trace, prefetcher_name=None, **pf_kwargs):
+    config = ProcessorConfig.scaled()
+    pf = build_prefetcher(prefetcher_name, **pf_kwargs) if prefetcher_name else None
+    return EpochSimulator(config, pf).run(trace)
+
+
+@pytest.fixture(scope="module")
+def loop_trace():
+    return repeating_miss_loop(unique_lines=12_288, records=60_000, misses_per_epoch=3)
+
+
+@pytest.fixture(scope="module")
+def chase_trace():
+    return pointer_chase(unique_lines=16_384, records=50_000)
+
+
+@pytest.fixture(scope="module")
+def stream_trace():
+    return streaming(streams=4, lines_per_stream=8192, records=40_000)
+
+
+@pytest.fixture(scope="module")
+def random_trace():
+    return random_uniform(records=30_000)
+
+
+class TestRepeatingLoop:
+    def test_ebcp_large_gain(self, loop_trace):
+        base = simulate(loop_trace)
+        ebcp = simulate(loop_trace, "ebcp")
+        assert ebcp.improvement_over(base) > 0.30
+        assert ebcp.coverage > 0.4
+
+    def test_solihin_gains_but_less_than_ebcp(self, loop_trace):
+        base = simulate(loop_trace)
+        ebcp = simulate(loop_trace, "ebcp", prefetch_degree=6)
+        solihin = simulate(loop_trace, "solihin_6_1")
+        assert solihin.improvement_over(base) > 0.0
+        assert ebcp.improvement_over(base) > solihin.improvement_over(base)
+
+    def test_stream_prefetcher_useless_on_shuffled_loop(self, loop_trace):
+        base = simulate(loop_trace)
+        stream = simulate(loop_trace, "stream")
+        assert abs(stream.improvement_over(base)) < 0.05
+
+
+class TestPointerChase:
+    def test_chase_is_pure_serial_epochs(self, chase_trace):
+        base = simulate(chase_trace)
+        # One epoch per miss: EPI == miss rate.
+        assert base.stats.epochs == pytest.approx(
+            base.stats.total_offchip_misses, rel=0.01
+        )
+
+    def test_ebcp_covers_recurring_chase(self, chase_trace):
+        """A recurring chase is the textbook correlation-prefetch win:
+        serial misses that no stride scheme can touch."""
+        base = simulate(chase_trace)
+        ebcp = simulate(chase_trace, "ebcp")
+        assert ebcp.improvement_over(base) > 0.5
+
+    def test_stream_cannot_touch_a_chase(self, chase_trace):
+        base = simulate(chase_trace)
+        stream = simulate(chase_trace, "stream")
+        assert stream.coverage < 0.02
+        assert abs(stream.improvement_over(base)) < 0.05
+
+
+class TestStreaming:
+    def test_stream_prefetcher_dominates(self, stream_trace):
+        base = simulate(stream_trace)
+        stream = simulate(stream_trace, "stream")
+        assert stream.coverage > 0.7
+        assert stream.improvement_over(base) > 0.5
+
+    def test_ghb_handles_streams_too(self, stream_trace):
+        """PC/DC generalises strides: constant deltas repeat."""
+        base = simulate(stream_trace)
+        ghb = simulate(stream_trace, "ghb_large")
+        assert ghb.improvement_over(base) > 0.3
+
+
+class TestRandom:
+    def test_nothing_predicts_random(self, random_trace):
+        base = simulate(random_trace)
+        for name in ("ebcp", "stream", "ghb_small", "solihin_3_2", "sms"):
+            result = simulate(random_trace, name)
+            assert result.coverage < 0.02, name
+
+    def test_prefetchers_do_no_harm_on_random(self, random_trace):
+        """Useless prefetches must not delay demand (paper Section 5.2.1)
+        when bandwidth is plentiful."""
+        base = simulate(random_trace)
+        ebcp = simulate(random_trace, "ebcp")
+        assert ebcp.improvement_over(base) > -0.05
+
+
+class TestDeterminism:
+    def test_same_run_same_result(self, loop_trace):
+        a = simulate(loop_trace, "ebcp")
+        b = simulate(loop_trace, "ebcp")
+        assert a.cpi == b.cpi
+        assert a.stats.epochs == b.stats.epochs
+        assert a.stats.total_prefetch_hits == b.stats.total_prefetch_hits

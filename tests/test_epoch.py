@@ -1,0 +1,121 @@
+"""Tests for epoch tracking and window-termination rules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.epoch import Epoch, EpochTracker
+from repro.memory.request import AccessKind
+
+from tests.helpers import make_access
+
+
+def open_epoch(tracker: EpochTracker, line=1, inst=0, kind=AccessKind.LOAD):
+    access = make_access(line * 64, kind=kind, inst_index=inst)
+    closed, epoch = tracker.open_new(access, line, "first_miss")
+    return closed, epoch
+
+
+class TestMembership:
+    def test_first_miss_cannot_join(self):
+        tracker = EpochTracker(rob_size=128)
+        joins, reason = tracker.can_join(make_access(0), mshr_ok=True)
+        assert not joins and reason == "first_miss"
+
+    def test_overlapping_miss_joins(self):
+        tracker = EpochTracker(rob_size=128)
+        open_epoch(tracker, inst=0)
+        joins, _ = tracker.can_join(make_access(64, inst_index=50), mshr_ok=True)
+        assert joins
+
+    def test_serial_miss_never_joins(self):
+        tracker = EpochTracker(rob_size=128)
+        open_epoch(tracker, inst=0)
+        joins, reason = tracker.can_join(
+            make_access(64, serial=True, inst_index=10), mshr_ok=True
+        )
+        assert not joins and reason == "serial_dependence"
+
+    def test_rob_window_bound(self):
+        tracker = EpochTracker(rob_size=128)
+        open_epoch(tracker, inst=0)
+        joins, _ = tracker.can_join(make_access(64, inst_index=128), mshr_ok=True)
+        assert joins  # exactly at the window edge still joins
+        joins, reason = tracker.can_join(make_access(64, inst_index=129), mshr_ok=True)
+        assert not joins and reason == "rob_window"
+
+    def test_mshr_full_blocks(self):
+        tracker = EpochTracker(rob_size=128)
+        open_epoch(tracker, inst=0)
+        joins, reason = tracker.can_join(make_access(64, inst_index=10), mshr_ok=False)
+        assert not joins and reason == "mshr_full"
+
+    def test_instruction_miss_seals_epoch(self):
+        tracker = EpochTracker(rob_size=128)
+        _, epoch = open_epoch(tracker, inst=0)
+        tracker.join(make_access(64, kind=AccessKind.IFETCH, inst_index=5), 1)
+        assert epoch.sealed
+        joins, reason = tracker.can_join(make_access(128, inst_index=10), mshr_ok=True)
+        assert not joins and reason == "instruction_miss_seal"
+
+    def test_ifetch_trigger_seals_immediately(self):
+        tracker = EpochTracker(rob_size=128)
+        _, epoch = open_epoch(tracker, kind=AccessKind.IFETCH)
+        assert epoch.sealed
+
+
+class TestLifecycle:
+    def test_epoch_count_increments(self):
+        tracker = EpochTracker(rob_size=128)
+        open_epoch(tracker)
+        open_epoch(tracker, inst=1000)
+        assert tracker.epoch_count == 2
+
+    def test_open_new_returns_closed_epoch(self):
+        tracker = EpochTracker(rob_size=128)
+        _, first = open_epoch(tracker, inst=0)
+        closed, second = open_epoch(tracker, inst=500)
+        assert closed is first
+        assert closed.close_inst == 500
+        assert second.index == 1
+
+    def test_join_accumulates_misses(self):
+        tracker = EpochTracker(rob_size=128)
+        _, epoch = open_epoch(tracker)
+        tracker.join(make_access(64, inst_index=5), 1)
+        tracker.join(make_access(128, inst_index=10), 2)
+        assert epoch.n_misses == 3
+        assert epoch.miss_lines == [1, 1, 2]  # trigger recorded with its line
+
+    def test_close_without_open(self):
+        tracker = EpochTracker(rob_size=128)
+        assert tracker.close(0) is None
+
+    def test_termination_reasons_census(self):
+        tracker = EpochTracker(rob_size=128)
+        open_epoch(tracker)
+        access = make_access(64, serial=True, inst_index=10)
+        tracker.open_new(access, 1, "serial_dependence")
+        assert tracker.termination_reasons["serial_dependence"] == 1
+
+    def test_rejects_bad_rob(self):
+        with pytest.raises(ValueError):
+            EpochTracker(0)
+
+
+class TestEpochRecord:
+    def test_trigger_fields(self):
+        tracker = EpochTracker(rob_size=128)
+        access = make_access(0x1000, pc=0x42, inst_index=7)
+        _, epoch = tracker.open_new(access, 0x1000 >> 6, "first_miss")
+        assert epoch.trigger_line == 0x1000 >> 6
+        assert epoch.trigger_pc == 0x42
+        assert epoch.trigger_inst == 7
+        assert epoch.trigger_kind is AccessKind.LOAD
+
+    def test_add_miss_kinds(self):
+        epoch = Epoch(0, 1, AccessKind.LOAD, 0, 0)
+        epoch.add_miss(1, AccessKind.LOAD)
+        epoch.add_miss(2, AccessKind.IFETCH)
+        assert epoch.miss_kinds == [AccessKind.LOAD, AccessKind.IFETCH]
+        assert epoch.sealed

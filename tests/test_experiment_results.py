@@ -1,0 +1,93 @@
+"""Unit tests for the experiment result containers and helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.config import ProcessorConfig
+from repro.experiments.common import (
+    FigureResult,
+    TableResult,
+    bandwidth_config,
+    default_config,
+    idealized_config,
+    make_sweep_ebcp,
+    memoized,
+)
+
+
+class TestFigureResult:
+    def make(self):
+        return FigureResult(
+            figure_id="Fig X",
+            title="demo",
+            x_label="degree",
+            x_values=(1, 2, 4),
+            series={"db": [0.1, 0.2, 0.3], "web": [0.0, 0.05, 0.1]},
+        )
+
+    def test_value_lookup(self):
+        fig = self.make()
+        assert fig.value("db", 2) == 0.2
+        assert fig.value("web", 4) == 0.1
+
+    def test_value_unknown_x(self):
+        with pytest.raises(ValueError):
+            self.make().value("db", 99)
+
+    def test_render_contains_series(self):
+        text = self.make().render()
+        assert "Fig X" in text
+        assert "db" in text and "web" in text
+        assert "+20.0%" in text
+
+
+class TestTableResult:
+    def test_render(self):
+        table = TableResult("Table T", "demo", ["a", "b"], [["x", "1"], ["y", "2"]])
+        text = table.render()
+        assert "Table T" in text and "x" in text and "2" in text
+
+
+class TestConfigs:
+    def test_default_is_scaled(self):
+        assert default_config().l2.size_bytes == ProcessorConfig.scaled().l2.size_bytes
+
+    def test_default_with_overrides(self):
+        config = default_config(prefetch_buffer_entries=128)
+        assert config.prefetch_buffer_entries == 128
+
+    def test_idealized_buffer(self):
+        assert idealized_config().prefetch_buffer_entries == 1024
+
+    def test_bandwidth_config(self):
+        config = bandwidth_config(3.2, 1.6)
+        assert config.read_bw_gbps == 3.2
+        assert config.write_bw_gbps == 1.6
+        assert config.prefetch_buffer_entries == 1024
+
+
+class TestSweepEBCP:
+    def test_idealized_defaults(self):
+        pf = make_sweep_ebcp(degree=16)
+        assert pf.config.prefetch_degree == 16
+        assert pf.config.effective_addrs_per_entry == 32
+        assert pf.config.table_entries == 1024 * 1024
+
+    def test_small_entry_keeps_64b(self):
+        pf = make_sweep_ebcp(degree=4, addrs_per_entry=8)
+        assert pf.config.entry_bytes == 64
+
+
+class TestMemo:
+    def test_memoized_computes_once(self):
+        calls = []
+
+        def compute():
+            calls.append(1)
+            return "value"
+
+        key = ("test_memo_unique_key", 1)
+        assert memoized(key, compute) == "value"
+        assert memoized(key, compute) == "value"
+        assert len(calls) == 1

@@ -1,0 +1,96 @@
+"""Tests for the GHB PC/DC prefetcher."""
+
+from __future__ import annotations
+
+from repro.memory.request import AccessKind
+from repro.prefetchers.ghb import GHBPrefetcher, make_ghb_large, make_ghb_small
+
+from tests.helpers import make_access
+
+
+def feed(pf: GHBPrefetcher, events: list[tuple[int, int]], kind=AccessKind.LOAD):
+    """events = [(pc, line), ...]; returns all emitted requests."""
+    requests = []
+    for pc, line in events:
+        access = make_access(line * 64, kind=kind, pc=pc)
+        requests.extend(pf.observe_offchip_miss(access, line, None, False))
+    return requests
+
+
+class TestDeltaCorrelation:
+    def test_repeating_delta_pattern_predicted(self):
+        """Deltas per PC: +1,+2,+1,+2...; after seeing the pair (+1,+2)
+        twice the following deltas are replayed."""
+        pf = GHBPrefetcher(degree=3)
+        pc = 0x100
+        # Addresses: 10, 11, 13, 14, 16, 17 -> deltas 1,2,1,2,1.
+        requests = feed(pf, [(pc, a) for a in (10, 11, 13, 14, 16, 17)])
+        targets = {r.line_addr for r in requests}
+        # After 17 the latest delta pair is (2,1); its prior occurrence is
+        # followed by deltas 2,1 -> replay from 17 gives 19, 20.
+        assert {19, 20} <= targets
+
+    def test_constant_stride_predicted(self):
+        pf = GHBPrefetcher(degree=2)
+        pc = 0x200
+        requests = feed(pf, [(pc, 100 + 3 * i) for i in range(5)])
+        assert {r.line_addr for r in requests} >= {115, 118}
+
+    def test_no_prediction_without_repeat(self):
+        pf = GHBPrefetcher()
+        assert feed(pf, [(0x1, a) for a in (10, 25, 13, 99)]) == []
+
+    def test_streams_keyed_per_pc(self):
+        pf = GHBPrefetcher(degree=1)
+        mixed = []
+        for i in range(6):
+            mixed.append((0xA, 100 + i))
+            mixed.append((0xB, 9000 - 2 * i))
+        requests = feed(pf, mixed)
+        targets = {r.line_addr for r in requests}
+        assert 100 + 6 in targets  # PC A's next +1
+        assert 9000 - 2 * 6 in targets  # PC B's next -2
+
+    def test_prefetches_instruction_misses_too(self):
+        pf = GHBPrefetcher(degree=1)
+        requests = feed(pf, [(0x40 + 64 * i, 500 + i) for i in range(5)],
+                        kind=AccessKind.IFETCH)
+        # Each ifetch has a distinct PC here, so correlation needs a
+        # shared key; use a single fetch PC stream instead:
+        pf2 = GHBPrefetcher(degree=1)
+        requests2 = feed(pf2, [(0x40, 500 + i) for i in range(5)],
+                         kind=AccessKind.IFETCH)
+        assert pf2.targets_instructions
+        assert {r.line_addr for r in requests2} >= {505}
+        assert requests == [] or requests  # distinct-PC case makes no claim
+
+
+class TestCapacity:
+    def test_index_table_eviction(self):
+        pf = GHBPrefetcher(index_entries=2, buffer_entries=64, degree=1)
+        feed(pf, [(0xA, 1), (0xB, 2), (0xC, 3)])  # 0xA evicted (FIFO-ish LRU)
+        assert 0xA not in pf._index
+
+    def test_history_buffer_wraparound_invalidates_links(self):
+        pf = GHBPrefetcher(index_entries=64, buffer_entries=4, degree=1)
+        feed(pf, [(0xA, 100 + i) for i in range(3)])
+        feed(pf, [(0xB, 9000 + 7 * i) for i in range(8)])  # overwrites A's chain
+        history = pf._walk_chain(0xA)
+        assert len(history) <= 1  # stale links rejected
+
+    def test_small_and_large_configs(self):
+        small, large = make_ghb_small(), make_ghb_large()
+        assert small.name == "ghb_small" and large.name == "ghb_large"
+        # Paper sizes (256 KB / 4 MB) divided by the capacity scale (8).
+        assert small.onchip_storage_bytes == 256 * 1024 // 8
+        assert large.onchip_storage_bytes == 4 * 1024 * 1024 // 8
+        # Unscaled (paper-size) construction is still available.
+        assert make_ghb_large(scale=1).onchip_storage_bytes == 4 * 1024 * 1024
+
+    def test_trains_on_prefetch_hits(self):
+        pf = GHBPrefetcher(degree=1)
+        pc = 0x9
+        for i in range(5):
+            pf.observe_prefetch_hit(make_access((10 + i) * 64, pc=pc), 10 + i, None, 0, False)
+        requests = pf.observe_prefetch_hit(make_access(15 * 64, pc=pc), 15, None, 0, False)
+        assert {r.line_addr for r in requests} == {16}

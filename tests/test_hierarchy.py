@@ -1,0 +1,84 @@
+"""Tests for cache-hierarchy composition and outcome classification."""
+
+from __future__ import annotations
+
+from repro.memory.hierarchy import AccessOutcome, CacheHierarchy
+from repro.memory.request import AccessKind
+
+from tests.helpers import line_addr, make_access
+
+
+def make_hierarchy(tiny_config):
+    return CacheHierarchy(tiny_config)
+
+
+class TestOutcomes:
+    def test_cold_access_is_offchip(self, tiny_config):
+        h = CacheHierarchy(tiny_config)
+        result = h.access(make_access(line_addr(1000)), current_cycle=0.0)
+        assert result.outcome is AccessOutcome.OFFCHIP_MISS
+
+    def test_second_access_hits_l1(self, tiny_config):
+        h = CacheHierarchy(tiny_config)
+        h.access(make_access(line_addr(1000)), 0.0)
+        result = h.access(make_access(line_addr(1000)), 0.0)
+        assert result.outcome is AccessOutcome.L1_HIT
+
+    def test_l2_hit_after_l1_eviction(self, tiny_config):
+        h = CacheHierarchy(tiny_config)
+        h.access(make_access(line_addr(0)), 0.0)
+        # Evict line 0 from the 64-line L1D by filling its set (4 ways,
+        # 16 sets: lines 0, 16, 32, 48, 64 share set 0).
+        for k in range(1, 5):
+            h.access(make_access(line_addr(16 * k)), 0.0)
+        result = h.access(make_access(line_addr(0)), 0.0)
+        assert result.outcome is AccessOutcome.L2_HIT
+
+    def test_ifetch_uses_l1i(self, tiny_config):
+        h = CacheHierarchy(tiny_config)
+        h.access(make_access(line_addr(7), AccessKind.IFETCH), 0.0)
+        # Same line as a load misses L1D (separate L1s) but hits L2.
+        result = h.access(make_access(line_addr(7), AccessKind.LOAD), 0.0)
+        assert result.outcome is AccessOutcome.L2_HIT
+
+
+class TestPrefetchPath:
+    def test_ready_prefetch_averted_miss(self, tiny_config):
+        h = CacheHierarchy(tiny_config)
+        assert h.fill_prefetch(1000, ready_cycle=100.0, table_index=3, source="ebcp")
+        result = h.access(make_access(line_addr(1000)), current_cycle=200.0)
+        assert result.outcome is AccessOutcome.PREFETCH_HIT
+        assert result.table_index == 3
+        assert result.prefetch_source == "ebcp"
+        # Promoted into L2 + L1 on use.
+        assert h.l2.contains(1000)
+        assert h.access(make_access(line_addr(1000)), 0.0).outcome is AccessOutcome.L1_HIT
+
+    def test_late_prefetch_is_miss_with_flag(self, tiny_config):
+        h = CacheHierarchy(tiny_config)
+        h.fill_prefetch(1000, ready_cycle=500.0)
+        result = h.access(make_access(line_addr(1000)), current_cycle=100.0)
+        assert result.outcome is AccessOutcome.OFFCHIP_MISS
+        assert result.late_prefetch
+
+    def test_redundant_prefetch_filtered(self, tiny_config):
+        h = CacheHierarchy(tiny_config)
+        h.access(make_access(line_addr(5)), 0.0)  # line now in L2
+        assert not h.fill_prefetch(5, ready_cycle=0.0)
+        assert not h.prefetch_buffer.contains(5)
+
+    def test_prefetch_not_in_l2_until_used(self, tiny_config):
+        h = CacheHierarchy(tiny_config)
+        h.fill_prefetch(9, ready_cycle=0.0)
+        assert not h.l2.contains(9)  # no cache pollution before use
+
+
+class TestFlush:
+    def test_flush_clears_everything(self, tiny_config):
+        h = CacheHierarchy(tiny_config)
+        h.access(make_access(line_addr(1)), 0.0)
+        h.fill_prefetch(2, 0.0)
+        h.flush()
+        assert h.l1d.occupancy == 0
+        assert h.l2.occupancy == 0
+        assert h.prefetch_buffer.occupancy == 0

@@ -1,0 +1,103 @@
+"""Property-based invariants over whole simulations.
+
+Hypothesis generates small random traces; the simulator's aggregate
+statistics must satisfy structural invariants regardless of the input.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.config import CacheConfig, ProcessorConfig
+from repro.engine.simulator import EpochSimulator
+from repro.prefetchers.registry import build_prefetcher
+from repro.workloads.trace import TraceBuilder
+
+
+def small_config() -> ProcessorConfig:
+    return ProcessorConfig(
+        l1i=CacheConfig(4 * 1024, 4, 64, 3),
+        l1d=CacheConfig(4 * 1024, 4, 64, 3),
+        l2=CacheConfig(16 * 1024, 4, 64, 20),
+        cpi_perf=1.0,
+        overlap=0.0,
+    )
+
+
+@st.composite
+def random_traces(draw):
+    """Short random traces with mixed kinds, gaps and dependences."""
+    n = draw(st.integers(min_value=1, max_value=250))
+    builder = TraceBuilder()
+    for _ in range(n):
+        kind = draw(st.sampled_from([0, 1, 1, 1, 2]))  # loads dominate
+        line = draw(st.integers(min_value=0, max_value=4000))
+        gap = draw(st.sampled_from([5, 12, 60, 150, 300, 900]))
+        serial = draw(st.booleans()) and kind == 1
+        builder.add(kind, pc=0x1000 + (line % 37) * 16, addr=0x100_0000 + line * 64,
+                    gap=gap, serial=serial)
+    return builder.build()
+
+
+class TestBaselineInvariants:
+    @given(random_traces())
+    @settings(max_examples=40, deadline=None)
+    def test_epoch_and_miss_accounting(self, trace):
+        result = EpochSimulator(small_config(), None).run(trace, warmup_records=0)
+        stats = result.stats
+        # Epochs never exceed non-store off-chip misses.
+        from repro.memory.request import AccessKind
+
+        nonstore = (
+            stats.offchip_misses[AccessKind.LOAD]
+            + stats.offchip_misses[AccessKind.IFETCH]
+        )
+        assert stats.epochs <= nonstore
+        # Every epoch costs at least the unloaded penalty.
+        assert stats.offchip_cycles >= stats.epochs * 500
+        # Accounting identities.
+        assert stats.accesses == len(trace)
+        assert stats.instructions == trace.instructions
+        assert 0 <= result.coverage <= 1
+
+    @given(random_traces())
+    @settings(max_examples=30, deadline=None)
+    def test_determinism(self, trace):
+        a = EpochSimulator(small_config(), None).run(trace, warmup_records=0)
+        b = EpochSimulator(small_config(), None).run(trace, warmup_records=0)
+        assert a.cycles == b.cycles
+        assert a.stats.epochs == b.stats.epochs
+
+
+class TestPrefetcherInvariants:
+    @given(random_traces(), st.sampled_from(["ebcp", "stream", "ghb_small", "solihin_3_2", "sms"]))
+    @settings(max_examples=30, deadline=None)
+    def test_lifecycle_accounting(self, trace, name):
+        result = EpochSimulator(small_config(), build_prefetcher(name)).run(
+            trace, warmup_records=0
+        )
+        stats = result.stats
+        # Every generated prefetch is filled, dropped, redundant, or still
+        # staged/pending at trace end.
+        accounted = (
+            stats.prefetches_filled + stats.prefetches_dropped + stats.prefetches_redundant
+        )
+        assert accounted <= stats.prefetches_generated
+        assert stats.total_prefetch_hits <= stats.prefetches_filled
+        assert 0 <= result.accuracy <= 1
+        assert 0 <= result.coverage <= 1
+
+    @given(random_traces())
+    @settings(max_examples=20, deadline=None)
+    def test_prefetching_never_slows_epochless_metrics(self, trace):
+        """Prefetchers cannot create new demand misses: off-chip misses
+        with a prefetcher never exceed the baseline's."""
+        base = EpochSimulator(small_config(), None).run(trace, warmup_records=0)
+        with_pf = EpochSimulator(small_config(), build_prefetcher("ebcp")).run(
+            trace, warmup_records=0
+        )
+        assert (
+            with_pf.stats.total_offchip_misses + with_pf.stats.total_prefetch_hits
+            == base.stats.total_offchip_misses
+        )

@@ -1,0 +1,100 @@
+"""Tests for the simulator's observation hooks and writeback modelling."""
+
+from __future__ import annotations
+
+from repro.engine.config import CacheConfig, ProcessorConfig
+from repro.engine.simulator import EpochSimulator
+from repro.memory.hierarchy import AccessOutcome
+from repro.workloads.trace import TraceBuilder
+
+
+def small_config(**overrides) -> ProcessorConfig:
+    base = ProcessorConfig(
+        l1i=CacheConfig(4 * 1024, 4, 64, 3),
+        l1d=CacheConfig(4 * 1024, 4, 64, 3),
+        l2=CacheConfig(16 * 1024, 4, 64, 20),
+        cpi_perf=1.0,
+        overlap=0.0,
+    )
+    return base.replace(**overrides) if overrides else base
+
+
+class TestListeners:
+    def test_epoch_listener_sees_every_close(self, builder):
+        for i in range(5):
+            builder.load(0x100, 0x100_0000 + i * 64, gap=300)
+        sim = EpochSimulator(small_config())
+        closed = []
+        sim.epoch_listener = closed.append
+        sim.run(builder.build(), warmup_records=0)
+        assert len(closed) == 5
+        assert [e.index for e in closed] == list(range(5))
+
+    def test_access_listener_sees_l2_accesses_only(self, builder):
+        builder.load(0x100, 0x100_0000, gap=10)
+        builder.load(0x100, 0x100_0000, gap=10)  # L1 hit: not an L2 access
+        sim = EpochSimulator(small_config())
+        seen = []
+        sim.access_listener = lambda access, line, result: seen.append(result.outcome)
+        sim.run(builder.build(), warmup_records=0)
+        assert seen == [AccessOutcome.OFFCHIP_MISS]
+
+    def test_listeners_fire_during_warmup_too(self, builder):
+        for i in range(4):
+            builder.load(0x100, 0x100_0000 + i * 64, gap=300)
+        sim = EpochSimulator(small_config())
+        closed = []
+        sim.epoch_listener = closed.append
+        sim.run(builder.build(), warmup_records=2)
+        assert len(closed) == 4
+
+
+class TestWritebacks:
+    def test_dirty_eviction_reported_and_charged(self, builder):
+        # Store to one line, then walk enough lines through its L2 set to
+        # evict it: 16 KB 4-way = 64 sets; lines 0, 64, 128... share set 0.
+        builder.store(0x100, 0x100_0000, gap=10)
+        for k in range(1, 6):
+            builder.load(0x100, 0x100_0000 + k * 64 * 64, gap=300)
+        sim = EpochSimulator(small_config())
+        writebacks = []
+        sim.access_listener = (
+            lambda access, line, result: writebacks.append(result.writeback_line)
+            if result.writeback_line is not None
+            else None
+        )
+        result = sim.run(builder.build(), warmup_records=0)
+        assert len(writebacks) == 1
+        assert writebacks[0] == 0x100_0000 >> 6
+        # The writeback consumed write-bus bytes.
+        assert result.stats.write_bytes >= 2 * 64  # store fill + writeback
+
+    def test_clean_eviction_not_reported(self, builder):
+        builder.load(0x100, 0x100_0000, gap=10)
+        for k in range(1, 6):
+            builder.load(0x100, 0x100_0000 + k * 64 * 64, gap=300)
+        sim = EpochSimulator(small_config())
+        writebacks = []
+        sim.access_listener = (
+            lambda access, line, result: writebacks.append(result.writeback_line)
+            if result.writeback_line is not None
+            else None
+        )
+        sim.run(builder.build(), warmup_records=0)
+        assert writebacks == []
+
+    def test_rewritten_line_dirty_again(self, builder):
+        builder.store(0x100, 0x100_0000, gap=10)
+        builder.store(0x100, 0x100_0000, gap=10)  # L1 hit, still dirty in L2
+        for k in range(1, 6):
+            builder.load(0x100, 0x100_0000 + k * 64 * 64, gap=300)
+        sim = EpochSimulator(small_config())
+        count = [0]
+
+        def listener(access, line, result):
+            if result.writeback_line is not None:
+                count[0] += 1
+
+        sim.access_listener = listener
+        sim.run(builder.build(), warmup_records=0)
+        assert count[0] == 1  # one dirty line -> one writeback

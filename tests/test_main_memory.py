@@ -1,0 +1,78 @@
+"""Tests for the DRAM model and its page allocator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.main_memory import MainMemory, OutOfMemoryError
+
+
+class TestAllocation:
+    def test_allocation_rounds_to_pages(self):
+        memory = MainMemory(size_bytes=1 << 20, page_bytes=4096)
+        alloc = memory.allocate(5000)
+        assert alloc.size == 8192
+        assert alloc.base % 4096 == 0
+
+    def test_allocations_disjoint(self):
+        memory = MainMemory(size_bytes=1 << 20, page_bytes=4096)
+        a = memory.allocate(4096)
+        b = memory.allocate(4096)
+        assert a.end <= b.base
+
+    def test_out_of_memory(self):
+        memory = MainMemory(size_bytes=8192, page_bytes=4096)
+        memory.allocate(8192)
+        with pytest.raises(OutOfMemoryError):
+            memory.allocate(1)
+
+    def test_rejects_nonpositive_size(self):
+        with pytest.raises(ValueError):
+            MainMemory().allocate(0)
+
+    def test_free_and_allocated_bytes(self):
+        memory = MainMemory(size_bytes=1 << 20, page_bytes=4096)
+        memory.allocate(4096)
+        assert memory.allocated_bytes == 4096
+        assert memory.free_bytes == (1 << 20) - 4096
+
+
+class TestReclaim:
+    def test_reclaim_removes_from_live_set(self):
+        memory = MainMemory(size_bytes=1 << 20)
+        alloc = memory.allocate(8192)
+        memory.reclaim(alloc)
+        assert memory.allocated_bytes == 0
+        assert memory.owns(alloc.base) is None
+
+    def test_reclaim_unknown_raises(self):
+        memory = MainMemory(size_bytes=1 << 20)
+        alloc = memory.allocate(8192)
+        memory.reclaim(alloc)
+        with pytest.raises(ValueError):
+            memory.reclaim(alloc)
+
+
+class TestOwnership:
+    def test_owns(self):
+        memory = MainMemory(size_bytes=1 << 20, page_bytes=4096)
+        alloc = memory.allocate(4096)
+        assert memory.owns(alloc.base) == alloc
+        assert memory.owns(alloc.end - 1) == alloc
+        assert memory.owns(alloc.end) is None
+
+    def test_allocation_contains(self):
+        memory = MainMemory(size_bytes=1 << 20)
+        alloc = memory.allocate(8192)
+        assert alloc.contains(alloc.base)
+        assert not alloc.contains(alloc.base - 1)
+
+
+class TestValidation:
+    def test_rejects_bad_latency(self):
+        with pytest.raises(ValueError):
+            MainMemory(latency_cycles=0)
+
+    def test_rejects_bad_page_size(self):
+        with pytest.raises(ValueError):
+            MainMemory(page_bytes=3000)

@@ -1,0 +1,60 @@
+"""Tests for the MSHR file."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.mshr import MSHRFile
+
+
+class TestAllocate:
+    def test_allocates_until_full(self):
+        mshrs = MSHRFile(2)
+        assert mshrs.allocate(1)
+        assert mshrs.allocate(2)
+        assert mshrs.is_full
+        assert not mshrs.allocate(3)
+        assert mshrs.stats.full_stalls == 1
+
+    def test_merge_does_not_consume_entry(self):
+        mshrs = MSHRFile(1)
+        assert mshrs.allocate(5)
+        assert mshrs.allocate(5)  # secondary miss merges
+        assert mshrs.stats.merges == 1
+        assert mshrs.outstanding == 1
+
+    def test_merge_allowed_when_full(self):
+        mshrs = MSHRFile(1)
+        mshrs.allocate(5)
+        assert mshrs.is_full
+        assert mshrs.allocate(5)  # merge into existing entry still works
+
+    def test_has(self):
+        mshrs = MSHRFile(4)
+        mshrs.allocate(9)
+        assert mshrs.has(9)
+        assert not mshrs.has(10)
+
+
+class TestDrain:
+    def test_drain_releases_all(self):
+        mshrs = MSHRFile(4)
+        for line in range(3):
+            mshrs.allocate(line)
+        assert mshrs.drain() == 3
+        assert mshrs.outstanding == 0
+        assert not mshrs.is_full
+
+    def test_drain_empty(self):
+        assert MSHRFile(4).drain() == 0
+
+    def test_reusable_after_drain(self):
+        mshrs = MSHRFile(1)
+        mshrs.allocate(1)
+        mshrs.drain()
+        assert mshrs.allocate(2)
+
+
+def test_rejects_nonpositive_capacity():
+    with pytest.raises(ValueError):
+        MSHRFile(0)

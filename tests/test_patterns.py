@@ -1,0 +1,99 @@
+"""Tests for address regions and pattern helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.workloads.patterns import Region, RegionAllocator, spatial_page_lines
+
+
+class TestRegion:
+    def test_geometry(self):
+        region = Region("r", base=0x1000, lines=16)
+        assert region.size_bytes == 1024
+        assert region.end == 0x1400
+        assert region.line_addr(0) == 0x1000
+        assert region.line_addr(15) == 0x1000 + 15 * 64
+
+    def test_line_addr_bounds(self):
+        region = Region("r", base=0, lines=4)
+        with pytest.raises(IndexError):
+            region.line_addr(4)
+        with pytest.raises(IndexError):
+            region.line_addr(-1)
+
+    def test_contains(self):
+        region = Region("r", base=0x1000, lines=2)
+        assert region.contains(0x1000)
+        assert region.contains(0x107F)
+        assert not region.contains(0x1080)
+
+    def test_rejects_unaligned_base(self):
+        with pytest.raises(ValueError):
+            Region("r", base=100, lines=4)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            Region("r", base=0, lines=0)
+
+
+class TestSampling:
+    def test_sample_distinct(self):
+        region = Region("r", base=0, lines=100)
+        rng = np.random.default_rng(1)
+        lines = region.sample_lines(rng, 50, distinct=True)
+        assert len(set(lines)) == 50
+        assert all(region.contains(addr) for addr in lines)
+        assert all(addr % 64 == 0 for addr in lines)
+
+    def test_sample_with_replacement_when_over(self):
+        region = Region("r", base=0, lines=4)
+        rng = np.random.default_rng(1)
+        lines = region.sample_lines(rng, 10, distinct=True)
+        assert len(lines) == 10  # falls back to replacement
+
+    def test_sequential(self):
+        region = Region("r", base=0x1000, lines=16)
+        lines = region.sequential_lines(2, 3)
+        assert lines == [0x1000 + 2 * 64, 0x1000 + 3 * 64, 0x1000 + 4 * 64]
+
+    def test_sequential_bounds(self):
+        region = Region("r", base=0, lines=4)
+        with pytest.raises(IndexError):
+            region.sequential_lines(2, 3)
+
+    def test_spatial_page_lines_within_one_page(self):
+        region = Region("r", base=0, lines=1024)
+        rng = np.random.default_rng(2)
+        lines = spatial_page_lines(region, rng, 8, page_bytes=2048)
+        pages = {addr // 2048 for addr in lines}
+        assert len(pages) == 1
+        assert len(set(lines)) == 8
+
+    def test_spatial_page_lines_capped_at_page(self):
+        region = Region("r", base=0, lines=1024)
+        rng = np.random.default_rng(3)
+        lines = spatial_page_lines(region, rng, 100, page_bytes=2048)
+        assert len(lines) == 2048 // 64
+
+
+class TestAllocator:
+    def test_regions_disjoint_with_guard(self):
+        alloc = RegionAllocator(base=0x1000, guard_bytes=4096)
+        a = alloc.allocate("a", 16)
+        b = alloc.allocate("b", 16)
+        assert b.base >= a.end + 4096 - 64  # guard, modulo line alignment
+        assert alloc["a"] is a and alloc["b"] is b
+
+    def test_duplicate_name_rejected(self):
+        alloc = RegionAllocator()
+        alloc.allocate("a", 4)
+        with pytest.raises(ValueError):
+            alloc.allocate("a", 4)
+
+    def test_bases_line_aligned(self):
+        alloc = RegionAllocator(base=0x1000, guard_bytes=100)
+        alloc.allocate("a", 3)
+        b = alloc.allocate("b", 3)
+        assert b.base % 64 == 0

@@ -1,0 +1,161 @@
+"""Tests for the prefetch buffer (timeliness, LRU, lifecycle)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.prefetch_buffer import PrefetchBuffer
+
+
+def make_buffer(entries=64, ways=4):
+    return PrefetchBuffer(entries, ways)
+
+
+class TestGeometry:
+    def test_rejects_bad_entries(self):
+        with pytest.raises(ValueError):
+            PrefetchBuffer(0)
+
+    def test_rejects_indivisible(self):
+        with pytest.raises(ValueError):
+            PrefetchBuffer(10, 4)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            PrefetchBuffer(24, 4)
+
+    def test_ways_clamped_to_entries(self):
+        buf = PrefetchBuffer(2, 4)
+        assert buf.ways == 2
+
+
+class TestTimeliness:
+    def test_ready_entry_hits_and_is_removed(self):
+        buf = make_buffer()
+        buf.fill(10, ready_cycle=100.0)
+        result = buf.lookup(10, current_cycle=150.0)
+        assert result.hit and not result.late
+        assert not buf.contains(10)
+        assert buf.stats.hits == 1
+
+    def test_late_entry_does_not_hit(self):
+        buf = make_buffer()
+        buf.fill(10, ready_cycle=1000.0)
+        result = buf.lookup(10, current_cycle=500.0)
+        assert not result.hit and result.late
+        assert buf.contains(10)  # stays for a later access
+        assert buf.stats.late_hits == 1
+
+    def test_exactly_ready_at_boundary(self):
+        buf = make_buffer()
+        buf.fill(10, ready_cycle=100.0)
+        assert buf.lookup(10, current_cycle=100.0).hit
+
+    def test_late_then_ready(self):
+        buf = make_buffer()
+        buf.fill(10, ready_cycle=100.0)
+        assert not buf.lookup(10, 50.0).hit
+        assert buf.lookup(10, 120.0).hit
+
+    def test_absent_line(self):
+        result = make_buffer().lookup(99, 1e9)
+        assert not result.hit and not result.late and result.entry is None
+
+
+class TestFill:
+    def test_refill_takes_earliest_readiness(self):
+        buf = make_buffer()
+        buf.fill(10, ready_cycle=500.0)
+        buf.fill(10, ready_cycle=300.0)
+        assert buf.peek(10).ready_cycle == 300.0
+        buf.fill(10, ready_cycle=900.0)  # never delays
+        assert buf.peek(10).ready_cycle == 300.0
+
+    def test_refill_counts_once(self):
+        buf = make_buffer()
+        buf.fill(10, 0.0)
+        buf.fill(10, 0.0)
+        assert buf.stats.fills == 1
+        assert buf.occupancy == 1
+
+    def test_fill_carries_metadata(self):
+        buf = make_buffer()
+        buf.fill(10, 0.0, table_index=42, source="ebcp")
+        entry = buf.peek(10)
+        assert entry.table_index == 42
+        assert entry.source == "ebcp"
+
+    def test_lru_eviction_within_set(self):
+        buf = PrefetchBuffer(4, 4)  # single set
+        for line in range(4):
+            buf.fill(line, 0.0)
+        buf.peek(0)  # peek does NOT refresh LRU
+        victim = buf.fill(100, 0.0)
+        assert victim.line == 0  # oldest fill evicted
+        assert buf.stats.evictions == 1
+        assert buf.stats.evicted_unused == 1
+
+    def test_used_entries_not_counted_unused_on_eviction(self):
+        buf = PrefetchBuffer(4, 4)
+        buf.fill(0, 0.0)
+        buf.lookup(0, 10.0)  # consume (removes)
+        for line in range(1, 6):
+            buf.fill(line, 0.0)
+        assert buf.stats.evicted_unused == buf.stats.evictions
+
+
+class TestInvalidate:
+    def test_invalidate_removes(self):
+        buf = make_buffer()
+        buf.fill(10, 0.0)
+        assert buf.invalidate(10)
+        assert not buf.contains(10)
+        assert not buf.invalidate(10)
+
+    def test_peek_has_no_side_effects(self):
+        buf = make_buffer()
+        buf.fill(10, 0.0)
+        hits_before = buf.stats.hits
+        assert buf.peek(10) is not None
+        assert buf.peek(11) is None
+        assert buf.stats.hits == hits_before
+        assert buf.contains(10)
+
+    def test_flush(self):
+        buf = make_buffer()
+        for line in range(10):
+            buf.fill(line, 0.0)
+        buf.flush()
+        assert buf.occupancy == 0
+
+
+class TestProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_occupancy_bounded(self, lines):
+        buf = PrefetchBuffer(16, 4)
+        for line in lines:
+            buf.fill(line, 0.0)
+        assert buf.occupancy <= 16
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 50), st.floats(0, 1000, allow_nan=False)),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_hit_implies_was_filled_and_ready(self, ops):
+        buf = PrefetchBuffer(64, 4)
+        filled: dict[int, float] = {}
+        for line, cycle in ops:
+            if line % 2 == 0:
+                buf.fill(line, cycle)
+                filled[line] = min(filled.get(line, float("inf")), cycle)
+            else:
+                result = buf.lookup(line, cycle)
+                if result.hit:
+                    assert filled.get(line, float("inf")) <= cycle

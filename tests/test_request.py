@@ -1,0 +1,62 @@
+"""Tests for request/access types and address helpers."""
+
+from __future__ import annotations
+
+from repro.memory.request import (
+    Access,
+    AccessKind,
+    PrefetchRequest,
+    Priority,
+    line_address,
+    line_number,
+)
+
+
+class TestAccessKind:
+    def test_encoding_matches_trace_format(self):
+        assert int(AccessKind.IFETCH) == 0
+        assert int(AccessKind.LOAD) == 1
+        assert int(AccessKind.STORE) == 2
+
+    def test_instruction_predicate(self):
+        assert AccessKind.IFETCH.is_instruction
+        assert not AccessKind.LOAD.is_instruction
+        assert AccessKind.LOAD.is_data
+        assert AccessKind.STORE.is_data
+
+
+class TestPriority:
+    def test_demand_outranks_everything(self):
+        assert Priority.DEMAND < Priority.TABLE_LOOKUP < Priority.PREFETCH
+        assert Priority.PREFETCH < Priority.TABLE_UPDATE < Priority.LRU_WRITEBACK
+
+
+class TestLineHelpers:
+    def test_line_address(self):
+        assert line_address(0, 6) == 0
+        assert line_address(63, 6) == 0
+        assert line_address(64, 6) == 64
+        assert line_address(130, 6) == 128
+
+    def test_line_number(self):
+        assert line_number(0, 6) == 0
+        assert line_number(127, 6) == 1
+        assert line_number(128, 6) == 2
+
+
+class TestTypes:
+    def test_access_is_frozen(self):
+        access = Access(AccessKind.LOAD, 0x100, 0x2000)
+        try:
+            access.addr = 5  # type: ignore[misc]
+        except AttributeError:
+            pass
+        else:  # pragma: no cover
+            raise AssertionError("Access should be immutable")
+
+    def test_prefetch_request_defaults(self):
+        req = PrefetchRequest(line_addr=10)
+        assert req.epochs_until_ready == 1
+        assert req.priority is Priority.PREFETCH
+        assert req.table_index is None
+        assert req.issue_epoch == -1

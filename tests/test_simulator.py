@@ -1,0 +1,246 @@
+"""Tests for the epoch-model timing simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.config import CacheConfig, ProcessorConfig
+from repro.engine.simulator import EpochSimulator
+from repro.memory.request import AccessKind, PrefetchRequest
+from repro.prefetchers.base import Prefetcher
+from repro.workloads.trace import TraceBuilder, TraceMeta
+
+
+def sim_config(**overrides) -> ProcessorConfig:
+    base = ProcessorConfig(
+        l1i=CacheConfig(4 * 1024, 4, 64, 3),
+        l1d=CacheConfig(4 * 1024, 4, 64, 3),
+        l2=CacheConfig(16 * 1024, 4, 64, 20),
+        cpi_perf=1.0,
+        overlap=0.0,
+    )
+    return base.replace(**overrides) if overrides else base
+
+
+def run(builder: TraceBuilder, config=None, prefetcher=None, warmup=0):
+    sim = EpochSimulator(config or sim_config(), prefetcher)
+    return sim.run(builder.build(), warmup_records=warmup)
+
+
+def cold_load(builder, line, gap):
+    builder.load(0x100, 0x100_0000 + line * 64, gap=gap)
+
+
+class TestEpochPartitioning:
+    def test_overlapping_burst_is_one_epoch(self, builder):
+        for i, gap in enumerate((300, 10, 10)):
+            cold_load(builder, i, gap)
+        result = run(builder)
+        assert result.stats.epochs == 1
+        assert result.stats.total_offchip_misses == 3
+
+    def test_two_bursts_two_epochs(self, builder):
+        for i, gap in enumerate((300, 10, 10, 300, 10)):
+            cold_load(builder, i, gap)
+        assert run(builder).stats.epochs == 2
+
+    def test_serial_misses_each_epoch(self, builder):
+        for i in range(4):
+            builder.load(0x100, 0x100_0000 + i * 64, gap=30, serial=True)
+        assert run(builder).stats.epochs == 4
+
+    def test_rob_window_splits(self, builder):
+        cold_load(builder, 0, 300)
+        cold_load(builder, 1, 129)  # beyond the 128-inst window
+        assert run(builder).stats.epochs == 2
+
+    def test_within_rob_window_joins(self, builder):
+        cold_load(builder, 0, 300)
+        cold_load(builder, 1, 100)
+        assert run(builder).stats.epochs == 1
+
+    def test_instruction_miss_seals(self, builder):
+        builder.ifetch(0x200_0000, gap=300)
+        cold_load(builder, 0, 10)  # would overlap, but the ifetch sealed
+        assert run(builder).stats.epochs == 2
+
+    def test_load_then_ifetch_joins_then_seals(self, builder):
+        cold_load(builder, 0, 300)
+        builder.ifetch(0x200_0000, gap=10)  # joins, then seals
+        cold_load(builder, 1, 10)
+        assert run(builder).stats.epochs == 2
+
+    def test_mshr_limit_splits(self, builder):
+        config = sim_config(l2_mshrs=2)
+        for i, gap in enumerate((300, 5, 5, 5)):
+            cold_load(builder, i, gap)
+        assert run(builder, config).stats.epochs == 2
+
+    def test_store_misses_never_epoch(self, builder):
+        builder.store(0x100, 0x100_0000, gap=300)
+        builder.store(0x100, 0x100_0040, gap=300)
+        result = run(builder)
+        assert result.stats.epochs == 0
+        assert result.stats.offchip_misses[AccessKind.STORE] == 2
+
+    def test_termination_reason_census(self, builder):
+        for i in range(3):
+            builder.load(0x100, 0x100_0000 + i * 64, gap=30, serial=True)
+        cold_load(builder, 10, 400)
+        result = run(builder)
+        assert result.stats.termination_reasons.get("serial_dependence", 0) >= 2
+
+
+class TestHitAccounting:
+    def test_l1_and_l2_hits(self, builder):
+        cold_load(builder, 0, 10)  # off-chip
+        cold_load(builder, 0, 10)  # L1 hit
+        result = run(builder)
+        assert result.stats.l1d_hits == 1
+        assert result.stats.total_offchip_misses == 1
+
+    def test_l2_hit_after_l1_eviction(self, builder):
+        cold_load(builder, 0, 10)
+        for k in range(1, 5):  # evict line 0 from the 64-line L1D set 0
+            cold_load(builder, 16 * k, 10)
+        cold_load(builder, 0, 10)
+        result = run(builder)
+        assert result.stats.l2_hits == 1
+
+
+class TestTiming:
+    def test_cycle_equation_exact(self, builder):
+        # Two isolated epochs, 1000 instructions total, cpi_perf=1,
+        # overlap=0 -> cycles = 1000 + 2*500.
+        cold_load(builder, 0, 500)
+        cold_load(builder, 1, 500)
+        result = run(builder)
+        assert result.stats.instructions == 1000
+        assert result.cycles == pytest.approx(1000 + 2 * 500)
+        assert result.cpi == pytest.approx(2.0)
+
+    def test_overlap_scales_onchip_cycles(self, builder):
+        cold_load(builder, 0, 1000)
+        config = sim_config(overlap=0.5)
+        result = run(builder, config)
+        assert result.onchip_cycles == pytest.approx(500.0)
+
+    def test_epochs_per_kilo_inst(self, builder):
+        for i in range(4):
+            cold_load(builder, i, 250)
+        result = run(builder)
+        assert result.epochs_per_kilo_inst == pytest.approx(4.0)
+
+
+class TestWarmup:
+    def test_warmup_excluded_from_stats(self, builder):
+        for i in range(10):
+            cold_load(builder, i, 300)
+        result = run(builder, warmup=6)
+        assert result.stats.epochs == 4
+        assert result.stats.instructions == 4 * 300
+
+    def test_default_warmup_is_30_percent(self, builder):
+        for i in range(10):
+            cold_load(builder, i, 300)
+        sim = EpochSimulator(sim_config())
+        result = sim.run(builder.build())
+        assert result.stats.epochs == 7
+
+
+class _ScriptedPrefetcher(Prefetcher):
+    """Issues a scripted list of (on_miss_line -> prefetch lines)."""
+
+    name = "scripted"
+
+    def __init__(self, script, epochs_until_ready=1):
+        super().__init__()
+        self.script = script
+        self.epochs_until_ready = epochs_until_ready
+
+    def observe_offchip_miss(self, access, line, epoch, is_trigger):
+        return [
+            self.make_request(target, epochs_until_ready=self.epochs_until_ready)
+            for target in self.script.get(line, [])
+        ]
+
+
+class TestPrefetchLifecycle:
+    BASE = 0x100_0000 // 64
+
+    def test_timely_prefetch_averted(self, builder):
+        # Miss on line B triggers prefetch of C; C demanded 600 insts
+        # (=600 cycles on-chip + 500 stall) later -> ready (1 * 500).
+        cold_load(builder, 0, 300)
+        cold_load(builder, 1, 600)
+        pf = _ScriptedPrefetcher({self.BASE + 0: [self.BASE + 1]})
+        result = run(builder, prefetcher=pf)
+        assert result.stats.total_prefetch_hits == 1
+        assert result.stats.epochs == 1
+        assert result.coverage == pytest.approx(0.5)
+
+    def test_late_prefetch_not_averted(self, builder):
+        # C demanded only 100 insts after B while the line needs 500
+        # cycles; B's stall does NOT help C (same epoch).
+        cold_load(builder, 0, 300)
+        cold_load(builder, 1, 100)
+        pf = _ScriptedPrefetcher({self.BASE + 0: [self.BASE + 1]})
+        result = run(builder, prefetcher=pf)
+        assert result.stats.total_prefetch_hits == 0
+        assert result.stats.late_prefetches == 1
+
+    def test_next_epoch_stall_hides_latency(self, builder):
+        # C demanded in the NEXT epoch (gap 200 > ROB): B's 500-cycle
+        # stall elapses first, so the prefetch arrives in time.
+        cold_load(builder, 0, 300)
+        cold_load(builder, 1, 200)
+        pf = _ScriptedPrefetcher({self.BASE + 0: [self.BASE + 1]})
+        result = run(builder, prefetcher=pf)
+        assert result.stats.total_prefetch_hits == 1
+
+    def test_memory_table_needs_two_epochs(self, builder):
+        # Same shape, but epochs_until_ready=2 (main-memory table): one
+        # following epoch is not enough...
+        cold_load(builder, 0, 300)
+        cold_load(builder, 1, 200)
+        pf = _ScriptedPrefetcher({self.BASE + 0: [self.BASE + 1]}, epochs_until_ready=2)
+        result = run(builder, prefetcher=pf)
+        assert result.stats.total_prefetch_hits == 0
+
+    def test_memory_table_timely_two_epochs_out(self, builder):
+        # ...but two following epochs are.
+        cold_load(builder, 0, 300)
+        cold_load(builder, 100, 200)
+        cold_load(builder, 1, 200)
+        pf = _ScriptedPrefetcher({self.BASE + 0: [self.BASE + 1]}, epochs_until_ready=2)
+        result = run(builder, prefetcher=pf)
+        assert result.stats.total_prefetch_hits == 1
+
+    def test_redundant_prefetch_counted(self, builder):
+        cold_load(builder, 1, 300)  # line already brought on-chip
+        cold_load(builder, 0, 300)
+        pf = _ScriptedPrefetcher({self.BASE + 0: [self.BASE + 1]})
+        result = run(builder, prefetcher=pf)
+        assert result.stats.prefetches_redundant == 1
+
+    def test_prefetch_fill_charged_to_bus(self, builder):
+        cold_load(builder, 0, 300)
+        cold_load(builder, 1, 600)
+        pf = _ScriptedPrefetcher({self.BASE + 0: [self.BASE + 1]})
+        result = run(builder, prefetcher=pf)
+        assert result.stats.prefetches_filled == 1
+        # One demand line (the trigger) + one prefetched line; the second
+        # access was averted so it never issued a demand fill.
+        assert result.stats.read_bytes == 2 * 64
+
+    def test_bandwidth_starvation_drops(self, builder):
+        # A bus that moves ~0.003 B/cycle cannot carry 16 prefetches.
+        config = sim_config(read_bw_gbps=0.01, write_bw_gbps=0.01)
+        cold_load(builder, 0, 300)
+        for i in range(1, 40):
+            cold_load(builder, 100 + i, 300)
+        pf = _ScriptedPrefetcher(
+            {self.BASE + 0: [self.BASE + 1000 + i for i in range(16)]}
+        )
+        result = run(builder, config, prefetcher=pf)
+        assert result.stats.prefetches_dropped > 0

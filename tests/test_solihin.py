@@ -1,0 +1,127 @@
+"""Tests for Solihin's memory-side correlation prefetcher."""
+
+from __future__ import annotations
+
+from repro.engine.config import ProcessorConfig
+from repro.memory.hierarchy import CacheHierarchy
+from repro.memory.request import AccessKind
+from repro.prefetchers.solihin import SolihinPrefetcher, make_solihin_3_2, make_solihin_6_1
+
+from tests.helpers import make_access
+
+
+def make_pf(**kwargs) -> SolihinPrefetcher:
+    pf = SolihinPrefetcher(table_entries=kwargs.pop("table_entries", 256), **kwargs)
+    pf.bind(CacheHierarchy(ProcessorConfig.scaled()))
+    return pf
+
+
+def feed(pf: SolihinPrefetcher, lines: list[int], kind=AccessKind.LOAD):
+    requests = []
+    for line in lines:
+        requests.extend(
+            pf.observe_offchip_miss(make_access(line * 64, kind=kind), line, None, False)
+        )
+    return requests
+
+
+class TestTraining:
+    def test_successors_recorded_by_depth(self):
+        pf = make_pf(depth=3, width=2)
+        feed(pf, [1, 2, 3, 4])
+        entry = pf._table[pf._index(1)]
+        assert entry.tag == 1
+        assert entry.levels[0] == [2]
+        assert entry.levels[1] == [3]
+        assert entry.levels[2] == [4]
+
+    def test_width_keeps_alternatives_mru_first(self):
+        pf = make_pf(depth=1, width=2)
+        feed(pf, [1, 2])
+        feed(pf, [1, 3])
+        entry = pf._table[pf._index(1)]
+        assert entry.levels[0] == [3, 2]
+
+    def test_width_lru_eviction(self):
+        pf = make_pf(depth=1, width=2)
+        for succ in (2, 3, 4):
+            feed(pf, [1, succ])
+        entry = pf._table[pf._index(1)]
+        assert entry.levels[0] == [4, 3]
+
+    def test_repeat_successor_moves_to_mru(self):
+        pf = make_pf(depth=1, width=2)
+        feed(pf, [1, 2])
+        feed(pf, [1, 3])
+        feed(pf, [1, 2])
+        entry = pf._table[pf._index(1)]
+        assert entry.levels[0] == [2, 3]
+
+
+class TestPrediction:
+    def test_predicts_recorded_successors(self):
+        pf = make_pf(depth=3, width=1)
+        feed(pf, [1, 2, 3, 4])
+        requests = feed(pf, [1])
+        assert {r.line_addr for r in requests} == {2, 3, 4}
+
+    def test_memory_table_timing(self):
+        pf = make_pf(depth=2, width=1)
+        feed(pf, [1, 2, 3])
+        requests = feed(pf, [1])
+        assert all(r.epochs_until_ready == 2 for r in requests)
+
+    def test_degree_cap(self):
+        pf = make_pf(depth=3, width=2, degree=2)
+        for tail in ([2, 3, 4], [5, 6, 7]):
+            feed(pf, [1] + tail)
+        requests = feed(pf, [1])
+        assert len(requests) == 2
+
+    def test_every_miss_looks_up(self):
+        pf = make_pf(depth=1, width=1)
+        feed(pf, [1, 2, 1, 2])
+        requests = feed(pf, [1, 2])
+        targets = [r.line_addr for r in requests]
+        assert 2 in targets and 1 in targets
+
+    def test_blind_to_prefetch_hits(self):
+        """The memory-side engine cannot see on-chip prefetch-buffer
+        hits: averted misses neither train nor trigger lookups."""
+        pf = make_pf(depth=1, width=1)
+        feed(pf, [1])
+        requests = pf.observe_prefetch_hit(make_access(2 * 64), 2, None, 0, False)
+        assert requests == []
+        entry = pf._table[pf._index(1)]
+        assert entry is None or entry.tag != 1 or entry.levels == [] or entry.levels[0] == []
+
+
+class TestCostAndTraffic:
+    def test_table_traffic_per_miss(self):
+        pf = make_pf(depth=1, width=1)
+        pf.traffic.drain()
+        feed(pf, [1])
+        lookup_r, update_r, update_w, _ = pf.traffic.drain()
+        assert lookup_r == 64 and update_r == 64 and update_w == 64
+
+    def test_memory_footprint(self):
+        pf = SolihinPrefetcher(table_entries=1024)
+        assert pf.memory_table_bytes == 1024 * 64
+        assert pf.onchip_storage_bytes == 0
+
+    def test_inactive_without_memory(self):
+        pf = SolihinPrefetcher(table_entries=256)
+        # Never bound: the near-memory engine has no table region.
+        assert feed(pf, [1, 2, 1]) == []
+
+    def test_factory_names(self):
+        assert make_solihin_3_2().name == "solihin_3_2"
+        assert make_solihin_6_1().name == "solihin_6_1"
+        assert make_solihin_3_2().degree == 6
+        assert make_solihin_6_1().depth == 6 and make_solihin_6_1().width == 1
+
+    def test_targets_instructions(self):
+        pf = make_pf(depth=1, width=1)
+        feed(pf, [1, 2], kind=AccessKind.IFETCH)
+        assert pf._table[pf._index(1)] is not None
+        assert pf.targets_instructions

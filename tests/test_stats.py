@@ -1,0 +1,109 @@
+"""Tests for statistics containers and derived paper metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.stats import SimulationResult, SimulationStats
+from repro.memory.request import AccessKind
+
+
+def make_result(
+    instructions=100_000,
+    epochs=400,
+    offchip_cycles=200_000.0,
+    cpi_perf=1.0,
+    overlap=0.10,
+    **stat_overrides,
+):
+    stats = SimulationStats(instructions=instructions, epochs=epochs,
+                            offchip_cycles=offchip_cycles)
+    for key, value in stat_overrides.items():
+        setattr(stats, key, value)
+    return SimulationResult(
+        workload="w", prefetcher="p", stats=stats, cpi_perf=cpi_perf, overlap=overlap
+    )
+
+
+class TestTiming:
+    def test_cpi_equation(self):
+        # cycles = 100k * 1.0 * 0.9 + 200k = 290k -> CPI 2.9
+        result = make_result()
+        assert result.onchip_cycles == pytest.approx(90_000.0)
+        assert result.cpi == pytest.approx(2.9)
+        assert result.offchip_cpi == pytest.approx(2.0)
+
+    def test_zero_instructions(self):
+        result = make_result(instructions=0)
+        assert result.cpi == 0.0
+        assert result.offchip_cpi == 0.0
+
+
+class TestPaperMetrics:
+    def test_epochs_per_kilo_inst(self):
+        assert make_result().epochs_per_kilo_inst == pytest.approx(4.0)
+
+    def test_miss_rates(self):
+        result = make_result()
+        result.stats.offchip_misses[AccessKind.IFETCH] = 100
+        result.stats.offchip_misses[AccessKind.LOAD] = 623
+        assert result.l2_inst_miss_rate == pytest.approx(1.0)
+        assert result.l2_load_miss_rate == pytest.approx(6.23)
+
+    def test_coverage(self):
+        result = make_result()
+        result.stats.prefetch_hits[AccessKind.LOAD] = 30
+        result.stats.offchip_misses[AccessKind.LOAD] = 70
+        assert result.coverage == pytest.approx(0.3)
+
+    def test_coverage_no_misses(self):
+        assert make_result().coverage == 0.0
+
+    def test_accuracy(self):
+        result = make_result(prefetches_filled=200)
+        result.stats.prefetch_hits[AccessKind.LOAD] = 50
+        assert result.accuracy == pytest.approx(0.25)
+
+    def test_accuracy_no_prefetches(self):
+        assert make_result().accuracy == 0.0
+
+    def test_bus_utilization(self):
+        result = make_result(read_bytes=500, read_budget_bytes=1000)
+        assert result.read_bus_utilization == pytest.approx(0.5)
+
+
+class TestComparison:
+    def test_improvement_over(self):
+        base = make_result(offchip_cycles=400_000.0)  # CPI 4.9
+        better = make_result(offchip_cycles=200_000.0)  # CPI 2.9
+        assert better.improvement_over(base) == pytest.approx(4.9 / 2.9 - 1.0)
+        assert base.improvement_over(better) < 0
+
+    def test_epi_reduction(self):
+        base = make_result(epochs=400)
+        better = make_result(epochs=300)
+        assert better.epi_reduction_over(base) == pytest.approx(0.25)
+
+    def test_epi_reduction_zero_base(self):
+        base = make_result(epochs=0)
+        assert make_result().epi_reduction_over(base) == 0.0
+
+
+class TestContainers:
+    def test_per_kilo_inst(self):
+        stats = SimulationStats(instructions=2000)
+        assert stats.per_kilo_inst(4) == pytest.approx(2.0)
+        assert SimulationStats().per_kilo_inst(4) == 0.0
+
+    def test_totals(self):
+        stats = SimulationStats()
+        stats.offchip_misses[AccessKind.LOAD] = 3
+        stats.offchip_misses[AccessKind.IFETCH] = 2
+        stats.prefetch_hits[AccessKind.LOAD] = 1
+        assert stats.total_offchip_misses == 5
+        assert stats.total_prefetch_hits == 1
+
+    def test_to_dict_keys(self):
+        d = make_result().to_dict()
+        for key in ("workload", "prefetcher", "cpi", "coverage", "accuracy", "epochs"):
+            assert key in d

@@ -1,0 +1,90 @@
+"""Tests for the synthetic microbenchmark generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.synthetic import (
+    PAPER_EXAMPLE_EPOCHS,
+    paper_example_trace,
+    pointer_chase,
+    random_uniform,
+    repeating_miss_loop,
+    streaming,
+)
+from repro.workloads.templates import EPOCH_SPLIT_GAP
+
+
+class TestRepeatingLoop:
+    def test_sequence_recurs_exactly(self):
+        trace = repeating_miss_loop(unique_lines=100, records=300)
+        first = list(trace.addr[:100])
+        second = list(trace.addr[100:200])
+        assert first == second
+
+    def test_epoch_grouping_gaps(self):
+        trace = repeating_miss_loop(unique_lines=64, records=64, misses_per_epoch=4)
+        gaps = list(trace.gap)
+        for i, gap in enumerate(gaps):
+            if i % 4 == 0:
+                assert gap >= EPOCH_SPLIT_GAP
+            else:
+                assert gap < 64
+
+
+class TestPointerChase:
+    def test_all_serial(self):
+        trace = pointer_chase(unique_lines=100, records=200)
+        assert all(trace.serial)
+
+    def test_ring_recurs(self):
+        trace = pointer_chase(unique_lines=50, records=150)
+        assert list(trace.addr[:50]) == list(trace.addr[50:100])
+
+
+class TestStreaming:
+    def test_unit_stride_per_stream(self):
+        trace = streaming(streams=2, lines_per_stream=100, records=40)
+        stream0 = trace.addr[::2]
+        deltas = np.diff(stream0)
+        assert (deltas == 64).all()
+
+
+class TestRandomUniform:
+    def test_isolated_epochs(self):
+        trace = random_uniform(records=100)
+        assert (trace.gap >= EPOCH_SPLIT_GAP).all()
+
+    def test_mostly_unique(self):
+        trace = random_uniform(region_lines=1 << 20, records=1000)
+        assert trace.unique_lines() > 990
+
+
+class TestPaperExample:
+    def test_epoch_structure_constant(self):
+        assert PAPER_EXAMPLE_EPOCHS == (("A", "B"), ("C", "D", "E"), ("F", "G"), ("H", "I"))
+
+    def test_nine_letters_then_evictions(self):
+        trace = paper_example_trace(iterations=2, eviction_lines=10)
+        assert len(trace) == 2 * (9 + 10)
+        letters = trace.meta.extra["letters"]
+        assert len(letters) == 9
+        # First nine records are A..I in epoch-grouped order.
+        expected = [letters[ch] for ep in PAPER_EXAMPLE_EPOCHS for ch in ep]
+        assert list(trace.addr[:9]) == expected
+
+    def test_epoch_gaps_encode_grouping(self):
+        trace = paper_example_trace(iterations=1, eviction_lines=0)
+        gaps = list(trace.gap[:9])
+        # Triggers: A(0), C(2), F(5), H(7).
+        trigger_positions = {0, 2, 5, 7}
+        for i, gap in enumerate(gaps):
+            if i in trigger_positions:
+                assert gap >= EPOCH_SPLIT_GAP
+            else:
+                assert gap < 64
+
+    def test_eviction_lines_never_repeat(self):
+        trace = paper_example_trace(iterations=2, eviction_lines=100)
+        evict_addrs = [int(a) for a in trace.addr if a >= 0x6000_0000]
+        assert len(evict_addrs) == len(set(evict_addrs)) == 200

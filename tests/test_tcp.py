@@ -1,0 +1,99 @@
+"""Tests for the Tag Correlating Prefetcher."""
+
+from __future__ import annotations
+
+from repro.memory.request import AccessKind
+from repro.prefetchers.tcp import TagCorrelatingPrefetcher, make_tcp_large, make_tcp_small
+
+from tests.helpers import make_access
+
+import pytest
+
+
+def feed(pf: TagCorrelatingPrefetcher, lines: list[int], kind=AccessKind.LOAD):
+    requests = []
+    for line in lines:
+        requests.extend(
+            pf.observe_access(make_access(line * 64, kind=kind), line, 0)
+        )
+    return requests
+
+
+def compose(tag: int, cache_set: int, l1_sets: int = 128) -> int:
+    return tag * l1_sets + cache_set
+
+
+class TestTagCorrelation:
+    def test_learns_recurring_tag_sequence(self):
+        pf = TagCorrelatingPrefetcher(degree=1)
+        seq = [compose(t, cache_set=5) for t in (1, 2, 3)]
+        feed(pf, seq)  # learn (1,2)->3
+        requests = feed(pf, [compose(1, 5), compose(2, 5)])
+        assert {r.line_addr for r in requests} == {compose(3, 5)}
+
+    def test_tag_pattern_shared_across_sets(self):
+        """The whole point of TCP: a tag sequence learned in one set
+        predicts in another set."""
+        pf = TagCorrelatingPrefetcher(degree=1)
+        feed(pf, [compose(t, cache_set=5) for t in (1, 2, 3)])
+        requests = feed(pf, [compose(1, 9), compose(2, 9)])
+        assert {r.line_addr for r in requests} == {compose(3, 9)}
+
+    def test_chained_predictions_up_to_degree(self):
+        pf = TagCorrelatingPrefetcher(degree=3)
+        feed(pf, [compose(t, 0) for t in (1, 2, 3, 4, 5)])
+        requests = feed(pf, [compose(1, 7), compose(2, 7)])
+        assert {r.line_addr for r in requests} == {compose(t, 7) for t in (3, 4, 5)}
+
+    def test_chain_stops_at_cycle(self):
+        pf = TagCorrelatingPrefetcher(degree=8)
+        # 1,2 -> 1 ; 2,1 -> 2 : a 2-cycle in tag space.
+        feed(pf, [compose(t, 0) for t in (1, 2, 1, 2, 1)])
+        requests = feed(pf, [compose(1, 3), compose(2, 3)])
+        # Chain must terminate once a predicted tag repeats.
+        assert len(requests) <= 8
+        assert len({r.line_addr for r in requests}) == len(requests)
+
+    def test_no_prediction_with_unseen_history(self):
+        pf = TagCorrelatingPrefetcher()
+        feed(pf, [compose(t, 0) for t in (1, 2, 3)])
+        assert feed(pf, [compose(7, 1), compose(8, 1)]) == []
+
+
+class TestScope:
+    def test_ignores_instruction_misses(self):
+        pf = TagCorrelatingPrefetcher()
+        assert feed(pf, [compose(t, 0) for t in (1, 2, 3, 1, 2)],
+                    kind=AccessKind.IFETCH) == []
+        assert not pf.targets_instructions
+
+    def test_onchip_timing(self):
+        pf = TagCorrelatingPrefetcher(degree=1)
+        feed(pf, [compose(t, 0) for t in (1, 2, 3)])
+        requests = feed(pf, [compose(1, 2), compose(2, 2)])
+        assert all(r.epochs_until_ready == 1 for r in requests)
+
+
+class TestCapacity:
+    def test_pht_way_lru(self):
+        pf = TagCorrelatingPrefetcher(pht_sets=1, pht_ways=2, degree=1)
+        feed(pf, [compose(t, 0) for t in (1, 2, 3)])  # (1,2)->3
+        feed(pf, [compose(t, 1) for t in (4, 5, 6)])  # (4,5)->6
+        feed(pf, [compose(t, 2) for t in (7, 8, 9)])  # evicts (1,2)
+        assert feed(pf, [compose(1, 3), compose(2, 3)]) == []
+        requests = feed(pf, [compose(7, 4), compose(8, 4)])
+        assert {r.line_addr for r in requests} == {compose(9, 4)}
+
+    def test_configs(self):
+        small, large = make_tcp_small(), make_tcp_large()
+        assert small.name == "tcp_small" and large.name == "tcp_large"
+        # Paper sizes divided by the capacity scale factor (8).
+        assert small.onchip_storage_bytes < 300 * 1024 // 8 + 4096
+        assert large.onchip_storage_bytes > 4 * 1024 * 1024 // 8 * 0.9
+        assert make_tcp_large(scale=1).onchip_storage_bytes > 4 * 1024 * 1024 * 0.9
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            TagCorrelatingPrefetcher(l1_sets=100)
+        with pytest.raises(ValueError):
+            TagCorrelatingPrefetcher(pht_sets=0)

@@ -1,0 +1,114 @@
+"""Tests for transaction templates."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.workloads.patterns import Region
+from repro.workloads.templates import EPOCH_SPLIT_GAP, Op, TransactionTemplate
+from repro.workloads.trace import TraceBuilder
+
+
+def emit(template: TransactionTemplate, seed=1, variant_prob=0.0, cold=None):
+    builder = TraceBuilder()
+    template.emit(builder, np.random.default_rng(seed), variant_prob, cold)
+    return builder.build()
+
+
+class TestEmission:
+    def test_code_op_emits_ifetches(self):
+        template = TransactionTemplate(0, [Op("code", pc=0x1, addrs=(0x1000, 0x1040))])
+        trace = emit(template)
+        assert list(trace.kind) == [0, 0]
+        assert trace.pc[0] == trace.addr[0] == 0x1000
+
+    def test_chase_op_marks_serial(self):
+        template = TransactionTemplate(0, [Op("chase", pc=0x1, addrs=(0x100, 0x200))])
+        trace = emit(template)
+        assert all(trace.serial)
+        assert all(k == 1 for k in trace.kind)
+
+    def test_burst_op_overlaps(self):
+        template = TransactionTemplate(
+            0, [Op("burst", pc=0x1, addrs=(0x100, 0x200, 0x300))]
+        )
+        trace = emit(template)
+        assert trace.gap[0] >= EPOCH_SPLIT_GAP
+        assert trace.gap[1] < 64 and trace.gap[2] < 64  # within ROB window
+        assert not any(trace.serial)
+
+    def test_store_op(self):
+        template = TransactionTemplate(0, [Op("store", pc=0x1, addrs=(0x100,))])
+        trace = emit(template)
+        assert list(trace.kind) == [2]
+
+    def test_cold_op_draws_fresh_addresses(self):
+        cold = Region("cold", base=0x10000, lines=1 << 16)
+        template = TransactionTemplate(0, [Op("cold", pc=0x1, n=5)])
+        first = emit(template, seed=1, cold=cold)
+        second = emit(template, seed=2, cold=cold)
+        assert set(first.addr) != set(second.addr)
+        assert all(cold.contains(int(a)) for a in first.addr)
+
+    def test_cold_without_region_raises(self):
+        import pytest
+
+        template = TransactionTemplate(0, [Op("cold", pc=0x1, n=1)])
+        with pytest.raises(ValueError):
+            emit(template)
+
+    def test_unknown_op_kind_raises(self):
+        import pytest
+
+        template = TransactionTemplate(0, [Op("bogus", pc=0x1, addrs=(1,))])
+        with pytest.raises(ValueError):
+            emit(template)
+
+    def test_tail_pad_extends_instructions(self):
+        op = Op("burst", pc=0x1, addrs=(0x100,))
+        bare = TransactionTemplate(0, [op])
+        padded = TransactionTemplate(0, [op], tail_pad=500)
+        builder = TraceBuilder()
+        padded.emit(builder, np.random.default_rng(1), 0.0, None)
+        # Pad lands on the next record; emit another op to capture it.
+        padded2 = TransactionTemplate(0, [op], tail_pad=500)
+        b2 = TraceBuilder()
+        padded2.emit(b2, np.random.default_rng(1), 0.0, None)
+        padded2.emit(b2, np.random.default_rng(1), 0.0, None)
+        t2 = b2.build()
+        assert t2.gap[1] == emit(bare).gap[0] + 500
+
+
+class TestVariants:
+    def test_variant_substitution(self):
+        op = Op("burst", pc=0x1, addrs=(0x100, 0x200), variants=((0x100, 0x900),))
+        template = TransactionTemplate(0, [op])
+        main = emit(template, variant_prob=0.0)
+        alt = emit(template, variant_prob=1.0)
+        assert list(main.addr) == [0x100, 0x200]
+        assert list(alt.addr) == [0x100, 0x900]
+
+    def test_determinism_given_seed(self):
+        op = Op("burst", pc=0x1, addrs=(0x100, 0x200), variants=((0x100, 0x900),))
+        template = TransactionTemplate(0, [op])
+        a = emit(template, seed=42, variant_prob=0.5)
+        b = emit(template, seed=42, variant_prob=0.5)
+        assert list(a.addr) == list(b.addr)
+
+
+class TestAccounting:
+    def test_instruction_cost_matches_emission(self):
+        ops = [
+            Op("code", pc=0x1, addrs=(0x1000, 0x1040), step_gap=40),
+            Op("chase", pc=0x2, addrs=(0x100, 0x200, 0x300)),
+            Op("burst", pc=0x3, addrs=(0x400, 0x500)),
+            Op("hot", pc=0x4, addrs=(0x600, 0x640), step_gap=10),
+        ]
+        template = TransactionTemplate(0, ops, tail_pad=0)
+        trace = emit(template)
+        assert trace.instructions == template.instruction_cost()
+
+    def test_fixed_lines(self):
+        op = Op("burst", pc=0x1, addrs=(0x100, 0x200), variants=((0x100, 0x900),))
+        template = TransactionTemplate(0, [op])
+        assert template.fixed_lines() == {0x100 >> 6, 0x200 >> 6, 0x900 >> 6}

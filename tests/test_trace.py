@@ -1,0 +1,136 @@
+"""Tests for the trace container and builder."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.memory.request import AccessKind
+from repro.workloads.trace import Trace, TraceBuilder, TraceMeta
+
+
+class TestBuilder:
+    def test_add_records(self, builder):
+        builder.ifetch(0x1000, gap=10)
+        builder.load(0x2000, 0x8000, gap=5, serial=True)
+        builder.store(0x2010, 0x9000, gap=3)
+        trace = builder.build()
+        assert len(trace) == 3
+        assert list(trace.kind) == [0, 1, 2]
+        assert list(trace.serial) == [0, 1, 0]
+        assert trace.instructions == 18
+
+    def test_pad_accumulates_into_next_record(self, builder):
+        builder.pad(100)
+        builder.pad(50)
+        builder.load(0x1, 0x2, gap=5)
+        trace = builder.build()
+        assert trace.gap[0] == 155
+
+    def test_rejects_negative_gap(self, builder):
+        with pytest.raises(ValueError):
+            builder.load(0x1, 0x2, gap=-1)
+        with pytest.raises(ValueError):
+            builder.pad(-5)
+
+    def test_ifetch_pc_equals_addr(self, builder):
+        builder.ifetch(0x4040)
+        trace = builder.build()
+        assert trace.pc[0] == trace.addr[0] == 0x4040
+
+
+class TestTrace:
+    def _simple_trace(self):
+        builder = TraceBuilder(TraceMeta(name="t", cpi_perf=1.5))
+        for i in range(10):
+            builder.load(0x100, i * 64, gap=7)
+        return builder.build()
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Trace(
+                np.zeros(3), np.zeros(2), np.zeros(3), np.zeros(3), np.zeros(3)
+            )
+
+    def test_slice(self):
+        trace = self._simple_trace()
+        part = trace.slice(2, 5)
+        assert len(part) == 3
+        assert part.addr[0] == 2 * 64
+        assert part.meta.name == "t"
+
+    def test_concat(self):
+        trace = self._simple_trace()
+        joined = trace.concat(trace)
+        assert len(joined) == 20
+        assert joined.instructions == 2 * trace.instructions
+
+    def test_records_iteration(self):
+        trace = self._simple_trace()
+        records = list(trace.records())
+        assert records[0] == (7, AccessKind.LOAD, 0x100, 0, False)
+
+    def test_kind_counts(self, builder):
+        builder.ifetch(0x1)
+        builder.load(0x2, 0x3)
+        builder.load(0x2, 0x4)
+        trace = builder.build()
+        counts = trace.kind_counts()
+        assert counts[AccessKind.IFETCH] == 1
+        assert counts[AccessKind.LOAD] == 2
+        assert counts[AccessKind.STORE] == 0
+
+    def test_unique_lines(self, builder):
+        builder.load(0x1, 0)
+        builder.load(0x1, 32)  # same line
+        builder.load(0x1, 64)
+        assert builder.build().unique_lines() == 2
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, tmp_path, builder):
+        builder.meta.name = "roundtrip"
+        builder.meta.cpi_perf = 1.37
+        builder.meta.extra = {"k": 1}
+        builder.load(0x10, 0x200, gap=3, serial=True)
+        builder.ifetch(0x4000, gap=8)
+        trace = builder.build()
+        path = tmp_path / "trace.npz"
+        trace.save(path)
+        loaded = Trace.load(path)
+        assert len(loaded) == 2
+        assert loaded.meta.name == "roundtrip"
+        assert loaded.meta.cpi_perf == 1.37
+        assert loaded.meta.extra == {"k": 1}
+        np.testing.assert_array_equal(loaded.addr, trace.addr)
+        np.testing.assert_array_equal(loaded.serial, trace.serial)
+
+
+class TestProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(0, 2),
+                st.integers(0, 1 << 30),
+                st.integers(0, 500),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=100,
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_builder_roundtrip(self, records):
+        builder = TraceBuilder()
+        for kind, addr, gap, serial in records:
+            builder.add(kind, pc=0x1, addr=addr, gap=gap, serial=serial)
+        trace = builder.build()
+        assert len(trace) == len(records)
+        assert trace.instructions == sum(r[2] for r in records)
+        for i, (kind, addr, gap, serial) in enumerate(records):
+            assert trace.kind[i] == kind
+            assert trace.addr[i] == addr
+            assert trace.gap[i] == gap
+            assert bool(trace.serial[i]) == serial

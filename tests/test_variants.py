@@ -1,0 +1,53 @@
+"""Tests for the named EBCP variant factories."""
+
+from __future__ import annotations
+
+from repro.core.variants import make_ebcp, make_ebcp_minus, make_ebcp_onchip
+from repro.prefetchers.registry import PREFETCHERS, build_prefetcher
+
+
+class TestFactories:
+    def test_tuned_defaults(self):
+        pf = make_ebcp()
+        assert pf.name == "ebcp"
+        assert pf.config.prefetch_degree == 8
+        assert pf.config.table_entries == 128 * 1024
+        assert pf.config.skip_epochs == 2
+        assert pf.config.table_in_memory
+
+    def test_minus_variant(self):
+        pf = make_ebcp_minus()
+        assert pf.name == "ebcp_minus"
+        assert pf.config.skip_epochs == 1
+        assert pf.emab.depth == 3  # skip 1 + store 2
+
+    def test_onchip_variant(self):
+        pf = make_ebcp_onchip()
+        assert pf.name == "ebcp_onchip"
+        assert not pf.config.table_in_memory
+        assert pf.memory_table_bytes == 0
+        assert pf.is_active  # no OS allocation needed
+
+    def test_overrides_forwarded(self):
+        pf = make_ebcp(prefetch_degree=16, table_entries=4096)
+        assert pf.config.prefetch_degree == 16
+        assert pf.table.n_entries == 4096
+
+
+class TestRegistryIntegration:
+    def test_all_registered_names_build(self):
+        for name in PREFETCHERS:
+            pf = build_prefetcher(name)
+            assert pf.name == name or name == "none"
+
+    def test_unknown_name(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            build_prefetcher("markov_2000")
+
+    def test_registry_covers_figure9(self):
+        from repro.experiments.figure9 import SCHEMES
+
+        for scheme in SCHEMES:
+            assert scheme in PREFETCHERS
