@@ -84,7 +84,16 @@ def test_ablations(benchmark, bench_records, bench_seed):
             f"{workload:16s} {ebcp:+8.1%} {minus:+8.1%} {onchip:+10.1%} "
             f"{solihin:+11.1%} {no_chain:+12.1%}"
         )
-    publish("ablations", "\n".join(lines))
+    publish(
+        "ablations",
+        "\n".join(lines),
+        data={
+            "kind": "table",
+            "id": "ablations",
+            "headers": ["workload", "ebcp", "skip-1", "onchip-16K", "solihin-8,1", "no-hit-chain"],
+            "rows": [list(row) for row in rows],
+        },
+    )
 
     for workload, ebcp, minus, onchip, solihin, no_chain in rows:
         # Skip-2 targeting beats storing the next epoch.

@@ -19,7 +19,7 @@ def test_extension_cmp(benchmark, bench_records, bench_seed):
         rounds=1,
         iterations=1,
     )
-    publish("extension_cmp", result.render())
+    publish("extension_cmp", result.render(), data=result.to_dict())
     for workload in result.panels:
         # With multiple threads, per-thread tracking clearly beats the
         # thread-blind variants.

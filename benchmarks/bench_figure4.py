@@ -14,7 +14,7 @@ def test_figure4(benchmark, bench_records, bench_seed):
         rounds=1,
         iterations=1,
     )
-    publish("figure4", result.render())
+    publish("figure4", result.render(), data=result.to_dict())
     # Paper shape: at the default 9.6 GB/s read bandwidth, performance
     # improves (weakly) monotonically with degree for every workload.
     for workload in COMMERCIAL_WORKLOADS:

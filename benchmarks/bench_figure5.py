@@ -14,7 +14,7 @@ def test_figure5(benchmark, bench_records, bench_seed):
         rounds=1,
         iterations=1,
     )
-    publish("figure5", result.render())
+    publish("figure5", result.render(), data=result.to_dict())
     for workload in COMMERCIAL_WORKLOADS:
         coverage = result.coverage.series[workload]
         accuracy = result.accuracy.series[workload]

@@ -14,7 +14,7 @@ def test_figure6(benchmark, bench_records, bench_seed):
         rounds=1,
         iterations=1,
     )
-    publish("figure6", result.render())
+    publish("figure6", result.render(), data=result.to_dict())
     for workload in COMMERCIAL_WORKLOADS:
         tiny = result.value(workload, 1024)
         knee = result.value(workload, 128 * 1024)

@@ -14,7 +14,7 @@ def test_figure7(benchmark, bench_records, bench_seed):
         rounds=1,
         iterations=1,
     )
-    publish("figure7", result.render())
+    publish("figure7", result.render(), data=result.to_dict())
     for workload in COMMERCIAL_WORKLOADS:
         small = result.value(workload, 16)
         tuned = result.value(workload, 64)

@@ -13,7 +13,7 @@ def test_figure8(benchmark, bench_records, bench_seed):
         rounds=1,
         iterations=1,
     )
-    publish("figure8", result.render())
+    publish("figure8", result.render(), data=result.to_dict())
 
     def peak_degree(read_gbps: float, workload: str) -> int:
         panel = result.panels[f"{read_gbps:g}"]

@@ -14,7 +14,7 @@ def test_figure9(benchmark, bench_records, bench_seed):
         rounds=1,
         iterations=1,
     )
-    publish("figure9", result.render())
+    publish("figure9", result.render(), data=result.to_dict())
     for workload in COMMERCIAL_WORKLOADS:
         ebcp = result.value(workload, "ebcp")
         # The headline: EBCP significantly outperforms every other scheme.

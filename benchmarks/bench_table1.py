@@ -14,7 +14,7 @@ def test_table1(benchmark, bench_records, bench_seed):
         rounds=1,
         iterations=1,
     )
-    publish("table1", result.render())
+    publish("table1", result.render(), data=result.to_dict())
     assert len(result.rows) == len(TABLE1_TARGETS)
 
 
@@ -33,11 +33,25 @@ def test_table1_calibration_tightness(benchmark, bench_records, bench_seed):
 
     reports = benchmark.pedantic(run, rounds=1, iterations=1)
     lines = ["Calibration relative errors vs paper Table 1:"]
+    errors = []
     for report in reports:
         lines.append(
             f"  {report.workload:15s} cpi {report.cpi_error:5.1%}  "
             f"epi {report.epi_error:5.1%}  inst {report.inst_miss_error:5.1%}  "
             f"load {report.load_miss_error:5.1%}"
         )
+        errors.append(
+            {
+                "workload": report.workload,
+                "cpi_error": report.cpi_error,
+                "epi_error": report.epi_error,
+                "inst_miss_error": report.inst_miss_error,
+                "load_miss_error": report.load_miss_error,
+            }
+        )
         assert report.within(0.25), report.workload
-    publish("table1_calibration", "\n".join(lines))
+    publish(
+        "table1_calibration",
+        "\n".join(lines),
+        data={"kind": "calibration", "id": "Table 1 calibration", "errors": errors},
+    )

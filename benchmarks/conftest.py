@@ -8,6 +8,7 @@ survive).  Set ``REPRO_BENCH_RECORDS`` to trade fidelity for speed.
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
@@ -31,9 +32,20 @@ def bench_seed() -> int:
     return BENCH_SEED
 
 
-def publish(name: str, text: str) -> None:
-    """Print a rendered result and persist it under results/."""
+def publish(name: str, text: str, data: dict | None = None) -> None:
+    """Print a rendered result and persist it under results/.
+
+    ``data`` (when given) is additionally written as machine-readable
+    JSON to ``results/BENCH_<name>.json``, stamped with the run's
+    records/seed so downstream tooling can tell a quick pass from a
+    full-length one.
+    """
     print()
     print(text)
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if data is not None:
+        payload = {"bench": name, "records": BENCH_RECORDS, "seed": BENCH_SEED, **data}
+        (RESULTS_DIR / f"BENCH_{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )

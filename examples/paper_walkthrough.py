@@ -19,6 +19,7 @@ from repro.core.prefetcher import EBCPConfig, EpochBasedCorrelationPrefetcher
 from repro.engine.config import CacheConfig, ProcessorConfig
 from repro.engine.simulator import EpochSimulator
 from repro.memory.hierarchy import AccessOutcome
+from repro.obs import AccessResolved, EventBus
 from repro.prefetchers.solihin import SolihinPrefetcher
 from repro.workloads.synthetic import PAPER_EXAMPLE_EPOCHS, paper_example_trace
 
@@ -42,13 +43,14 @@ def run(prefetcher, label: str) -> None:
     letters = trace.meta.extra["letters"]
     line_to_letter = {addr >> 6: letter for letter, addr in letters.items()}
 
-    sim = EpochSimulator(small_config(), prefetcher)
+    bus = EventBus()
+    sim = EpochSimulator(small_config(), prefetcher, bus=bus)
     outcomes: list[tuple[str, AccessOutcome]] = []
     state = {"flushed": True}
 
-    def on_access(access, line, result):
-        if line in line_to_letter:
-            outcomes.append((line_to_letter[line], result.outcome))
+    def on_access(event: AccessResolved) -> None:
+        if event.line in line_to_letter:
+            outcomes.append((line_to_letter[event.line], event.result.outcome))
             state["flushed"] = False
         elif not state["flushed"]:
             # The paper treats each recurrence in isolation: leftover
@@ -56,7 +58,7 @@ def run(prefetcher, label: str) -> None:
             sim.hierarchy.prefetch_buffer.flush()
             state["flushed"] = True
 
-    sim.access_listener = on_access
+    bus.subscribe(AccessResolved, on_access)
     sim.run(trace, warmup_records=0)
 
     final = outcomes[-9:]

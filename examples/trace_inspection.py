@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Inspect a simulation through the observability layer.
+
+Runs one (workload, prefetcher) pair with the event bus attached, then
+answers questions the aggregate statistics cannot: how are misses
+clustered into epochs, how timely are the prefetches (the skip-2 margin),
+and where does read-bus pressure concentrate?  Finally writes the three
+export formats next to this script's working directory.
+
+Usage:  python examples/trace_inspection.py [workload] [prefetcher]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro import EpochSimulator, ProcessorConfig, build_prefetcher, make_workload
+from repro.obs import (
+    ChromeTraceExporter,
+    EpochClosed,
+    EventBus,
+    JsonlTraceWriter,
+    PrefetchHit,
+    RunManifest,
+    SimulationMetrics,
+)
+
+RECORDS = 50_000
+SEED = 7
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "database"
+    prefetcher_name = sys.argv[2] if len(sys.argv) > 2 else "ebcp"
+
+    bus = EventBus()
+    metrics = SimulationMetrics(bus)
+    chrome = ChromeTraceExporter(bus)
+    manifest = RunManifest(workload, prefetcher_name, RECORDS, SEED)
+    manifest.count_events(bus)
+
+    # Ad-hoc subscribers work alongside the canned collectors: find the
+    # biggest epoch and the earliest-issued useful prefetch on the fly.
+    biggest: list[EpochClosed] = []
+    best_lead: list[PrefetchHit] = []
+
+    def watch_epoch(event: EpochClosed) -> None:
+        if not biggest or event.n_misses > biggest[0].n_misses:
+            biggest[:] = [event]
+
+    def watch_hit(event: PrefetchHit) -> None:
+        if event.lead_epochs >= 0 and (
+            not best_lead or event.lead_epochs > best_lead[0].lead_epochs
+        ):
+            best_lead[:] = [event]
+
+    bus.subscribe(EpochClosed, watch_epoch)
+    bus.subscribe(PrefetchHit, watch_hit)
+
+    trace = make_workload(workload, records=RECORDS, seed=SEED)
+    sim = EpochSimulator(
+        ProcessorConfig.scaled(),
+        build_prefetcher(prefetcher_name),
+        cpi_perf=trace.meta.cpi_perf,
+        overlap=trace.meta.overlap,
+        bus=bus,
+    )
+    with manifest.phase("simulate"), JsonlTraceWriter("events.jsonl", bus):
+        result = sim.run(trace, warmup_records=0)
+    manifest.record_result(result.to_dict())
+
+    print(f"{workload} / {prefetcher_name}: CPI {result.cpi:.3f}, "
+          f"{result.stats.epochs} epochs\n")
+
+    misses = metrics.epoch_misses
+    print("miss clustering (misses per epoch == per-epoch MLP):")
+    for bound, count in zip(misses.bounds, misses.counts):
+        bar = "#" * round(60 * count / max(1, misses.total))
+        print(f"  <= {bound:3g}  {count:6d}  {bar}")
+    print(f"  mean {misses.mean:.2f}, p90 {misses.quantile(0.9):g}, "
+          f"overflow {misses.overflow}\n")
+
+    lead = metrics.lead_epochs
+    if lead.total:
+        print(f"prefetch timeliness: {lead.total} hits with known lead, "
+              f"mean lead {lead.mean:.1f} epochs (skip-2 target: 2), "
+              f"p50 {lead.quantile(0.5):g}")
+    if biggest:
+        e = biggest[0]
+        print(f"largest epoch: #{e.index} with {e.n_misses} overlapped misses "
+              f"over {e.duration_cycles:.0f} cycles")
+    if best_lead:
+        h = best_lead[0]
+        print(f"earliest useful prefetch: line {h.line:#x} staged "
+              f"{h.lead_epochs} epochs before use ({h.source})")
+    utilization = metrics.read_utilization
+    print(f"read-bus windows over 90% occupancy: "
+          f"{utilization.counts[-2] + utilization.counts[-1] + utilization.overflow} "
+          f"of {utilization.total}\n")
+
+    chrome.write("trace.json")
+    manifest.write("manifest.json")
+    print("wrote events.jsonl, trace.json (open in ui.perfetto.dev), manifest.json")
+
+
+if __name__ == "__main__":
+    main()

@@ -22,6 +22,7 @@ Packages
 ``repro.workloads``    synthetic commercial workload traces
 ``repro.analysis``     metrics, sweeps, report rendering
 ``repro.experiments``  one module per paper table/figure
+``repro.obs``          event bus, metrics registry, trace exporters
 """
 
 from .core import (
@@ -39,6 +40,7 @@ from .engine import (
     SimulationResult,
     SimulationStats,
 )
+from .obs import EventBus, MetricsRegistry, SimulationMetrics
 from .prefetchers import PREFETCHERS, Prefetcher, build_prefetcher
 from .workloads import COMMERCIAL_WORKLOADS, WORKLOADS, Trace, make_workload
 
@@ -50,10 +52,13 @@ __all__ = [
     "EBCPConfig",
     "EpochBasedCorrelationPrefetcher",
     "EpochSimulator",
+    "EventBus",
+    "MetricsRegistry",
     "PREFETCHERS",
     "Prefetcher",
     "ProcessorConfig",
     "SCALE_FACTOR",
+    "SimulationMetrics",
     "SimulationResult",
     "SimulationStats",
     "Trace",

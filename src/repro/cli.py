@@ -6,11 +6,19 @@ Subcommands
 ``run <experiment>`` regenerate one paper table/figure and print it
 ``workloads``        summarise the synthetic workload traces
 ``simulate``         run one (workload, prefetcher) pair and print metrics
+``trace``            run one pair with the observability bus attached and
+                     export a Chrome trace-event epoch timeline (open in
+                     ui.perfetto.dev), plus optional JSONL / manifest /
+                     metrics files
+
+Global flags ``-v``/``-q`` raise/lower the stdlib-logging verbosity of
+the ``repro`` logger (repeatable: ``-vv`` for debug).
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 from typing import Sequence
@@ -19,10 +27,25 @@ from .analysis.reporting import banner, format_table
 from .engine.config import ProcessorConfig
 from .engine.simulator import EpochSimulator
 from .experiments import EXPERIMENTS
+from .obs import (
+    ChromeTraceExporter,
+    EventBus,
+    JsonlTraceWriter,
+    MetricsRegistry,
+    RunManifest,
+    SimulationMetrics,
+    configure_logging,
+)
 from .prefetchers.registry import PREFETCHERS, build_prefetcher
 from .workloads.registry import COMMERCIAL_WORKLOADS, WORKLOADS, make_workload
 
 __all__ = ["main"]
+
+
+def _write_json(path: str, payload: dict) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
 
 
 def _cmd_experiments(_: argparse.Namespace) -> int:
@@ -42,6 +65,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
     print(banner(f"{args.experiment} ({args.records} records, seed {args.seed})"))
     print(result.render())
     print(f"\n[{time.time() - started:.1f} s]")
+    if args.metrics_out:
+        payload = result.to_dict()
+        payload["records"] = args.records
+        payload["seed"] = args.seed
+        _write_json(args.metrics_out, payload)
+        print(f"metrics written to {args.metrics_out}")
     return 0
 
 
@@ -75,11 +104,16 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     config = ProcessorConfig.scaled()
     kwargs = {"cpi_perf": trace.meta.cpi_perf, "overlap": trace.meta.overlap}
     baseline = EpochSimulator(config, None, **kwargs).run(trace)
+    bus = registry = None
+    if args.metrics_out:
+        bus = EventBus()
+        registry = MetricsRegistry()
+        SimulationMetrics(bus, registry)
     if args.prefetcher == "none":
-        sim = EpochSimulator(config, None, **kwargs)
+        sim = EpochSimulator(config, None, bus=bus, **kwargs)
         result = sim.run(trace)
     else:
-        sim = EpochSimulator(config, build_prefetcher(args.prefetcher), **kwargs)
+        sim = EpochSimulator(config, build_prefetcher(args.prefetcher), bus=bus, **kwargs)
         result = sim.run(trace)
     print(banner(f"{args.workload} / {args.prefetcher}"))
     for key, value in result.to_dict().items():
@@ -91,6 +125,59 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
         print()
         print(render_diagnostics(result, sim.bandwidth))
+    if registry is not None:
+        _write_json(args.metrics_out, registry.to_dict())
+        print(f"\nmetrics written to {args.metrics_out}")
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run one pair fully observed and export the epoch timeline."""
+    bus = EventBus()
+    manifest = RunManifest(args.workload, args.prefetcher, args.records, args.seed)
+    manifest.count_events(bus)
+    exporter = ChromeTraceExporter(bus)
+    registry = None
+    if args.metrics_out:
+        registry = MetricsRegistry()
+        SimulationMetrics(bus, registry)
+    jsonl = JsonlTraceWriter(args.jsonl, bus) if args.jsonl else None
+
+    with manifest.phase("workload"):
+        trace = make_workload(args.workload, records=args.records, seed=args.seed)
+    prefetcher = None if args.prefetcher == "none" else build_prefetcher(args.prefetcher)
+    sim = EpochSimulator(
+        ProcessorConfig.scaled(),
+        prefetcher,
+        cpi_perf=trace.meta.cpi_perf,
+        overlap=trace.meta.overlap,
+        bus=bus,
+    )
+    with manifest.phase("simulate"):
+        result = sim.run(trace, warmup_records=args.warmup)
+    if jsonl is not None:
+        jsonl.close()
+
+    manifest.config_summary = dict(result.config_summary)
+    manifest.record_result(result.to_dict())
+    with manifest.phase("export"):
+        out = exporter.write(args.out)
+        if args.manifest:
+            manifest.write(args.manifest)
+        if registry is not None:
+            _write_json(args.metrics_out, registry.to_dict())
+
+    epochs = manifest.event_counts.get("EpochClosed", 0)
+    print(f"traced {args.workload}/{args.prefetcher}: {epochs} epochs, "
+          f"{sum(manifest.event_counts.values())} events")
+    print(f"chrome trace: {out} ({len(exporter.trace_events)} trace events) "
+          f"-- open in ui.perfetto.dev")
+    if jsonl is not None:
+        print(f"jsonl trace:  {args.jsonl} ({jsonl.events_written} events)")
+    if args.manifest:
+        print(f"manifest:     {args.manifest}")
+    if registry is not None:
+        print(f"metrics:      {args.metrics_out}")
     return 0
 
 
@@ -98,6 +185,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-ebcp",
         description="Epoch-Based Correlation Prefetching (MICRO 2007) reproduction",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="increase logging verbosity (-v info, -vv debug)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="count", default=0,
+        help="decrease logging verbosity (errors only)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -109,6 +204,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("experiment", choices=sorted(EXPERIMENTS))
     p_run.add_argument("--records", type=int, default=280_000)
     p_run.add_argument("--seed", type=int, default=7)
+    p_run.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="also write the table/figure data as machine-readable JSON",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_wl = sub.add_parser("workloads", help="summarise the synthetic workloads")
@@ -127,13 +226,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the full diagnostic breakdown (termination census, "
         "miss mix, prefetch lifecycle, bus traffic)",
     )
+    p_sim.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="collect a metrics registry (histograms, counters) over the "
+        "run and write it as JSON",
+    )
     p_sim.set_defaults(func=_cmd_simulate)
+
+    p_tr = sub.add_parser(
+        "trace",
+        help="run one pair with observability on and export the epoch timeline",
+    )
+    p_tr.add_argument("workload", choices=sorted(WORKLOADS))
+    p_tr.add_argument("prefetcher", choices=sorted(PREFETCHERS))
+    p_tr.add_argument(
+        "--out", metavar="PATH", default="trace.json",
+        help="Chrome trace-event JSON output (default: trace.json)",
+    )
+    p_tr.add_argument(
+        "--jsonl", metavar="PATH",
+        help="also stream every event to a JSONL file",
+    )
+    p_tr.add_argument(
+        "--manifest", metavar="PATH",
+        help="also write a per-run manifest (config, result, event counts, "
+        "wall time per phase)",
+    )
+    p_tr.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="also write the metrics registry as JSON",
+    )
+    p_tr.add_argument("--records", type=int, default=50_000)
+    p_tr.add_argument("--seed", type=int, default=7)
+    p_tr.add_argument(
+        "--warmup", type=int, default=0,
+        help="warm-up records excluded from measured stats; the trace "
+        "itself covers the whole run (default: 0, so event counts match "
+        "the reported stats)",
+    )
+    p_tr.set_defaults(func=_cmd_trace)
 
     return parser
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(args.verbose - args.quiet)
     return args.func(args)
 
 

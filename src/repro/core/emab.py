@@ -110,6 +110,11 @@ class EpochMissAddressBuffer:
         self._entries.clear()
         self._entries.append([])
 
+    @property
+    def occupancy(self) -> int:
+        """Total miss addresses currently buffered across all entries."""
+        return sum(len(entry) for entry in self._entries)
+
     def snapshot(self) -> list[list[int]]:
         """Copy of all buffered entries, oldest first (for tests)."""
         return [list(entry) for entry in self._entries]

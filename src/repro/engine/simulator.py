@@ -26,19 +26,31 @@ the available memory bandwidth is saturated".
 
 from __future__ import annotations
 
+import logging
+import warnings
 from dataclasses import dataclass
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable
 
 from ..memory.bandwidth import BandwidthModel, BusStats, EpochBudget
 from ..memory.hierarchy import AccessOutcome, CacheHierarchy
 from ..memory.mshr import MSHRFile
 from ..memory.request import Access, AccessKind, PrefetchRequest, Priority
+from ..obs.bus import EventBus
+from ..obs.events import (
+    AccessResolved,
+    EpochClosed,
+    PrefetchDropped,
+    PrefetchFilled,
+    PrefetchHit,
+)
 from ..prefetchers.base import Prefetcher
 from .config import ProcessorConfig
 from .epoch import Epoch, EpochTracker
 from .stats import SimulationResult, SimulationStats
 
 __all__ = ["EpochSimulator"]
+
+log = logging.getLogger(__name__)
 
 
 @dataclass
@@ -59,6 +71,7 @@ class EpochSimulator:
         prefetcher: Prefetcher | None = None,
         cpi_perf: float | None = None,
         overlap: float | None = None,
+        bus: EventBus | None = None,
     ) -> None:
         self.config = config or ProcessorConfig.scaled()
         self.config.validate()
@@ -86,14 +99,88 @@ class EpochSimulator:
         #: effective miss penalty.  Prefetch readiness is judged on this
         #: clock (see PrefetchBuffer's docstring).
         self._penalty_accum = 0.0
-        #: Optional observation hooks (research/diagnostic instrumentation).
-        #: ``epoch_listener(closed_epoch)`` fires at every epoch close;
-        #: ``access_listener(access, line, result)`` fires for every L2
-        #: access (i.e. every L1 miss) with its hierarchy outcome.
-        self.epoch_listener: Any | None = None
-        self.access_listener: Any | None = None
+        #: The observability event bus; None keeps the null-sink fast path
+        #: (a single ``is None`` check per emission site).
+        self.bus = bus
+        self._wire_bus()
+        # Backing state for the deprecated listener shims (see the
+        # ``epoch_listener`` / ``access_listener`` properties).
+        self._epoch_listener_fn: Any | None = None
+        self._epoch_listener_unsub: Callable[[], None] | None = None
+        self._access_listener_fn: Any | None = None
+        self._access_listener_unsub: Callable[[], None] | None = None
         if self.prefetcher is not None:
             self.prefetcher.bind(self.hierarchy)  # type: ignore[attr-defined]
+
+    def _wire_bus(self) -> None:
+        """Propagate the current bus to every emitting component."""
+        self.hierarchy.bus = self.bus
+        self.hierarchy.prefetch_buffer.bus = self.bus
+        self.bandwidth.bus = self.bus
+        if self.prefetcher is not None:
+            self.prefetcher.attach_bus(self.bus)
+
+    def _ensure_bus(self) -> EventBus:
+        """Create and wire a bus on demand (for the listener shims)."""
+        if self.bus is None:
+            self.bus = EventBus()
+            self._wire_bus()
+        return self.bus
+
+    # ------------------------------------------------------------------
+    # Deprecated listener shims (pre-event-bus observation hooks)
+    # ------------------------------------------------------------------
+    @property
+    def epoch_listener(self) -> Any | None:
+        """Deprecated: subscribe to :class:`repro.obs.EpochClosed` instead.
+
+        Setting this installs a bus adapter that calls ``fn(closed_epoch)``
+        at every epoch close, preserving the historical signature.
+        """
+        return self._epoch_listener_fn
+
+    @epoch_listener.setter
+    def epoch_listener(self, fn: Any | None) -> None:
+        warnings.warn(
+            "EpochSimulator.epoch_listener is deprecated; subscribe to "
+            "repro.obs.EpochClosed on the simulator's event bus instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if self._epoch_listener_unsub is not None:
+            self._epoch_listener_unsub()
+            self._epoch_listener_unsub = None
+        self._epoch_listener_fn = fn
+        if fn is not None:
+            self._epoch_listener_unsub = self._ensure_bus().subscribe(
+                EpochClosed, lambda event: fn(event.epoch)
+            )
+
+    @property
+    def access_listener(self) -> Any | None:
+        """Deprecated: subscribe to :class:`repro.obs.AccessResolved` instead.
+
+        Setting this installs a bus adapter that calls
+        ``fn(access, line, result)`` for every L2 access (== L1 miss).
+        """
+        return self._access_listener_fn
+
+    @access_listener.setter
+    def access_listener(self, fn: Any | None) -> None:
+        warnings.warn(
+            "EpochSimulator.access_listener is deprecated; subscribe to "
+            "repro.obs.AccessResolved on the simulator's event bus instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        if self._access_listener_unsub is not None:
+            self._access_listener_unsub()
+            self._access_listener_unsub = None
+        self._access_listener_fn = fn
+        if fn is not None:
+            self._access_listener_unsub = self._ensure_bus().subscribe(
+                AccessResolved, lambda event: fn(event.access, event.line, event.result)
+            )
 
     # ------------------------------------------------------------------
     # Public API
@@ -113,6 +200,13 @@ class EpochSimulator:
         if warmup_records is None:
             warmup_records = int(0.3 * n)
         warmup_records = max(0, min(warmup_records, n))
+        log.info(
+            "run: %s records (%s warm-up), prefetcher=%s, observability=%s",
+            n,
+            warmup_records,
+            self.prefetcher.name if self.prefetcher is not None else "none",
+            "on" if self.bus is not None else "off",
+        )
 
         gaps = trace.gap.tolist() if hasattr(trace.gap, "tolist") else list(trace.gap)
         kinds = trace.kind.tolist() if hasattr(trace.kind, "tolist") else list(trace.kind)
@@ -147,6 +241,12 @@ class EpochSimulator:
             self.stats.instructions = inst - measure_start_inst
         workload_name = getattr(getattr(trace, "meta", None), "name", "trace")
         pf_name = self.prefetcher.name if self.prefetcher is not None else "none"
+        log.info(
+            "run done: %s instructions measured, %s epochs, %s off-chip misses",
+            self.stats.instructions,
+            self.stats.epochs,
+            self.stats.total_offchip_misses,
+        )
         return SimulationResult(
             workload=workload_name,
             prefetcher=pf_name,
@@ -216,8 +316,6 @@ class EpochSimulator:
             requests.extend(self.prefetcher.observe_access(access, line, prospective))
 
         result = self.hierarchy.access(access, cycle)
-        if self.access_listener is not None:
-            self.access_listener(access, line, result)
         if result.writeback_line is not None:
             # Dirty L2 victim: a memory write, visible to memory-side
             # prefetchers as part of the raw request stream.
@@ -246,6 +344,17 @@ class EpochSimulator:
         if result.outcome is AccessOutcome.PREFETCH_HIT:
             if self._measuring:
                 stats.prefetch_hits[kind] += 1
+            if self.bus is not None and self.bus.wants(PrefetchHit):
+                self.bus.emit(
+                    PrefetchHit(
+                        line=line,
+                        epoch_index=prospective,
+                        issue_epoch=result.prefetch_issue_epoch,
+                        source=result.prefetch_source,
+                        measured=self._measuring,
+                        table_index=result.table_index,
+                    )
+                )
             if kind is not AccessKind.STORE:
                 # An averted miss still marks the would-be epoch structure
                 # the prefetcher tracks (paper Section 3.4.3: a prefetch
@@ -347,7 +456,9 @@ class EpochSimulator:
             # which the transfer occupies the bus.
             issue_epoch = epoch_index
             line = req.line_addr
-            if not self.hierarchy.fill_prefetch(line, ready_cycle, req.table_index, req.source):
+            if not self.hierarchy.fill_prefetch(
+                line, ready_cycle, req.table_index, req.source, issue_epoch
+            ):
                 if self._measuring:
                     self.stats.prefetches_redundant += 1
                 continue
@@ -358,12 +469,12 @@ class EpochSimulator:
     # Epoch close: timing + bandwidth accounting
     # ------------------------------------------------------------------
     def _process_epoch_close(self, closed: Epoch, now_inst: int) -> None:
-        if self.epoch_listener is not None:
-            self.epoch_listener(closed)
         self.mshrs.drain()
         base_penalty = float(self.config.memory_latency)
         span_insts = max(0, now_inst - closed.trigger_inst)
         duration = span_insts * self._cpi_onchip + base_penalty
+        # Wall-clock position of the window, for the epoch timeline.
+        start_cycle = closed.trigger_inst * self._cpi_onchip + self._penalty_accum
         budget = self.bandwidth.open_epoch(duration)
         line_bytes = self.config.line_size
 
@@ -398,7 +509,7 @@ class EpochSimulator:
                 if transfer.issue_epoch > closed.index:
                     still_pending.append(transfer)
                     continue
-                self._charge_transfer(transfer, budget, line_bytes)
+                self._charge_transfer(transfer, budget, line_bytes, closed.index)
             self._pending = still_pending
 
         self.bandwidth.close_epoch(budget)
@@ -406,6 +517,22 @@ class EpochSimulator:
         # 4. Effective penalty: queueing from this window's utilisation.
         queueing = self.bandwidth.queueing_delay(base_penalty)
         self._penalty_accum += base_penalty + queueing
+        if self.bus is not None and self.bus.wants(EpochClosed):
+            emab = getattr(self.prefetcher, "emab", None)
+            self.bus.emit(
+                EpochClosed(
+                    epoch=closed,
+                    index=closed.index,
+                    n_misses=closed.n_misses,
+                    start_cycle=start_cycle,
+                    duration_cycles=duration,
+                    read_utilization=budget.read_utilization,
+                    queueing_cycles=queueing,
+                    measured=self._measuring,
+                    emab_occupancy=emab.occupancy if emab is not None else -1,
+                    buffer_occupancy=self.hierarchy.prefetch_buffer.occupancy,
+                )
+            )
         if self._measuring:
             self.stats.offchip_cycles += base_penalty + queueing
             self.stats.queueing_cycles += queueing
@@ -421,8 +548,13 @@ class EpochSimulator:
             self.tracker.termination_reasons.clear()
 
     def _charge_transfer(
-        self, transfer: _PendingTransfer, budget: EpochBudget, line_bytes: int
+        self,
+        transfer: _PendingTransfer,
+        budget: EpochBudget,
+        line_bytes: int,
+        window_epoch: int,
     ) -> None:
+        bus = self.bus
         entry = self.hierarchy.prefetch_buffer.peek(transfer.line)
         if entry is None or entry.used:
             # Consumed or already evicted: the transfer physically
@@ -430,20 +562,46 @@ class EpochSimulator:
             budget.charge_read(Priority.PREFETCH, line_bytes, droppable=False)
             if self._measuring:
                 self.stats.prefetches_filled += 1
+            if bus is not None and bus.wants(PrefetchFilled):
+                bus.emit(
+                    PrefetchFilled(
+                        line=transfer.line,
+                        issue_epoch=transfer.issue_epoch,
+                        window_epoch=window_epoch,
+                    )
+                )
             return
         if budget.charge_read(Priority.PREFETCH, line_bytes, droppable=True):
             if self._measuring:
                 self.stats.prefetches_filled += 1
+            if bus is not None and bus.wants(PrefetchFilled):
+                bus.emit(
+                    PrefetchFilled(
+                        line=transfer.line,
+                        issue_epoch=transfer.issue_epoch,
+                        window_epoch=window_epoch,
+                    )
+                )
         else:
             self.hierarchy.prefetch_buffer.invalidate(transfer.line)
             if self._measuring:
                 self.stats.prefetches_dropped += 1
+            if bus is not None and bus.wants(PrefetchDropped):
+                bus.emit(
+                    PrefetchDropped(
+                        line=transfer.line,
+                        reason="bandwidth",
+                        source=transfer.request.source,
+                    )
+                )
 
     def _flush_pending(self, now_inst: int) -> None:
         """Charge transfers still pending at end of trace."""
         duration = float(self.config.memory_latency)
         budget = self.bandwidth.open_epoch(duration)
         for transfer in self._pending:
-            self._charge_transfer(transfer, budget, self.config.line_size)
+            self._charge_transfer(
+                transfer, budget, self.config.line_size, self.tracker.epoch_count
+            )
         self._pending.clear()
         self.bandwidth.close_epoch(budget)

@@ -72,6 +72,38 @@ class SimulationStats:
     def per_kilo_inst(self, count: float) -> float:
         return 1000.0 * count / self.instructions if self.instructions else 0.0
 
+    # ------------------------------------------------------------------
+    # Serialisation (manifests, machine-readable bench output)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe dict losslessly convertible back via :meth:`from_dict`."""
+        payload: dict[str, Any] = {}
+        for name, value in vars(self).items():
+            if name in ("offchip_misses", "prefetch_hits"):
+                payload[name] = {kind.name.lower(): count for kind, count in value.items()}
+            elif name == "termination_reasons":
+                payload[name] = dict(value)
+            else:
+                payload[name] = value
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, Any]) -> "SimulationStats":
+        """Rebuild a stats object from :meth:`to_dict` output."""
+        stats = cls()
+        for name, value in payload.items():
+            if name in ("offchip_misses", "prefetch_hits"):
+                setattr(
+                    stats,
+                    name,
+                    {AccessKind[kind.upper()]: count for kind, count in value.items()},
+                )
+            elif name == "termination_reasons":
+                stats.termination_reasons = dict(value)
+            elif hasattr(stats, name):
+                setattr(stats, name, value)
+        return stats
+
 
 @dataclass
 class SimulationResult:

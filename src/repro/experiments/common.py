@@ -113,6 +113,18 @@ class FigureResult:
     def value(self, workload: str, x: object) -> float:
         return self.series[workload][list(self.x_values).index(x)]
 
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe payload for machine-readable benchmark output."""
+        return {
+            "kind": "figure",
+            "id": self.figure_id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "x_values": list(self.x_values),
+            "series": {workload: list(values) for workload, values in self.series.items()},
+            "value_format": self.value_format,
+        }
+
 
 @dataclass
 class TableResult:
@@ -125,6 +137,16 @@ class TableResult:
 
     def render(self) -> str:
         return format_table(self.headers, self.rows, title=f"{self.table_id}: {self.title}")
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-safe payload for machine-readable benchmark output."""
+        return {
+            "kind": "table",
+            "id": self.table_id,
+            "title": self.title,
+            "headers": list(self.headers),
+            "rows": [list(row) for row in self.rows],
+        }
 
 
 # ----------------------------------------------------------------------

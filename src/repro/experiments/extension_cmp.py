@@ -69,6 +69,13 @@ class ExtensionCMPResult:
         panel = self.panels[workload]
         return panel.series[scheme][list(panel.x_values).index(n_threads)]
 
+    def to_dict(self) -> dict:
+        return {
+            "kind": "figure_panels",
+            "id": "Extension E1",
+            "panels": {key: panel.to_dict() for key, panel in self.panels.items()},
+        }
+
 
 def run(
     records: int = 140_000,

@@ -47,6 +47,13 @@ class Figure5Result:
     def render(self) -> str:
         return "\n\n".join(panel.render() for panel in self.panels())
 
+    def to_dict(self) -> dict:
+        return {
+            "kind": "figure_panels",
+            "id": "Figure 5",
+            "panels": {panel.figure_id: panel.to_dict() for panel in self.panels()},
+        }
+
 
 def _panel(
     grid: Mapping[str, Sequence],

@@ -47,6 +47,13 @@ class Figure8Result:
     def improvement(self, read_gbps: float, workload: str, degree: int) -> float:
         return self.panels[f"{read_gbps:g}"].value(workload, degree)
 
+    def to_dict(self) -> dict:
+        return {
+            "kind": "figure_panels",
+            "id": "Figure 8",
+            "panels": {key: panel.to_dict() for key, panel in self.panels.items()},
+        }
+
 
 def run(records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED) -> Figure8Result:
     runner = new_runner(records, seed)

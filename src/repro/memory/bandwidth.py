@@ -25,8 +25,13 @@ over-aggressive prefetching lose performance at low bandwidth (Figure 8).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
+from ..obs.events import BudgetExhausted
 from .request import Priority
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.bus import EventBus
 
 __all__ = ["BusStats", "EpochBudget", "BandwidthModel"]
 
@@ -80,6 +85,7 @@ class EpochBudget:
         """
         if droppable and self.read_used + nbytes > self.read_budget:
             self._model.read_stats.drop(priority, nbytes)
+            self._model.notify_exhausted("read", priority, nbytes, self.read_utilization)
             return False
         self.read_used += nbytes
         self._model.read_stats.charge(priority, nbytes)
@@ -88,6 +94,8 @@ class EpochBudget:
     def charge_write(self, priority: Priority, nbytes: int, droppable: bool = True) -> bool:
         if droppable and self.write_used + nbytes > self.write_budget:
             self._model.write_stats.drop(priority, nbytes)
+            utilization = self.write_used / self.write_budget if self.write_budget else 0.0
+            self._model.notify_exhausted("write", priority, nbytes, utilization)
             return False
         self.write_used += nbytes
         self._model.write_stats.charge(priority, nbytes)
@@ -138,6 +146,22 @@ class BandwidthModel:
         self.write_stats = BusStats()
         self._last_read_utilization = 0.0
         self._ema_read_utilization = 0.0
+        #: Optional observability bus (attached by the simulator).
+        self.bus: "EventBus | None" = None
+
+    def notify_exhausted(
+        self, bus_name: str, priority: Priority, nbytes: int, utilization: float
+    ) -> None:
+        """Publish a :class:`BudgetExhausted` event for a refused charge."""
+        if self.bus is not None and self.bus.wants(BudgetExhausted):
+            self.bus.emit(
+                BudgetExhausted(
+                    bus=bus_name,
+                    priority=int(priority),
+                    nbytes=nbytes,
+                    utilization=utilization,
+                )
+            )
 
     @classmethod
     def from_gbps(

@@ -19,6 +19,7 @@ import enum
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from ..obs.events import AccessResolved
 from .cache import SetAssociativeCache
 from .main_memory import MainMemory
 from .prefetch_buffer import PrefetchBuffer
@@ -26,6 +27,7 @@ from .request import Access, AccessKind
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..engine.config import ProcessorConfig
+    from ..obs.bus import EventBus
 
 __all__ = ["AccessOutcome", "HierarchyResult", "CacheHierarchy"]
 
@@ -51,6 +53,9 @@ class HierarchyResult:
     prefetch_source: str = ""
     #: Line number of a dirty L2 victim written back to memory, if any.
     writeback_line: int | None = None
+    #: Epoch in which the hitting prefetch was issued (-1 if unknown or
+    #: not a prefetch hit); used for lead-time observability.
+    prefetch_issue_epoch: int = -1
 
 
 class CacheHierarchy:
@@ -68,6 +73,8 @@ class CacheHierarchy:
         )
         self.memory = MainMemory(latency_cycles=config.memory_latency)
         self.line_shift = ls.bit_length() - 1
+        #: Optional observability bus (attached by the simulator).
+        self.bus: "EventBus | None" = None
 
     # ------------------------------------------------------------------
     def l1_for(self, kind: AccessKind) -> SetAssociativeCache:
@@ -87,30 +94,39 @@ class CacheHierarchy:
         # L1 miss -> L2 access (this is the stream prefetchers observe).
         if self.l2.lookup(line):
             l1.insert(line)
-            return HierarchyResult(AccessOutcome.L2_HIT, line)
-        # L2 miss -> probe the prefetch buffer (searched in parallel).
-        probe = self.prefetch_buffer.lookup(line, current_cycle)
-        if probe.hit:
-            entry = probe.entry
-            assert entry is not None
-            writeback = self._install_l2(line, access)
-            l1.insert(line)
-            return HierarchyResult(
-                AccessOutcome.PREFETCH_HIT,
-                line,
-                table_index=entry.table_index,
-                prefetch_source=entry.source,
-                writeback_line=writeback,
+            result = HierarchyResult(AccessOutcome.L2_HIT, line)
+        else:
+            # L2 miss -> probe the prefetch buffer (searched in parallel).
+            probe = self.prefetch_buffer.lookup(line, current_cycle)
+            if probe.hit:
+                entry = probe.entry
+                assert entry is not None
+                writeback = self._install_l2(line, access)
+                l1.insert(line)
+                result = HierarchyResult(
+                    AccessOutcome.PREFETCH_HIT,
+                    line,
+                    table_index=entry.table_index,
+                    prefetch_source=entry.source,
+                    writeback_line=writeback,
+                    prefetch_issue_epoch=entry.issue_epoch,
+                )
+            else:
+                # Genuine off-chip access.
+                writeback = self._install_l2(line, access)
+                l1.insert(line)
+                result = HierarchyResult(
+                    AccessOutcome.OFFCHIP_MISS,
+                    line,
+                    late_prefetch=probe.late,
+                    writeback_line=writeback,
+                )
+        # Every non-L1 outcome is an L2 access — the observable stream.
+        if self.bus is not None and self.bus.wants(AccessResolved):
+            self.bus.emit(
+                AccessResolved(access=access, line=line, result=result, cycle=current_cycle)
             )
-        # Genuine off-chip access.
-        writeback = self._install_l2(line, access)
-        l1.insert(line)
-        return HierarchyResult(
-            AccessOutcome.OFFCHIP_MISS,
-            line,
-            late_prefetch=probe.late,
-            writeback_line=writeback,
-        )
+        return result
 
     def _install_l2(self, line: int, access: Access) -> int | None:
         """Fill the L2, tracking dirtiness; returns a dirty victim line."""
@@ -128,6 +144,7 @@ class CacheHierarchy:
         ready_cycle: float,
         table_index: int | None = None,
         source: str = "",
+        issue_epoch: int = -1,
     ) -> bool:
         """Stage a prefetched line unless it is already on-chip.
 
@@ -137,7 +154,7 @@ class CacheHierarchy:
         """
         if self.l2.contains(line):
             return False
-        self.prefetch_buffer.fill(line, ready_cycle, table_index, source)
+        self.prefetch_buffer.fill(line, ready_cycle, table_index, source, issue_epoch)
         return True
 
     def flush(self) -> None:

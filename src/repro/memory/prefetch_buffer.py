@@ -27,6 +27,12 @@ epoch.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+from ..obs.events import PrefetchDropped
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.bus import EventBus
 
 __all__ = ["PrefetchBufferStats", "BufferEntry", "PrefetchBuffer", "LookupResult"]
 
@@ -57,6 +63,9 @@ class BufferEntry:
     source: str = ""
     used: bool = False
     last_use: int = 0
+    #: Epoch index during which the prefetch was issued (-1 if unknown);
+    #: lets a later hit compute its lead time in epochs.
+    issue_epoch: int = -1
 
     def is_ready(self, current_cycle: float) -> bool:
         return self.ready_cycle <= current_cycle
@@ -91,6 +100,8 @@ class PrefetchBuffer:
         self._sets: list[dict[int, BufferEntry]] = [dict() for _ in range(n_sets)]
         self._stamp = 0
         self.stats = PrefetchBufferStats()
+        #: Optional observability bus (attached by the simulator).
+        self.bus: EventBus | None = None
 
     def _set_for(self, line: int) -> dict[int, BufferEntry]:
         return self._sets[line & self._set_mask]
@@ -102,6 +113,7 @@ class PrefetchBuffer:
         ready_cycle: float,
         table_index: int | None = None,
         source: str = "",
+        issue_epoch: int = -1,
     ) -> BufferEntry | None:
         """Install a prefetched line; returns the evicted entry, if any.
 
@@ -122,12 +134,21 @@ class PrefetchBuffer:
             self.stats.evictions += 1
             if not victim.used:
                 self.stats.evicted_unused += 1
+                if self.bus is not None and self.bus.wants(PrefetchDropped):
+                    self.bus.emit(
+                        PrefetchDropped(
+                            line=victim.line,
+                            reason="evicted_unused",
+                            source=victim.source,
+                        )
+                    )
         entry = BufferEntry(
             line=line,
             ready_cycle=ready_cycle,
             table_index=table_index,
             source=source,
             last_use=self._stamp,
+            issue_epoch=issue_epoch,
         )
         bucket[line] = entry
         self.stats.fills += 1

@@ -1,0 +1,79 @@
+"""Observability: typed event bus, metrics registry, exporters.
+
+The ``repro.obs`` package is the simulator's introspection surface.  The
+engine, memory hierarchy, bandwidth model and prefetchers all publish
+typed events on a shared :class:`EventBus`; metrics collectors and trace
+exporters are just subscribers.  With no bus attached (the default) the
+whole layer costs one ``is None`` check per emission site.
+
+Quick tour
+----------
+>>> from repro import EpochSimulator, ProcessorConfig, make_workload
+>>> from repro.obs import EventBus, SimulationMetrics, EpochClosed
+>>> bus = EventBus()
+>>> metrics = SimulationMetrics(bus)
+>>> closes = bus.subscribe(EpochClosed, lambda e: None)
+>>> trace = make_workload("database", records=20_000)
+>>> sim = EpochSimulator(ProcessorConfig.scaled(), None, bus=bus)
+>>> result = sim.run(trace)
+>>> metrics.epochs.value > 0
+True
+"""
+
+from .bus import EventBus
+from .events import (
+    EVENT_TYPES,
+    AccessResolved,
+    BudgetExhausted,
+    EpochClosed,
+    Event,
+    PrefetchDropped,
+    PrefetchFilled,
+    PrefetchHit,
+    PrefetchIssued,
+    TableRead,
+    TableWrite,
+    event_payload,
+)
+from .exporters import (
+    ChromeTraceExporter,
+    JsonlTraceWriter,
+    PhaseTimer,
+    RunManifest,
+    read_jsonl,
+)
+from .log import configure_logging
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    SimulationMetrics,
+)
+
+__all__ = [
+    "AccessResolved",
+    "BudgetExhausted",
+    "ChromeTraceExporter",
+    "Counter",
+    "EpochClosed",
+    "Event",
+    "EventBus",
+    "EVENT_TYPES",
+    "Gauge",
+    "Histogram",
+    "JsonlTraceWriter",
+    "MetricsRegistry",
+    "PhaseTimer",
+    "PrefetchDropped",
+    "PrefetchFilled",
+    "PrefetchHit",
+    "PrefetchIssued",
+    "RunManifest",
+    "SimulationMetrics",
+    "TableRead",
+    "TableWrite",
+    "configure_logging",
+    "event_payload",
+    "read_jsonl",
+]

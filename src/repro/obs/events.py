@@ -1,0 +1,231 @@
+"""Typed event catalogue for the observability layer.
+
+Every interesting thing that happens inside the simulator is modelled as
+a small frozen dataclass published on an :class:`~repro.obs.bus.EventBus`.
+The catalogue mirrors the paper's own vocabulary — epochs, prefetch
+lifecycle, correlation-table traffic, bus saturation — so that a
+subscriber can reconstruct the epoch-level behaviour the evaluation
+argues about (epoch counts, miss clustering, skip-2 timeliness) without
+touching simulator internals.
+
+Emission points
+---------------
+========================  ==================================================
+Event                     Emitted by
+========================  ==================================================
+``EpochClosed``           :class:`repro.engine.simulator.EpochSimulator`
+``AccessResolved``        :class:`repro.memory.hierarchy.CacheHierarchy`
+``PrefetchIssued``        :meth:`repro.prefetchers.base.Prefetcher.make_request`
+``PrefetchFilled``        the simulator's per-window bus accounting
+``PrefetchDropped``       the simulator (bandwidth) / the prefetch buffer
+                          (capacity eviction of a never-used line)
+``PrefetchHit``           the simulator, on an averted off-chip miss
+``TableRead``             :class:`repro.prefetchers.base.TrafficMeter`
+``TableWrite``            :class:`repro.prefetchers.base.TrafficMeter`
+``BudgetExhausted``       :class:`repro.memory.bandwidth.EpochBudget`
+========================  ==================================================
+
+Events deliberately carry plain scalars (plus the rich ``Epoch`` /
+``Access`` objects where subscribers need them); :func:`event_payload`
+flattens any event into a JSON-safe dict for the exporters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - the engine/memory layers import us
+    from ..engine.epoch import Epoch
+    from ..memory.hierarchy import HierarchyResult
+    from ..memory.request import Access
+
+__all__ = [
+    "Event",
+    "EpochClosed",
+    "AccessResolved",
+    "PrefetchIssued",
+    "PrefetchFilled",
+    "PrefetchDropped",
+    "PrefetchHit",
+    "TableRead",
+    "TableWrite",
+    "BudgetExhausted",
+    "EVENT_TYPES",
+    "event_payload",
+]
+
+
+class Event:
+    """Marker base class for all observability events."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class EpochClosed(Event):
+    """A real epoch closed: its stall resolved and its window was charged.
+
+    ``mlp`` equals ``n_misses`` by construction — in the epoch model every
+    miss of an epoch overlaps the same single stall, so the epoch's
+    memory-level parallelism *is* its miss count (paper Section 2.1).
+    """
+
+    epoch: Epoch
+    index: int
+    n_misses: int
+    start_cycle: float
+    duration_cycles: float
+    read_utilization: float
+    queueing_cycles: float
+    measured: bool
+    #: Total miss addresses buffered in the prefetcher's EMAB at close
+    #: (-1 when the active prefetcher has no EMAB).
+    emab_occupancy: int = -1
+    #: Lines resident in the prefetch buffer at close.
+    buffer_occupancy: int = 0
+
+    @property
+    def mlp(self) -> int:
+        return self.n_misses
+
+
+@dataclass(frozen=True)
+class AccessResolved(Event):
+    """One L2 access (== L1 miss) classified by the hierarchy."""
+
+    access: Access
+    line: int
+    result: HierarchyResult
+    cycle: float
+
+    @property
+    def outcome(self) -> str:
+        return self.result.outcome.value
+
+
+@dataclass(frozen=True)
+class PrefetchIssued(Event):
+    """A prefetcher emitted a request (before redundancy filtering)."""
+
+    line: int
+    source: str
+    priority: int
+    epochs_until_ready: int
+    table_index: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class PrefetchFilled(Event):
+    """A staged prefetch's bus transfer completed in its window."""
+
+    line: int
+    issue_epoch: int
+    window_epoch: int
+
+
+@dataclass(frozen=True)
+class PrefetchDropped(Event):
+    """A staged prefetch died before being used.
+
+    ``reason`` is ``"bandwidth"`` when the read-bus budget of its transfer
+    window was exhausted (the paper's Section 5.2.1 drop), or
+    ``"evicted_unused"`` when the buffer evicted a never-used line to make
+    room.
+    """
+
+    line: int
+    reason: str
+    source: str = ""
+
+
+@dataclass(frozen=True)
+class PrefetchHit(Event):
+    """A demand access was satisfied by a ready prefetch-buffer line."""
+
+    line: int
+    epoch_index: int
+    issue_epoch: int
+    source: str
+    measured: bool
+    table_index: Optional[int] = None
+
+    @property
+    def lead_epochs(self) -> int:
+        """Epochs between issue and use — the skip-2 timeliness margin."""
+        if self.issue_epoch < 0:
+            return -1
+        return self.epoch_index - self.issue_epoch
+
+
+@dataclass(frozen=True)
+class TableRead(Event):
+    """Correlation-table read traffic (lookup or training read)."""
+
+    nbytes: int
+    purpose: str  # "lookup" | "update"
+
+
+@dataclass(frozen=True)
+class TableWrite(Event):
+    """Correlation-table write traffic (training write or LRU refresh)."""
+
+    nbytes: int
+    purpose: str  # "update" | "lru"
+
+
+@dataclass(frozen=True)
+class BudgetExhausted(Event):
+    """A droppable transfer found its epoch-window bus budget exhausted."""
+
+    bus: str  # "read" | "write"
+    priority: int
+    nbytes: int
+    utilization: float
+
+
+#: The full catalogue, in a stable order (used by exporters and tests).
+EVENT_TYPES: Tuple[type, ...] = (
+    EpochClosed,
+    AccessResolved,
+    PrefetchIssued,
+    PrefetchFilled,
+    PrefetchDropped,
+    PrefetchHit,
+    TableRead,
+    TableWrite,
+    BudgetExhausted,
+)
+
+
+def _jsonify(value: Any) -> Any:
+    """Recursively convert a field value into a JSON-safe structure."""
+    if isinstance(value, enum.Enum):
+        return value.name.lower()
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            f.name: _jsonify(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+        }
+    if isinstance(value, (list, tuple)):
+        return [_jsonify(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonify(v) for k, v in value.items()}
+    return value
+
+
+def event_payload(event: Event) -> dict:
+    """Flatten an event into a JSON-safe dict with an ``event`` tag."""
+    payload: dict = {"event": type(event).__name__}
+    for f in dataclasses.fields(event):  # type: ignore[arg-type]
+        payload[f.name] = _jsonify(getattr(event, f.name))
+    # Derived convenience fields exporters rely on.
+    if isinstance(event, PrefetchHit):
+        payload["lead_epochs"] = event.lead_epochs
+    if isinstance(event, AccessResolved):
+        payload["outcome"] = event.outcome
+    if isinstance(event, EpochClosed):
+        payload["mlp"] = event.mlp
+    return payload

@@ -1,0 +1,340 @@
+"""Event-trace exporters and the per-run manifest.
+
+Three output formats:
+
+* **JSONL** (:class:`JsonlTraceWriter`) — one JSON object per event, in
+  emission order, with an ``event`` type tag and a monotonically
+  increasing ``seq``.  Greppable, streamable, diffable.
+* **Chrome trace events** (:class:`ChromeTraceExporter`) — the
+  ``chrome://tracing`` / Perfetto JSON format.  Epochs render as
+  complete ("X") slices on the *epochs* track with simulated cycles
+  mapped to microseconds, prefetch lifecycle events as instants ("i"),
+  and read-bus utilisation as a counter ("C") series — open the file in
+  `ui.perfetto.dev <https://ui.perfetto.dev>`_ to scrub the epoch
+  timeline the paper's Figure 1 sketches.
+* **Run manifest** (:class:`RunManifest`) — one JSON document capturing
+  what ran (workload, prefetcher, seed, records, config summary), what
+  happened (result metrics, event counts), and how long each phase took
+  (:class:`PhaseTimer` scopes around ``time.perf_counter``).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from pathlib import Path
+from typing import IO, Dict, List, Optional, Union
+
+from .bus import EventBus
+from .events import (
+    AccessResolved,
+    BudgetExhausted,
+    EpochClosed,
+    Event,
+    PrefetchDropped,
+    PrefetchFilled,
+    PrefetchHit,
+    PrefetchIssued,
+    event_payload,
+)
+
+__all__ = [
+    "JsonlTraceWriter",
+    "read_jsonl",
+    "ChromeTraceExporter",
+    "PhaseTimer",
+    "RunManifest",
+]
+
+PathLike = Union[str, Path]
+
+
+class JsonlTraceWriter:
+    """Stream every bus event to a JSONL file (or file-like object)."""
+
+    def __init__(self, target: Union[PathLike, IO[str]], bus: Optional[EventBus] = None) -> None:
+        if hasattr(target, "write"):
+            self._fh: IO[str] = target  # type: ignore[assignment]
+            self._owns_fh = False
+        else:
+            self._fh = open(Path(target), "w", encoding="utf-8")
+            self._owns_fh = True
+        self.events_written = 0
+        self._unsubscribe = None
+        if bus is not None:
+            self.attach(bus)
+
+    # ------------------------------------------------------------------
+    def attach(self, bus: EventBus) -> "JsonlTraceWriter":
+        self._unsubscribe = bus.subscribe_all(self.write_event)
+        return self
+
+    def write_event(self, event: Event) -> None:
+        payload = event_payload(event)
+        payload["seq"] = self.events_written
+        self._fh.write(json.dumps(payload, separators=(",", ":")) + "\n")
+        self.events_written += 1
+
+    def close(self) -> None:
+        if self._unsubscribe is not None:
+            self._unsubscribe()
+            self._unsubscribe = None
+        if self._owns_fh:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlTraceWriter":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def read_jsonl(path: PathLike) -> List[dict]:
+    """Load a JSONL event trace back into a list of dicts."""
+    records = []
+    with open(Path(path), encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+class ChromeTraceExporter:
+    """Collect bus events into a Chrome trace-event JSON document.
+
+    Simulated cycles map 1:1 to trace microseconds (the viewer's native
+    unit), so a 400-cycle epoch renders as a 400 µs slice.  Tracks:
+
+    * pid 0 / tid 0 — *epochs*: one "X" slice per closed epoch;
+    * pid 0 / tid 1 — *prefetches*: instant events for issue / fill /
+      drop / hit;
+    * counter track — *read-bus utilisation* sampled at each close.
+    """
+
+    #: Synthetic thread ids for the two tracks.
+    EPOCH_TID = 0
+    PREFETCH_TID = 1
+
+    def __init__(self, bus: Optional[EventBus] = None) -> None:
+        self.trace_events: List[dict] = [
+            {"ph": "M", "pid": 0, "name": "process_name", "args": {"name": "repro-ebcp"}},
+            {"ph": "M", "pid": 0, "tid": self.EPOCH_TID, "name": "thread_name",
+             "args": {"name": "epochs"}},
+            {"ph": "M", "pid": 0, "tid": self.PREFETCH_TID, "name": "thread_name",
+             "args": {"name": "prefetches"}},
+        ]
+        self._last_cycle = 0.0
+        self._unsubscribe: List = []
+        if bus is not None:
+            self.attach(bus)
+
+    # ------------------------------------------------------------------
+    def attach(self, bus: EventBus) -> "ChromeTraceExporter":
+        self._unsubscribe = [
+            bus.subscribe(EpochClosed, self._on_epoch),
+            bus.subscribe(PrefetchIssued, self._on_issued),
+            bus.subscribe(PrefetchFilled, self._on_filled),
+            bus.subscribe(PrefetchDropped, self._on_dropped),
+            bus.subscribe(PrefetchHit, self._on_hit),
+            bus.subscribe(BudgetExhausted, self._on_budget),
+        ]
+        return self
+
+    def detach(self) -> None:
+        for unsubscribe in self._unsubscribe:
+            unsubscribe()
+        self._unsubscribe = []
+
+    # ------------------------------------------------------------------
+    def _on_epoch(self, event: EpochClosed) -> None:
+        self._last_cycle = max(self._last_cycle, event.start_cycle + event.duration_cycles)
+        self.trace_events.append(
+            {
+                "name": f"epoch {event.index}",
+                "cat": "epoch",
+                "ph": "X",
+                "ts": round(event.start_cycle, 3),
+                "dur": round(event.duration_cycles, 3),
+                "pid": 0,
+                "tid": self.EPOCH_TID,
+                "args": {
+                    "misses": event.n_misses,
+                    "mlp": event.mlp,
+                    "read_utilization": round(event.read_utilization, 4),
+                    "queueing_cycles": round(event.queueing_cycles, 2),
+                    "measured": event.measured,
+                    "trigger_line": event.epoch.trigger_line,
+                },
+            }
+        )
+        self.trace_events.append(
+            {
+                "name": "read-bus utilisation",
+                "ph": "C",
+                "ts": round(event.start_cycle + event.duration_cycles, 3),
+                "pid": 0,
+                "args": {"utilization": round(event.read_utilization, 4)},
+            }
+        )
+
+    def _instant(self, name: str, args: dict) -> None:
+        self.trace_events.append(
+            {
+                "name": name,
+                "cat": "prefetch",
+                "ph": "i",
+                "s": "t",
+                "ts": round(self._last_cycle, 3),
+                "pid": 0,
+                "tid": self.PREFETCH_TID,
+                "args": args,
+            }
+        )
+
+    def _on_issued(self, event: PrefetchIssued) -> None:
+        self._instant("issue", {"line": event.line, "source": event.source})
+
+    def _on_filled(self, event: PrefetchFilled) -> None:
+        self._instant(
+            "fill", {"line": event.line, "issue_epoch": event.issue_epoch}
+        )
+
+    def _on_dropped(self, event: PrefetchDropped) -> None:
+        self._instant("drop", {"line": event.line, "reason": event.reason})
+
+    def _on_hit(self, event: PrefetchHit) -> None:
+        self._instant(
+            "hit",
+            {
+                "line": event.line,
+                "lead_epochs": event.lead_epochs,
+                "source": event.source,
+            },
+        )
+
+    def _on_budget(self, event: BudgetExhausted) -> None:
+        self._instant(
+            "budget-exhausted",
+            {"bus": event.bus, "nbytes": event.nbytes},
+        )
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "traceEvents": self.trace_events,
+            "displayTimeUnit": "ms",
+            "otherData": {"time_unit": "1 simulated cycle = 1us"},
+        }
+
+    def write(self, path: PathLike) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=1), encoding="utf-8")
+        return path
+
+
+class PhaseTimer:
+    """Named wall-time scopes measured with ``time.perf_counter``.
+
+    >>> timer = PhaseTimer()
+    >>> with timer.phase("simulate"):
+    ...     pass
+    >>> "simulate" in timer.seconds
+    True
+    """
+
+    def __init__(self) -> None:
+        self.seconds: Dict[str, float] = {}
+
+    class _Scope:
+        def __init__(self, timer: "PhaseTimer", name: str) -> None:
+            self._timer = timer
+            self._name = name
+            self._start = 0.0
+
+        def __enter__(self) -> "PhaseTimer._Scope":
+            self._start = time.perf_counter()
+            return self
+
+        def __exit__(self, *exc: object) -> None:
+            elapsed = time.perf_counter() - self._start
+            seconds = self._timer.seconds
+            seconds[self._name] = seconds.get(self._name, 0.0) + elapsed
+
+    def phase(self, name: str) -> "PhaseTimer._Scope":
+        return self._Scope(self, name)
+
+
+class RunManifest:
+    """Reproducibility record for one run: inputs, outputs, wall time.
+
+    Everything except the ``wall`` section is a deterministic function of
+    (workload, prefetcher, records, seed, config) — the exporter tests
+    assert exactly that.
+    """
+
+    def __init__(
+        self,
+        workload: str,
+        prefetcher: str,
+        records: int,
+        seed: int,
+        config_summary: Optional[dict] = None,
+    ) -> None:
+        self.workload = workload
+        self.prefetcher = prefetcher
+        self.records = records
+        self.seed = seed
+        self.config_summary = dict(config_summary or {})
+        self.timer = PhaseTimer()
+        self.result: dict = {}
+        self.event_counts: Dict[str, int] = {}
+        self.extra: dict = {}
+
+    # ------------------------------------------------------------------
+    def phase(self, name: str) -> "PhaseTimer._Scope":
+        return self.timer.phase(name)
+
+    def record_result(self, result_dict: dict) -> None:
+        self.result = dict(result_dict)
+
+    def count_events(self, bus: EventBus) -> "RunManifest":
+        """Subscribe a per-type event tally to ``bus``."""
+
+        def tally(event: Event) -> None:
+            name = type(event).__name__
+            self.event_counts[name] = self.event_counts.get(name, 0) + 1
+
+        bus.subscribe_all(tally)
+        return self
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "run": {
+                "workload": self.workload,
+                "prefetcher": self.prefetcher,
+                "records": self.records,
+                "seed": self.seed,
+                "config": self.config_summary,
+            },
+            "result": self.result,
+            "event_counts": dict(sorted(self.event_counts.items())),
+            "extra": self.extra,
+            "wall": {
+                "phases_seconds": {k: round(v, 6) for k, v in self.timer.seconds.items()},
+                "python": platform.python_version(),
+            },
+        }
+
+    def deterministic_dict(self) -> dict:
+        """The manifest minus the wall-clock section (stable under a seed)."""
+        payload = self.to_dict()
+        payload.pop("wall", None)
+        return payload
+
+    def write(self, path: PathLike) -> Path:
+        path = Path(path)
+        path.write_text(json.dumps(self.to_dict(), indent=2, sort_keys=True), encoding="utf-8")
+        return path

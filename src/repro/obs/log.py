@@ -1,0 +1,41 @@
+"""Stdlib logging wiring for the CLI and library.
+
+Every module in the package logs under the ``repro`` namespace
+(``logging.getLogger("repro.engine.simulator")`` etc.); nothing is
+printed unless the embedding application configures handlers.  The CLI
+calls :func:`configure_logging` with the net ``-v`` / ``-q`` count.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["configure_logging", "verbosity_to_level"]
+
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def verbosity_to_level(verbosity: int) -> int:
+    """Map a net verbosity count to a logging level.
+
+    ``-q`` subtracts one, each ``-v`` adds one: -1 or less -> ERROR,
+    0 -> WARNING (default), 1 -> INFO, 2+ -> DEBUG.
+    """
+    if verbosity <= -1:
+        return logging.ERROR
+    if verbosity == 0:
+        return logging.WARNING
+    if verbosity == 1:
+        return logging.INFO
+    return logging.DEBUG
+
+
+def configure_logging(verbosity: int = 0) -> logging.Logger:
+    """Configure the ``repro`` logger tree for CLI use; returns its root."""
+    logger = logging.getLogger("repro")
+    logger.setLevel(verbosity_to_level(verbosity))
+    if not logger.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
+        logger.addHandler(handler)
+    return logger

@@ -1,0 +1,350 @@
+"""Metrics registry: counters, gauges and fixed-bucket histograms.
+
+The registry is deliberately tiny and dependency-free — a named bag of
+three instrument kinds with a JSON-safe snapshot.  The simulator-facing
+collector (:class:`SimulationMetrics`) subscribes the standard epoch /
+prefetch / bus instruments to an :class:`~repro.obs.bus.EventBus`:
+
+* ``epoch_misses`` / ``epoch_mlp`` — miss clustering per epoch (in the
+  epoch model the two coincide: every miss of an epoch overlaps its one
+  stall, paper Section 2.1);
+* ``epoch_cycles`` — epoch length in cycles (stall + compute span);
+* ``prefetch_lead_epochs`` — epochs between prefetch issue and use, the
+  skip-2 timeliness margin (2 is the design target: table read under one
+  stall, transfer under the next);
+* ``read_bus_utilization`` — per-window read-bus occupancy;
+* ``emab_occupancy`` — miss addresses buffered in the EMAB at each epoch
+  close.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence
+
+from .bus import EventBus
+from .events import (
+    AccessResolved,
+    BudgetExhausted,
+    EpochClosed,
+    Event,
+    PrefetchDropped,
+    PrefetchFilled,
+    PrefetchHit,
+    PrefetchIssued,
+    TableRead,
+    TableWrite,
+)
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "SimulationMetrics"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "help", "value")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": "counter", "value": self.value}
+
+
+class Gauge:
+    """A value that goes up and down; remembers its extremes."""
+
+    __slots__ = ("name", "help", "value", "min", "max", "_n", "_sum")
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._n = 0
+        self._sum = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.min = min(self.min, value)
+        self.max = max(self.max, value)
+        self._n += 1
+        self._sum += value
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._n if self._n else 0.0
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "gauge",
+            "value": self.value,
+            "min": self.min if self._n else 0.0,
+            "max": self.max if self._n else 0.0,
+            "mean": self.mean,
+            "samples": self._n,
+        }
+
+
+class Histogram:
+    """Fixed-bucket histogram with an implicit overflow bucket.
+
+    ``buckets`` are inclusive upper bounds, strictly increasing; an
+    observation lands in the first bucket whose bound is >= the value,
+    or in the overflow bucket past the last bound.
+    """
+
+    __slots__ = ("name", "help", "bounds", "counts", "overflow", "_n", "_sum", "_min", "_max")
+
+    def __init__(self, name: str, buckets: Sequence[float], help: str = "") -> None:
+        bounds = list(buckets)
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        if any(b >= a for b, a in zip(bounds, bounds[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self.name = name
+        self.help = help
+        self.bounds: List[float] = bounds
+        self.counts: List[int] = [0] * len(bounds)
+        self.overflow = 0
+        self._n = 0
+        self._sum = 0.0
+        self._min = float("inf")
+        self._max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        index = bisect.bisect_left(self.bounds, value)
+        if index == len(self.bounds):
+            self.overflow += 1
+        else:
+            self.counts[index] += 1
+        self._n += 1
+        self._sum += value
+        self._min = min(self._min, value)
+        self._max = max(self._max, value)
+
+    # ------------------------------------------------------------------
+    @property
+    def total(self) -> int:
+        return self._n
+
+    @property
+    def mean(self) -> float:
+        return self._sum / self._n if self._n else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the bucket bound covering rank ``q``.
+
+        Returns the last bound for observations in the overflow bucket.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self._n:
+            return 0.0
+        rank = q * self._n
+        cumulative = 0
+        for bound, count in zip(self.bounds, self.counts):
+            cumulative += count
+            if cumulative >= rank:
+                return bound
+        return self.bounds[-1]
+
+    def to_dict(self) -> dict:
+        return {
+            "type": "histogram",
+            "buckets": list(self.bounds),
+            "counts": list(self.counts),
+            "overflow": self.overflow,
+            "total": self._n,
+            "sum": self._sum,
+            "mean": self.mean,
+            "min": self._min if self._n else 0.0,
+            "max": self._max if self._n else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """A flat namespace of instruments with get-or-create semantics."""
+
+    def __init__(self) -> None:
+        self._instruments: Dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    def _get_or_create(self, name: str, kind: type, factory) -> object:
+        existing = self._instruments.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise TypeError(
+                    f"metric '{name}' already registered as {type(existing).__name__}"
+                )
+            return existing
+        instrument = factory()
+        self._instruments[name] = instrument
+        return instrument
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name, help))  # type: ignore[return-value]
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name, help))  # type: ignore[return-value]
+
+    def histogram(self, name: str, buckets: Sequence[float], help: str = "") -> Histogram:
+        return self._get_or_create(name, Histogram, lambda: Histogram(name, buckets, help))  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._instruments
+
+    def __getitem__(self, name: str) -> object:
+        return self._instruments[name]
+
+    def names(self) -> List[str]:
+        return sorted(self._instruments)
+
+    def to_dict(self) -> dict:
+        """JSON-safe snapshot of every instrument, sorted by name."""
+        return {name: self._instruments[name].to_dict() for name in self.names()}  # type: ignore[attr-defined]
+
+
+# ----------------------------------------------------------------------
+# The standard simulator instrument set
+# ----------------------------------------------------------------------
+#: Default buckets, chosen so the paper-scale runs spread over them.
+EPOCH_MISS_BUCKETS = (1, 2, 3, 4, 6, 8, 12, 16, 24, 32)
+EPOCH_CYCLE_BUCKETS = (300.0, 500.0, 750.0, 1000.0, 1500.0, 2500.0, 5000.0, 10000.0)
+LEAD_EPOCH_BUCKETS = (0, 1, 2, 3, 4, 6, 8)
+UTILIZATION_BUCKETS = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.5)
+EMAB_BUCKETS = (0, 4, 8, 16, 32, 64, 128)
+
+
+class SimulationMetrics:
+    """Attaches the standard instrument set to a bus.
+
+    One instance observes one (or several sequential) simulations and
+    exposes its numbers through :attr:`registry`.
+    """
+
+    def __init__(self, bus: EventBus, registry: Optional[MetricsRegistry] = None) -> None:
+        self.bus = bus
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self.events_by_type = r.counter("events_total", "events delivered by type tally below")
+        self._type_counters: Dict[type, Counter] = {}
+
+        self.epochs = r.counter("epochs_closed", "real epochs closed")
+        self.accesses = r.counter("accesses_resolved", "L2 accesses classified")
+        self.issued = r.counter("prefetches_issued", "requests emitted by prefetchers")
+        self.filled = r.counter("prefetches_filled", "prefetch bus transfers completed")
+        self.dropped = r.counter("prefetches_dropped", "prefetches dropped (any reason)")
+        self.hits = r.counter("prefetch_hits", "demand accesses averted by the buffer")
+        self.table_reads = r.counter("table_read_bytes", "correlation-table read traffic")
+        self.table_writes = r.counter("table_write_bytes", "correlation-table write traffic")
+        self.budget_exhausted = r.counter("budget_exhausted", "droppable charges refused")
+
+        self.epoch_misses = r.histogram(
+            "epoch_misses", EPOCH_MISS_BUCKETS, "misses per epoch (== per-epoch MLP)"
+        )
+        self.epoch_mlp = r.histogram(
+            "epoch_mlp", EPOCH_MISS_BUCKETS, "memory-level parallelism per epoch"
+        )
+        self.epoch_cycles = r.histogram(
+            "epoch_cycles", EPOCH_CYCLE_BUCKETS, "epoch length in cycles"
+        )
+        self.lead_epochs = r.histogram(
+            "prefetch_lead_epochs", LEAD_EPOCH_BUCKETS, "epochs between issue and use"
+        )
+        self.read_utilization = r.histogram(
+            "read_bus_utilization", UTILIZATION_BUCKETS, "per-window read-bus occupancy"
+        )
+        self.emab_occupancy = r.histogram(
+            "emab_occupancy", EMAB_BUCKETS, "EMAB addresses buffered at epoch close"
+        )
+        self.bus_queue = r.gauge("bus_queue_occupancy", "read-bus occupancy of the last window")
+        self.buffer_occupancy = r.gauge("prefetch_buffer_occupancy", "buffer lines resident")
+
+        self._unsubscribe = [
+            bus.subscribe(EpochClosed, self._on_epoch),
+            bus.subscribe(AccessResolved, self._on_access),
+            bus.subscribe(PrefetchIssued, self._on_issued),
+            bus.subscribe(PrefetchFilled, self._on_filled),
+            bus.subscribe(PrefetchDropped, self._on_dropped),
+            bus.subscribe(PrefetchHit, self._on_hit),
+            bus.subscribe(TableRead, self._on_table_read),
+            bus.subscribe(TableWrite, self._on_table_write),
+            bus.subscribe(BudgetExhausted, self._on_budget),
+        ]
+
+    # ------------------------------------------------------------------
+    def detach(self) -> None:
+        """Stop observing the bus (the registry keeps its numbers)."""
+        for unsubscribe in self._unsubscribe:
+            unsubscribe()
+        self._unsubscribe = []
+
+    def _tally(self, event: Event) -> None:
+        self.events_by_type.inc()
+        counter = self._type_counters.get(type(event))
+        if counter is None:
+            counter = self.registry.counter(f"events.{type(event).__name__}")
+            self._type_counters[type(event)] = counter
+        counter.inc()
+
+    # ------------------------------------------------------------------
+    def _on_epoch(self, event: EpochClosed) -> None:
+        self._tally(event)
+        self.epochs.inc()
+        self.epoch_misses.observe(event.n_misses)
+        self.epoch_mlp.observe(event.mlp)
+        self.epoch_cycles.observe(event.duration_cycles)
+        self.read_utilization.observe(event.read_utilization)
+        self.bus_queue.set(event.read_utilization)
+        if event.emab_occupancy >= 0:
+            self.emab_occupancy.observe(event.emab_occupancy)
+        self.buffer_occupancy.set(event.buffer_occupancy)
+
+    def _on_access(self, event: AccessResolved) -> None:
+        self._tally(event)
+        self.accesses.inc()
+
+    def _on_issued(self, event: PrefetchIssued) -> None:
+        self._tally(event)
+        self.issued.inc()
+
+    def _on_filled(self, event: PrefetchFilled) -> None:
+        self._tally(event)
+        self.filled.inc()
+
+    def _on_dropped(self, event: PrefetchDropped) -> None:
+        self._tally(event)
+        self.dropped.inc()
+
+    def _on_hit(self, event: PrefetchHit) -> None:
+        self._tally(event)
+        self.hits.inc()
+        if event.lead_epochs >= 0:
+            self.lead_epochs.observe(event.lead_epochs)
+
+    def _on_table_read(self, event: TableRead) -> None:
+        self._tally(event)
+        self.table_reads.inc(event.nbytes)
+
+    def _on_table_write(self, event: TableWrite) -> None:
+        self._tally(event)
+        self.table_writes.inc(event.nbytes)
+
+    def _on_budget(self, event: BudgetExhausted) -> None:
+        self._tally(event)
+        self.budget_exhausted.inc()
+        self.bus_queue.set(event.utilization)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return self.registry.to_dict()

@@ -34,9 +34,14 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from ..engine.epoch import Epoch
 from ..memory.request import Access, PrefetchRequest
+from ..obs.events import PrefetchIssued, TableRead, TableWrite
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.bus import EventBus
 
 __all__ = ["TrafficMeter", "Prefetcher"]
 
@@ -52,22 +57,36 @@ class TrafficMeter:
     # Lifetime totals (never reset), for reporting.
     total_read_bytes: int = 0
     total_write_bytes: int = 0
+    #: Optional observability bus; every add_* publishes a table event.
+    bus: "EventBus | None" = field(default=None, repr=False, compare=False)
+
+    def _emit_read(self, nbytes: int, purpose: str) -> None:
+        if self.bus is not None and self.bus.wants(TableRead):
+            self.bus.emit(TableRead(nbytes=nbytes, purpose=purpose))
+
+    def _emit_write(self, nbytes: int, purpose: str) -> None:
+        if self.bus is not None and self.bus.wants(TableWrite):
+            self.bus.emit(TableWrite(nbytes=nbytes, purpose=purpose))
 
     def add_lookup_read(self, nbytes: int) -> None:
         self.lookup_read_bytes += nbytes
         self.total_read_bytes += nbytes
+        self._emit_read(nbytes, "lookup")
 
     def add_update_read(self, nbytes: int) -> None:
         self.update_read_bytes += nbytes
         self.total_read_bytes += nbytes
+        self._emit_read(nbytes, "update")
 
     def add_update_write(self, nbytes: int) -> None:
         self.update_write_bytes += nbytes
         self.total_write_bytes += nbytes
+        self._emit_write(nbytes, "update")
 
     def add_lru_write(self, nbytes: int) -> None:
         self.lru_write_bytes += nbytes
         self.total_write_bytes += nbytes
+        self._emit_write(nbytes, "lru")
 
     def drain(self) -> tuple[int, int, int, int]:
         """Return and clear (lookup_r, update_r, update_w, lru_w) bytes."""
@@ -101,6 +120,13 @@ class Prefetcher(abc.ABC):
     def __init__(self) -> None:
         self.traffic = TrafficMeter()
         self.issued_requests = 0
+        #: Optional observability bus (see :meth:`attach_bus`).
+        self.bus: "EventBus | None" = None
+
+    def attach_bus(self, bus: "EventBus | None") -> None:
+        """Attach an observability bus to this prefetcher and its meter."""
+        self.bus = bus
+        self.traffic.bus = bus
 
     # ------------------------------------------------------------------
     # Engine callbacks (default: no-ops returning no requests)
@@ -162,4 +188,14 @@ class Prefetcher(abc.ABC):
         """Helper stamping the request with this prefetcher's name."""
         req = PrefetchRequest(line_addr=line, source=self.name, **kwargs)  # type: ignore[arg-type]
         self.issued_requests += 1
+        if self.bus is not None and self.bus.wants(PrefetchIssued):
+            self.bus.emit(
+                PrefetchIssued(
+                    line=req.line_addr,
+                    source=req.source,
+                    priority=int(req.priority),
+                    epochs_until_ready=req.epochs_until_ready,
+                    table_index=req.table_index,
+                )
+            )
         return req

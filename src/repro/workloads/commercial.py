@@ -26,6 +26,7 @@ runs.  Traces are deterministic in ``(name, seed, scale, records)``.
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -342,7 +343,11 @@ def build_commercial_trace(
     if name not in PROFILES:
         raise KeyError(f"unknown workload '{name}'; choose from {sorted(PROFILES)}")
     profile = PROFILES[name]
-    rng = np.random.default_rng(seed * 1_000_003 + hash(name) % 65536)
+    # Per-workload stream decorrelation must be stable across processes:
+    # builtin str hashing is randomised per interpreter (PYTHONHASHSEED),
+    # which made "deterministic" traces differ from run to run.
+    name_salt = zlib.crc32(name.encode("utf-8")) % 65536
+    rng = np.random.default_rng(seed * 1_000_003 + name_salt)
 
     alloc = RegionAllocator(base=0x4000_0000)
     code = alloc.allocate("code", max(64, int(profile.code_footprint_lines * scale)))

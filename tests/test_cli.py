@@ -59,3 +59,74 @@ class TestCommands:
         assert main(["run", "table1", "--records", "30000"]) == 0
         out = capsys.readouterr().out
         assert "Table 1" in out and "database" in out
+
+
+class TestTraceCommand:
+    def test_trace_produces_valid_outputs(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        jsonl = tmp_path / "events.jsonl"
+        manifest_path = tmp_path / "manifest.json"
+        metrics_path = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "trace", "pointer_chase", "ebcp",
+                    "--records", "6000",
+                    "--out", str(out),
+                    "--jsonl", str(jsonl),
+                    "--manifest", str(manifest_path),
+                    "--metrics-out", str(metrics_path),
+                ]
+            )
+            == 0
+        )
+        import json
+
+        doc = json.loads(out.read_text())
+        assert isinstance(doc["traceEvents"], list) and doc["traceEvents"]
+
+        manifest = json.loads(manifest_path.read_text())
+        closes = sum(
+            1 for line in jsonl.read_text().splitlines()
+            if json.loads(line)["event"] == "EpochClosed"
+        )
+        # The headline invariant: the JSONL EpochClosed count equals the
+        # stats' epoch count for the same run.
+        assert closes == manifest["result"]["epochs"] > 0
+        assert manifest["event_counts"]["EpochClosed"] == closes
+
+        metrics = json.loads(metrics_path.read_text())
+        assert metrics["epochs_closed"]["value"] == closes
+
+    def test_trace_chrome_only(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        assert main(["trace", "pointer_chase", "none", "--records", "4000",
+                     "--out", str(out)]) == 0
+        assert out.exists()
+        assert "perfetto" in capsys.readouterr().out
+
+    def test_simulate_metrics_out(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "metrics.json"
+        assert main(["simulate", "pointer_chase", "ebcp", "--records", "6000",
+                     "--metrics-out", str(path)]) == 0
+        metrics = json.loads(path.read_text())
+        assert metrics["epochs_closed"]["value"] > 0
+        assert metrics["epoch_misses"]["type"] == "histogram"
+
+    def test_run_metrics_out(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "table1.json"
+        assert main(["run", "table1", "--records", "20000",
+                     "--metrics-out", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert payload["kind"] == "table"
+        assert payload["records"] == 20000
+
+    def test_verbosity_flags_parse(self):
+        args = build_parser().parse_args(["-vv", "experiments"])
+        assert args.verbose == 2
+        args = build_parser().parse_args(["-q", "experiments"])
+        assert args.quiet == 1

@@ -1,10 +1,18 @@
-"""Tests for the simulator's observation hooks and writeback modelling."""
+"""Tests for the simulator's observation hooks and writeback modelling.
+
+The primary interface is the :mod:`repro.obs` event bus; the legacy
+``epoch_listener``/``access_listener`` attributes remain as deprecated
+shims and keep their own coverage below.
+"""
 
 from __future__ import annotations
+
+import pytest
 
 from repro.engine.config import CacheConfig, ProcessorConfig
 from repro.engine.simulator import EpochSimulator
 from repro.memory.hierarchy import AccessOutcome
+from repro.obs import AccessResolved, EpochClosed, EventBus
 from repro.workloads.trace import TraceBuilder
 
 
@@ -19,50 +27,103 @@ def small_config(**overrides) -> ProcessorConfig:
     return base.replace(**overrides) if overrides else base
 
 
-class TestListeners:
-    def test_epoch_listener_sees_every_close(self, builder):
+class TestBusObservation:
+    def test_epoch_closed_fires_for_every_close(self, builder):
         for i in range(5):
             builder.load(0x100, 0x100_0000 + i * 64, gap=300)
-        sim = EpochSimulator(small_config())
+        bus = EventBus()
         closed = []
-        sim.epoch_listener = closed.append
+        bus.subscribe(EpochClosed, lambda event: closed.append(event.epoch))
+        sim = EpochSimulator(small_config(), bus=bus)
         sim.run(builder.build(), warmup_records=0)
         assert len(closed) == 5
         assert [e.index for e in closed] == list(range(5))
 
-    def test_access_listener_sees_l2_accesses_only(self, builder):
+    def test_access_resolved_sees_l2_accesses_only(self, builder):
         builder.load(0x100, 0x100_0000, gap=10)
         builder.load(0x100, 0x100_0000, gap=10)  # L1 hit: not an L2 access
-        sim = EpochSimulator(small_config())
+        bus = EventBus()
         seen = []
-        sim.access_listener = lambda access, line, result: seen.append(result.outcome)
+        bus.subscribe(AccessResolved, lambda event: seen.append(event.result.outcome))
+        sim = EpochSimulator(small_config(), bus=bus)
         sim.run(builder.build(), warmup_records=0)
         assert seen == [AccessOutcome.OFFCHIP_MISS]
 
-    def test_listeners_fire_during_warmup_too(self, builder):
+    def test_events_fire_during_warmup_too(self, builder):
         for i in range(4):
             builder.load(0x100, 0x100_0000 + i * 64, gap=300)
-        sim = EpochSimulator(small_config())
+        bus = EventBus()
         closed = []
-        sim.epoch_listener = closed.append
+        bus.subscribe(EpochClosed, lambda event: closed.append(event.epoch))
+        sim = EpochSimulator(small_config(), bus=bus)
         sim.run(builder.build(), warmup_records=2)
         assert len(closed) == 4
 
+    def test_epoch_closed_marks_warmup_windows_unmeasured(self, builder):
+        for i in range(4):
+            builder.load(0x100, 0x100_0000 + i * 64, gap=300)
+        bus = EventBus()
+        measured = []
+        bus.subscribe(EpochClosed, lambda event: measured.append(event.measured))
+        sim = EpochSimulator(small_config(), bus=bus)
+        sim.run(builder.build(), warmup_records=2)
+        assert measured[0] is False
+        assert measured[-1] is True
+
+
+class TestDeprecatedShims:
+    def test_epoch_listener_still_works_with_warning(self, builder):
+        for i in range(3):
+            builder.load(0x100, 0x100_0000 + i * 64, gap=300)
+        sim = EpochSimulator(small_config())
+        closed = []
+        with pytest.warns(DeprecationWarning):
+            sim.epoch_listener = closed.append
+        sim.run(builder.build(), warmup_records=0)
+        assert [e.index for e in closed] == list(range(3))
+
+    def test_access_listener_still_works_with_warning(self, builder):
+        builder.load(0x100, 0x100_0000, gap=10)
+        sim = EpochSimulator(small_config())
+        seen = []
+        with pytest.warns(DeprecationWarning):
+            sim.access_listener = lambda access, line, result: seen.append(result.outcome)
+        sim.run(builder.build(), warmup_records=0)
+        assert seen == [AccessOutcome.OFFCHIP_MISS]
+
+    def test_clearing_listener_unsubscribes(self, builder):
+        for i in range(3):
+            builder.load(0x100, 0x100_0000 + i * 64, gap=300)
+        sim = EpochSimulator(small_config())
+        closed = []
+        with pytest.warns(DeprecationWarning):
+            sim.epoch_listener = closed.append
+        with pytest.warns(DeprecationWarning):
+            sim.epoch_listener = None
+        sim.run(builder.build(), warmup_records=0)
+        assert closed == []
+
 
 class TestWritebacks:
+    @staticmethod
+    def _writeback_collector(bus: EventBus, writebacks: list) -> None:
+        bus.subscribe(
+            AccessResolved,
+            lambda event: writebacks.append(event.result.writeback_line)
+            if event.result.writeback_line is not None
+            else None,
+        )
+
     def test_dirty_eviction_reported_and_charged(self, builder):
         # Store to one line, then walk enough lines through its L2 set to
         # evict it: 16 KB 4-way = 64 sets; lines 0, 64, 128... share set 0.
         builder.store(0x100, 0x100_0000, gap=10)
         for k in range(1, 6):
             builder.load(0x100, 0x100_0000 + k * 64 * 64, gap=300)
-        sim = EpochSimulator(small_config())
+        bus = EventBus()
         writebacks = []
-        sim.access_listener = (
-            lambda access, line, result: writebacks.append(result.writeback_line)
-            if result.writeback_line is not None
-            else None
-        )
+        self._writeback_collector(bus, writebacks)
+        sim = EpochSimulator(small_config(), bus=bus)
         result = sim.run(builder.build(), warmup_records=0)
         assert len(writebacks) == 1
         assert writebacks[0] == 0x100_0000 >> 6
@@ -73,13 +134,10 @@ class TestWritebacks:
         builder.load(0x100, 0x100_0000, gap=10)
         for k in range(1, 6):
             builder.load(0x100, 0x100_0000 + k * 64 * 64, gap=300)
-        sim = EpochSimulator(small_config())
+        bus = EventBus()
         writebacks = []
-        sim.access_listener = (
-            lambda access, line, result: writebacks.append(result.writeback_line)
-            if result.writeback_line is not None
-            else None
-        )
+        self._writeback_collector(bus, writebacks)
+        sim = EpochSimulator(small_config(), bus=bus)
         sim.run(builder.build(), warmup_records=0)
         assert writebacks == []
 
@@ -88,13 +146,9 @@ class TestWritebacks:
         builder.store(0x100, 0x100_0000, gap=10)  # L1 hit, still dirty in L2
         for k in range(1, 6):
             builder.load(0x100, 0x100_0000 + k * 64 * 64, gap=300)
-        sim = EpochSimulator(small_config())
-        count = [0]
-
-        def listener(access, line, result):
-            if result.writeback_line is not None:
-                count[0] += 1
-
-        sim.access_listener = listener
+        bus = EventBus()
+        writebacks = []
+        self._writeback_collector(bus, writebacks)
+        sim = EpochSimulator(small_config(), bus=bus)
         sim.run(builder.build(), warmup_records=0)
-        assert count[0] == 1  # one dirty line -> one writeback
+        assert len(writebacks) == 1  # one dirty line -> one writeback

@@ -1,0 +1,212 @@
+"""Tests for the event bus: mechanics, ordering, payload invariants.
+
+The second half runs real (small) simulations and asserts the event
+stream is consistent with the statistics the simulator reports — the
+invariants the exporters and the metrics collector rely on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engine.config import CacheConfig, ProcessorConfig
+from repro.engine.simulator import EpochSimulator
+from repro.obs import (
+    EVENT_TYPES,
+    AccessResolved,
+    EpochClosed,
+    Event,
+    EventBus,
+    PrefetchFilled,
+    PrefetchHit,
+    PrefetchIssued,
+    TableRead,
+    event_payload,
+)
+from repro.prefetchers.registry import build_prefetcher
+from repro.workloads.registry import make_workload
+
+
+def small_config() -> ProcessorConfig:
+    return ProcessorConfig(
+        l1i=CacheConfig(4 * 1024, 4, 64, 3),
+        l1d=CacheConfig(4 * 1024, 4, 64, 3),
+        l2=CacheConfig(16 * 1024, 4, 64, 20),
+        cpi_perf=1.0,
+        overlap=0.0,
+    )
+
+
+class TestBusMechanics:
+    def test_subscribe_and_emit(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe(TableRead, seen.append)
+        event = TableRead(nbytes=64, purpose="lookup")
+        bus.emit(event)
+        assert seen == [event]
+        assert bus.emitted == 1
+
+    def test_unsubscribe(self):
+        bus = EventBus()
+        seen = []
+        unsubscribe = bus.subscribe(TableRead, seen.append)
+        unsubscribe()
+        bus.emit(TableRead(nbytes=64, purpose="lookup"))
+        assert seen == []
+        assert not bus.active
+
+    def test_non_event_type_rejected(self):
+        with pytest.raises(TypeError):
+            EventBus().subscribe(int, lambda e: None)
+
+    def test_wants_reflects_subscriptions(self):
+        bus = EventBus()
+        assert not bus.wants(TableRead)
+        unsubscribe = bus.subscribe(TableRead, lambda e: None)
+        assert bus.wants(TableRead)
+        assert not bus.wants(EpochClosed)
+        unsubscribe()
+        assert not bus.wants(TableRead)
+
+    def test_catch_all_wants_everything(self):
+        bus = EventBus()
+        bus.subscribe_all(lambda e: None)
+        for event_type in EVENT_TYPES:
+            assert bus.wants(event_type)
+
+    def test_typed_subscribers_run_before_catch_all(self):
+        bus = EventBus()
+        order = []
+        bus.subscribe_all(lambda e: order.append("all"))
+        bus.subscribe(TableRead, lambda e: order.append("typed"))
+        bus.emit(TableRead(nbytes=8, purpose="lookup"))
+        assert order == ["typed", "all"]
+
+    def test_undelivered_events_not_counted(self):
+        bus = EventBus()
+        bus.subscribe(EpochClosed, lambda e: None)
+        bus.emit(TableRead(nbytes=8, purpose="lookup"))
+        assert bus.emitted == 0
+
+    def test_clear(self):
+        bus = EventBus()
+        bus.subscribe(TableRead, lambda e: None)
+        bus.subscribe_all(lambda e: None)
+        bus.clear()
+        assert not bus.active
+
+
+class TestEventPayloads:
+    def test_every_event_type_is_frozen_and_tagged(self):
+        assert all(issubclass(t, Event) for t in EVENT_TYPES)
+
+    def test_payload_has_event_tag(self):
+        payload = event_payload(TableRead(nbytes=64, purpose="lookup"))
+        assert payload["event"] == "TableRead"
+        assert payload["nbytes"] == 64
+        assert payload["purpose"] == "lookup"
+
+    def test_prefetch_hit_lead_epochs(self):
+        hit = PrefetchHit(line=1, epoch_index=10, issue_epoch=7, source="ebcp", measured=True)
+        assert hit.lead_epochs == 3
+        assert event_payload(hit)["lead_epochs"] == 3
+
+    def test_unknown_issue_epoch_gives_negative_lead(self):
+        hit = PrefetchHit(line=1, epoch_index=10, issue_epoch=-1, source="ebcp", measured=True)
+        assert hit.lead_epochs == -1
+
+
+class TestSimulationInvariants:
+    """The event stream must agree with the simulator's own statistics."""
+
+    @pytest.fixture(scope="class")
+    def observed_run(self):
+        trace = make_workload("database", records=8_000, seed=3)
+        bus = EventBus()
+        events: list[Event] = []
+        bus.subscribe_all(events.append)
+        sim = EpochSimulator(
+            ProcessorConfig.scaled(),
+            build_prefetcher("ebcp"),
+            cpi_perf=trace.meta.cpi_perf,
+            overlap=trace.meta.overlap,
+            bus=bus,
+        )
+        result = sim.run(trace, warmup_records=0)
+        return result, events
+
+    def test_epoch_closed_count_matches_stats(self, observed_run):
+        result, events = observed_run
+        closes = [e for e in events if isinstance(e, EpochClosed)]
+        assert len(closes) == result.stats.epochs
+
+    def test_epoch_indices_strictly_increasing(self, observed_run):
+        _, events = observed_run
+        indices = [e.index for e in events if isinstance(e, EpochClosed)]
+        assert indices == sorted(indices)
+        assert len(set(indices)) == len(indices)
+
+    def test_epoch_timeline_is_monotone(self, observed_run):
+        _, events = observed_run
+        closes = [e for e in events if isinstance(e, EpochClosed)]
+        starts = [e.start_cycle for e in closes]
+        assert starts == sorted(starts)
+        assert all(e.duration_cycles > 0 for e in closes)
+        assert all(e.n_misses >= 1 for e in closes)
+
+    def test_access_resolved_count_matches_stats(self, observed_run):
+        result, events = observed_run
+        accesses = [e for e in events if isinstance(e, AccessResolved)]
+        assert len(accesses) == result.stats.l2_accesses
+
+    def test_prefetch_lifecycle_counts_match_stats(self, observed_run):
+        result, events = observed_run
+        filled = sum(isinstance(e, PrefetchFilled) for e in events)
+        hits = [e for e in events if isinstance(e, PrefetchHit)]
+        assert filled == result.stats.prefetches_filled
+        assert sum(e.measured for e in hits) == result.stats.total_prefetch_hits
+
+    def test_issued_before_filled_per_line(self, observed_run):
+        _, events = observed_run
+        issued_lines = set()
+        for event in events:
+            if isinstance(event, PrefetchIssued):
+                issued_lines.add(event.line)
+            elif isinstance(event, PrefetchFilled):
+                assert event.line in issued_lines
+
+    def test_every_payload_is_json_safe(self, observed_run):
+        import json
+
+        _, events = observed_run
+        for event in events[:500]:
+            json.dumps(event_payload(event))
+
+
+class TestNullSink:
+    def test_observed_and_unobserved_runs_agree(self):
+        """Attaching a bus must not perturb the simulation itself."""
+        trace = make_workload("tpcw", records=6_000, seed=5)
+        kwargs = {"cpi_perf": trace.meta.cpi_perf, "overlap": trace.meta.overlap}
+        plain = EpochSimulator(
+            ProcessorConfig.scaled(), build_prefetcher("ebcp"), **kwargs
+        ).run(trace, warmup_records=0)
+        bus = EventBus()
+        bus.subscribe_all(lambda e: None)
+        observed = EpochSimulator(
+            ProcessorConfig.scaled(), build_prefetcher("ebcp"), bus=bus, **kwargs
+        ).run(trace, warmup_records=0)
+        assert observed.to_dict() == plain.to_dict()
+
+    def test_unwatched_types_are_never_constructed(self, builder):
+        # Only EpochClosed is subscribed: emitted counts only epoch events,
+        # because `wants` stops the other emission sites early.
+        for i in range(3):
+            builder.load(0x100, 0x100_0000 + i * 64, gap=300)
+        bus = EventBus()
+        closes = []
+        bus.subscribe(EpochClosed, closes.append)
+        sim = EpochSimulator(small_config(), bus=bus)
+        sim.run(builder.build(), warmup_records=0)
+        assert bus.emitted == len(closes) == 3

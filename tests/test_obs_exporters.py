@@ -1,0 +1,170 @@
+"""Tests for the trace exporters and the per-run manifest."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.engine.config import ProcessorConfig
+from repro.engine.simulator import EpochSimulator
+from repro.obs import (
+    ChromeTraceExporter,
+    EpochClosed,
+    EventBus,
+    JsonlTraceWriter,
+    PhaseTimer,
+    RunManifest,
+    read_jsonl,
+)
+from repro.obs.events import TableRead
+from repro.prefetchers.registry import build_prefetcher
+from repro.workloads.registry import make_workload
+
+
+def observed_run(workload="database", records=6_000, seed=3, prefetcher="ebcp", **attach):
+    """Run a small simulation with the given exporters attached."""
+    trace = make_workload(workload, records=records, seed=seed)
+    bus = EventBus()
+    sinks = {name: factory(bus) for name, factory in attach.items()}
+    sim = EpochSimulator(
+        ProcessorConfig.scaled(),
+        build_prefetcher(prefetcher) if prefetcher != "none" else None,
+        cpi_perf=trace.meta.cpi_perf,
+        overlap=trace.meta.overlap,
+        bus=bus,
+    )
+    result = sim.run(trace, warmup_records=0)
+    return result, bus, sinks
+
+
+class TestJsonl:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        result, _, sinks = observed_run(
+            writer=lambda bus: JsonlTraceWriter(path, bus)
+        )
+        sinks["writer"].close()
+        records = read_jsonl(path)
+        assert len(records) == sinks["writer"].events_written
+        # seq is a gapless 0..n-1 emission order.
+        assert [r["seq"] for r in records] == list(range(len(records)))
+        closes = [r for r in records if r["event"] == "EpochClosed"]
+        assert len(closes) == result.stats.epochs
+        # The flattened payloads carry the derived fields.
+        assert all("mlp" in r for r in closes)
+
+    def test_file_like_target_not_closed(self):
+        buffer = io.StringIO()
+        writer = JsonlTraceWriter(buffer)
+        writer.write_event(TableRead(nbytes=64, purpose="lookup"))
+        writer.close()
+        assert not buffer.closed
+        record = json.loads(buffer.getvalue())
+        assert record == {"event": "TableRead", "nbytes": 64, "purpose": "lookup", "seq": 0}
+
+    def test_context_manager_detaches(self, tmp_path):
+        bus = EventBus()
+        with JsonlTraceWriter(tmp_path / "t.jsonl", bus):
+            assert bus.active
+        assert not bus.active
+
+
+class TestChromeTrace:
+    def test_valid_trace_document(self, tmp_path):
+        result, _, sinks = observed_run(chrome=ChromeTraceExporter)
+        doc = sinks["chrome"].to_dict()
+        # Survives a JSON round-trip and has the trace-event envelope.
+        doc = json.loads(json.dumps(doc))
+        assert isinstance(doc["traceEvents"], list)
+        slices = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        assert len(slices) == result.stats.epochs
+        for event in slices[:50]:
+            assert event["dur"] > 0
+            assert {"ts", "pid", "tid", "name", "args"} <= set(event)
+
+    def test_slices_are_ordered_and_named(self):
+        _, _, sinks = observed_run(records=4_000, chrome=ChromeTraceExporter)
+        slices = [e for e in sinks["chrome"].trace_events if e.get("ph") == "X"]
+        timestamps = [e["ts"] for e in slices]
+        assert timestamps == sorted(timestamps)
+        assert slices[0]["name"] == "epoch 0"
+
+    def test_write_and_reload(self, tmp_path):
+        _, _, sinks = observed_run(records=4_000, chrome=ChromeTraceExporter)
+        path = sinks["chrome"].write(tmp_path / "trace.json")
+        doc = json.loads(path.read_text())
+        assert doc["traceEvents"]
+        metadata = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert any(e["args"]["name"] == "repro-ebcp" for e in metadata)
+
+    def test_detach(self):
+        bus = EventBus()
+        exporter = ChromeTraceExporter(bus)
+        exporter.detach()
+        assert not bus.active
+
+
+class TestPhaseTimer:
+    def test_phases_accumulate(self):
+        timer = PhaseTimer()
+        with timer.phase("a"):
+            pass
+        with timer.phase("a"):
+            pass
+        with timer.phase("b"):
+            pass
+        assert set(timer.seconds) == {"a", "b"}
+        assert timer.seconds["a"] >= 0.0
+
+
+class TestManifest:
+    @staticmethod
+    def build_manifest(seed: int) -> RunManifest:
+        manifest = RunManifest("database", "ebcp", 5_000, seed)
+        trace = make_workload("database", records=5_000, seed=seed)
+        bus = EventBus()
+        manifest.count_events(bus)
+        sim = EpochSimulator(
+            ProcessorConfig.scaled(),
+            build_prefetcher("ebcp"),
+            cpi_perf=trace.meta.cpi_perf,
+            overlap=trace.meta.overlap,
+            bus=bus,
+        )
+        with manifest.phase("simulate"):
+            result = sim.run(trace, warmup_records=0)
+        manifest.config_summary = dict(result.config_summary)
+        manifest.record_result(result.to_dict())
+        return manifest
+
+    def test_deterministic_under_fixed_seed(self):
+        first = self.build_manifest(seed=11).deterministic_dict()
+        second = self.build_manifest(seed=11).deterministic_dict()
+        assert first == second
+        # ... and it really is JSON (no exotic types slipped in).
+        json.dumps(first)
+
+    def test_different_seed_changes_result(self):
+        first = self.build_manifest(seed=11).deterministic_dict()
+        second = self.build_manifest(seed=12).deterministic_dict()
+        assert first != second
+
+    def test_event_counts_match_stats(self):
+        manifest = self.build_manifest(seed=11)
+        assert manifest.event_counts["EpochClosed"] == manifest.result["epochs"]
+
+    def test_wall_section_excluded_from_deterministic_view(self):
+        manifest = self.build_manifest(seed=11)
+        assert "wall" in manifest.to_dict()
+        assert "wall" not in manifest.deterministic_dict()
+        assert "simulate" in manifest.to_dict()["wall"]["phases_seconds"]
+
+    def test_write(self, tmp_path):
+        manifest = RunManifest("w", "p", 10, 1)
+        manifest.extra["note"] = "x"
+        path = manifest.write(tmp_path / "manifest.json")
+        doc = json.loads(path.read_text())
+        assert doc["run"]["workload"] == "w"
+        assert doc["extra"]["note"] == "x"

@@ -1,0 +1,215 @@
+"""Tests for counters, gauges, fixed-bucket histograms and the registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import EventBus, MetricsRegistry, SimulationMetrics
+from repro.obs.events import (
+    BudgetExhausted,
+    EpochClosed,
+    PrefetchHit,
+    TableRead,
+    TableWrite,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram
+
+
+class TestCounter:
+    def test_inc(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").inc(-1)
+
+    def test_to_dict(self):
+        assert Counter("c").to_dict() == {"type": "counter", "value": 0}
+
+
+class TestGauge:
+    def test_set_tracks_extremes_and_mean(self):
+        gauge = Gauge("g")
+        for value in (2.0, 8.0, 5.0):
+            gauge.set(value)
+        assert gauge.value == 5.0
+        assert gauge.min == 2.0
+        assert gauge.max == 8.0
+        assert gauge.mean == pytest.approx(5.0)
+
+    def test_empty_gauge_serializes_to_zeros(self):
+        d = Gauge("g").to_dict()
+        assert d["min"] == 0.0 and d["max"] == 0.0 and d["samples"] == 0
+
+
+class TestHistogram:
+    def test_bucket_bounds_are_inclusive(self):
+        # Value exactly on a bound lands in that bound's bucket.
+        hist = Histogram("h", (1, 2, 4, 8))
+        for value in (1, 2, 4, 8):
+            hist.observe(value)
+        assert hist.counts == [1, 1, 1, 1]
+        assert hist.overflow == 0
+
+    def test_value_between_bounds_rounds_up(self):
+        hist = Histogram("h", (1, 2, 4, 8))
+        hist.observe(3)  # lands in the "<= 4" bucket
+        assert hist.counts == [0, 0, 1, 0]
+
+    def test_overflow_bucket(self):
+        hist = Histogram("h", (1, 2, 4))
+        hist.observe(5)
+        hist.observe(100)
+        assert hist.overflow == 2
+        assert sum(hist.counts) == 0
+        assert hist.total == 2
+
+    def test_mean_min_max(self):
+        hist = Histogram("h", (10, 20))
+        for value in (2, 4, 12):
+            hist.observe(value)
+        assert hist.mean == pytest.approx(6.0)
+        assert hist.to_dict()["min"] == 2
+        assert hist.to_dict()["max"] == 12
+
+    def test_quantile(self):
+        hist = Histogram("h", (1, 2, 4, 8))
+        for value in (1, 1, 2, 2, 2, 4, 8, 8, 8, 8):
+            hist.observe(value)
+        assert hist.quantile(0.0) == 0.0 if hist.total == 0 else True
+        assert hist.quantile(0.2) == 1
+        assert hist.quantile(0.5) == 2
+        assert hist.quantile(1.0) == 8
+
+    def test_quantile_of_empty_histogram(self):
+        assert Histogram("h", (1,)).quantile(0.5) == 0.0
+
+    def test_quantile_range_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (1,)).quantile(1.5)
+
+    def test_bounds_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram("h", (1, 1, 2))
+        with pytest.raises(ValueError):
+            Histogram("h", (4, 2))
+        with pytest.raises(ValueError):
+            Histogram("h", ())
+
+    def test_to_dict_counts_add_up(self):
+        hist = Histogram("h", (1, 2))
+        for value in (1, 2, 3):
+            hist.observe(value)
+        d = hist.to_dict()
+        assert sum(d["counts"]) + d["overflow"] == d["total"] == 3
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_kind_conflict_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TypeError):
+            registry.gauge("a")
+
+    def test_names_and_contains(self):
+        registry = MetricsRegistry()
+        registry.counter("b")
+        registry.gauge("a")
+        assert registry.names() == ["a", "b"]
+        assert "a" in registry and "c" not in registry
+
+    def test_to_dict_snapshot(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc(3)
+        snapshot = registry.to_dict()
+        assert snapshot == {"hits": {"type": "counter", "value": 3}}
+
+
+def _epoch_closed(**overrides):
+    defaults = dict(
+        epoch=None,
+        index=0,
+        n_misses=2,
+        start_cycle=0.0,
+        duration_cycles=400.0,
+        read_utilization=0.5,
+        queueing_cycles=0.0,
+        measured=True,
+        emab_occupancy=4,
+        buffer_occupancy=8,
+    )
+    defaults.update(overrides)
+    return EpochClosed(**defaults)
+
+
+class TestSimulationMetrics:
+    def test_epoch_close_feeds_epoch_instruments(self):
+        bus = EventBus()
+        metrics = SimulationMetrics(bus)
+        bus.emit(_epoch_closed(n_misses=3))
+        bus.emit(_epoch_closed(index=1, n_misses=1, read_utilization=0.9))
+        assert metrics.epochs.value == 2
+        assert metrics.epoch_misses.total == 2
+        assert metrics.epoch_mlp.mean == pytest.approx(2.0)
+        assert metrics.bus_queue.value == pytest.approx(0.9)
+        assert metrics.buffer_occupancy.value == 8
+
+    def test_negative_emab_occupancy_not_observed(self):
+        bus = EventBus()
+        metrics = SimulationMetrics(bus)
+        bus.emit(_epoch_closed(emab_occupancy=-1))
+        assert metrics.emab_occupancy.total == 0
+
+    def test_unknown_lead_time_not_observed(self):
+        bus = EventBus()
+        metrics = SimulationMetrics(bus)
+        bus.emit(PrefetchHit(line=1, epoch_index=5, issue_epoch=-1, source="s", measured=True))
+        bus.emit(PrefetchHit(line=2, epoch_index=5, issue_epoch=3, source="s", measured=True))
+        assert metrics.hits.value == 2
+        assert metrics.lead_epochs.total == 1
+        assert metrics.lead_epochs.mean == pytest.approx(2.0)
+
+    def test_table_traffic_counts_bytes(self):
+        bus = EventBus()
+        metrics = SimulationMetrics(bus)
+        bus.emit(TableRead(nbytes=64, purpose="lookup"))
+        bus.emit(TableRead(nbytes=64, purpose="update"))
+        bus.emit(TableWrite(nbytes=32, purpose="lru"))
+        assert metrics.table_reads.value == 128
+        assert metrics.table_writes.value == 32
+
+    def test_budget_exhausted_updates_queue_gauge(self):
+        bus = EventBus()
+        metrics = SimulationMetrics(bus)
+        bus.emit(BudgetExhausted(bus="read", priority=2, nbytes=64, utilization=1.25))
+        assert metrics.budget_exhausted.value == 1
+        assert metrics.bus_queue.value == pytest.approx(1.25)
+
+    def test_per_type_tally(self):
+        bus = EventBus()
+        metrics = SimulationMetrics(bus)
+        bus.emit(TableRead(nbytes=1, purpose="lookup"))
+        bus.emit(TableRead(nbytes=1, purpose="lookup"))
+        assert metrics.events_by_type.value == 2
+        assert metrics.registry["events.TableRead"].value == 2
+
+    def test_detach_stops_observing(self):
+        bus = EventBus()
+        metrics = SimulationMetrics(bus)
+        metrics.detach()
+        bus.emit(TableRead(nbytes=1, purpose="lookup"))
+        assert metrics.table_reads.value == 0
+        assert not bus.wants(TableRead)
+
+    def test_shared_registry(self):
+        registry = MetricsRegistry()
+        metrics = SimulationMetrics(EventBus(), registry)
+        assert metrics.registry is registry
+        assert "epochs_closed" in registry

@@ -29,6 +29,7 @@ from repro.core.prefetcher import EBCPConfig, EpochBasedCorrelationPrefetcher
 from repro.engine.config import CacheConfig, ProcessorConfig
 from repro.engine.simulator import EpochSimulator
 from repro.memory.hierarchy import AccessOutcome
+from repro.obs import AccessResolved, EventBus
 from repro.prefetchers.solihin import SolihinPrefetcher
 from repro.workloads.synthetic import paper_example_trace
 
@@ -56,13 +57,14 @@ def run_example(prefetcher):
     letters = trace.meta.extra["letters"]
     line_to_letter = {addr >> 6: letter for letter, addr in letters.items()}
 
-    sim = EpochSimulator(example_config(), prefetcher)
+    bus = EventBus()
+    sim = EpochSimulator(example_config(), prefetcher, bus=bus)
     outcomes: list[tuple[str, AccessOutcome]] = []
     state = {"flushed": True}
 
-    def on_access(access, line, result):
-        if line in line_to_letter:
-            outcomes.append((line_to_letter[line], result.outcome))
+    def on_access(event: AccessResolved) -> None:
+        if event.line in line_to_letter:
+            outcomes.append((line_to_letter[event.line], event.result.outcome))
             state["flushed"] = False
         elif not state["flushed"]:
             # First eviction access of the iteration: discard the
@@ -71,7 +73,7 @@ def run_example(prefetcher):
             sim.hierarchy.prefetch_buffer.flush()
             state["flushed"] = True
 
-    sim.access_listener = on_access
+    bus.subscribe(AccessResolved, on_access)
     result = sim.run(trace, warmup_records=0)
 
     per_iter = [outcomes[i * 9 : (i + 1) * 9] for i in range(ITERATIONS)]

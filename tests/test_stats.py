@@ -89,6 +89,52 @@ class TestComparison:
         assert make_result().epi_reduction_over(base) == 0.0
 
 
+class TestZeroInstructionGuards:
+    """Every derived metric must be well-defined on an empty run."""
+
+    def test_all_rates_are_zero(self):
+        result = make_result(instructions=0, epochs=0, offchip_cycles=0.0)
+        assert result.cpi == 0.0
+        assert result.offchip_cpi == 0.0
+        assert result.epochs_per_kilo_inst == 0.0
+        assert result.l2_inst_miss_rate == 0.0
+        assert result.l2_load_miss_rate == 0.0
+        assert result.coverage == 0.0
+        assert result.accuracy == 0.0
+        assert result.read_bus_utilization == 0.0
+
+    def test_improvement_over_zero_cpi(self):
+        empty = make_result(instructions=0, offchip_cycles=0.0)
+        assert empty.improvement_over(make_result()) == 0.0
+
+    def test_to_dict_survives_empty_run(self):
+        d = make_result(instructions=0, epochs=0, offchip_cycles=0.0).to_dict()
+        assert d["cpi"] == 0.0 and d["epochs"] == 0
+
+
+class TestStatsSerialization:
+    def test_round_trip(self):
+        stats = SimulationStats(instructions=1000, epochs=42, offchip_cycles=5.5)
+        stats.offchip_misses[AccessKind.LOAD] = 7
+        stats.prefetch_hits[AccessKind.IFETCH] = 3
+        stats.termination_reasons["drain"] = 9
+        rebuilt = SimulationStats.from_dict(stats.to_dict())
+        assert rebuilt == stats
+
+    def test_to_dict_is_json_safe(self):
+        import json
+
+        stats = SimulationStats(instructions=10)
+        stats.offchip_misses[AccessKind.STORE] = 1
+        payload = json.loads(json.dumps(stats.to_dict()))
+        assert payload["offchip_misses"]["store"] == 1
+
+    def test_from_dict_ignores_unknown_keys(self):
+        stats = SimulationStats.from_dict({"instructions": 5, "not_a_field": 1})
+        assert stats.instructions == 5
+        assert not hasattr(stats, "not_a_field")
+
+
 class TestContainers:
     def test_per_kilo_inst(self):
         stats = SimulationStats(instructions=2000)
