@@ -13,9 +13,11 @@ from repro.experiments import extension_cmp
 from conftest import publish
 
 
-def test_extension_cmp(benchmark, bench_records, bench_seed):
+def test_extension_cmp(benchmark, bench_records, bench_seed, bench_jobs):
     result = benchmark.pedantic(
-        lambda: extension_cmp.run(records=min(bench_records, 200_000), seed=bench_seed),
+        lambda: extension_cmp.run(
+            records=min(bench_records, 200_000), seed=bench_seed, jobs=bench_jobs
+        ),
         rounds=1,
         iterations=1,
     )

@@ -7,9 +7,9 @@ from repro.experiments import figure8
 from conftest import publish
 
 
-def test_figure8(benchmark, bench_records, bench_seed):
+def test_figure8(benchmark, bench_records, bench_seed, bench_jobs):
     result = benchmark.pedantic(
-        lambda: figure8.run(records=bench_records, seed=bench_seed),
+        lambda: figure8.run(records=bench_records, seed=bench_seed, jobs=bench_jobs),
         rounds=1,
         iterations=1,
     )

@@ -1,0 +1,136 @@
+"""Bench: raw simulator throughput and parallel sweep speedup.
+
+Emits ``BENCH_speed.json`` with
+
+* single-process throughput (trace records simulated per second) for the
+  no-prefetching baseline and the default EBCP,
+* wall-clock time of the same 8-job sweep grid at ``jobs=1`` vs
+  ``jobs=4`` and the resulting speedup, and
+* a bit-identity check between the two (hard assertion: parallelism must
+  never change results).
+
+The speedup assertion is gated on the machine actually having cores to
+fan out to — on a single-core CI runner the pool can only add overhead,
+and the number is still reported for the record.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.engine.config import ProcessorConfig
+from repro.engine.simulator import EpochSimulator
+from repro.parallel import JobSpec, run_jobs
+from repro.prefetchers.registry import build_prefetcher
+from repro.workloads.registry import COMMERCIAL_WORKLOADS, make_workload
+
+from conftest import publish
+
+#: Throughput recorded on the development machine before/after the
+#: hot-path optimization pass (median of interleaved A/B runs, ebcp on
+#: tpcw at 40 K records, seed 7) — the provenance of the reported
+#: single-process gain.  Absolute records/sec are machine-specific; the
+#: *ratio* is what the optimization claims.
+REFERENCE = {
+    "pre_optimization_records_per_sec": 48_908,
+    "post_optimization_records_per_sec": 57_172,
+    "method": "interleaved A/B medians, 5 runs each, same machine",
+}
+
+_SPEED_RECORDS_CAP = 40_000
+
+
+def _throughput(workload: str, records: int, seed: int, scheme: str, repeats: int = 3):
+    """Best-of-N records/sec for one (workload, prefetcher) pair."""
+    trace = make_workload(workload, records=records, seed=seed)
+    trace.columns()  # pre-pack so we time the simulator, not the conversion
+    config = ProcessorConfig.scaled()
+    best = float("inf")
+    for _ in range(repeats):
+        prefetcher = None if scheme == "none" else build_prefetcher(scheme)
+        sim = EpochSimulator(
+            config, prefetcher, cpi_perf=trace.meta.cpi_perf, overlap=trace.meta.overlap
+        )
+        start = time.perf_counter()
+        sim.run(trace)
+        best = min(best, time.perf_counter() - start)
+    return len(trace) / best
+
+
+def _sweep_specs(records: int, seed: int) -> "list[JobSpec]":
+    config = ProcessorConfig.scaled()
+    return [
+        JobSpec(
+            workload=workload,
+            records=records,
+            seed=seed,
+            config=config,
+            prefetcher=None if scheme == "none" else build_prefetcher(scheme),
+            label=scheme,
+        )
+        for workload in COMMERCIAL_WORKLOADS
+        for scheme in ("none", "ebcp")
+    ]
+
+
+def test_speed(benchmark, bench_records, bench_seed):
+    records = min(bench_records, _SPEED_RECORDS_CAP)
+
+    def run():
+        # Warm the trace memo so both timed passes start from equal footing.
+        for workload in COMMERCIAL_WORKLOADS:
+            make_workload(workload, records=records, seed=bench_seed).columns()
+
+        throughput = {
+            scheme: _throughput("tpcw", records, bench_seed, scheme)
+            for scheme in ("none", "ebcp")
+        }
+
+        start = time.perf_counter()
+        sequential = run_jobs(_sweep_specs(records, bench_seed), jobs=1)
+        jobs1_seconds = time.perf_counter() - start
+
+        start = time.perf_counter()
+        parallel = run_jobs(_sweep_specs(records, bench_seed), jobs=4)
+        jobs4_seconds = time.perf_counter() - start
+
+        return throughput, sequential, parallel, jobs1_seconds, jobs4_seconds
+
+    throughput, sequential, parallel, jobs1_seconds, jobs4_seconds = benchmark.pedantic(
+        run, rounds=1, iterations=1
+    )
+
+    # Parallelism must never change results — asserted on every machine.
+    assert [r.stats.to_dict() for r in sequential] == [
+        r.stats.to_dict() for r in parallel
+    ]
+
+    speedup = jobs1_seconds / jobs4_seconds
+    cores = os.cpu_count() or 1
+    lines = [
+        "Simulator speed:",
+        f"  records/sec (none): {throughput['none']:10.0f}",
+        f"  records/sec (ebcp): {throughput['ebcp']:10.0f}",
+        f"  8-job sweep, jobs=1: {jobs1_seconds:6.2f} s",
+        f"  8-job sweep, jobs=4: {jobs4_seconds:6.2f} s  (speedup {speedup:.2f}x "
+        f"on {cores} cores)",
+    ]
+    publish(
+        "speed",
+        "\n".join(lines),
+        data={
+            "kind": "speed",
+            "id": "speed",
+            "records_per_sec": throughput,
+            "sweep_jobs1_seconds": jobs1_seconds,
+            "sweep_jobs4_seconds": jobs4_seconds,
+            "parallel_speedup_j4": speedup,
+            "parallel_identical": True,
+            "cpu_count": cores,
+            "single_process_reference": REFERENCE,
+        },
+    )
+
+    if cores >= 4 and records >= 20_000:
+        assert speedup >= 2.0, f"expected >=2x at -j 4 on {cores} cores, got {speedup:.2f}x"

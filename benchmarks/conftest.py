@@ -18,6 +18,10 @@ import pytest
 #: REPRO_BENCH_RECORDS=120000 for a quick pass.
 BENCH_RECORDS = int(os.environ.get("REPRO_BENCH_RECORDS", "200000"))
 BENCH_SEED = int(os.environ.get("REPRO_BENCH_SEED", "7"))
+#: Worker processes per experiment run; None defers to $REPRO_JOBS
+#: inside the library (results are bit-identical at any job count).
+_BENCH_JOBS = os.environ.get("REPRO_BENCH_JOBS", "").strip()
+BENCH_JOBS = int(_BENCH_JOBS) if _BENCH_JOBS else None
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -30,6 +34,11 @@ def bench_records() -> int:
 @pytest.fixture(scope="session")
 def bench_seed() -> int:
     return BENCH_SEED
+
+
+@pytest.fixture(scope="session")
+def bench_jobs() -> "int | None":
+    return BENCH_JOBS
 
 
 def publish(name: str, text: str, data: dict | None = None) -> None:

@@ -48,7 +48,7 @@ class SweepRunner:
     records: int = 280_000
     seed: int = 7
     workloads: tuple[str, ...] = COMMERCIAL_WORKLOADS
-    _baselines: dict[tuple[str, int], SimulationResult] = field(default_factory=dict)
+    _baselines: dict[tuple[str, tuple], SimulationResult] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     def trace(self, workload: str) -> Trace:
@@ -59,7 +59,10 @@ class SweepRunner:
 
     def baseline(self, workload: str, config: ProcessorConfig) -> SimulationResult:
         """Simulate (and cache) the no-prefetching baseline."""
-        key = (workload, hash(config))
+        # fingerprint() is exact and stable across processes; hash() is
+        # neither (collisions, per-process randomisation) and once silently
+        # served a colliding config's baseline.
+        key = (workload, config.fingerprint())
         cached = self._baselines.get(key)
         if cached is not None:
             return cached
@@ -92,6 +95,7 @@ class SweepRunner:
         prefetcher_factory: Callable[[str], Prefetcher],
         config_factory: Callable[[str], ProcessorConfig] | None = None,
         config: ProcessorConfig | None = None,
+        jobs: int | None = None,
     ) -> dict[str, list[SweepPoint]]:
         """Run every (workload, label) combination.
 
@@ -99,10 +103,26 @@ class SweepRunner:
         (prefetcher state is never shared between runs).  Either a fixed
         ``config`` or a per-label ``config_factory`` must be given.
 
+        ``jobs`` > 1 fans the grid out over worker processes (bit-identical
+        results, shared baseline memo); ``None`` defers to ``$REPRO_JOBS``.
+
         Returns ``{workload: [SweepPoint per label, in label order]}``.
         """
         if (config is None) == (config_factory is None):
             raise ValueError("provide exactly one of config / config_factory")
+        from ..parallel import ParallelSweepRunner, resolve_jobs  # lazy: import cycle
+
+        if resolve_jobs(jobs) > 1:
+            runner = ParallelSweepRunner(
+                records=self.records,
+                seed=self.seed,
+                workloads=self.workloads,
+                jobs=jobs,
+                baseline_memo=self._baselines,
+            )
+            return runner.sweep(
+                labels, prefetcher_factory, config_factory=config_factory, config=config
+            )
         grid: dict[str, list[SweepPoint]] = {}
         for workload in self.workloads:
             points = []

@@ -61,7 +61,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"unknown experiment '{args.experiment}'", file=sys.stderr)
         return 2
     started = time.time()
-    result = module.run(records=args.records, seed=args.seed)
+    result = module.run(records=args.records, seed=args.seed, jobs=args.jobs)
     print(banner(f"{args.experiment} ({args.records} records, seed {args.seed})"))
     print(result.render())
     print(f"\n[{time.time() - started:.1f} s]")
@@ -100,21 +100,46 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    trace = make_workload(args.workload, records=args.records, seed=args.seed)
+    from .parallel import JobSpec, resolve_jobs, run_jobs
+
     config = ProcessorConfig.scaled()
-    kwargs = {"cpi_perf": trace.meta.cpi_perf, "overlap": trace.meta.overlap}
-    baseline = EpochSimulator(config, None, **kwargs).run(trace)
-    bus = registry = None
-    if args.metrics_out:
-        bus = EventBus()
-        registry = MetricsRegistry()
-        SimulationMetrics(bus, registry)
-    if args.prefetcher == "none":
-        sim = EpochSimulator(config, None, bus=bus, **kwargs)
-        result = sim.run(trace)
+    registry = None
+    # The baseline and the candidate are independent runs; fan them out
+    # unless the user asked for in-process introspection (--metrics-out
+    # attaches an event bus, --diagnose needs the simulator object).
+    if (
+        resolve_jobs(args.jobs) > 1
+        and not args.metrics_out
+        and not args.diagnose
+        and args.prefetcher != "none"
+    ):
+        specs = [
+            JobSpec(args.workload, args.records, args.seed, config, None, "baseline"),
+            JobSpec(
+                args.workload,
+                args.records,
+                args.seed,
+                config,
+                build_prefetcher(args.prefetcher),
+                args.prefetcher,
+            ),
+        ]
+        baseline, result = run_jobs(specs, args.jobs)
     else:
-        sim = EpochSimulator(config, build_prefetcher(args.prefetcher), bus=bus, **kwargs)
-        result = sim.run(trace)
+        trace = make_workload(args.workload, records=args.records, seed=args.seed)
+        kwargs = {"cpi_perf": trace.meta.cpi_perf, "overlap": trace.meta.overlap}
+        baseline = EpochSimulator(config, None, **kwargs).run(trace)
+        bus = None
+        if args.metrics_out:
+            bus = EventBus()
+            registry = MetricsRegistry()
+            SimulationMetrics(bus, registry)
+        if args.prefetcher == "none":
+            sim = EpochSimulator(config, None, bus=bus, **kwargs)
+            result = sim.run(trace)
+        else:
+            sim = EpochSimulator(config, build_prefetcher(args.prefetcher), bus=bus, **kwargs)
+            result = sim.run(trace)
     print(banner(f"{args.workload} / {args.prefetcher}"))
     for key, value in result.to_dict().items():
         print(f"  {key:26s} {value}")
@@ -181,6 +206,15 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "-j", "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for independent simulator runs (0 = all "
+        "cores; default: $REPRO_JOBS or 1; results are bit-identical "
+        "either way)",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-ebcp",
@@ -208,6 +242,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", metavar="PATH",
         help="also write the table/figure data as machine-readable JSON",
     )
+    _add_jobs_flag(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_wl = sub.add_parser("workloads", help="summarise the synthetic workloads")
@@ -231,6 +266,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect a metrics registry (histograms, counters) over the "
         "run and write it as JSON",
     )
+    _add_jobs_flag(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_tr = sub.add_parser(
@@ -264,6 +300,7 @@ def build_parser() -> argparse.ArgumentParser:
         "itself covers the whole run (default: 0, so event counts match "
         "the reported stats)",
     )
+    _add_jobs_flag(p_tr)  # single observed run; accepted for interface parity
     p_tr.set_defaults(func=_cmd_trace)
 
     return parser

@@ -90,6 +90,15 @@ class ProcessorConfig:
         """Return a copy with the given fields changed."""
         return dataclasses.replace(self, **changes)
 
+    def fingerprint(self) -> tuple:
+        """A stable, collision-free identity tuple for this configuration.
+
+        Unlike ``hash()``, the tuple is exact (no collisions) and identical
+        across processes regardless of hash randomisation, so it can key
+        cross-process memo tables (baseline dedup in the sweep runners).
+        """
+        return dataclasses.astuple(self)
+
     # ------------------------------------------------------------------
     @property
     def line_size(self) -> int:

@@ -52,6 +52,10 @@ __all__ = ["EpochSimulator"]
 
 log = logging.getLogger(__name__)
 
+#: Trace kind-code -> AccessKind, avoiding the enum-constructor call (a
+#: surprisingly large share of per-record time) on the hot path.
+_KIND_TABLE: tuple[AccessKind, ...] = (AccessKind.IFETCH, AccessKind.LOAD, AccessKind.STORE)
+
 
 @dataclass
 class _PendingTransfer:
@@ -208,28 +212,58 @@ class EpochSimulator:
             "on" if self.bus is not None else "off",
         )
 
-        gaps = trace.gap.tolist() if hasattr(trace.gap, "tolist") else list(trace.gap)
-        kinds = trace.kind.tolist() if hasattr(trace.kind, "tolist") else list(trace.kind)
-        pcs = trace.pc.tolist() if hasattr(trace.pc, "tolist") else list(trace.pc)
-        addrs = trace.addr.tolist() if hasattr(trace.addr, "tolist") else list(trace.addr)
-        serials = (
-            trace.serial.tolist() if hasattr(trace.serial, "tolist") else list(trace.serial)
-        )
-        tids = (
-            trace.tid.tolist()
-            if hasattr(trace, "tid") and hasattr(trace.tid, "tolist")
-            else [0] * n
-        )
+        if hasattr(trace, "columns"):
+            # Real Trace objects pack their columns once and reuse them
+            # across repeated runs of the same trace (sweeps run each trace
+            # dozens of times; the conversion used to dominate short runs).
+            gaps, kinds, pcs, addrs, serials, tids = trace.columns()
+        else:
+            gaps = trace.gap.tolist() if hasattr(trace.gap, "tolist") else list(trace.gap)
+            kinds = trace.kind.tolist() if hasattr(trace.kind, "tolist") else list(trace.kind)
+            pcs = trace.pc.tolist() if hasattr(trace.pc, "tolist") else list(trace.pc)
+            addrs = trace.addr.tolist() if hasattr(trace.addr, "tolist") else list(trace.addr)
+            serials = (
+                trace.serial.tolist() if hasattr(trace.serial, "tolist") else list(trace.serial)
+            )
+            tids = (
+                trace.tid.tolist()
+                if hasattr(trace, "tid") and hasattr(trace.tid, "tolist")
+                else [0] * n
+            )
 
         self._measuring = False
         inst = 0
         measure_start_inst = 0
+        # Hot loop: the overwhelmingly common case is an L1 hit, which
+        # needs only the line lookup and a counter — handle it inline with
+        # every lookup hoisted to a local, and fall into _step_miss (the
+        # former _step body) only on an L1 miss.  Behaviour is bit-for-bit
+        # identical to the straightforward per-record _step call.
+        line_shift = self.hierarchy.line_shift
+        l1i_lookup = self.hierarchy.l1i.lookup
+        l1d_lookup = self.hierarchy.l1d.lookup
+        step_miss = self._step_miss
+        stats = self.stats
+        measuring = False
         for i in range(n):
             if i == warmup_records:
                 measure_start_inst = inst
                 self._begin_measurement()
+                stats = self.stats
+                measuring = True
             inst += gaps[i]
-            self._step(kinds[i], pcs[i], addrs[i], bool(serials[i]), inst, tids[i])
+            kind_code = kinds[i]
+            line = addrs[i] >> line_shift
+            if measuring:
+                stats.accesses += 1
+            if l1i_lookup(line) if kind_code == 0 else l1d_lookup(line):
+                if measuring:
+                    if kind_code == 0:
+                        stats.l1i_hits += 1
+                    else:
+                        stats.l1d_hits += 1
+                continue
+            step_miss(kind_code, pcs[i], addrs[i], bool(serials[i]), inst, tids[i], line)
         # Close the final epoch and flush pending transfers.
         closed = self.tracker.close(inst)
         if closed is not None:
@@ -276,11 +310,15 @@ class EpochSimulator:
     def _step(
         self, kind_code: int, pc: int, addr: int, serial: bool, inst: int, tid: int = 0
     ) -> None:
+        """One trace record: L1 filter, then the miss path.
+
+        Retained as the single-record entry point (run() inlines the L1-hit
+        fast path for speed but is behaviourally identical).
+        """
         stats = self.stats
         if self._measuring:
             stats.accesses += 1
         line = addr >> self.hierarchy.line_shift
-        kind = AccessKind(kind_code)
         l1 = self.hierarchy.l1i if kind_code == 0 else self.hierarchy.l1d
         if l1.lookup(line):
             if self._measuring:
@@ -289,21 +327,37 @@ class EpochSimulator:
                 else:
                     stats.l1d_hits += 1
             return
+        self._step_miss(kind_code, pc, addr, serial, inst, tid, line)
+
+    def _step_miss(
+        self, kind_code: int, pc: int, addr: int, serial: bool, inst: int, tid: int, line: int
+    ) -> None:
+        """An L1 miss (== L2 access): epochs, prefetcher, hierarchy, timing.
+
+        The caller has already counted the access and performed the L1
+        lookup (whose LRU side effect is the same whether it hits or
+        misses).
+        """
+        stats = self.stats
+        measuring = self._measuring
+        kind = _KIND_TABLE[kind_code]
+        tracker = self.tracker
+        prefetcher = self.prefetcher
 
         access = Access(kind=kind, pc=pc, addr=addr, serial=serial, inst_index=inst, tid=tid)
         requests: list[PrefetchRequest] = []
 
         # Prospective epoch membership: would this access overlap the
         # open epoch, or does it logically execute after its stall?
-        open_epoch = self.tracker.open_epoch
+        open_epoch = tracker.open_epoch
         if open_epoch is None:
-            prospective = self.tracker.epoch_count
+            prospective = tracker.epoch_count
             joins = False
             reason = "first_miss"
         else:
             mshr_ok = self.mshrs.has(line) or not self.mshrs.is_full
-            joins, reason = self.tracker.can_join(access, mshr_ok)
-            prospective = open_epoch.index if joins else self.tracker.epoch_count
+            joins, reason = tracker.can_join(access, mshr_ok)
+            prospective = open_epoch.index if joins else tracker.epoch_count
         # Wall-clock time of this access: instructions retired so far plus
         # all resolved stalls, plus the still-open epoch's stall if the
         # access can only execute after it resolves.
@@ -312,15 +366,18 @@ class EpochSimulator:
             cycle += self.config.memory_latency
 
         # Every L1 miss is an L2 access the prefetcher control can see.
-        if self.prefetcher is not None:
-            requests.extend(self.prefetcher.observe_access(access, line, prospective))
+        if prefetcher is not None:
+            requests.extend(prefetcher.observe_access(access, line, prospective))
 
-        result = self.hierarchy.access(access, cycle)
+        hierarchy = self.hierarchy
+        result = hierarchy.access_after_l1_miss(
+            access, line, hierarchy.l1i if kind_code == 0 else hierarchy.l1d, cycle
+        )
         if result.writeback_line is not None:
             # Dirty L2 victim: a memory write, visible to memory-side
             # prefetchers as part of the raw request stream.
             self._store_write_bytes += self.config.line_size
-            if self.prefetcher is not None and self.prefetcher.observes_stores:
+            if prefetcher is not None and prefetcher.observes_stores:
                 wb_access = Access(
                     kind=AccessKind.STORE,
                     pc=0,
@@ -328,21 +385,21 @@ class EpochSimulator:
                     inst_index=inst,
                 )
                 requests.extend(
-                    self.prefetcher.observe_offchip_miss(
+                    prefetcher.observe_offchip_miss(
                         wb_access, result.writeback_line, None, False
                     )
                 )
-        if self._measuring:
+        if measuring:
             stats.l2_accesses += 1
 
         if result.outcome is AccessOutcome.L2_HIT:
-            if self._measuring:
+            if measuring:
                 stats.l2_hits += 1
             self._register_requests(requests, prospective, cycle)
             return
 
         if result.outcome is AccessOutcome.PREFETCH_HIT:
-            if self._measuring:
+            if measuring:
                 stats.prefetch_hits[kind] += 1
             if self.bus is not None and self.bus.wants(PrefetchHit):
                 self.bus.emit(
@@ -351,7 +408,7 @@ class EpochSimulator:
                         epoch_index=prospective,
                         issue_epoch=result.prefetch_issue_epoch,
                         source=result.prefetch_source,
-                        measured=self._measuring,
+                        measured=measuring,
                         table_index=result.table_index,
                     )
                 )
@@ -360,9 +417,9 @@ class EpochSimulator:
                 # the prefetcher tracks (paper Section 3.4.3: a prefetch
                 # buffer hit substitutes for the first miss of a new epoch).
                 first = self._interval_event(kind, serial, inst)
-                if self.prefetcher is not None:
+                if prefetcher is not None:
                     requests.extend(
-                        self.prefetcher.observe_prefetch_hit(
+                        prefetcher.observe_prefetch_hit(
                             access, line, result.table_index, prospective, first
                         )
                     )
@@ -370,7 +427,7 @@ class EpochSimulator:
             return
 
         # Genuine off-chip miss.
-        if self._measuring:
+        if measuring:
             stats.offchip_misses[kind] += 1
             if result.late_prefetch:
                 stats.late_prefetches += 1
@@ -385,21 +442,21 @@ class EpochSimulator:
 
         if joins:
             self.mshrs.allocate(line)
-            epoch = self.tracker.join(access, line)
+            epoch = tracker.join(access, line)
         else:
-            closed, epoch = self.tracker.open_new(access, line, reason)
+            closed, epoch = tracker.open_new(access, line, reason)
             if closed is not None:
                 self._process_epoch_close(closed, inst)
-            if self._measuring:
+            if measuring:
                 stats.epochs += 1
                 if serial:
                     stats.serial_epochs += 1
             self.mshrs.allocate(line)
 
         is_trigger = self._interval_event(kind, serial, inst)
-        if self.prefetcher is not None:
+        if prefetcher is not None:
             requests.extend(
-                self.prefetcher.observe_offchip_miss(access, line, epoch, is_trigger)
+                prefetcher.observe_offchip_miss(access, line, epoch, is_trigger)
             )
         self._register_requests(requests, epoch.index if not joins else prospective, cycle)
 

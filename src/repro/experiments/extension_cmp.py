@@ -82,13 +82,51 @@ def run(
     seed: int = DEFAULT_SEED,
     workloads: Sequence[str] = ("database", "specjbb2005"),
     thread_counts: Sequence[int] = THREAD_COUNTS,
+    jobs: "int | None" = None,
 ) -> ExtensionCMPResult:
     """Run the CMP interleaving experiment.
 
     ``records`` is the *total* interleaved trace length per point, so the
     comparison across thread counts holds work constant.
     """
+    from ..parallel import JobSpec, resolve_jobs, run_jobs
+
     config = ProcessorConfig.scaled()
+
+    if resolve_jobs(jobs) > 1:
+        # Fan every (workload, threads, scheme-or-baseline) point out as a
+        # job; workers rebuild the interleaved trace from its parameters.
+        points = [(w, n) for w in workloads for n in thread_counts]
+        specs = []
+        for w, n in points:
+            per_thread = max(20_000, records // n)
+            for scheme in (None, *SCHEMES):
+                specs.append(
+                    JobSpec(
+                        workload=w,
+                        records=per_thread,
+                        seed=seed,
+                        config=config,
+                        prefetcher=None if scheme is None else _build(scheme),
+                        label=scheme or "baseline",
+                        n_threads=n,
+                    )
+                )
+        results = run_jobs(specs, jobs)
+        panels = {}
+        stride = 1 + len(SCHEMES)
+        for w in workloads:
+            series = {scheme: [] for scheme in SCHEMES}
+            for n in thread_counts:
+                base = stride * points.index((w, n))
+                baseline = results[base]
+                for offset, scheme in enumerate(SCHEMES, start=1):
+                    series[scheme].append(
+                        results[base + offset].improvement_over(baseline)
+                    )
+            panels[w] = _panel(w, series, thread_counts)
+        return ExtensionCMPResult(panels=panels)
+
     panels: dict[str, FigureResult] = {}
     for workload in workloads:
         series: dict[str, list[float]] = {scheme: [] for scheme in SCHEMES}
@@ -104,11 +142,17 @@ def run(
             for scheme in SCHEMES:
                 result = EpochSimulator(config, _build(scheme), **timing).run(trace)
                 series[scheme].append(result.improvement_over(baseline))
-        panels[workload] = FigureResult(
-            figure_id=f"Extension E1 ({workload})",
-            title="CMP interleaving: per-thread vs thread-blind prefetching",
-            x_label="threads",
-            x_values=tuple(thread_counts),
-            series=series,
-        )
+        panels[workload] = _panel(workload, series, thread_counts)
     return ExtensionCMPResult(panels=panels)
+
+
+def _panel(
+    workload: str, series: "dict[str, list[float]]", thread_counts: Sequence[int]
+) -> FigureResult:
+    return FigureResult(
+        figure_id=f"Extension E1 ({workload})",
+        title="CMP interleaving: per-thread vs thread-blind prefetching",
+        x_label="threads",
+        x_values=tuple(thread_counts),
+        series=series,
+    )

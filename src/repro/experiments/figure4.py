@@ -29,8 +29,14 @@ __all__ = ["DEGREES", "run", "sweep_points"]
 DEGREES: tuple[int, ...] = (1, 2, 4, 8, 16, 32)
 
 
-def sweep_points(records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED):
-    """The degree sweep grid, memoised for sharing with Figure 5."""
+def sweep_points(
+    records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED, jobs: "int | None" = None
+):
+    """The degree sweep grid, memoised for sharing with Figure 5.
+
+    ``jobs`` only affects wall-clock time (parallel results are
+    bit-identical), so it is deliberately not part of the memo key.
+    """
 
     def compute():
         runner = new_runner(records, seed)
@@ -39,13 +45,16 @@ def sweep_points(records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED):
             labels=[str(d) for d in DEGREES],
             prefetcher_factory=lambda label: make_sweep_ebcp(degree=int(label)),
             config=config,
+            jobs=jobs,
         )
 
     return memoized(("degree_sweep", records, seed), compute)
 
 
-def run(records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED) -> FigureResult:
-    grid = sweep_points(records, seed)
+def run(
+    records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED, jobs: "int | None" = None
+) -> FigureResult:
+    grid = sweep_points(records, seed, jobs=jobs)
     series = {
         workload: [point.improvement for point in points]
         for workload, points in grid.items()

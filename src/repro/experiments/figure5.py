@@ -74,8 +74,10 @@ def _panel(
     )
 
 
-def run(records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED) -> Figure5Result:
-    grid = sweep_points(records, seed)
+def run(
+    records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED, jobs: "int | None" = None
+) -> Figure5Result:
+    grid = sweep_points(records, seed, jobs=jobs)
     return Figure5Result(
         epi_reduction=_panel(
             grid, "Figure 5a", "Reduction in epochs per instruction", lambda p: p.epi_reduction

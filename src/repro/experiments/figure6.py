@@ -33,7 +33,9 @@ TABLE_ENTRIES: tuple[int, ...] = (
 )
 
 
-def run(records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED) -> FigureResult:
+def run(
+    records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED, jobs: "int | None" = None
+) -> FigureResult:
     runner = new_runner(records, seed)
     config = default_config()
 
@@ -46,6 +48,7 @@ def run(records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED) -> FigureResul
         labels=[str(n) for n in TABLE_ENTRIES],
         prefetcher_factory=factory,
         config=config,
+        jobs=jobs,
     )
     series = {w: [p.improvement for p in points] for w, points in grid.items()}
     return FigureResult(

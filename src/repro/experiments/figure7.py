@@ -24,7 +24,9 @@ __all__ = ["BUFFER_ENTRIES", "run"]
 BUFFER_ENTRIES: tuple[int, ...] = (16, 32, 64, 128, 256, 1024)
 
 
-def run(records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED) -> FigureResult:
+def run(
+    records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED, jobs: "int | None" = None
+) -> FigureResult:
     runner = new_runner(records, seed)
 
     def factory(label: str) -> EpochBasedCorrelationPrefetcher:
@@ -34,6 +36,7 @@ def run(records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED) -> FigureResul
         labels=[str(n) for n in BUFFER_ENTRIES],
         prefetcher_factory=factory,
         config_factory=lambda label: default_config(prefetch_buffer_entries=int(label)),
+        jobs=jobs,
     )
     series = {w: [p.improvement for p in points] for w, points in grid.items()}
     return FigureResult(

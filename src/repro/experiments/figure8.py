@@ -55,7 +55,9 @@ class Figure8Result:
         }
 
 
-def run(records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED) -> Figure8Result:
+def run(
+    records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED, jobs: "int | None" = None
+) -> Figure8Result:
     runner = new_runner(records, seed)
     panels: dict[str, FigureResult] = {}
     for read_gbps, write_gbps in BANDWIDTH_POINTS:
@@ -64,6 +66,7 @@ def run(records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED) -> Figure8Resu
             labels=[str(d) for d in DEGREES],
             prefetcher_factory=lambda label: make_sweep_ebcp(degree=int(label)),
             config=config,
+            jobs=jobs,
         )
         series = {w: [p.improvement for p in points] for w, points in grid.items()}
         panels[f"{read_gbps:g}"] = FigureResult(

@@ -82,12 +82,15 @@ def build_comparison_prefetcher(name: str) -> Prefetcher:
     raise KeyError(f"unknown Figure 9 scheme '{name}'")
 
 
-def run(records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED) -> FigureResult:
+def run(
+    records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED, jobs: "int | None" = None
+) -> FigureResult:
     runner = new_runner(records, seed)
     grid = runner.sweep(
         labels=list(SCHEMES),
         prefetcher_factory=build_comparison_prefetcher,
         config=default_config(),
+        jobs=jobs,
     )
     series = {w: [p.improvement for p in points] for w, points in grid.items()}
     return FigureResult(

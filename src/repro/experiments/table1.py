@@ -8,13 +8,37 @@ paper's published values alongside for comparison.
 
 from __future__ import annotations
 
-from ..analysis.calibration import TABLE1_TARGETS, check_baseline
+from ..analysis.calibration import TABLE1_TARGETS, CalibrationReport, check_baseline
 from .common import DEFAULT_RECORDS, DEFAULT_SEED, TableResult, default_config
 
 __all__ = ["run"]
 
 
-def run(records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED) -> TableResult:
+def _reports(
+    records: int, seed: int, config, jobs: "int | None"
+) -> "list[CalibrationReport]":
+    """One CalibrationReport per Table 1 workload, optionally in parallel."""
+    from ..parallel import JobSpec, resolve_jobs, run_jobs
+
+    workloads = list(TABLE1_TARGETS)
+    if resolve_jobs(jobs) <= 1:
+        return [
+            check_baseline(w, records=records, seed=seed, config=config) for w in workloads
+        ]
+    specs = [
+        JobSpec(workload=w, records=records, seed=seed, config=config, label=w)
+        for w in workloads
+    ]
+    results = run_jobs(specs, jobs)
+    return [
+        CalibrationReport(workload=w, measured=result, targets=TABLE1_TARGETS[w])
+        for w, result in zip(workloads, results)
+    ]
+
+
+def run(
+    records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED, jobs: "int | None" = None
+) -> TableResult:
     """Simulate all four baselines and tabulate measured vs paper values."""
     config = default_config()
     headers = [
@@ -29,12 +53,12 @@ def run(records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED) -> TableResult
         "L-miss/1k(paper)",
     ]
     rows = []
-    for workload, targets in TABLE1_TARGETS.items():
-        report = check_baseline(workload, records=records, seed=seed, config=config)
+    for report in _reports(records, seed, config, jobs):
+        targets = report.targets
         m = report.measured
         rows.append(
             [
-                workload,
+                report.workload,
                 f"{m.cpi:.2f}",
                 f"{targets.cpi_overall:.2f}",
                 f"{m.epochs_per_kilo_inst:.2f}",

@@ -85,6 +85,9 @@ class SetAssociativeCache:
         self.line_shift = line_size.bit_length() - 1
         self.n_sets = n_sets
         self._set_mask = n_sets - 1
+        #: Bits of set index below the tag (hoisted: bit_length() per probe
+        #: was a measurable share of simulator time).
+        self._tag_shift = n_sets.bit_length() - 1
         # Per-set mapping: tag -> last-use stamp.
         self._sets: list[dict[int, int]] = [dict() for _ in range(n_sets)]
         self._stamp = 0
@@ -100,15 +103,17 @@ class SetAssociativeCache:
         return byte_addr >> self.line_shift
 
     def _index_tag(self, line: int) -> tuple[int, int]:
-        return line & self._set_mask, line >> (self.n_sets.bit_length() - 1)
+        return line & self._set_mask, line >> self._tag_shift
 
     # ------------------------------------------------------------------
     # Core operations (all take line numbers)
     # ------------------------------------------------------------------
+    # lookup/contains/insert inline the index/tag split rather than call
+    # _index_tag: they are the simulator's innermost operations.
     def lookup(self, line: int, update_lru: bool = True) -> bool:
         """Probe for ``line``; returns True on hit.  Counts a hit/miss."""
-        index, tag = self._index_tag(line)
-        cache_set = self._sets[index]
+        cache_set = self._sets[line & self._set_mask]
+        tag = line >> self._tag_shift
         if tag in cache_set:
             if update_lru:
                 self._stamp += 1
@@ -120,15 +125,15 @@ class SetAssociativeCache:
 
     def contains(self, line: int) -> bool:
         """Probe without disturbing LRU state or statistics."""
-        index, tag = self._index_tag(line)
-        return tag in self._sets[index]
+        return (line >> self._tag_shift) in self._sets[line & self._set_mask]
 
     def insert(self, line: int) -> int | None:
         """Install ``line``; returns the evicted line number, if any.
 
         Inserting a line already present simply refreshes its LRU stamp.
         """
-        index, tag = self._index_tag(line)
+        index = line & self._set_mask
+        tag = line >> self._tag_shift
         cache_set = self._sets[index]
         self._stamp += 1
         if tag in cache_set:
@@ -138,7 +143,7 @@ class SetAssociativeCache:
         if len(cache_set) >= self.ways:
             victim_tag = min(cache_set, key=cache_set.__getitem__)
             del cache_set[victim_tag]
-            victim_line = (victim_tag << (self.n_sets.bit_length() - 1)) | index
+            victim_line = (victim_tag << self._tag_shift) | index
             self.stats.evictions += 1
         cache_set[tag] = self._stamp
         self.stats.insertions += 1
@@ -190,7 +195,7 @@ class SetAssociativeCache:
 
     def resident_lines(self) -> list[int]:
         """All resident line numbers (test/diagnostic helper)."""
-        shift = self.n_sets.bit_length() - 1
+        shift = self._tag_shift
         lines = []
         for index, cache_set in enumerate(self._sets):
             for tag in cache_set:

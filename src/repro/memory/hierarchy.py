@@ -91,6 +91,21 @@ class CacheHierarchy:
         l1 = self.l1_for(access.kind)
         if l1.lookup(line):
             return HierarchyResult(AccessOutcome.L1_HIT, line)
+        return self.access_after_l1_miss(access, line, l1, current_cycle)
+
+    def access_after_l1_miss(
+        self,
+        access: Access,
+        line: int,
+        l1: SetAssociativeCache,
+        current_cycle: float,
+    ) -> HierarchyResult:
+        """As :meth:`access`, for a caller that already probed ``l1``.
+
+        The epoch simulator filters the trace through the L1s itself on
+        its hot path; re-probing here would only burn time and double the
+        L1 miss counters.
+        """
         # L1 miss -> L2 access (this is the stream prefetchers observe).
         if self.l2.lookup(line):
             l1.insert(line)

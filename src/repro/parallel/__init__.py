@@ -1,0 +1,21 @@
+"""Process-level parallel execution for sweeps and benches.
+
+The paper's evaluation is a pile of embarrassingly parallel
+(workload x configuration) grid points; this package fans them out over a
+``ProcessPoolExecutor`` while guaranteeing results bit-identical to
+sequential execution.  Worker count comes from the ``-j/--jobs`` CLI
+flag, the ``jobs=`` parameter of the experiment entry points, or the
+``REPRO_JOBS`` environment variable (``0`` = all cores; default 1).
+
+>>> from repro.parallel import ParallelSweepRunner
+>>> grid = ParallelSweepRunner(records=40_000, jobs=4).sweep(
+...     labels=["4", "8"],
+...     prefetcher_factory=lambda label: make_sweep_ebcp(int(label)),
+...     config=idealized_config(),
+... )  # doctest: +SKIP
+"""
+
+from .jobs import JobSpec, resolve_jobs, run_job, run_jobs
+from .runner import ParallelSweepRunner
+
+__all__ = ["JobSpec", "ParallelSweepRunner", "resolve_jobs", "run_job", "run_jobs"]

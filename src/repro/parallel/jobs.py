@@ -1,0 +1,170 @@
+"""Picklable simulation jobs and the process-pool execution primitive.
+
+A :class:`JobSpec` fully describes one simulator run — workload generation
+parameters, processor configuration and a *fresh* prefetcher instance —
+using only picklable state, so it can be shipped to a
+``ProcessPoolExecutor`` worker.  Traces are deliberately **not** part of
+the spec: workers rebuild them from the parameters, hitting the on-disk
+``.npz`` cache (:mod:`repro.workloads.cache`) or, under the default
+``fork`` start method, the in-process memo inherited from the parent, so
+the expensive generation happens once.
+
+Determinism
+-----------
+A job's result depends only on its spec: traces are deterministic in
+``(workload, records, seed, scale)``, prefetcher state is never shared
+between runs, and the simulator is single-threaded.  ``run_jobs`` returns
+results in input order regardless of completion order, so parallel and
+sequential execution are bit-for-bit identical.
+"""
+
+from __future__ import annotations
+
+import copy
+import logging
+import os
+import pickle
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from ..engine.config import ProcessorConfig
+from ..engine.simulator import EpochSimulator
+from ..engine.stats import SimulationResult
+from ..prefetchers.base import Prefetcher
+from ..workloads.registry import make_workload
+from ..workloads.trace import Trace
+
+__all__ = ["JobSpec", "run_job", "run_jobs", "resolve_jobs"]
+
+log = logging.getLogger(__name__)
+
+
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit value, else ``$REPRO_JOBS``, else 1.
+
+    ``0`` (explicit or from the environment) means "all cores".
+    """
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if not env:
+            return 1
+        try:
+            jobs = int(env)
+        except ValueError:
+            log.warning("ignoring non-integer REPRO_JOBS=%r", env)
+            return 1
+    if jobs == 0:
+        return os.cpu_count() or 1
+    return max(1, jobs)
+
+
+@dataclass
+class JobSpec:
+    """One simulator run, described by picklable state only.
+
+    ``prefetcher`` must be a freshly constructed instance (its initial
+    state is part of the job's identity); ``None`` runs the
+    no-prefetching baseline.  ``n_threads > 0`` requests the CMP
+    interleaving of :mod:`repro.workloads.multithread`, with ``records``
+    then counting per thread.
+    """
+
+    workload: str
+    records: int
+    seed: int
+    config: ProcessorConfig
+    prefetcher: Optional[Prefetcher] = None
+    label: str = ""
+    scale: float = 1.0
+    n_threads: int = 0
+    warmup_records: Optional[int] = None
+
+    def build_trace(self) -> Trace:
+        if self.n_threads > 0:
+            from ..workloads.multithread import make_cmp_workload
+
+            return make_cmp_workload(
+                self.workload,
+                n_threads=self.n_threads,
+                records_per_thread=self.records,
+                seed=self.seed,
+            )
+        return make_workload(
+            self.workload, records=self.records, seed=self.seed, scale=self.scale
+        )
+
+    def run(self) -> SimulationResult:
+        trace = self.build_trace()
+        # Simulate a *copy* of the prefetcher: running warms its tables, and
+        # an idempotent spec is what makes in-process fallback (and re-runs)
+        # bit-identical to shipping the spec through the pickle boundary.
+        sim = EpochSimulator(
+            self.config,
+            copy.deepcopy(self.prefetcher),
+            cpi_perf=trace.meta.cpi_perf,
+            overlap=trace.meta.overlap,
+        )
+        return sim.run(trace, warmup_records=self.warmup_records)
+
+
+def run_job(spec: JobSpec) -> SimulationResult:
+    """Process-pool entry point (must be a module-level callable)."""
+    return spec.run()
+
+
+def _warm_trace_cache(specs: Sequence[JobSpec]) -> None:
+    """Generate each distinct trace once in the parent before fanning out.
+
+    Workers then either inherit the in-process memo (``fork``) or load the
+    ``.npz`` from the on-disk cache (``spawn``), instead of all
+    regenerating the same trace concurrently.
+    """
+    seen = set()
+    for spec in specs:
+        if spec.n_threads > 0:
+            continue  # CMP composites are built from cached per-thread traces
+        key = (spec.workload, spec.records, spec.seed, spec.scale)
+        if key in seen:
+            continue
+        seen.add(key)
+        try:
+            make_workload(
+                spec.workload, records=spec.records, seed=spec.seed, scale=spec.scale
+            )
+        except KeyError:
+            pass  # unknown name: let the worker raise the real error
+
+
+def run_jobs(
+    specs: Iterable[JobSpec], jobs: Optional[int] = None
+) -> "list[SimulationResult]":
+    """Run every job and return results in input order.
+
+    With ``jobs > 1`` the specs fan out over a ``ProcessPoolExecutor``;
+    anything that prevents parallel execution — unpicklable specs, a pool
+    that cannot start, workers dying — degrades to in-process execution
+    with a warning rather than failing the run.  Genuine simulation errors
+    propagate unchanged in both modes.
+    """
+    specs = list(specs)
+    n_workers = min(resolve_jobs(jobs), len(specs))
+    if n_workers <= 1:
+        return [spec.run() for spec in specs]
+
+    try:
+        pickle.dumps(specs)
+    except Exception as exc:  # e.g. a prefetcher holding an open file/bus
+        log.warning("job specs not picklable (%s); running in-process", exc)
+        return [spec.run() for spec in specs]
+
+    # Warm both trace caches in the parent: forked workers inherit the
+    # in-process memo, spawned workers load from the on-disk cache.
+    _warm_trace_cache(specs)
+    try:
+        with ProcessPoolExecutor(max_workers=n_workers) as pool:
+            return list(pool.map(run_job, specs))
+    except (BrokenProcessPool, OSError, PermissionError) as exc:
+        log.warning("process pool unavailable (%s); running in-process", exc)
+        return [spec.run() for spec in specs]

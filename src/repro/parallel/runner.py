@@ -1,0 +1,107 @@
+"""Parallel (workload x configuration) sweep execution.
+
+:class:`ParallelSweepRunner` mirrors the sequential
+:class:`repro.analysis.sweep.SweepRunner` API but fans the grid's
+simulator runs out over worker processes via :func:`repro.parallel.run_jobs`:
+
+* **Baseline dedup** — every (workload, configuration) pair needs the
+  no-prefetching baseline exactly once, however many labels share it.
+  Baselines are keyed by ``(workload, config.fingerprint())`` — exact and
+  stable across processes, unlike ``hash()`` — and simulated as their own
+  jobs alongside the candidates.
+* **Deterministic merge** — results come back in submission order and
+  points are assembled workload-major, label-minor, so the returned grid
+  is ordered exactly like the sequential runner's and the contained
+  results are bit-for-bit identical.
+* **Graceful degradation** — ``jobs=1`` (or an unusable pool) runs
+  everything in-process through the same code path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from ..analysis.sweep import SweepPoint
+from ..engine.config import ProcessorConfig
+from ..engine.stats import SimulationResult
+from ..prefetchers.base import Prefetcher
+from ..workloads.registry import COMMERCIAL_WORKLOADS
+from .jobs import JobSpec, run_jobs
+
+__all__ = ["ParallelSweepRunner"]
+
+#: Baseline memo key: (workload, config fingerprint).
+BaselineKey = Tuple[str, tuple]
+
+
+@dataclass
+class ParallelSweepRunner:
+    """Runs (workload x configuration) grids with process-level fan-out."""
+
+    records: int = 280_000
+    seed: int = 7
+    workloads: tuple = COMMERCIAL_WORKLOADS
+    jobs: Optional[int] = None
+    #: Shared baseline results; the sequential SweepRunner passes its own
+    #: memo here so repeated sweeps never re-simulate a baseline.
+    baseline_memo: Dict[BaselineKey, SimulationResult] = field(default_factory=dict)
+
+    def sweep(
+        self,
+        labels: "list[str]",
+        prefetcher_factory: Callable[[str], Prefetcher],
+        config_factory: "Callable[[str], ProcessorConfig] | None" = None,
+        config: "ProcessorConfig | None" = None,
+    ) -> "dict[str, list[SweepPoint]]":
+        """Run every (workload, label) combination; see SweepRunner.sweep."""
+        if (config is None) == (config_factory is None):
+            raise ValueError("provide exactly one of config / config_factory")
+
+        # Enumerate the grid: candidate jobs plus deduplicated baselines.
+        baseline_specs: Dict[BaselineKey, JobSpec] = {}
+        candidates: "list[tuple[str, str, BaselineKey]]" = []
+        candidate_specs: "list[JobSpec]" = []
+        for workload in self.workloads:
+            for label in labels:
+                cfg = config if config is not None else config_factory(label)  # type: ignore[misc]
+                key: BaselineKey = (workload, cfg.fingerprint())
+                if key not in self.baseline_memo and key not in baseline_specs:
+                    baseline_specs[key] = JobSpec(
+                        workload=workload,
+                        records=self.records,
+                        seed=self.seed,
+                        config=cfg,
+                        prefetcher=None,
+                        label="baseline",
+                    )
+                candidates.append((workload, label, key))
+                candidate_specs.append(
+                    JobSpec(
+                        workload=workload,
+                        records=self.records,
+                        seed=self.seed,
+                        config=cfg,
+                        prefetcher=prefetcher_factory(label),
+                        label=label,
+                    )
+                )
+
+        specs = list(baseline_specs.values()) + candidate_specs
+        results = run_jobs(specs, self.jobs)
+
+        n_baselines = len(baseline_specs)
+        for key, result in zip(baseline_specs.keys(), results[:n_baselines]):
+            self.baseline_memo[key] = result
+
+        grid: "dict[str, list[SweepPoint]]" = {w: [] for w in self.workloads}
+        for (workload, label, key), result in zip(candidates, results[n_baselines:]):
+            grid[workload].append(
+                SweepPoint(
+                    workload=workload,
+                    label=label,
+                    result=result,
+                    baseline=self.baseline_memo[key],
+                )
+            )
+        return grid

@@ -1,9 +1,11 @@
-"""Workload registry and in-process trace cache.
+"""Workload registry and trace caching.
 
 ``make_workload`` is the one entry point the examples, tests and benches
 use.  Commercial traces are deterministic in their arguments and moderately
-expensive to generate, so they are memoised per process; parameter sweeps
-re-use one trace across dozens of simulator runs.
+expensive to generate, so they are memoised per process (parameter sweeps
+re-use one trace across dozens of simulator runs) and persisted to the
+on-disk ``.npz`` cache (:mod:`repro.workloads.cache`) so other processes —
+notably :mod:`repro.parallel` sweep workers — load instead of regenerating.
 """
 
 from __future__ import annotations
@@ -11,6 +13,7 @@ from __future__ import annotations
 import inspect
 from functools import lru_cache
 
+from .cache import trace_cache
 from .commercial import PROFILES, build_commercial_trace
 from .synthetic import (
     paper_example_trace,
@@ -45,7 +48,16 @@ WORKLOADS: tuple[str, ...] = COMMERCIAL_WORKLOADS + tuple(sorted(_SYNTHETIC))
 
 @lru_cache(maxsize=32)
 def _cached_commercial(name: str, records: int, seed: int, scale: float) -> Trace:
-    return build_commercial_trace(name, records=records, seed=seed, scale=scale)
+    # Two cache levels: the lru_cache memoises within the process, the
+    # on-disk cache (repro.workloads.cache) persists across processes so
+    # parallel sweep workers load instead of regenerating.
+    return trace_cache().get_or_build(
+        name,
+        records,
+        seed,
+        scale,
+        lambda: build_commercial_trace(name, records=records, seed=seed, scale=scale),
+    )
 
 
 def make_workload(

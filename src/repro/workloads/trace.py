@@ -79,6 +79,8 @@ class Trace:
             raise ValueError(f"array 'tid' has length {len(tid)}, expected {n}")
         self.tid = np.ascontiguousarray(tid, dtype=np.uint16)
         self.meta = meta or TraceMeta()
+        # Lazily packed plain-list columns (see :meth:`columns`).
+        self._columns: tuple[list, list, list, list, list, list] | None = None
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -99,6 +101,26 @@ class Trace:
                 int(self.addr[i]),
                 bool(self.serial[i]),
             )
+
+    def columns(self) -> tuple[list, list, list, list, list, list]:
+        """The six record columns as plain Python lists, packed once.
+
+        The epoch simulator iterates records as Python ints; converting the
+        numpy arrays costs more than a short simulation, and sweeps run the
+        same trace dozens of times.  The trace is immutable, so the packed
+        ``(gap, kind, pc, addr, serial, tid)`` lists are built on first use
+        and reused by every subsequent run.
+        """
+        if self._columns is None:
+            self._columns = (
+                self.gap.tolist(),
+                self.kind.tolist(),
+                self.pc.tolist(),
+                self.addr.tolist(),
+                self.serial.tolist(),
+                self.tid.tolist(),
+            )
+        return self._columns
 
     @property
     def n_threads(self) -> int:

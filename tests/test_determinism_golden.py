@@ -1,0 +1,64 @@
+"""Determinism regression: optimized and parallel paths match frozen goldens.
+
+``tests/data/goldens.json`` holds ``SimulationStats.to_dict()`` captured
+from the pre-optimization simulator (before the inlined L1 fast path,
+cached trace columns and hierarchy re-probe elision) for every commercial
+workload with and without the default EBCP.  Any hot-path "optimization"
+that changes a single counter — and any divergence between in-process and
+process-pool execution — fails here bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.engine.config import ProcessorConfig
+from repro.engine.simulator import EpochSimulator
+from repro.parallel import JobSpec, run_jobs
+from repro.prefetchers.registry import build_prefetcher
+from repro.workloads.registry import COMMERCIAL_WORKLOADS, make_workload
+
+GOLDENS = json.loads((Path(__file__).parent / "data" / "goldens.json").read_text())
+RECORDS = GOLDENS["records"]
+SEED = GOLDENS["seed"]
+
+
+def _expected(workload: str, scheme: str) -> dict:
+    return GOLDENS["workloads"][workload][scheme]
+
+
+@pytest.mark.parametrize("workload", COMMERCIAL_WORKLOADS)
+@pytest.mark.parametrize("scheme", ["none", "ebcp"])
+def test_sequential_matches_golden(workload: str, scheme: str) -> None:
+    trace = make_workload(workload, records=RECORDS, seed=SEED)
+    prefetcher = None if scheme == "none" else build_prefetcher(scheme)
+    result = EpochSimulator(
+        ProcessorConfig.scaled(),
+        prefetcher,
+        cpi_perf=trace.meta.cpi_perf,
+        overlap=trace.meta.overlap,
+    ).run(trace)
+    assert result.stats.to_dict() == _expected(workload, scheme)
+
+
+def test_parallel_matches_golden() -> None:
+    """Every golden point run through the process pool is bit-identical."""
+    config = ProcessorConfig.scaled()
+    pairs = [(w, s) for w in COMMERCIAL_WORKLOADS for s in ("none", "ebcp")]
+    specs = [
+        JobSpec(
+            workload=w,
+            records=RECORDS,
+            seed=SEED,
+            config=config,
+            prefetcher=None if s == "none" else build_prefetcher(s),
+            label=s,
+        )
+        for w, s in pairs
+    ]
+    results = run_jobs(specs, jobs=2)
+    for (workload, scheme), result in zip(pairs, results):
+        assert result.stats.to_dict() == _expected(workload, scheme), (workload, scheme)

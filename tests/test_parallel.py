@@ -1,0 +1,186 @@
+"""repro.parallel: job specs, the pool primitive, and the parallel runner."""
+
+from __future__ import annotations
+
+import logging
+import pickle
+
+import pytest
+
+import repro.parallel.jobs as jobs_mod
+from repro.analysis.sweep import SweepRunner
+from repro.engine.config import ProcessorConfig
+from repro.parallel import JobSpec, ParallelSweepRunner, resolve_jobs, run_jobs
+from repro.prefetchers.registry import PREFETCHERS, build_prefetcher
+
+RECORDS = 4_000
+WORKLOADS = ("tpcw", "database")
+
+
+def _spec(workload: str = "tpcw", prefetcher: str | None = "ebcp") -> JobSpec:
+    return JobSpec(
+        workload=workload,
+        records=RECORDS,
+        seed=7,
+        config=ProcessorConfig.scaled(),
+        prefetcher=None if prefetcher is None else build_prefetcher(prefetcher),
+        label=prefetcher or "baseline",
+    )
+
+
+class TestResolveJobs:
+    def test_explicit_value_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "7")
+        assert resolve_jobs(3) == 3
+
+    def test_defaults_to_one(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert resolve_jobs() == 1
+
+    def test_env_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        assert resolve_jobs() == 4
+
+    def test_zero_means_all_cores(self):
+        assert resolve_jobs(0) >= 1
+
+    def test_bad_env_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "many")
+        assert resolve_jobs() == 1
+
+    def test_negative_clamped(self):
+        assert resolve_jobs(-3) == 1
+
+
+class TestJobSpec:
+    @pytest.mark.parametrize("name", PREFETCHERS)
+    def test_every_registered_prefetcher_pickles(self, name):
+        spec = _spec(prefetcher=None if name == "none" else name)
+        clone = pickle.loads(pickle.dumps(spec))
+        assert clone.workload == spec.workload
+        assert clone.run().stats.to_dict() == spec.run().stats.to_dict()
+
+    def test_cmp_spec_builds_interleaved_trace(self):
+        spec = JobSpec(
+            workload="tpcw",
+            records=2_000,
+            seed=7,
+            config=ProcessorConfig.scaled(),
+            n_threads=2,
+        )
+        trace = spec.build_trace()
+        assert trace.n_threads == 2
+        assert len(trace) == 2 * 2_000
+
+
+class TestRunJobs:
+    def test_parallel_matches_sequential_in_order(self):
+        specs = [
+            _spec(w, p) for w in WORKLOADS for p in (None, "ebcp", "stream")
+        ]
+        sequential = run_jobs(specs, jobs=1)
+        parallel = run_jobs(specs, jobs=2)
+        assert len(parallel) == len(specs)
+        for seq, par in zip(sequential, parallel):
+            assert seq.stats.to_dict() == par.stats.to_dict()
+
+    def test_unpicklable_specs_fall_back_in_process(self, caplog):
+        spec = _spec()
+        spec.prefetcher.poison = lambda: None  # lambdas don't pickle
+        with caplog.at_level(logging.WARNING, logger="repro.parallel.jobs"):
+            results = run_jobs([spec, _spec(prefetcher=None)], jobs=2)
+        assert any("not picklable" in rec.message for rec in caplog.records)
+        assert len(results) == 2
+
+    def test_broken_pool_falls_back_in_process(self, monkeypatch, caplog):
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no process pool here")
+
+        monkeypatch.setattr(jobs_mod, "ProcessPoolExecutor", ExplodingPool)
+        specs = [_spec(prefetcher=None), _spec()]
+        with caplog.at_level(logging.WARNING, logger="repro.parallel.jobs"):
+            results = run_jobs(specs, jobs=2)
+        assert any("unavailable" in rec.message for rec in caplog.records)
+        assert [r.stats.to_dict() for r in results] == [
+            s.run().stats.to_dict() for s in specs
+        ]
+
+    def test_simulation_errors_propagate(self):
+        bad = _spec()
+        bad.workload = "no-such-workload"
+        with pytest.raises(KeyError):
+            run_jobs([bad], jobs=1)
+
+
+class TestParallelSweepRunner:
+    def test_matches_sequential_sweep_bit_for_bit(self):
+        labels = ["2", "4"]
+        config = ProcessorConfig.scaled()
+
+        def factory(label):
+            return build_prefetcher("ebcp", prefetch_degree=int(label))
+
+        sequential = SweepRunner(records=RECORDS, workloads=WORKLOADS).sweep(
+            labels, factory, config=config
+        )
+        parallel = ParallelSweepRunner(
+            records=RECORDS, workloads=WORKLOADS, jobs=2
+        ).sweep(labels, factory, config=config)
+
+        assert list(sequential) == list(parallel)
+        for workload in sequential:
+            for seq, par in zip(sequential[workload], parallel[workload]):
+                assert seq.label == par.label
+                assert seq.result.stats.to_dict() == par.result.stats.to_dict()
+                assert seq.baseline.stats.to_dict() == par.baseline.stats.to_dict()
+
+    def test_shared_baselines_deduplicated(self, monkeypatch):
+        """One fixed config -> one baseline job per workload, however many labels."""
+        submitted = []
+        real_run_jobs = run_jobs
+
+        def counting_run_jobs(specs, jobs=None):
+            submitted.extend(specs)
+            return real_run_jobs(specs, 1)
+
+        import repro.parallel.runner as runner_mod
+
+        monkeypatch.setattr(runner_mod, "run_jobs", counting_run_jobs)
+        runner = ParallelSweepRunner(records=RECORDS, workloads=WORKLOADS, jobs=2)
+        runner.sweep(
+            ["2", "4", "6"],
+            lambda label: build_prefetcher("ebcp", prefetch_degree=int(label)),
+            config=ProcessorConfig.scaled(),
+        )
+        baselines = [s for s in submitted if s.prefetcher is None]
+        assert len(baselines) == len(WORKLOADS)
+        assert len(submitted) == len(WORKLOADS) * (3 + 1)
+        assert len(runner.baseline_memo) == len(WORKLOADS)
+
+    def test_baseline_memo_shared_with_sequential_runner(self):
+        """SweepRunner(jobs=2) fills the same memo its sequential path uses."""
+        runner = SweepRunner(records=RECORDS, workloads=WORKLOADS)
+        config = ProcessorConfig.scaled()
+        runner.sweep(
+            ["2"],
+            lambda label: build_prefetcher("ebcp", prefetch_degree=int(label)),
+            config=config,
+            jobs=2,
+        )
+        assert len(runner._baselines) == len(WORKLOADS)
+        # The sequential baseline path now hits the memo, not the simulator.
+        memoised = runner._baselines[("tpcw", config.fingerprint())]
+        assert runner.baseline("tpcw", config) is memoised
+
+    def test_requires_exactly_one_config_source(self):
+        runner = ParallelSweepRunner(records=RECORDS, workloads=WORKLOADS)
+        with pytest.raises(ValueError):
+            runner.sweep(["2"], lambda label: None)
+        with pytest.raises(ValueError):
+            runner.sweep(
+                ["2"],
+                lambda label: None,
+                config=ProcessorConfig.scaled(),
+                config_factory=lambda label: ProcessorConfig.scaled(),
+            )

@@ -1,0 +1,123 @@
+"""On-disk trace cache: lossless round-trips and robust degradation."""
+
+from __future__ import annotations
+
+import logging
+
+import numpy as np
+import pytest
+
+from repro.workloads.cache import TraceCache, cache_key, trace_cache
+from repro.workloads.commercial import build_commercial_trace
+from repro.workloads.registry import make_workload
+from repro.workloads.trace import Trace
+
+
+def _build(records: int = 2_000):
+    return build_commercial_trace("tpcw", records=records, seed=11)
+
+
+def _assert_traces_identical(a: Trace, b: Trace) -> None:
+    for column in ("gap", "kind", "pc", "addr", "serial", "tid"):
+        np.testing.assert_array_equal(getattr(a, column), getattr(b, column))
+        assert getattr(a, column).dtype == getattr(b, column).dtype, column
+    assert a.meta == b.meta
+
+
+class TestTraceCache:
+    def test_miss_builds_and_persists(self, tmp_path):
+        cache = TraceCache(tmp_path)
+        trace = cache.get_or_build("tpcw", 2_000, 11, 1.0, _build)
+        assert (cache.hits, cache.misses) == (0, 1)
+        path = cache.path_for("tpcw", 2_000, 11, 1.0)
+        assert path is not None and path.exists()
+        assert len(trace) == 2_000
+
+    def test_hit_round_trips_losslessly(self, tmp_path):
+        """A cache hit preserves every column and all TraceMeta fields.
+
+        ``cpi_perf``/``overlap`` feed the timing model directly, so a lossy
+        meta round-trip would silently change every cycle count.
+        """
+        cache = TraceCache(tmp_path)
+        built = cache.get_or_build("tpcw", 2_000, 11, 1.0, _build)
+        loaded = cache.get_or_build(
+            "tpcw", 2_000, 11, 1.0, lambda: pytest.fail("unexpected rebuild")
+        )
+        assert cache.hits == 1
+        _assert_traces_identical(built, loaded)
+        assert loaded.meta.cpi_perf == built.meta.cpi_perf
+        assert loaded.meta.overlap == built.meta.overlap
+
+    def test_distinct_parameters_distinct_entries(self, tmp_path):
+        keys = {
+            cache_key("tpcw", 2_000, 11, 1.0),
+            cache_key("tpcw", 2_000, 12, 1.0),
+            cache_key("tpcw", 2_001, 11, 1.0),
+            cache_key("database", 2_000, 11, 1.0),
+            cache_key("tpcw", 2_000, 11, 2.0),
+        }
+        assert len(keys) == 5
+
+    def test_corrupt_entry_regenerates_with_warning(self, tmp_path, caplog):
+        cache = TraceCache(tmp_path)
+        cache.get_or_build("tpcw", 2_000, 11, 1.0, _build)
+        path = cache.path_for("tpcw", 2_000, 11, 1.0)
+        path.write_bytes(b"this is not an npz file")
+        with caplog.at_level(logging.WARNING, logger="repro.workloads.cache"):
+            trace = cache.get_or_build("tpcw", 2_000, 11, 1.0, _build)
+        assert any("unreadable" in rec.message for rec in caplog.records)
+        assert cache.misses == 2  # regeneration counted as a miss
+        _assert_traces_identical(trace, _build())
+        # The bad file was replaced by a good one.
+        _assert_traces_identical(Trace.load(path), trace)
+
+    def test_disabled_cache_always_builds(self):
+        cache = TraceCache(None)
+        assert not cache.enabled
+        assert cache.path_for("tpcw", 2_000, 11, 1.0) is None
+        trace = cache.get_or_build("tpcw", 2_000, 11, 1.0, _build)
+        assert len(trace) == 2_000
+        assert (cache.hits, cache.misses) == (0, 0)
+
+    def test_unwritable_root_degrades_gracefully(self, tmp_path, caplog):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where the cache dir should be")
+        cache = TraceCache(blocker / "sub")  # mkdir will fail
+        with caplog.at_level(logging.WARNING, logger="repro.workloads.cache"):
+            trace = cache.get_or_build("tpcw", 2_000, 11, 1.0, _build)
+        assert len(trace) == 2_000
+        assert any("could not write" in rec.message for rec in caplog.records)
+
+
+class TestEnvironmentControl:
+    @pytest.mark.parametrize("value", ["0", "off", "none", "false", ""])
+    def test_disabling_values(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", value)
+        assert not trace_cache().enabled
+
+    def test_path_override(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "mycache"))
+        cache = trace_cache()
+        assert cache.enabled
+        assert cache.root == tmp_path / "mycache"
+
+    def test_default_is_under_home_cache(self, monkeypatch):
+        monkeypatch.delenv("REPRO_TRACE_CACHE", raising=False)
+        cache = trace_cache()
+        assert cache.enabled
+        assert cache.root.name == "traces"
+
+    def test_registry_uses_disk_cache(self, monkeypatch, tmp_path):
+        """make_workload populates the on-disk cache (via the lru memo)."""
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        from repro.workloads import registry
+
+        registry._cached_commercial.cache_clear()
+        trace = make_workload("tpcw", records=1_500, seed=23)
+        entry = trace_cache().path_for("tpcw", 1_500, 23, 1.0)
+        assert entry.exists()
+        # A fresh in-process memo now loads from disk instead of rebuilding.
+        registry._cached_commercial.cache_clear()
+        _assert_traces_identical(make_workload("tpcw", records=1_500, seed=23), trace)
+        registry._cached_commercial.cache_clear()
