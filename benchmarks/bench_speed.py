@@ -3,15 +3,26 @@
 Emits ``BENCH_speed.json`` with
 
 * single-process throughput (trace records simulated per second) for the
-  no-prefetching baseline and the default EBCP,
+  no-prefetching baseline and the default EBCP, on both the compressed
+  (filter-plane) and the legacy record-by-record execution paths,
 * wall-clock time of the same 8-job sweep grid at ``jobs=1`` vs
   ``jobs=4`` and the resulting speedup, and
-* a bit-identity check between the two (hard assertion: parallelism must
-  never change results).
+* bit-identity checks (hard assertions): parallelism and compressed
+  execution must never change results.
 
-The speedup assertion is gated on the machine actually having cores to
-fan out to — on a single-core CI runner the pool can only add overhead,
-and the number is still reported for the record.
+The parallel-speedup assertion is gated on the machine actually having
+cores to fan out to — on a single-core runner ``run_jobs`` now skips the
+pool entirely (set ``REPRO_FORCE_POOL=1`` to force it), and the number
+is still reported for the record.
+
+Perf-regression guard
+---------------------
+With ``REPRO_PERF_GUARD=1`` (the CI guard step) the bench fails if the
+measured compressed-over-legacy speedup drops more than 25 % below the
+frozen reference speedups.  The guard compares *ratios measured within
+one run on one machine*, so it is machine-class independent — absolute
+records/sec on a laptop and a CI runner differ wildly, but the ratio a
+pure-speed optimisation claims must hold everywhere.
 """
 
 from __future__ import annotations
@@ -20,6 +31,7 @@ import os
 import time
 
 from repro.engine.config import ProcessorConfig
+from repro.engine.filter_plane import get_filter_plane
 from repro.engine.simulator import EpochSimulator
 from repro.parallel import JobSpec, run_jobs
 from repro.prefetchers.registry import build_prefetcher
@@ -27,25 +39,46 @@ from repro.workloads.registry import COMMERCIAL_WORKLOADS, make_workload
 
 from conftest import publish
 
-#: Throughput recorded on the development machine before/after the
-#: hot-path optimization pass (median of interleaved A/B runs, ebcp on
-#: tpcw at 40 K records, seed 7) — the provenance of the reported
-#: single-process gain.  Absolute records/sec are machine-specific; the
-#: *ratio* is what the optimization claims.
+#: Frozen reference numbers (ebcp on tpcw at 40 K records, seed 7,
+#: best-of-5 on the development machine).  Absolute records/sec are
+#: machine-specific; the *speedup ratios* are what the optimisations
+#: claim and what the perf guard enforces.
 REFERENCE = {
     "pre_optimization_records_per_sec": 48_908,
     "post_optimization_records_per_sec": 57_172,
-    "method": "interleaved A/B medians, 5 runs each, same machine",
+    "pre_filter_plane_records_per_sec": {"none": 97_977, "ebcp": 58_882},
+    #: Compressed / legacy speedup on the same machine and trace — the
+    #: machine-independent claim of the filter-plane layer (measured
+    #: ~3.4x none / ~1.5x ebcp; floors hold 25 % slack below that).
+    "filter_plane_speedup_floor": {"none": 3.0, "ebcp": 1.15},
+    "method": "interleaved best-of-N on one machine; guard compares ratios",
 }
+
+#: Fraction of the reference speedup that must survive (guard fails on a
+#: >25 % regression).
+_GUARD_SLACK = 0.75
 
 _SPEED_RECORDS_CAP = 40_000
 
 
-def _throughput(workload: str, records: int, seed: int, scheme: str, repeats: int = 3):
-    """Best-of-N records/sec for one (workload, prefetcher) pair."""
+def _throughput(
+    workload: str,
+    records: int,
+    seed: int,
+    scheme: str,
+    compressed: bool,
+    repeats: int = 5,
+):
+    """Best-of-N records/sec for one (workload, prefetcher, mode)."""
     trace = make_workload(workload, records=records, seed=seed)
     trace.columns()  # pre-pack so we time the simulator, not the conversion
     config = ProcessorConfig.scaled()
+    if compressed:
+        # Pre-warm the plane: it is computed once per (trace, L1 geometry)
+        # and shared by every run, so it is setup cost, not run cost.
+        l1i = (config.l1i.size_bytes, config.l1i.ways, config.line_size)
+        l1d = (config.l1d.size_bytes, config.l1d.ways, config.line_size)
+        get_filter_plane(trace, l1i, l1d)
     best = float("inf")
     for _ in range(repeats):
         prefetcher = None if scheme == "none" else build_prefetcher(scheme)
@@ -53,7 +86,7 @@ def _throughput(workload: str, records: int, seed: int, scheme: str, repeats: in
             config, prefetcher, cpi_perf=trace.meta.cpi_perf, overlap=trace.meta.overlap
         )
         start = time.perf_counter()
-        sim.run(trace)
+        sim.run(trace, compressed=compressed)
         best = min(best, time.perf_counter() - start)
     return len(trace) / best
 
@@ -83,7 +116,11 @@ def test_speed(benchmark, bench_records, bench_seed):
             make_workload(workload, records=records, seed=bench_seed).columns()
 
         throughput = {
-            scheme: _throughput("tpcw", records, bench_seed, scheme)
+            scheme: _throughput("tpcw", records, bench_seed, scheme, compressed=True)
+            for scheme in ("none", "ebcp")
+        }
+        legacy = {
+            scheme: _throughput("tpcw", records, bench_seed, scheme, compressed=False)
             for scheme in ("none", "ebcp")
         }
 
@@ -95,26 +132,34 @@ def test_speed(benchmark, bench_records, bench_seed):
         parallel = run_jobs(_sweep_specs(records, bench_seed), jobs=4)
         jobs4_seconds = time.perf_counter() - start
 
-        return throughput, sequential, parallel, jobs1_seconds, jobs4_seconds
+        return throughput, legacy, sequential, parallel, jobs1_seconds, jobs4_seconds
 
-    throughput, sequential, parallel, jobs1_seconds, jobs4_seconds = benchmark.pedantic(
-        run, rounds=1, iterations=1
-    )
+    (
+        throughput,
+        legacy,
+        sequential,
+        parallel,
+        jobs1_seconds,
+        jobs4_seconds,
+    ) = benchmark.pedantic(run, rounds=1, iterations=1)
 
     # Parallelism must never change results — asserted on every machine.
     assert [r.stats.to_dict() for r in sequential] == [
         r.stats.to_dict() for r in parallel
     ]
 
+    plane_speedup = {s: throughput[s] / legacy[s] for s in throughput}
     speedup = jobs1_seconds / jobs4_seconds
     cores = os.cpu_count() or 1
     lines = [
         "Simulator speed:",
-        f"  records/sec (none): {throughput['none']:10.0f}",
-        f"  records/sec (ebcp): {throughput['ebcp']:10.0f}",
+        f"  records/sec (none): {throughput['none']:10.0f}"
+        f"  (legacy {legacy['none']:8.0f}, plane speedup {plane_speedup['none']:.2f}x)",
+        f"  records/sec (ebcp): {throughput['ebcp']:10.0f}"
+        f"  (legacy {legacy['ebcp']:8.0f}, plane speedup {plane_speedup['ebcp']:.2f}x)",
         f"  8-job sweep, jobs=1: {jobs1_seconds:6.2f} s",
         f"  8-job sweep, jobs=4: {jobs4_seconds:6.2f} s  (speedup {speedup:.2f}x "
-        f"on {cores} cores)",
+        f"on {cores} core{'' if cores == 1 else 's'})",
     ]
     publish(
         "speed",
@@ -123,6 +168,8 @@ def test_speed(benchmark, bench_records, bench_seed):
             "kind": "speed",
             "id": "speed",
             "records_per_sec": throughput,
+            "records_per_sec_legacy": legacy,
+            "filter_plane_speedup": plane_speedup,
             "sweep_jobs1_seconds": jobs1_seconds,
             "sweep_jobs4_seconds": jobs4_seconds,
             "parallel_speedup_j4": speedup,
@@ -131,6 +178,16 @@ def test_speed(benchmark, bench_records, bench_seed):
             "single_process_reference": REFERENCE,
         },
     )
+
+    if os.environ.get("REPRO_PERF_GUARD", "").strip() == "1" and records >= 20_000:
+        floors = REFERENCE["filter_plane_speedup_floor"]
+        for scheme, floor in floors.items():
+            required = floor * _GUARD_SLACK
+            assert plane_speedup[scheme] >= required, (
+                f"perf regression: filter-plane speedup on '{scheme}' is "
+                f"{plane_speedup[scheme]:.2f}x, below {required:.2f}x "
+                f"(>25% under the {floor:.2f}x reference floor)"
+            )
 
     if cores >= 4 and records >= 20_000:
         assert speedup >= 2.0, f"expected >=2x at -j 4 on {cores} cores, got {speedup:.2f}x"

@@ -48,6 +48,11 @@ class SweepRunner:
     records: int = 280_000
     seed: int = 7
     workloads: tuple[str, ...] = COMMERCIAL_WORKLOADS
+    #: Compressed execution over precomputed L1 filter planes; ``None``
+    #: defers to ``$REPRO_COMPRESSED`` (on by default).  Because planes
+    #: are memoised per (trace, L1 geometry), a sweep of many L2 /
+    #: prefetcher configurations filters each workload exactly once.
+    compressed: bool | None = None
     _baselines: dict[tuple[str, tuple], SimulationResult] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
@@ -67,7 +72,9 @@ class SweepRunner:
         if cached is not None:
             return cached
         trace = self.trace(workload)
-        result = EpochSimulator(config, None, **self._timing_kwargs(trace)).run(trace)
+        result = EpochSimulator(config, None, **self._timing_kwargs(trace)).run(
+            trace, compressed=self.compressed
+        )
         self._baselines[key] = result
         return result
 
@@ -80,7 +87,9 @@ class SweepRunner:
     ) -> SweepPoint:
         """Simulate one candidate configuration for one workload."""
         trace = self.trace(workload)
-        result = EpochSimulator(config, prefetcher, **self._timing_kwargs(trace)).run(trace)
+        result = EpochSimulator(config, prefetcher, **self._timing_kwargs(trace)).run(
+            trace, compressed=self.compressed
+        )
         return SweepPoint(
             workload=workload,
             label=label,
@@ -118,6 +127,7 @@ class SweepRunner:
                 seed=self.seed,
                 workloads=self.workloads,
                 jobs=jobs,
+                compressed=self.compressed,
                 baseline_memo=self._baselines,
             )
             return runner.sweep(

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from typing import Sequence
@@ -228,6 +229,12 @@ def build_parser() -> argparse.ArgumentParser:
         "-q", "--quiet", action="count", default=0,
         help="decrease logging verbosity (errors only)",
     )
+    parser.add_argument(
+        "--no-compressed", action="store_true",
+        help="disable compressed execution over precomputed L1 filter "
+        "planes and walk every trace record (bit-identical, slower; "
+        "equivalent to REPRO_COMPRESSED=0)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("experiments", help="list available experiments").set_defaults(
@@ -309,6 +316,11 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     configure_logging(args.verbose - args.quiet)
+    if args.no_compressed:
+        # The env var is the single switch every layer (simulator, job
+        # specs, pool workers) already consults, so setting it here turns
+        # the whole run — including forked workers — legacy.
+        os.environ["REPRO_COMPRESSED"] = "0"
     return args.func(args)
 
 

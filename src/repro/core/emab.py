@@ -29,6 +29,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
+from itertools import islice
 
 __all__ = ["TrainingView", "EpochMissAddressBuffer"]
 
@@ -96,11 +97,13 @@ class EpochMissAddressBuffer:
             if oldest:
                 payload: list[int] = []
                 seen: set[int] = set()
-                for entry in list(self._entries)[self.skip_epochs :]:
+                seen_add = seen.add
+                payload_append = payload.append
+                for entry in islice(self._entries, self.skip_epochs, None):
                     for line in entry:
                         if line not in seen:
-                            seen.add(line)
-                            payload.append(line)
+                            seen_add(line)
+                            payload_append(line)
                 if payload:
                     view = TrainingView(key_line=oldest[0], payload=tuple(payload))
         self._entries.append([])  # deque maxlen drops the oldest entry

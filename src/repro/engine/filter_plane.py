@@ -1,0 +1,362 @@
+"""Precomputed L1 filter plane.
+
+The L1 caches are *pure filters* of the demand stream: ``CacheHierarchy``
+installs the line into the requesting L1 on every non-L1-hit access no
+matter where it was serviced, and nothing else mutates L1 state.  The L1
+hit/miss outcome of every trace record is therefore a function of the
+trace and the two L1 geometries alone — identical across prefetchers and
+across every L2/buffer/bandwidth configuration that shares L1 geometry.
+
+This module computes that outcome once per ``(trace fingerprint, L1I
+geometry, L1D geometry)`` as a boolean *miss mask* plus prefix-sum
+columns (instructions, per-class L1 hits, store bytes), and caches it
+
+* **in memory** on the :class:`~repro.workloads.trace.Trace` object
+  itself (the workload registry memoises traces per process, so every
+  simulator run of the same trace shares one plane), and
+* **on disk** as ``.npz`` beside the trace cache
+  (:func:`repro.workloads.cache.plane_cache_root`, honouring
+  ``$REPRO_TRACE_CACHE``), so parallel sweep workers and later processes
+  load instead of recomputing.
+
+The mask kernel is a NumPy per-set grouped LRU (sets advance in lockstep,
+so the per-record Python loop disappears); a pure-Python reference
+implementation over :class:`~repro.memory.cache.SetAssociativeCache`
+exists for verification and as a fallback for degenerate geometries.
+``REPRO_FILTER_KERNEL=python`` forces the reference kernel.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import tempfile
+from typing import TYPE_CHECKING, Optional, Tuple
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..workloads.trace import Trace
+
+__all__ = [
+    "FilterPlane",
+    "compute_filter_plane",
+    "get_filter_plane",
+    "l1_hit_mask",
+    "l1_hit_mask_reference",
+    "compressed_enabled",
+]
+
+log = logging.getLogger(__name__)
+
+#: Geometry key: (size_bytes, ways, line_size) — see
+#: :meth:`repro.memory.cache.SetAssociativeCache.geometry_key`.
+GeometryKey = Tuple[int, int, int]
+
+#: Values of ``REPRO_COMPRESSED`` that turn compressed execution off.
+_DISABLED_VALUES = {"0", "off", "none", "false", "no"}
+
+#: Traces shorter than this are not persisted to disk (the plane is
+#: cheaper to recompute than to load, and tests would litter the cache).
+_MIN_PERSIST_RECORDS = 20_000
+
+_PLANE_FORMAT_VERSION = 1
+
+
+def compressed_enabled() -> bool:
+    """Default for compressed execution: on unless ``REPRO_COMPRESSED``
+    is set to a disabled value (``0``/``off``/``false``/...)."""
+    value = os.environ.get("REPRO_COMPRESSED")
+    if value is None:
+        return True
+    return value.strip().lower() not in _DISABLED_VALUES
+
+
+# ----------------------------------------------------------------------
+# Mask kernels
+# ----------------------------------------------------------------------
+def _geometry_sets(key: GeometryKey) -> tuple[int, int]:
+    """(n_sets, ways) for a geometry key; validates like the cache does."""
+    size_bytes, ways, line_size = key
+    n_sets = size_bytes // line_size // ways
+    if n_sets <= 0 or n_sets & (n_sets - 1):
+        raise ValueError(f"number of sets ({n_sets}) must be a power of two")
+    return n_sets, ways
+
+
+def _grouped_lru_hit_mask(lines: np.ndarray, n_sets: int, ways: int) -> np.ndarray:
+    """True-LRU hit mask for one cache over a line-number stream.
+
+    Accesses are grouped by set (stable order within each set) and all
+    sets advance in lockstep: each round consumes at most one access per
+    still-active set with a handful of vectorized operations, so the
+    Python iteration count is the *deepest* set's access count, not the
+    stream length.  Stamps are the global round number — unique per set
+    because a set sees at most one access per round — which reproduces
+    the reference cache's strict-LRU victim order exactly.
+    """
+    n = lines.size
+    hit_mask = np.empty(n, dtype=bool)
+    if n == 0:
+        return hit_mask
+    set_mask = n_sets - 1
+    tag_shift = n_sets.bit_length() - 1
+    set_idx = (lines & set_mask).astype(np.int64)
+    tags = lines >> tag_shift
+    order = np.argsort(set_idx, kind="stable")
+    sorted_tags = tags[order]
+    counts = np.bincount(set_idx, minlength=n_sets)
+    offsets = np.zeros(n_sets, dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+    hit_sorted = np.empty(n, dtype=bool)
+
+    state_tags = np.full((n_sets, ways), -1, dtype=np.int64)
+    state_stamp = np.full((n_sets, ways), -1, dtype=np.int64)
+    ptr = np.zeros(n_sets, dtype=np.int64)
+    active = np.flatnonzero(counts)
+    round_no = 0
+    while active.size:
+        pos = offsets[active] + ptr[active]
+        t = sorted_tags[pos]
+        st = state_tags[active]
+        eq = st == t[:, None]
+        hit = eq.any(axis=1)
+        hit_sorted[pos] = hit
+        way = np.where(hit, eq.argmax(axis=1), state_stamp[active].argmin(axis=1))
+        state_tags[active, way] = t
+        state_stamp[active, way] = round_no
+        ptr[active] += 1
+        round_no += 1
+        active = active[ptr[active] < counts[active]]
+
+    hit_mask[order] = hit_sorted
+    return hit_mask
+
+
+def l1_hit_mask(
+    kinds: np.ndarray,
+    addrs: np.ndarray,
+    l1i_key: GeometryKey,
+    l1d_key: GeometryKey,
+) -> np.ndarray:
+    """Boolean L1 *hit* mask of the record stream (NumPy kernel).
+
+    Instruction fetches (``kind == 0``) filter through the L1I, loads and
+    stores through the L1D — exactly the split the simulator applies.
+    """
+    if l1i_key[2] != l1d_key[2]:
+        raise ValueError("L1I and L1D must share one line size")
+    line_shift = int(l1i_key[2]).bit_length() - 1
+    lines = np.asarray(addrs, dtype=np.int64) >> line_shift
+    kinds = np.asarray(kinds)
+    is_ifetch = kinds == 0
+    mask = np.empty(lines.size, dtype=bool)
+    for selector, key in ((is_ifetch, l1i_key), (~is_ifetch, l1d_key)):
+        n_sets, ways = _geometry_sets(key)
+        mask[selector] = _grouped_lru_hit_mask(lines[selector], n_sets, ways)
+    return mask
+
+
+def l1_hit_mask_reference(
+    kinds: np.ndarray,
+    addrs: np.ndarray,
+    l1i_key: GeometryKey,
+    l1d_key: GeometryKey,
+) -> np.ndarray:
+    """Pure-Python reference mask: literally the simulator's L1 filter.
+
+    Replays every record through two :class:`SetAssociativeCache`
+    instances with the simulator's exact lookup-then-insert protocol.
+    Used to verify the NumPy kernel and as the fallback for degenerate
+    geometries.
+    """
+    from ..memory.cache import SetAssociativeCache
+
+    if l1i_key[2] != l1d_key[2]:
+        raise ValueError("L1I and L1D must share one line size")
+    l1i = SetAssociativeCache(*l1i_key, name="plane-L1I")
+    l1d = SetAssociativeCache(*l1d_key, name="plane-L1D")
+    line_shift = l1i.line_shift
+    mask = np.empty(len(addrs), dtype=bool)
+    kind_list = np.asarray(kinds).tolist()
+    addr_list = np.asarray(addrs).tolist()
+    for i, (kind, addr) in enumerate(zip(kind_list, addr_list)):
+        line = addr >> line_shift
+        cache = l1i if kind == 0 else l1d
+        if cache.lookup(line):
+            mask[i] = True
+        else:
+            cache.insert(line)
+            mask[i] = False
+    return mask
+
+
+# ----------------------------------------------------------------------
+# The plane object
+# ----------------------------------------------------------------------
+class FilterPlane:
+    """Precomputed L1 outcomes and prefix sums for one (trace, geometry).
+
+    ``miss_mask[i]`` is True when record ``i`` misses its L1.  The prefix
+    arrays all have length ``n + 1`` with a leading 0, so any record
+    range ``[a, b)`` aggregates in O(1):
+
+    * ``inst_prefix`` — retired instructions,
+    * ``l1i_hit_prefix`` / ``l1d_hit_prefix`` — L1 hits by class,
+    * ``store_bytes_prefix`` — store traffic in bytes
+      (count × line size; the timing model keeps L1-hit stores free, the
+      column exists for analysis and alternative bandwidth models).
+    """
+
+    def __init__(
+        self,
+        miss_mask: np.ndarray,
+        trace: "Trace",
+        l1i_key: GeometryKey,
+        l1d_key: GeometryKey,
+    ) -> None:
+        n = len(trace.gap)
+        if miss_mask.shape != (n,):
+            raise ValueError(f"mask length {miss_mask.shape} != trace length {n}")
+        self.miss_mask = miss_mask
+        self.l1i_key = l1i_key
+        self.l1d_key = l1d_key
+        self.trace_fingerprint = trace.fingerprint()
+        self.line_shift = int(l1i_key[2]).bit_length() - 1
+        self.inst_prefix = trace.inst_prefix()
+        hits = ~miss_mask
+        is_ifetch = trace.kind == 0
+        self.l1i_hit_prefix = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(hits & is_ifetch, out=self.l1i_hit_prefix[1:])
+        self.l1d_hit_prefix = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(hits & ~is_ifetch, out=self.l1d_hit_prefix[1:])
+        self.store_bytes_prefix = trace.store_count_prefix() * int(l1i_key[2])
+        self.miss_indices = np.flatnonzero(miss_mask)
+        self._miss_columns: tuple | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def n_records(self) -> int:
+        return int(self.miss_mask.size)
+
+    @property
+    def n_misses(self) -> int:
+        return int(self.miss_indices.size)
+
+    def miss_count_before(self, record_index: int) -> int:
+        """Number of L1 misses among records ``[0, record_index)``."""
+        return int(np.searchsorted(self.miss_indices, record_index))
+
+    def miss_columns(self, trace: "Trace") -> tuple:
+        """Packed per-miss record columns as plain Python lists.
+
+        ``(kind, pc, addr, serial, inst, tid, line)`` — ``inst`` is the
+        retired-instruction clock *after* the record's gap, ``line`` is
+        the L1 line number.  Built once and reused across every run of
+        the same trace (sweeps run a trace dozens of times).
+        """
+        if self._miss_columns is None:
+            idx = self.miss_indices
+            self._miss_columns = (
+                trace.kind[idx].tolist(),
+                trace.pc[idx].tolist(),
+                trace.addr[idx].tolist(),
+                (trace.serial[idx] != 0).tolist(),
+                self.inst_prefix[idx + 1].tolist(),
+                trace.tid[idx].tolist(),
+                (trace.addr[idx] >> self.line_shift).tolist(),
+            )
+        return self._miss_columns
+
+
+# ----------------------------------------------------------------------
+# Computation + caching
+# ----------------------------------------------------------------------
+def compute_filter_plane(
+    trace: "Trace",
+    l1i_key: GeometryKey,
+    l1d_key: GeometryKey,
+    kernel: str | None = None,
+) -> FilterPlane:
+    """Compute a plane directly (no caching).  ``kernel``: numpy|python."""
+    if kernel is None:
+        kernel = os.environ.get("REPRO_FILTER_KERNEL", "numpy").strip().lower()
+    # Tiny set counts make the lockstep kernel degenerate to one set per
+    # round; the reference loop is faster and trivially correct there.
+    if kernel == "python" or _geometry_sets(l1i_key)[0] < 4 or _geometry_sets(l1d_key)[0] < 4:
+        hit = l1_hit_mask_reference(trace.kind, trace.addr, l1i_key, l1d_key)
+    else:
+        hit = l1_hit_mask(trace.kind, trace.addr, l1i_key, l1d_key)
+    return FilterPlane(~hit, trace, l1i_key, l1d_key)
+
+
+def _plane_path(trace: "Trace", l1i_key: GeometryKey, l1d_key: GeometryKey):
+    from ..workloads.cache import plane_cache_root
+
+    root = plane_cache_root()
+    if root is None:
+        return None
+    geom = (
+        f"i{l1i_key[0]}x{l1i_key[1]}-d{l1d_key[0]}x{l1d_key[1]}-l{l1i_key[2]}"
+    )
+    return root / f"{trace.fingerprint()}-{geom}.npz"
+
+
+def _load_plane(path, trace, l1i_key, l1d_key) -> Optional[FilterPlane]:
+    try:
+        with np.load(path) as data:
+            if int(data["version"][0]) != _PLANE_FORMAT_VERSION:
+                return None
+            miss_mask = np.unpackbits(data["miss_mask"], count=len(trace.gap)).astype(bool)
+        return FilterPlane(miss_mask, trace, l1i_key, l1d_key)
+    except Exception as exc:  # corrupt/truncated/incompatible entry
+        log.warning("filter-plane cache entry %s unreadable (%s); recomputing", path, exc)
+        try:
+            os.unlink(path)
+        except OSError:
+            pass
+        return None
+
+
+def _store_plane(path, plane: FilterPlane) -> None:
+    """Atomic write, mirroring the trace cache; failures only cost speed."""
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.stem, suffix=".tmp.npz"
+        )
+        os.close(fd)
+        try:
+            np.savez_compressed(
+                tmp_name,
+                version=np.array([_PLANE_FORMAT_VERSION], dtype=np.int64),
+                miss_mask=np.packbits(plane.miss_mask),
+            )
+            os.replace(tmp_name, path)
+        finally:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+    except OSError as exc:
+        log.warning("could not write filter-plane cache entry %s (%s)", path, exc)
+
+
+def get_filter_plane(
+    trace: "Trace", l1i_key: GeometryKey, l1d_key: GeometryKey
+) -> FilterPlane:
+    """The plane for ``(trace, L1 geometries)``, through both cache layers."""
+    memo = trace._plane_cache
+    memo_key = (l1i_key, l1d_key)
+    plane = memo.get(memo_key)
+    if plane is not None:
+        return plane
+    path = None
+    if len(trace.gap) >= _MIN_PERSIST_RECORDS:
+        path = _plane_path(trace, l1i_key, l1d_key)
+    if path is not None and path.exists():
+        plane = _load_plane(path, trace, l1i_key, l1d_key)
+    if plane is None:
+        plane = compute_filter_plane(trace, l1i_key, l1d_key)
+        if path is not None:
+            _store_plane(path, plane)
+    memo[memo_key] = plane
+    return plane

@@ -29,6 +29,7 @@ from __future__ import annotations
 import logging
 import warnings
 from dataclasses import dataclass
+from itertools import islice
 from typing import Any, Callable, Iterable
 
 from ..memory.bandwidth import BandwidthModel, BusStats, EpochBudget
@@ -46,6 +47,7 @@ from ..obs.events import (
 from ..prefetchers.base import Prefetcher
 from .config import ProcessorConfig
 from .epoch import Epoch, EpochTracker
+from .filter_plane import compressed_enabled, get_filter_plane
 from .stats import SimulationResult, SimulationStats
 
 __all__ = ["EpochSimulator"]
@@ -98,11 +100,28 @@ class EpochSimulator:
         self._interval_sealed = False
         self._measuring = False
         self._cpi_onchip = self.cpi_perf * (1.0 - self.overlap)
+        # Hot-path scalars hoisted off the config (attribute chains are a
+        # measurable share of per-miss time); the config is never mutated
+        # after construction.
+        self._memory_latency = self.config.memory_latency
+        self._base_penalty = float(self.config.memory_latency)
+        self._line_bytes = self.config.line_size
+        self._rob_size = self.config.rob_size
+        #: Whether the prefetcher actually overrides observe_access; most
+        #: (including EBCP) train on the off-chip miss stream only, and
+        #: the per-miss no-op call is measurable.
+        self._wants_access_stream = prefetcher is not None and (
+            type(prefetcher).observe_access is not Prefetcher.observe_access
+        )
         #: Wall-clock cycle accumulator: retired instructions contribute
         #: ``cpi_onchip`` cycles each, and every closed epoch adds its
         #: effective miss penalty.  Prefetch readiness is judged on this
         #: clock (see PrefetchBuffer's docstring).
         self._penalty_accum = 0.0
+        #: True while a compressed-execution run resolves the L1 filter
+        #: from a precomputed plane: _step_miss then passes ``l1=None`` to
+        #: the hierarchy so the (never again read) L1 fill is skipped.
+        self._l1_precomputed = False
         #: The observability event bus; None keeps the null-sink fast path
         #: (a single ``is None`` check per emission site).
         self.bus = bus
@@ -189,7 +208,12 @@ class EpochSimulator:
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
-    def run(self, trace: Any, warmup_records: int | None = None) -> SimulationResult:
+    def run(
+        self,
+        trace: Any,
+        warmup_records: int | None = None,
+        compressed: bool | None = None,
+    ) -> SimulationResult:
         """Simulate ``trace`` and return the measured-region result.
 
         ``trace`` must expose integer sequences ``gap``, ``kind``, ``pc``,
@@ -199,18 +223,36 @@ class EpochSimulator:
         correlation table without collecting statistics — mirroring the
         paper's 150 M-instruction warm-up before the 100 M-instruction
         measurement window.  The default warm-up is 30 % of the trace.
+
+        ``compressed`` selects miss-stream compressed execution: the L1
+        hit/miss outcome of every record is resolved ahead of time from
+        the trace's filter plane (:mod:`repro.engine.filter_plane`) and
+        the per-record loop visits only the L1 misses, folding each run of
+        L1 hits into O(1) prefix-sum updates.  Results are bit-identical
+        to the record-by-record path.  The default (``None``) enables it
+        for real :class:`~repro.workloads.trace.Trace` inputs unless
+        ``REPRO_COMPRESSED`` is set to ``0``/``off``/``false``.
         """
         n = len(trace.gap)
         if warmup_records is None:
             warmup_records = int(0.3 * n)
         warmup_records = max(0, min(warmup_records, n))
+        if compressed is None:
+            compressed = compressed_enabled()
+        # Compressed execution needs the real Trace surface (fingerprint,
+        # numpy columns, the attached plane memo); duck-typed test traces
+        # fall back to the record-by-record loop.
+        compressed = compressed and hasattr(trace, "fingerprint") and n > 0
         log.info(
-            "run: %s records (%s warm-up), prefetcher=%s, observability=%s",
+            "run: %s records (%s warm-up), prefetcher=%s, observability=%s, compressed=%s",
             n,
             warmup_records,
             self.prefetcher.name if self.prefetcher is not None else "none",
             "on" if self.bus is not None else "off",
+            compressed,
         )
+        if compressed:
+            return self._run_compressed(trace, warmup_records, n)
 
         if hasattr(trace, "columns"):
             # Real Trace objects pack their columns once and reuse them
@@ -264,7 +306,164 @@ class EpochSimulator:
                         stats.l1d_hits += 1
                 continue
             step_miss(kind_code, pcs[i], addrs[i], bool(serials[i]), inst, tids[i], line)
-        # Close the final epoch and flush pending transfers.
+        return self._finish_run(trace, inst, measure_start_inst)
+
+    # ------------------------------------------------------------------
+    # Compressed execution (precomputed L1 filter plane)
+    # ------------------------------------------------------------------
+    def _run_compressed(self, trace: Any, warmup_records: int, n: int) -> SimulationResult:
+        """Run only the L1-miss records; L1-hit runs collapse to O(1).
+
+        The plane supplies the miss mask and the prefix sums needed to
+        reconstruct every bulk statistic (accesses, per-class L1 hits, the
+        instruction clock at each miss) exactly as the record-by-record
+        loop would have accumulated them.
+        """
+        hierarchy = self.hierarchy
+        plane = get_filter_plane(
+            trace, hierarchy.l1i.geometry_key(), hierarchy.l1d.geometry_key()
+        )
+        kinds, pcs, addrs, serials, insts, tids, lines = plane.miss_columns(trace)
+        n_misses = plane.n_misses
+        split = plane.miss_count_before(warmup_records)
+        inst_prefix = plane.inst_prefix
+        total_inst = int(inst_prefix[n])
+        measure_start_inst = int(inst_prefix[warmup_records])
+
+        self._measuring = False
+        self._l1_precomputed = True
+        # Without a prefetcher or bus subscribers the miss path collapses
+        # to L2 + epochs + bandwidth; a specialised loop skips the work
+        # that is unobservable in that configuration.
+        simple = self.prefetcher is None and self.bus is None
+        step_miss = self._step_miss
+        # One iterator consumed across the warm-up boundary: the measured
+        # loop picks up exactly where the warm-up loop stopped.
+        miss_args = zip(kinds, pcs, addrs, serials, insts, tids, lines)
+        try:
+            if simple:
+                self._run_misses_simple(kinds, pcs, serials, insts, lines, 0, split)
+            else:
+                for args in islice(miss_args, split):
+                    step_miss(*args)
+            if warmup_records < n:
+                self._begin_measurement()
+                stats = self.stats
+                stats.accesses = n - warmup_records
+                stats.l1i_hits = int(
+                    plane.l1i_hit_prefix[n] - plane.l1i_hit_prefix[warmup_records]
+                )
+                stats.l1d_hits = int(
+                    plane.l1d_hit_prefix[n] - plane.l1d_hit_prefix[warmup_records]
+                )
+            if simple:
+                self._run_misses_simple(kinds, pcs, serials, insts, lines, split, n_misses)
+            else:
+                for args in miss_args:
+                    step_miss(*args)
+        finally:
+            self._l1_precomputed = False
+        return self._finish_run(trace, total_inst, measure_start_inst)
+
+    def _run_misses_simple(
+        self, kinds: list, pcs: list, serials: list, insts: list, lines: list,
+        start: int, stop: int,
+    ) -> None:
+        """Miss loop specialised for ``prefetcher is None and bus is None``.
+
+        Everything the generic ``_step_miss`` does for the benefit of a
+        prefetcher or an event subscriber — the frozen ``Access`` record,
+        the wall-clock cycle, the prefetch-buffer probe, interval
+        tracking, request registration — is unobservable in this
+        configuration and skipped; the L2, epoch, MSHR and bandwidth
+        mutations are performed in exactly the legacy order, so the
+        resulting statistics are bit-identical.
+        """
+        stats = self.stats
+        measuring = self._measuring
+        l2 = self.hierarchy.l2
+        l2_lookup = l2.lookup
+        l2_insert = l2.insert
+        l2_pop_dirty = l2.pop_dirty
+        tracker = self.tracker
+        mshrs = self.mshrs
+        rob_size = tracker.rob_size
+        line_bytes = self.config.line_size
+        offchip = stats.offchip_misses
+        term = tracker.termination_reasons
+        process_close = self._process_epoch_close
+        kind_table = _KIND_TABLE
+        for j in range(start, stop):
+            line = lines[j]
+            if measuring:
+                stats.l2_accesses += 1
+            if l2_lookup(line):
+                if measuring:
+                    stats.l2_hits += 1
+                continue
+            kind_code = kinds[j]
+            kind = kind_table[kind_code]
+            victim = l2_insert(line)
+            if kind_code == 2:
+                l2.mark_dirty(line)
+            if victim is not None and l2_pop_dirty(victim):
+                self._store_write_bytes += line_bytes
+            if measuring:
+                offchip[kind] += 1
+            if kind_code == 2:
+                # Weak consistency: store misses only consume bandwidth.
+                self._store_read_bytes += line_bytes
+                self._store_write_bytes += line_bytes
+                continue
+            inst = insts[j]
+            serial = serials[j]
+            epoch = tracker.open_epoch
+            if epoch is None:
+                reason = "first_miss"
+            elif serial:
+                reason = "serial_dependence"
+            elif epoch.sealed:
+                reason = "instruction_miss_seal"
+            elif inst - epoch.trigger_inst > rob_size:
+                reason = "rob_window"
+            elif mshrs.has(line) or not mshrs.is_full:
+                # Overlaps the open epoch (EpochTracker.join, inlined).
+                mshrs.allocate(line)
+                epoch.miss_lines.append(line)
+                epoch.miss_kinds.append(kind)
+                if kind_code == 0:
+                    epoch.sealed = True
+                continue
+            else:
+                reason = "mshr_full"
+            # Window terminated (EpochTracker.open_new, inlined): count
+            # the reason *before* closing so the close merges it, exactly
+            # like the legacy ordering.
+            term[reason] = term.get(reason, 0) + 1
+            new_epoch = Epoch(
+                index=tracker.epoch_count,
+                trigger_line=line,
+                trigger_kind=kind,
+                trigger_pc=pcs[j],
+                trigger_inst=inst,
+            )
+            new_epoch.miss_lines.append(line)
+            new_epoch.miss_kinds.append(kind)
+            if kind_code == 0:
+                new_epoch.sealed = True
+            tracker.epoch_count += 1
+            tracker.open_epoch = new_epoch
+            if epoch is not None:
+                epoch.close_inst = inst
+                process_close(epoch, inst)
+            if measuring:
+                stats.epochs += 1
+                if serial:
+                    stats.serial_epochs += 1
+            mshrs.allocate(line)
+
+    def _finish_run(self, trace: Any, inst: int, measure_start_inst: int) -> SimulationResult:
+        """Close the final epoch, flush transfers, assemble the result."""
         closed = self.tracker.close(inst)
         if closed is not None:
             self._process_epoch_close(closed, inst)
@@ -340,43 +539,70 @@ class EpochSimulator:
         """
         stats = self.stats
         measuring = self._measuring
+        hierarchy = self.hierarchy
+        # L2-hit fast path: when no prefetcher observes the access stream
+        # and no bus listens, a hit has no observer — the only effects are
+        # the L2 LRU touch, the L1 fill and two counters, so the Access
+        # and HierarchyResult objects need never exist.  (The epoch
+        # bookkeeping skipped here is pure computation on the miss path.)
+        if not self._wants_access_stream and hierarchy.bus is None:
+            if hierarchy.l2.lookup(line):
+                if not self._l1_precomputed:
+                    (hierarchy.l1i if kind_code == 0 else hierarchy.l1d).insert(line)
+                if measuring:
+                    stats.l2_accesses += 1
+                    stats.l2_hits += 1
+                return
+            l2_known_miss = True
+        else:
+            l2_known_miss = False
         kind = _KIND_TABLE[kind_code]
         tracker = self.tracker
         prefetcher = self.prefetcher
 
-        access = Access(kind=kind, pc=pc, addr=addr, serial=serial, inst_index=inst, tid=tid)
+        access = Access(kind, pc, addr, serial, inst, tid)
         requests: list[PrefetchRequest] = []
 
         # Prospective epoch membership: would this access overlap the
         # open epoch, or does it logically execute after its stall?
+        # (EpochTracker.can_join, inlined — innermost branch of the path.)
         open_epoch = tracker.open_epoch
         if open_epoch is None:
             prospective = tracker.epoch_count
             joins = False
             reason = "first_miss"
         else:
-            mshr_ok = self.mshrs.has(line) or not self.mshrs.is_full
-            joins, reason = tracker.can_join(access, mshr_ok)
+            if serial:
+                joins, reason = False, "serial_dependence"
+            elif open_epoch.sealed:
+                joins, reason = False, "instruction_miss_seal"
+            elif inst - open_epoch.trigger_inst > tracker.rob_size:
+                joins, reason = False, "rob_window"
+            elif self.mshrs.has(line) or not self.mshrs.is_full:
+                joins, reason = True, ""
+            else:
+                joins, reason = False, "mshr_full"
             prospective = open_epoch.index if joins else tracker.epoch_count
         # Wall-clock time of this access: instructions retired so far plus
         # all resolved stalls, plus the still-open epoch's stall if the
         # access can only execute after it resolves.
         cycle = inst * self._cpi_onchip + self._penalty_accum
         if open_epoch is not None and not joins:
-            cycle += self.config.memory_latency
+            cycle += self._memory_latency
 
         # Every L1 miss is an L2 access the prefetcher control can see.
-        if prefetcher is not None:
+        if self._wants_access_stream:
             requests.extend(prefetcher.observe_access(access, line, prospective))
 
-        hierarchy = self.hierarchy
-        result = hierarchy.access_after_l1_miss(
-            access, line, hierarchy.l1i if kind_code == 0 else hierarchy.l1d, cycle
-        )
+        if self._l1_precomputed:
+            l1 = None
+        else:
+            l1 = hierarchy.l1i if kind_code == 0 else hierarchy.l1d
+        result = hierarchy.access_after_l1_miss(access, line, l1, cycle, l2_known_miss)
         if result.writeback_line is not None:
             # Dirty L2 victim: a memory write, visible to memory-side
             # prefetchers as part of the raw request stream.
-            self._store_write_bytes += self.config.line_size
+            self._store_write_bytes += self._line_bytes
             if prefetcher is not None and prefetcher.observes_stores:
                 wb_access = Access(
                     kind=AccessKind.STORE,
@@ -395,7 +621,8 @@ class EpochSimulator:
         if result.outcome is AccessOutcome.L2_HIT:
             if measuring:
                 stats.l2_hits += 1
-            self._register_requests(requests, prospective, cycle)
+            if requests:
+                self._register_requests(requests, prospective, cycle)
             return
 
         if result.outcome is AccessOutcome.PREFETCH_HIT:
@@ -423,7 +650,8 @@ class EpochSimulator:
                             access, line, result.table_index, prospective, first
                         )
                     )
-            self._register_requests(requests, prospective, cycle)
+            if requests:
+                self._register_requests(requests, prospective, cycle)
             return
 
         # Genuine off-chip miss.
@@ -435,9 +663,10 @@ class EpochSimulator:
         if kind is AccessKind.STORE:
             # Weak consistency: store misses never stall the window and
             # never create epochs; they only consume bandwidth.
-            self._store_read_bytes += self.config.line_size
-            self._store_write_bytes += self.config.line_size
-            self._register_requests(requests, prospective, cycle)
+            self._store_read_bytes += self._line_bytes
+            self._store_write_bytes += self._line_bytes
+            if requests:
+                self._register_requests(requests, prospective, cycle)
             return
 
         if joins:
@@ -458,7 +687,8 @@ class EpochSimulator:
             requests.extend(
                 prefetcher.observe_offchip_miss(access, line, epoch, is_trigger)
             )
-        self._register_requests(requests, epoch.index if not joins else prospective, cycle)
+        if requests:
+            self._register_requests(requests, epoch.index if not joins else prospective, cycle)
 
     # ------------------------------------------------------------------
     # Would-be epoch (interval) tracking for the prefetcher
@@ -477,7 +707,7 @@ class EpochSimulator:
             self._interval_trigger_inst is None
             or serial
             or self._interval_sealed
-            or inst - self._interval_trigger_inst > self.config.rob_size
+            or inst - self._interval_trigger_inst > self._rob_size
         )
         if new_interval:
             if self.prefetcher is not None and self._interval_trigger_inst is not None:
@@ -507,7 +737,7 @@ class EpochSimulator:
                 self.stats.prefetches_generated += 1
             # One miss penalty per pipeline step: the table read occupies
             # the first, the prefetch transfer the last (Section 3.2).
-            ready_cycle = cycle + req.epochs_until_ready * self.config.memory_latency
+            ready_cycle = cycle + req.epochs_until_ready * self._memory_latency
             # Bandwidth is charged to the epoch window the request was
             # created in: that window's duration spans the wall time in
             # which the transfer occupies the bus.
@@ -527,13 +757,15 @@ class EpochSimulator:
     # ------------------------------------------------------------------
     def _process_epoch_close(self, closed: Epoch, now_inst: int) -> None:
         self.mshrs.drain()
-        base_penalty = float(self.config.memory_latency)
+        base_penalty = self._base_penalty
+        bandwidth = self.bandwidth
+        measuring = self._measuring
         span_insts = max(0, now_inst - closed.trigger_inst)
         duration = span_insts * self._cpi_onchip + base_penalty
         # Wall-clock position of the window, for the epoch timeline.
         start_cycle = closed.trigger_inst * self._cpi_onchip + self._penalty_accum
-        budget = self.bandwidth.open_epoch(duration)
-        line_bytes = self.config.line_size
+        budget = bandwidth.open_epoch(duration)
+        line_bytes = self._line_bytes
 
         # 1. Demand fills (never droppable).
         budget.charge_read(Priority.DEMAND, closed.n_misses * line_bytes, droppable=False)
@@ -555,7 +787,7 @@ class EpochSimulator:
                 budget.charge_write(Priority.TABLE_UPDATE, update_w)
             if lru_w:
                 budget.charge_write(Priority.LRU_WRITEBACK, lru_w)
-            if self._measuring:
+            if measuring:
                 self.stats.table_read_bytes += lookup_r + update_r
                 self.stats.table_write_bytes += update_w + lru_w
 
@@ -569,10 +801,10 @@ class EpochSimulator:
                 self._charge_transfer(transfer, budget, line_bytes, closed.index)
             self._pending = still_pending
 
-        self.bandwidth.close_epoch(budget)
+        bandwidth.close_epoch(budget)
 
         # 4. Effective penalty: queueing from this window's utilisation.
-        queueing = self.bandwidth.queueing_delay(base_penalty)
+        queueing = bandwidth.queueing_delay(base_penalty)
         self._penalty_accum += base_penalty + queueing
         if self.bus is not None and self.bus.wants(EpochClosed):
             emab = getattr(self.prefetcher, "emab", None)
@@ -585,21 +817,21 @@ class EpochSimulator:
                     duration_cycles=duration,
                     read_utilization=budget.read_utilization,
                     queueing_cycles=queueing,
-                    measured=self._measuring,
+                    measured=measuring,
                     emab_occupancy=emab.occupancy if emab is not None else -1,
                     buffer_occupancy=self.hierarchy.prefetch_buffer.occupancy,
                 )
             )
-        if self._measuring:
-            self.stats.offchip_cycles += base_penalty + queueing
-            self.stats.queueing_cycles += queueing
-            self.stats.read_bytes += int(budget.read_used)
-            self.stats.write_bytes += int(budget.write_used)
-            self.stats.read_budget_bytes += int(budget.read_budget)
+        if measuring:
+            stats = self.stats
+            stats.offchip_cycles += base_penalty + queueing
+            stats.queueing_cycles += queueing
+            stats.read_bytes += int(budget.read_used)
+            stats.write_bytes += int(budget.write_used)
+            stats.read_budget_bytes += int(budget.read_budget)
+            merged = stats.termination_reasons
             for reason, count in self.tracker.termination_reasons.items():
-                self.stats.termination_reasons[reason] = (
-                    self.stats.termination_reasons.get(reason, 0) + count
-                )
+                merged[reason] = merged.get(reason, 0) + count
             self.tracker.termination_reasons.clear()
         else:
             self.tracker.termination_reasons.clear()
@@ -654,11 +886,11 @@ class EpochSimulator:
 
     def _flush_pending(self, now_inst: int) -> None:
         """Charge transfers still pending at end of trace."""
-        duration = float(self.config.memory_latency)
+        duration = self._base_penalty
         budget = self.bandwidth.open_epoch(duration)
         for transfer in self._pending:
             self._charge_transfer(
-                transfer, budget, self.config.line_size, self.tracker.epoch_count
+                transfer, budget, self._line_bytes, self.tracker.epoch_count
             )
         self._pending.clear()
         self.bandwidth.close_epoch(budget)

@@ -46,9 +46,8 @@ class BusStats:
     used_bytes: int = 0
 
     def charge(self, priority: Priority, nbytes: int) -> None:
-        self.bytes_by_priority[int(priority)] = (
-            self.bytes_by_priority.get(int(priority), 0) + nbytes
-        )
+        key = int(priority)
+        self.bytes_by_priority[key] = self.bytes_by_priority.get(key, 0) + nbytes
         self.used_bytes += nbytes
 
     def drop(self, priority: Priority, nbytes: int) -> None:

@@ -96,6 +96,19 @@ class SetAssociativeCache:
         self.stats = CacheStats()
 
     # ------------------------------------------------------------------
+    # Geometry identity
+    # ------------------------------------------------------------------
+    def geometry_key(self) -> tuple[int, int, int]:
+        """``(size_bytes, ways, line_size)`` — the exportable geometry.
+
+        Two caches with equal keys are behaviourally identical filters:
+        same set count, same tag split, same LRU victim sequence for any
+        access stream.  The filter-plane cache
+        (:mod:`repro.engine.filter_plane`) keys on this tuple.
+        """
+        return (self.size_bytes, self.ways, self.line_size)
+
+    # ------------------------------------------------------------------
     # Line-number helpers
     # ------------------------------------------------------------------
     def line_of(self, byte_addr: int) -> int:

@@ -41,7 +41,7 @@ class AccessOutcome(enum.Enum):
     OFFCHIP_MISS = "offchip_miss"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class HierarchyResult:
     outcome: AccessOutcome
     line: int
@@ -97,18 +97,27 @@ class CacheHierarchy:
         self,
         access: Access,
         line: int,
-        l1: SetAssociativeCache,
+        l1: SetAssociativeCache | None,
         current_cycle: float,
+        l2_missed: bool = False,
     ) -> HierarchyResult:
         """As :meth:`access`, for a caller that already probed ``l1``.
 
         The epoch simulator filters the trace through the L1s itself on
         its hot path; re-probing here would only burn time and double the
-        L1 miss counters.
+        L1 miss counters.  ``l1`` may be ``None`` when the caller resolved
+        the L1 filter ahead of time (compressed execution over a
+        precomputed filter plane, :mod:`repro.engine.filter_plane`): the
+        L1 fill is then skipped entirely, which is safe because nothing
+        downstream ever reads L1 contents the filter plane did not
+        already account for.  ``l2_missed=True`` means the caller already
+        probed the L2 too (its inline L2-hit fast path) and saw a miss —
+        re-probing would double the L2 miss counter.
         """
         # L1 miss -> L2 access (this is the stream prefetchers observe).
-        if self.l2.lookup(line):
-            l1.insert(line)
+        if not l2_missed and self.l2.lookup(line):
+            if l1 is not None:
+                l1.insert(line)
             result = HierarchyResult(AccessOutcome.L2_HIT, line)
         else:
             # L2 miss -> probe the prefetch buffer (searched in parallel).
@@ -117,7 +126,8 @@ class CacheHierarchy:
                 entry = probe.entry
                 assert entry is not None
                 writeback = self._install_l2(line, access)
-                l1.insert(line)
+                if l1 is not None:
+                    l1.insert(line)
                 result = HierarchyResult(
                     AccessOutcome.PREFETCH_HIT,
                     line,
@@ -129,7 +139,8 @@ class CacheHierarchy:
             else:
                 # Genuine off-chip access.
                 writeback = self._install_l2(line, access)
-                l1.insert(line)
+                if l1 is not None:
+                    l1.insert(line)
                 result = HierarchyResult(
                     AccessOutcome.OFFCHIP_MISS,
                     line,

@@ -71,13 +71,18 @@ class BufferEntry:
         return self.ready_cycle <= current_cycle
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class LookupResult:
     """Outcome of probing the prefetch buffer for a demand miss."""
 
     hit: bool
     late: bool
     entry: BufferEntry | None
+
+
+#: The overwhelmingly common probe outcome (buffer miss) is immutable —
+#: share one instance instead of allocating it per demand miss.
+_MISS_RESULT = LookupResult(hit=False, late=False, entry=None)
 
 
 class PrefetchBuffer:
@@ -162,10 +167,10 @@ class PrefetchBuffer:
         left in place (it will be ready for a later access) and reported
         as ``late``.
         """
-        bucket = self._set_for(line)
+        bucket = self._sets[line & self._set_mask]
         entry = bucket.get(line)
         if entry is None:
-            return LookupResult(hit=False, late=False, entry=None)
+            return _MISS_RESULT
         if not entry.is_ready(current_cycle):
             self.stats.late_hits += 1
             return LookupResult(hit=False, late=True, entry=entry)

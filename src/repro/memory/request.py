@@ -65,7 +65,7 @@ class Priority(enum.IntEnum):
     LRU_WRITEBACK = 4
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class Access:
     """A single demand access from the core.
 

@@ -30,6 +30,7 @@ from dataclasses import dataclass
 from typing import Iterable, Optional, Sequence
 
 from ..engine.config import ProcessorConfig
+from ..engine.filter_plane import compressed_enabled, get_filter_plane
 from ..engine.simulator import EpochSimulator
 from ..engine.stats import SimulationResult
 from ..prefetchers.base import Prefetcher
@@ -80,6 +81,11 @@ class JobSpec:
     scale: float = 1.0
     n_threads: int = 0
     warmup_records: Optional[int] = None
+    #: Compressed execution over the precomputed L1 filter plane
+    #: (:mod:`repro.engine.filter_plane`); ``None`` defers to
+    #: ``$REPRO_COMPRESSED`` (on by default).  Results are bit-identical
+    #: either way — this exists for benchmarking the legacy path.
+    compressed: Optional[bool] = None
 
     def build_trace(self) -> Trace:
         if self.n_threads > 0:
@@ -106,7 +112,21 @@ class JobSpec:
             cpi_perf=trace.meta.cpi_perf,
             overlap=trace.meta.overlap,
         )
-        return sim.run(trace, warmup_records=self.warmup_records)
+        return sim.run(
+            trace, warmup_records=self.warmup_records, compressed=self.compressed
+        )
+
+    def wants_compressed(self) -> bool:
+        """Whether running this spec will consult the filter plane."""
+        return self.compressed if self.compressed is not None else compressed_enabled()
+
+    def l1_geometry_keys(self) -> "tuple[tuple, tuple]":
+        """The (L1I, L1D) geometry keys this spec's hierarchy will use."""
+        cfg = self.config
+        return (
+            (cfg.l1i.size_bytes, cfg.l1i.ways, cfg.line_size),
+            (cfg.l1d.size_bytes, cfg.l1d.ways, cfg.line_size),
+        )
 
 
 def run_job(spec: JobSpec) -> SimulationResult:
@@ -115,26 +135,37 @@ def run_job(spec: JobSpec) -> SimulationResult:
 
 
 def _warm_trace_cache(specs: Sequence[JobSpec]) -> None:
-    """Generate each distinct trace once in the parent before fanning out.
+    """Generate each distinct trace — and its filter planes — once in the
+    parent before fanning out.
 
     Workers then either inherit the in-process memo (``fork``) or load the
     ``.npz`` from the on-disk cache (``spawn``), instead of all
-    regenerating the same trace concurrently.
+    regenerating the same trace concurrently.  Filter planes are warmed
+    per distinct ``(trace, L1 geometry)`` pair, so a sweep of many L2 /
+    prefetcher configurations over one workload computes each plane once
+    rather than once per job.
     """
-    seen = set()
+    seen: set = set()
+    warmed_planes: set = set()
     for spec in specs:
         if spec.n_threads > 0:
             continue  # CMP composites are built from cached per-thread traces
         key = (spec.workload, spec.records, spec.seed, spec.scale)
-        if key in seen:
+        geometry = spec.l1_geometry_keys() if spec.wants_compressed() else None
+        plane_key = None if geometry is None else key + geometry
+        if key in seen and (plane_key is None or plane_key in warmed_planes):
             continue
-        seen.add(key)
         try:
-            make_workload(
+            # Memoised by the registry: a repeat call is a dict lookup.
+            trace = make_workload(
                 spec.workload, records=spec.records, seed=spec.seed, scale=spec.scale
             )
         except KeyError:
-            pass  # unknown name: let the worker raise the real error
+            continue  # unknown name: let the worker raise the real error
+        seen.add(key)
+        if plane_key is not None and plane_key not in warmed_planes:
+            warmed_planes.add(plane_key)
+            get_filter_plane(trace, *geometry)
 
 
 def run_jobs(
@@ -147,10 +178,23 @@ def run_jobs(
     that cannot start, workers dying — degrades to in-process execution
     with a warning rather than failing the run.  Genuine simulation errors
     propagate unchanged in both modes.
+
+    On a single-core machine a pool is pure overhead (worker start-up and
+    pickling with no concurrency to gain), so the specs run in-process
+    even when more workers were requested; set ``$REPRO_FORCE_POOL=1`` to
+    force the pool anyway (e.g. to exercise the pickle boundary in tests).
     """
     specs = list(specs)
     n_workers = min(resolve_jobs(jobs), len(specs))
+    if (
+        n_workers > 1
+        and (os.cpu_count() or 1) <= 1
+        and os.environ.get("REPRO_FORCE_POOL") != "1"
+    ):
+        log.info("single-core machine: running %d jobs in-process", len(specs))
+        n_workers = 1
     if n_workers <= 1:
+        _warm_trace_cache(specs)
         return [spec.run() for spec in specs]
 
     try:

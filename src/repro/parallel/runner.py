@@ -43,6 +43,9 @@ class ParallelSweepRunner:
     seed: int = 7
     workloads: tuple = COMMERCIAL_WORKLOADS
     jobs: Optional[int] = None
+    #: Compressed execution over precomputed L1 filter planes; ``None``
+    #: defers to ``$REPRO_COMPRESSED`` (on by default, bit-identical).
+    compressed: Optional[bool] = None
     #: Shared baseline results; the sequential SweepRunner passes its own
     #: memo here so repeated sweeps never re-simulate a baseline.
     baseline_memo: Dict[BaselineKey, SimulationResult] = field(default_factory=dict)
@@ -74,6 +77,7 @@ class ParallelSweepRunner:
                         config=cfg,
                         prefetcher=None,
                         label="baseline",
+                        compressed=self.compressed,
                     )
                 candidates.append((workload, label, key))
                 candidate_specs.append(
@@ -84,6 +88,7 @@ class ParallelSweepRunner:
                         config=cfg,
                         prefetcher=prefetcher_factory(label),
                         label=label,
+                        compressed=self.compressed,
                     )
                 )
 

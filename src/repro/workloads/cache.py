@@ -32,7 +32,7 @@ from typing import Callable, Optional
 
 from .trace import Trace
 
-__all__ = ["TraceCache", "trace_cache", "cache_key"]
+__all__ = ["TraceCache", "trace_cache", "cache_key", "plane_cache_root"]
 
 log = logging.getLogger(__name__)
 
@@ -122,6 +122,22 @@ def _default_root() -> Optional[Path]:
             return None
         return Path(value).expanduser()
     return Path.home() / ".cache" / "repro-ebcp" / "traces"
+
+
+def plane_cache_root() -> Optional[Path]:
+    """Directory for cached L1 filter planes, beside the trace cache.
+
+    Follows ``$REPRO_TRACE_CACHE`` exactly like the trace cache itself: a
+    custom path gains a ``filter-planes/`` subdirectory, the default is
+    ``~/.cache/repro-ebcp/filter-planes``, and the disabled values disable
+    plane persistence too (in-memory planes still work).
+    """
+    value = os.environ.get("REPRO_TRACE_CACHE")
+    if value is not None:
+        if value.strip().lower() in _DISABLED_VALUES:
+            return None
+        return Path(value).expanduser() / "filter-planes"
+    return Path.home() / ".cache" / "repro-ebcp" / "filter-planes"
 
 
 def trace_cache() -> TraceCache:

@@ -93,14 +93,14 @@ def streaming(
     base = 0xC000_0000
     stride_bytes = 64
     builder = TraceBuilder(TraceMeta(name="streaming", seed=seed))
-    positions = [0] * streams
-    i = 0
-    while len(builder) < records:
-        s = i % streams
-        addr = base + s * (lines_per_stream * stride_bytes * 4) + positions[s] * stride_bytes
-        builder.load(0x3000 + s * 16, addr, gap=50)
-        positions[s] = (positions[s] + 1) % lines_per_stream
-        i += 1
+    # Record i touches stream i % streams at that stream's (i // streams)-th
+    # position (mod the stream length) — a closed form of the interleaved
+    # round-robin walk, bulk-appended instead of looped per record.
+    i = np.arange(records, dtype=np.int64)
+    s = i % streams
+    position = (i // streams) % lines_per_stream
+    addr = base + s * (lines_per_stream * stride_bytes * 4) + position * stride_bytes
+    builder.extend_loads(0x3000 + s * 16, addr, gap=50)
     return builder.build()
 
 
@@ -114,8 +114,7 @@ def random_uniform(
     base = 0xE000_0000
     lines = rng.integers(0, region_lines, size=records)
     builder = TraceBuilder(TraceMeta(name="random_uniform", seed=seed))
-    for line in lines:
-        builder.load(0x4000, base + int(line) * 64, gap=EPOCH_SPLIT_GAP)
+    builder.extend_loads(0x4000, base + lines * 64, gap=EPOCH_SPLIT_GAP)
     return builder.build()
 
 

@@ -23,6 +23,7 @@ full-system traces; see DESIGN.md Section 2 for the substitution argument.
 
 from __future__ import annotations
 
+import hashlib
 import json
 from dataclasses import asdict, dataclass, field
 from pathlib import Path
@@ -81,6 +82,13 @@ class Trace:
         self.meta = meta or TraceMeta()
         # Lazily packed plain-list columns (see :meth:`columns`).
         self._columns: tuple[list, list, list, list, list, list] | None = None
+        # Lazy derived state, all keyed to the immutable record arrays:
+        # content fingerprint, instruction prefix sums, and the per-L1-
+        # geometry filter planes (:mod:`repro.engine.filter_plane`).
+        self._fingerprint: str | None = None
+        self._inst_prefix: np.ndarray | None = None
+        self._store_count_prefix: np.ndarray | None = None
+        self._plane_cache: dict = {}
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -121,6 +129,48 @@ class Trace:
                 self.tid.tolist(),
             )
         return self._columns
+
+    def fingerprint(self) -> str:
+        """Content hash over all six record columns (hex, 32 chars).
+
+        Stable across processes and save/load round-trips; keys the
+        on-disk filter-plane cache the same way the generation parameters
+        key the trace cache.
+        """
+        if self._fingerprint is None:
+            digest = hashlib.blake2b(digest_size=16)
+            digest.update(len(self.gap).to_bytes(8, "little"))
+            for arr in (self.gap, self.kind, self.pc, self.addr, self.serial, self.tid):
+                digest.update(arr.tobytes())
+            self._fingerprint = digest.hexdigest()
+        return self._fingerprint
+
+    def inst_prefix(self) -> np.ndarray:
+        """Prefix sums of ``gap``: retired instructions *after* record ``i``
+        is ``inst_prefix()[i + 1]`` (length ``n + 1``, ``[0]`` is 0).
+
+        The compressed-execution path reconstructs the per-miss
+        instruction clock from this instead of accumulating gaps record by
+        record.
+        """
+        if self._inst_prefix is None:
+            prefix = np.zeros(len(self.gap) + 1, dtype=np.int64)
+            np.cumsum(self.gap, out=prefix[1:])
+            self._inst_prefix = prefix
+        return self._inst_prefix
+
+    def store_count_prefix(self) -> np.ndarray:
+        """Prefix sums of store records (``kind == STORE``), length ``n + 1``.
+
+        Multiplying differences by the line size yields the store bytes of
+        any record range in O(1) (exported on the filter plane as
+        ``store_bytes_prefix``).
+        """
+        if self._store_count_prefix is None:
+            prefix = np.zeros(len(self.kind) + 1, dtype=np.int64)
+            np.cumsum(self.kind == int(AccessKind.STORE), out=prefix[1:])
+            self._store_count_prefix = prefix
+        return self._store_count_prefix
 
     @property
     def n_threads(self) -> int:
@@ -223,6 +273,39 @@ class TraceBuilder:
         self._pc.append(pc)
         self._addr.append(addr)
         self._serial.append(1 if serial else 0)
+
+    def extend_loads(
+        self,
+        pc,
+        addr,
+        gap=0,
+        serial=False,
+    ) -> None:
+        """Bulk-append load records from array-likes (vectorized generators).
+
+        ``pc``, ``gap`` and ``serial`` may be scalars (broadcast over every
+        record) or arrays of the same length as ``addr``.  Equivalent to
+        calling :meth:`load` once per element, including the pending-gap
+        handling of :meth:`pad`, but without the per-record Python loop.
+        """
+        addr = np.asarray(addr, dtype=np.int64)
+        n = addr.size
+        if n == 0:
+            return
+        gap = np.broadcast_to(np.asarray(gap, dtype=np.int64), (n,))
+        if gap.min() < 0:
+            raise ValueError("gap must be non-negative")
+        gaps = gap.tolist()
+        if self._pending_gap:
+            gaps[0] += self._pending_gap
+            self._pending_gap = 0
+        self._gap.extend(gaps)
+        self._kind.extend([int(AccessKind.LOAD)] * n)
+        pc = np.broadcast_to(np.asarray(pc, dtype=np.int64), (n,))
+        self._pc.extend(pc.tolist())
+        self._addr.extend(addr.tolist())
+        serial = np.broadcast_to(np.asarray(serial, dtype=np.uint8), (n,))
+        self._serial.extend(serial.tolist())
 
     def ifetch(self, addr: int, gap: int = 0) -> None:
         self.add(AccessKind.IFETCH, addr, addr, gap)

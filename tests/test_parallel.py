@@ -84,7 +84,10 @@ class TestRunJobs:
         for seq, par in zip(sequential, parallel):
             assert seq.stats.to_dict() == par.stats.to_dict()
 
-    def test_unpicklable_specs_fall_back_in_process(self, caplog):
+    def test_unpicklable_specs_fall_back_in_process(self, monkeypatch, caplog):
+        # Force the pool so the pickle boundary is reached even on a
+        # single-core machine (where run_jobs would skip it outright).
+        monkeypatch.setenv("REPRO_FORCE_POOL", "1")
         spec = _spec()
         spec.prefetcher.poison = lambda: None  # lambdas don't pickle
         with caplog.at_level(logging.WARNING, logger="repro.parallel.jobs"):
@@ -97,6 +100,7 @@ class TestRunJobs:
             def __init__(self, *args, **kwargs):
                 raise OSError("no process pool here")
 
+        monkeypatch.setenv("REPRO_FORCE_POOL", "1")
         monkeypatch.setattr(jobs_mod, "ProcessPoolExecutor", ExplodingPool)
         specs = [_spec(prefetcher=None), _spec()]
         with caplog.at_level(logging.WARNING, logger="repro.parallel.jobs"):
@@ -105,6 +109,42 @@ class TestRunJobs:
         assert [r.stats.to_dict() for r in results] == [
             s.run().stats.to_dict() for s in specs
         ]
+
+    def test_single_core_machine_skips_the_pool(self, monkeypatch, caplog):
+        """On 1 core a pool is pure overhead; run_jobs goes in-process."""
+
+        class MustNotStart:
+            def __init__(self, *args, **kwargs):
+                raise AssertionError("pool started on a single-core machine")
+
+        monkeypatch.delenv("REPRO_FORCE_POOL", raising=False)
+        monkeypatch.setattr(jobs_mod.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(jobs_mod, "ProcessPoolExecutor", MustNotStart)
+        with caplog.at_level(logging.INFO, logger="repro.parallel.jobs"):
+            results = run_jobs([_spec(prefetcher=None), _spec()], jobs=2)
+        assert any("in-process" in rec.message for rec in caplog.records)
+        assert len(results) == 2
+
+    def test_force_pool_overrides_single_core_fallback(self, monkeypatch):
+        started = []
+
+        class RecordingPool:
+            def __init__(self, *args, **kwargs):
+                started.append(True)
+                raise OSError("stop here; starting was the point")
+
+        monkeypatch.setenv("REPRO_FORCE_POOL", "1")
+        monkeypatch.setattr(jobs_mod.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(jobs_mod, "ProcessPoolExecutor", RecordingPool)
+        run_jobs([_spec(prefetcher=None), _spec(prefetcher=None)], jobs=2)
+        assert started
+
+    def test_compressed_flag_is_bit_identical(self):
+        fast = _spec()
+        fast.compressed = True
+        legacy = _spec()
+        legacy.compressed = False
+        assert fast.run().stats.to_dict() == legacy.run().stats.to_dict()
 
     def test_simulation_errors_propagate(self):
         bad = _spec()
