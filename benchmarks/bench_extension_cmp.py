@@ -13,10 +13,10 @@ from repro.experiments import extension_cmp
 from conftest import publish
 
 
-def test_extension_cmp(benchmark, bench_records, bench_seed, bench_jobs):
+def test_extension_cmp(benchmark, bench_records, bench_seed, bench_policy):
     result = benchmark.pedantic(
         lambda: extension_cmp.run(
-            records=min(bench_records, 200_000), seed=bench_seed, jobs=bench_jobs
+            records=min(bench_records, 200_000), seed=bench_seed, policy=bench_policy
         ),
         rounds=1,
         iterations=1,

@@ -8,9 +8,9 @@ from repro.workloads.registry import COMMERCIAL_WORKLOADS
 from conftest import publish
 
 
-def test_figure4(benchmark, bench_records, bench_seed, bench_jobs):
+def test_figure4(benchmark, bench_records, bench_seed, bench_policy):
     result = benchmark.pedantic(
-        lambda: figure4.run(records=bench_records, seed=bench_seed, jobs=bench_jobs),
+        lambda: figure4.run(records=bench_records, seed=bench_seed, policy=bench_policy),
         rounds=1,
         iterations=1,
     )

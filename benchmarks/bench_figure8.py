@@ -7,9 +7,9 @@ from repro.experiments import figure8
 from conftest import publish
 
 
-def test_figure8(benchmark, bench_records, bench_seed, bench_jobs):
+def test_figure8(benchmark, bench_records, bench_seed, bench_policy):
     result = benchmark.pedantic(
-        lambda: figure8.run(records=bench_records, seed=bench_seed, jobs=bench_jobs),
+        lambda: figure8.run(records=bench_records, seed=bench_seed, policy=bench_policy),
         rounds=1,
         iterations=1,
     )

@@ -8,9 +8,9 @@ from repro.experiments import table1
 from conftest import publish
 
 
-def test_table1(benchmark, bench_records, bench_seed, bench_jobs):
+def test_table1(benchmark, bench_records, bench_seed, bench_policy):
     result = benchmark.pedantic(
-        lambda: table1.run(records=bench_records, seed=bench_seed, jobs=bench_jobs),
+        lambda: table1.run(records=bench_records, seed=bench_seed, policy=bench_policy),
         rounds=1,
         iterations=1,
     )

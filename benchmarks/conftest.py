@@ -41,6 +41,18 @@ def bench_jobs() -> "int | None":
     return BENCH_JOBS
 
 
+@pytest.fixture(scope="session")
+def bench_policy():
+    """The execution policy the bench experiments run under.
+
+    One retry guards the long runs against transient worker deaths
+    without masking persistent failures.
+    """
+    from repro.resilience import ExecutionPolicy
+
+    return ExecutionPolicy(jobs=BENCH_JOBS, retries=1)
+
+
 def publish(name: str, text: str, data: dict | None = None) -> None:
     """Print a rendered result and persist it under results/.
 

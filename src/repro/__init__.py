@@ -23,6 +23,9 @@ Packages
 ``repro.analysis``     metrics, sweeps, report rendering
 ``repro.experiments``  one module per paper table/figure
 ``repro.obs``          event bus, metrics registry, trace exporters
+``repro.parallel``     process-level fan-out of independent runs
+``repro.resilience``   execution policy, retries, checkpoints, faults
+``repro.api``          the one-stop stable facade over all of the above
 """
 
 from .core import (
@@ -42,6 +45,7 @@ from .engine import (
 )
 from .obs import EventBus, MetricsRegistry, SimulationMetrics
 from .prefetchers import PREFETCHERS, Prefetcher, build_prefetcher
+from .resilience import ExecutionPolicy
 from .workloads import COMMERCIAL_WORKLOADS, WORKLOADS, Trace, make_workload
 
 __version__ = "1.0.0"
@@ -53,6 +57,7 @@ __all__ = [
     "EpochBasedCorrelationPrefetcher",
     "EpochSimulator",
     "EventBus",
+    "ExecutionPolicy",
     "MetricsRegistry",
     "PREFETCHERS",
     "Prefetcher",

@@ -11,7 +11,7 @@ both.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 from ..engine.config import ProcessorConfig
 from ..engine.simulator import EpochSimulator
@@ -19,6 +19,9 @@ from ..engine.stats import SimulationResult
 from ..prefetchers.base import Prefetcher
 from ..workloads.registry import COMMERCIAL_WORKLOADS, make_workload
 from ..workloads.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - avoids an import cycle at runtime
+    from ..resilience.policy import ExecutionPolicy
 
 __all__ = ["SweepPoint", "SweepRunner"]
 
@@ -105,6 +108,7 @@ class SweepRunner:
         config_factory: Callable[[str], ProcessorConfig] | None = None,
         config: ProcessorConfig | None = None,
         jobs: int | None = None,
+        policy: "ExecutionPolicy | None" = None,
     ) -> dict[str, list[SweepPoint]]:
         """Run every (workload, label) combination.
 
@@ -112,8 +116,12 @@ class SweepRunner:
         (prefetcher state is never shared between runs).  Either a fixed
         ``config`` or a per-label ``config_factory`` must be given.
 
-        ``jobs`` > 1 fans the grid out over worker processes (bit-identical
-        results, shared baseline memo); ``None`` defers to ``$REPRO_JOBS``.
+        ``policy`` routes the grid through the fault-tolerant executor
+        (worker fan-out, retries, timeouts, checkpoint resume — see
+        :class:`repro.resilience.ExecutionPolicy`); results stay
+        bit-identical to this runner's sequential path.  ``jobs`` is the
+        legacy one-knob spelling: > 1 fans out over worker processes,
+        ``None`` defers to ``$REPRO_JOBS``.
 
         Returns ``{workload: [SweepPoint per label, in label order]}``.
         """
@@ -121,13 +129,14 @@ class SweepRunner:
             raise ValueError("provide exactly one of config / config_factory")
         from ..parallel import ParallelSweepRunner, resolve_jobs  # lazy: import cycle
 
-        if resolve_jobs(jobs) > 1:
+        if policy is not None or resolve_jobs(jobs) > 1:
             runner = ParallelSweepRunner(
                 records=self.records,
                 seed=self.seed,
                 workloads=self.workloads,
                 jobs=jobs,
                 compressed=self.compressed,
+                policy=policy,
                 baseline_memo=self._baselines,
             )
             return runner.sweep(

@@ -1,0 +1,79 @@
+"""The stable public facade of the reproduction.
+
+``repro.api`` is the one import that downstream code (notebooks, the
+benches, external tooling) should depend on.  Everything exported here
+carries a stability promise: names stay put across refactors of the
+underlying packages, and behaviour changes only with a deprecation
+cycle.  Internals — anything *not* in ``__all__`` below — may move or
+change between versions without notice.
+
+The surface, by theme
+---------------------
+Simulation
+    :class:`EpochSimulator`, :class:`ProcessorConfig`,
+    :class:`CacheConfig`, :class:`SimulationResult`,
+    :class:`SimulationStats`
+Workloads
+    :func:`make_workload`, :data:`WORKLOADS`,
+    :data:`COMMERCIAL_WORKLOADS`, :class:`Trace`
+Prefetchers
+    :func:`build_prefetcher`, :data:`PREFETCHERS`, :class:`Prefetcher`,
+    :func:`make_ebcp`
+Execution
+    :class:`ExecutionPolicy` (timeouts, retries, checkpoints, fault
+    injection), :class:`JobSpec`, :func:`run_jobs`,
+    :class:`SweepRunner`, :class:`ParallelSweepRunner`
+Experiments
+    :data:`EXPERIMENTS` — experiment id -> module; each module's
+    ``run(records=..., seed=..., policy=...)`` regenerates one paper
+    table/figure
+Observability
+    :class:`EventBus`, :class:`MetricsRegistry`
+
+>>> from repro import api
+>>> policy = api.ExecutionPolicy(jobs=2, retries=2, timeout_s=600)
+>>> table = api.EXPERIMENTS["table1"].run(records=40_000, policy=policy)
+... # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+from .analysis.sweep import SweepRunner
+from .engine import (
+    CacheConfig,
+    EpochSimulator,
+    ProcessorConfig,
+    SimulationResult,
+    SimulationStats,
+)
+from .experiments import EXPERIMENTS
+from .obs import EventBus, MetricsRegistry
+from .parallel import JobSpec, ParallelSweepRunner, run_jobs
+from .prefetchers import PREFETCHERS, Prefetcher, build_prefetcher
+from .core import make_ebcp
+from .resilience import ExecutionPolicy
+from .workloads import COMMERCIAL_WORKLOADS, WORKLOADS, Trace, make_workload
+
+__all__ = [
+    "CacheConfig",
+    "COMMERCIAL_WORKLOADS",
+    "EXPERIMENTS",
+    "EpochSimulator",
+    "EventBus",
+    "ExecutionPolicy",
+    "JobSpec",
+    "MetricsRegistry",
+    "PREFETCHERS",
+    "ParallelSweepRunner",
+    "Prefetcher",
+    "ProcessorConfig",
+    "SimulationResult",
+    "SimulationStats",
+    "SweepRunner",
+    "Trace",
+    "WORKLOADS",
+    "build_prefetcher",
+    "make_ebcp",
+    "make_workload",
+    "run_jobs",
+]

@@ -62,7 +62,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"unknown experiment '{args.experiment}'", file=sys.stderr)
         return 2
     started = time.time()
-    result = module.run(records=args.records, seed=args.seed, jobs=args.jobs)
+    result = module.run(
+        records=args.records, seed=args.seed, policy=_policy_from_args(args)
+    )
     print(banner(f"{args.experiment} ({args.records} records, seed {args.seed})"))
     print(result.render())
     print(f"\n[{time.time() - started:.1f} s]")
@@ -101,15 +103,16 @@ def _cmd_workloads(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    from .parallel import JobSpec, resolve_jobs, run_jobs
+    from .parallel import JobSpec, run_jobs
 
     config = ProcessorConfig.scaled()
     registry = None
+    policy = _policy_from_args(args)
     # The baseline and the candidate are independent runs; fan them out
     # unless the user asked for in-process introspection (--metrics-out
     # attaches an event bus, --diagnose needs the simulator object).
     if (
-        resolve_jobs(args.jobs) > 1
+        policy.resolved_jobs() > 1
         and not args.metrics_out
         and not args.diagnose
         and args.prefetcher != "none"
@@ -125,7 +128,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
                 args.prefetcher,
             ),
         ]
-        baseline, result = run_jobs(specs, args.jobs)
+        baseline, result = run_jobs(specs, policy=policy)
     else:
         trace = make_workload(args.workload, records=args.records, seed=args.seed)
         kwargs = {"cpi_perf": trace.meta.cpi_perf, "overlap": trace.meta.overlap}
@@ -207,12 +210,47 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
-def _add_jobs_flag(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags that map one-to-one onto :class:`repro.resilience.ExecutionPolicy`."""
+    group = parser.add_argument_group("execution policy")
+    group.add_argument(
         "-j", "--jobs", type=int, default=None, metavar="N",
         help="worker processes for independent simulator runs (0 = all "
         "cores; default: $REPRO_JOBS or 1; results are bit-identical "
         "either way)",
+    )
+    group.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-job wall-clock budget; a pooled job exceeding it is "
+        "killed and retried (default: no timeout)",
+    )
+    group.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="retries per failed job attempt before the error propagates "
+        "(default: 1)",
+    )
+    group.add_argument(
+        "--backoff", type=float, default=0.25, metavar="SECONDS",
+        help="base delay before a retry, doubling per attempt "
+        "(default: 0.25)",
+    )
+    group.add_argument(
+        "--checkpoint-dir", metavar="DIR", default=None,
+        help="journal completed jobs under DIR so an interrupted run "
+        "resumes from where it stopped (bit-identical results)",
+    )
+
+
+def _policy_from_args(args: argparse.Namespace) -> "ExecutionPolicy":
+    from .resilience import ExecutionPolicy, FaultSpec
+
+    return ExecutionPolicy(
+        jobs=args.jobs,
+        timeout_s=args.timeout,
+        retries=args.retries,
+        backoff_s=args.backoff,
+        checkpoint_dir=args.checkpoint_dir,
+        fault_spec=FaultSpec.from_env(),
     )
 
 
@@ -249,7 +287,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", metavar="PATH",
         help="also write the table/figure data as machine-readable JSON",
     )
-    _add_jobs_flag(p_run)
+    _add_execution_flags(p_run)
     p_run.set_defaults(func=_cmd_run)
 
     p_wl = sub.add_parser("workloads", help="summarise the synthetic workloads")
@@ -273,7 +311,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="collect a metrics registry (histograms, counters) over the "
         "run and write it as JSON",
     )
-    _add_jobs_flag(p_sim)
+    _add_execution_flags(p_sim)
     p_sim.set_defaults(func=_cmd_simulate)
 
     p_tr = sub.add_parser(
@@ -307,7 +345,7 @@ def build_parser() -> argparse.ArgumentParser:
         "itself covers the whole run (default: 0, so event counts match "
         "the reported stats)",
     )
-    _add_jobs_flag(p_tr)  # single observed run; accepted for interface parity
+    _add_execution_flags(p_tr)  # single observed run; accepted for interface parity
     p_tr.set_defaults(func=_cmd_trace)
 
     return parser

@@ -303,6 +303,12 @@ def _plane_path(trace: "Trace", l1i_key: GeometryKey, l1d_key: GeometryKey):
 
 
 def _load_plane(path, trace, l1i_key, l1d_key) -> Optional[FilterPlane]:
+    from ..resilience.integrity import quarantine_entry, verify_checksum
+
+    reason = verify_checksum(path)
+    if reason is not None:
+        quarantine_entry(path, "plane", reason)
+        return None
     try:
         with np.load(path) as data:
             if int(data["version"][0]) != _PLANE_FORMAT_VERSION:
@@ -310,16 +316,15 @@ def _load_plane(path, trace, l1i_key, l1d_key) -> Optional[FilterPlane]:
             miss_mask = np.unpackbits(data["miss_mask"], count=len(trace.gap)).astype(bool)
         return FilterPlane(miss_mask, trace, l1i_key, l1d_key)
     except Exception as exc:  # corrupt/truncated/incompatible entry
-        log.warning("filter-plane cache entry %s unreadable (%s); recomputing", path, exc)
-        try:
-            os.unlink(path)
-        except OSError:
-            pass
+        quarantine_entry(path, "plane", f"unreadable entry ({exc})")
         return None
 
 
 def _store_plane(path, plane: FilterPlane) -> None:
     """Atomic write, mirroring the trace cache; failures only cost speed."""
+    from ..resilience.faults import FaultSpec
+    from ..resilience.integrity import write_checksum
+
     try:
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp_name = tempfile.mkstemp(
@@ -336,6 +341,8 @@ def _store_plane(path, plane: FilterPlane) -> None:
         finally:
             if os.path.exists(tmp_name):
                 os.unlink(tmp_name)
+        write_checksum(path)
+        FaultSpec.from_env().maybe_corrupt(path, "plane")
     except OSError as exc:
         log.warning("could not write filter-plane cache entry %s (%s)", path, exc)
 

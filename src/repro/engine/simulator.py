@@ -27,10 +27,9 @@ the available memory bandwidth is saturated".
 from __future__ import annotations
 
 import logging
-import warnings
 from dataclasses import dataclass
 from itertools import islice
-from typing import Any, Callable, Iterable
+from typing import Any, Iterable
 
 from ..memory.bandwidth import BandwidthModel, BusStats, EpochBudget
 from ..memory.hierarchy import AccessOutcome, CacheHierarchy
@@ -38,7 +37,6 @@ from ..memory.mshr import MSHRFile
 from ..memory.request import Access, AccessKind, PrefetchRequest, Priority
 from ..obs.bus import EventBus
 from ..obs.events import (
-    AccessResolved,
     EpochClosed,
     PrefetchDropped,
     PrefetchFilled,
@@ -126,12 +124,6 @@ class EpochSimulator:
         #: (a single ``is None`` check per emission site).
         self.bus = bus
         self._wire_bus()
-        # Backing state for the deprecated listener shims (see the
-        # ``epoch_listener`` / ``access_listener`` properties).
-        self._epoch_listener_fn: Any | None = None
-        self._epoch_listener_unsub: Callable[[], None] | None = None
-        self._access_listener_fn: Any | None = None
-        self._access_listener_unsub: Callable[[], None] | None = None
         if self.prefetcher is not None:
             self.prefetcher.bind(self.hierarchy)  # type: ignore[attr-defined]
 
@@ -142,68 +134,6 @@ class EpochSimulator:
         self.bandwidth.bus = self.bus
         if self.prefetcher is not None:
             self.prefetcher.attach_bus(self.bus)
-
-    def _ensure_bus(self) -> EventBus:
-        """Create and wire a bus on demand (for the listener shims)."""
-        if self.bus is None:
-            self.bus = EventBus()
-            self._wire_bus()
-        return self.bus
-
-    # ------------------------------------------------------------------
-    # Deprecated listener shims (pre-event-bus observation hooks)
-    # ------------------------------------------------------------------
-    @property
-    def epoch_listener(self) -> Any | None:
-        """Deprecated: subscribe to :class:`repro.obs.EpochClosed` instead.
-
-        Setting this installs a bus adapter that calls ``fn(closed_epoch)``
-        at every epoch close, preserving the historical signature.
-        """
-        return self._epoch_listener_fn
-
-    @epoch_listener.setter
-    def epoch_listener(self, fn: Any | None) -> None:
-        warnings.warn(
-            "EpochSimulator.epoch_listener is deprecated; subscribe to "
-            "repro.obs.EpochClosed on the simulator's event bus instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if self._epoch_listener_unsub is not None:
-            self._epoch_listener_unsub()
-            self._epoch_listener_unsub = None
-        self._epoch_listener_fn = fn
-        if fn is not None:
-            self._epoch_listener_unsub = self._ensure_bus().subscribe(
-                EpochClosed, lambda event: fn(event.epoch)
-            )
-
-    @property
-    def access_listener(self) -> Any | None:
-        """Deprecated: subscribe to :class:`repro.obs.AccessResolved` instead.
-
-        Setting this installs a bus adapter that calls
-        ``fn(access, line, result)`` for every L2 access (== L1 miss).
-        """
-        return self._access_listener_fn
-
-    @access_listener.setter
-    def access_listener(self, fn: Any | None) -> None:
-        warnings.warn(
-            "EpochSimulator.access_listener is deprecated; subscribe to "
-            "repro.obs.AccessResolved on the simulator's event bus instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        if self._access_listener_unsub is not None:
-            self._access_listener_unsub()
-            self._access_listener_unsub = None
-        self._access_listener_fn = fn
-        if fn is not None:
-            self._access_listener_unsub = self._ensure_bus().subscribe(
-                AccessResolved, lambda event: fn(event.access, event.line, event.result)
-            )
 
     # ------------------------------------------------------------------
     # Public API

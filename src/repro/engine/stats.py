@@ -195,6 +195,40 @@ class SimulationResult:
             return 0.0
         return 1.0 - self.epochs_per_kilo_inst / base
 
+    # ------------------------------------------------------------------
+    # Lossless serialisation (checkpoint journal)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, Any]:
+        """Lossless JSON-safe dump, invertible via :meth:`from_snapshot`.
+
+        Unlike :meth:`to_dict` (which reports *derived* metrics for
+        tables and manifests), a snapshot keeps the raw counters so the
+        restored object is field-for-field identical to the original —
+        the property the checkpoint journal's bit-identical-resume
+        guarantee rests on.  Floats survive the JSON round trip exactly
+        because ``repr``/``float()`` are inverse for IEEE doubles.
+        """
+        return {
+            "workload": self.workload,
+            "prefetcher": self.prefetcher,
+            "stats": self.stats.to_dict(),
+            "cpi_perf": self.cpi_perf,
+            "overlap": self.overlap,
+            "config_summary": dict(self.config_summary),
+        }
+
+    @classmethod
+    def from_snapshot(cls, payload: dict[str, Any]) -> "SimulationResult":
+        """Rebuild a result from :meth:`snapshot` output."""
+        return cls(
+            workload=payload["workload"],
+            prefetcher=payload["prefetcher"],
+            stats=SimulationStats.from_dict(payload["stats"]),
+            cpi_perf=payload["cpi_perf"],
+            overlap=payload["overlap"],
+            config_summary=dict(payload.get("config_summary", {})),
+        )
+
     def to_dict(self) -> dict[str, Any]:
         return {
             "workload": self.workload,

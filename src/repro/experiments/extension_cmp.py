@@ -26,7 +26,7 @@ gain as threads are added; the thread-blind variants decay toward zero.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from ..core.cmp import CMPEBCPConfig, InterleavedStreamEBCP, PerThreadEpochPrefetcher
 from ..core.prefetcher import EBCPConfig
@@ -37,6 +37,9 @@ from ..prefetchers.ghb import make_ghb_large
 from ..prefetchers.solihin import make_solihin_6_1
 from ..workloads.multithread import make_cmp_workload
 from .common import DEFAULT_SEED, FigureResult
+
+if TYPE_CHECKING:
+    from ..resilience.policy import ExecutionPolicy
 
 __all__ = ["SCHEMES", "THREAD_COUNTS", "ExtensionCMPResult", "run"]
 
@@ -82,7 +85,7 @@ def run(
     seed: int = DEFAULT_SEED,
     workloads: Sequence[str] = ("database", "specjbb2005"),
     thread_counts: Sequence[int] = THREAD_COUNTS,
-    jobs: "int | None" = None,
+    policy: "ExecutionPolicy | None" = None,
 ) -> ExtensionCMPResult:
     """Run the CMP interleaving experiment.
 
@@ -93,7 +96,7 @@ def run(
 
     config = ProcessorConfig.scaled()
 
-    if resolve_jobs(jobs) > 1:
+    if policy is not None or resolve_jobs(None) > 1:
         # Fan every (workload, threads, scheme-or-baseline) point out as a
         # job; workers rebuild the interleaved trace from its parameters.
         points = [(w, n) for w in workloads for n in thread_counts]
@@ -112,7 +115,7 @@ def run(
                         n_threads=n,
                     )
                 )
-        results = run_jobs(specs, jobs)
+        results = run_jobs(specs, policy=policy)
         panels = {}
         stride = 1 + len(SCHEMES)
         for w in workloads:

@@ -14,6 +14,8 @@ Figure 5 can present its secondary metrics without re-simulating.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from .common import (
     DEFAULT_RECORDS,
     DEFAULT_SEED,
@@ -24,18 +26,24 @@ from .common import (
     new_runner,
 )
 
+if TYPE_CHECKING:
+    from ..resilience.policy import ExecutionPolicy
+
 __all__ = ["DEGREES", "run", "sweep_points"]
 
 DEGREES: tuple[int, ...] = (1, 2, 4, 8, 16, 32)
 
 
 def sweep_points(
-    records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED, jobs: "int | None" = None
+    records: int = DEFAULT_RECORDS,
+    seed: int = DEFAULT_SEED,
+    policy: "ExecutionPolicy | None" = None,
 ):
     """The degree sweep grid, memoised for sharing with Figure 5.
 
-    ``jobs`` only affects wall-clock time (parallel results are
-    bit-identical), so it is deliberately not part of the memo key.
+    ``policy`` only affects *how* the grid executes (fan-out, retries,
+    checkpointing — results are bit-identical), so it is deliberately
+    not part of the memo key.
     """
 
     def compute():
@@ -45,16 +53,18 @@ def sweep_points(
             labels=[str(d) for d in DEGREES],
             prefetcher_factory=lambda label: make_sweep_ebcp(degree=int(label)),
             config=config,
-            jobs=jobs,
+            policy=policy,
         )
 
     return memoized(("degree_sweep", records, seed), compute)
 
 
 def run(
-    records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED, jobs: "int | None" = None
+    records: int = DEFAULT_RECORDS,
+    seed: int = DEFAULT_SEED,
+    policy: "ExecutionPolicy | None" = None,
 ) -> FigureResult:
-    grid = sweep_points(records, seed, jobs=jobs)
+    grid = sweep_points(records, seed, policy=policy)
     series = {
         workload: [point.improvement for point in points]
         for workload, points in grid.items()

@@ -16,11 +16,14 @@ observations, which the tests assert on this module's output:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Sequence
+from typing import TYPE_CHECKING, Mapping, Sequence
 
 from ..memory.request import AccessKind
 from .common import DEFAULT_RECORDS, DEFAULT_SEED, FigureResult
 from .figure4 import DEGREES, sweep_points
+
+if TYPE_CHECKING:
+    from ..resilience.policy import ExecutionPolicy
 
 __all__ = ["Figure5Result", "run"]
 
@@ -75,9 +78,11 @@ def _panel(
 
 
 def run(
-    records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED, jobs: "int | None" = None
+    records: int = DEFAULT_RECORDS,
+    seed: int = DEFAULT_SEED,
+    policy: "ExecutionPolicy | None" = None,
 ) -> Figure5Result:
-    grid = sweep_points(records, seed, jobs=jobs)
+    grid = sweep_points(records, seed, policy=policy)
     return Figure5Result(
         epi_reduction=_panel(
             grid, "Figure 5a", "Reduction in epochs per instruction", lambda p: p.epi_reduction

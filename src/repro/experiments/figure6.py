@@ -12,6 +12,8 @@ prefetch buffer at its tuned 64 entries.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..core.prefetcher import EBCPConfig, EpochBasedCorrelationPrefetcher
 from .common import (
     DEFAULT_RECORDS,
@@ -20,6 +22,9 @@ from .common import (
     default_config,
     new_runner,
 )
+
+if TYPE_CHECKING:
+    from ..resilience.policy import ExecutionPolicy
 
 __all__ = ["TABLE_ENTRIES", "run"]
 
@@ -34,7 +39,9 @@ TABLE_ENTRIES: tuple[int, ...] = (
 
 
 def run(
-    records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED, jobs: "int | None" = None
+    records: int = DEFAULT_RECORDS,
+    seed: int = DEFAULT_SEED,
+    policy: "ExecutionPolicy | None" = None,
 ) -> FigureResult:
     runner = new_runner(records, seed)
     config = default_config()
@@ -48,7 +55,7 @@ def run(
         labels=[str(n) for n in TABLE_ENTRIES],
         prefetcher_factory=factory,
         config=config,
-        jobs=jobs,
+        policy=policy,
     )
     series = {w: [p.improvement for p in points] for w, points in grid.items()}
     return FigureResult(

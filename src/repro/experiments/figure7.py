@@ -10,6 +10,8 @@ paper headlines (+23 % database, +13 % TPC-W, +31 % SPECjbb2005,
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..core.prefetcher import EBCPConfig, EpochBasedCorrelationPrefetcher
 from .common import (
     DEFAULT_RECORDS,
@@ -19,13 +21,18 @@ from .common import (
     new_runner,
 )
 
+if TYPE_CHECKING:
+    from ..resilience.policy import ExecutionPolicy
+
 __all__ = ["BUFFER_ENTRIES", "run"]
 
 BUFFER_ENTRIES: tuple[int, ...] = (16, 32, 64, 128, 256, 1024)
 
 
 def run(
-    records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED, jobs: "int | None" = None
+    records: int = DEFAULT_RECORDS,
+    seed: int = DEFAULT_SEED,
+    policy: "ExecutionPolicy | None" = None,
 ) -> FigureResult:
     runner = new_runner(records, seed)
 
@@ -36,7 +43,7 @@ def run(
         labels=[str(n) for n in BUFFER_ENTRIES],
         prefetcher_factory=factory,
         config_factory=lambda label: default_config(prefetch_buffer_entries=int(label)),
-        jobs=jobs,
+        policy=policy,
     )
     series = {w: [p.improvement for p in points] for w, points in grid.items()}
     return FigureResult(

@@ -17,7 +17,7 @@ queueing delay to the effective miss penalty — both modelled in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from .common import (
     DEFAULT_RECORDS,
@@ -27,6 +27,9 @@ from .common import (
     make_sweep_ebcp,
     new_runner,
 )
+
+if TYPE_CHECKING:
+    from ..resilience.policy import ExecutionPolicy
 
 __all__ = ["BANDWIDTH_POINTS", "DEGREES", "Figure8Result", "run"]
 
@@ -56,7 +59,9 @@ class Figure8Result:
 
 
 def run(
-    records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED, jobs: "int | None" = None
+    records: int = DEFAULT_RECORDS,
+    seed: int = DEFAULT_SEED,
+    policy: "ExecutionPolicy | None" = None,
 ) -> Figure8Result:
     runner = new_runner(records, seed)
     panels: dict[str, FigureResult] = {}
@@ -66,7 +71,7 @@ def run(
             labels=[str(d) for d in DEGREES],
             prefetcher_factory=lambda label: make_sweep_ebcp(degree=int(label)),
             config=config,
-            jobs=jobs,
+            policy=policy,
         )
         series = {w: [p.improvement for p in points] for w, points in grid.items()}
         panels[f"{read_gbps:g}"] = FigureResult(

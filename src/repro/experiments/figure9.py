@@ -19,6 +19,8 @@ main-memory tables.  Published shape the tests assert:
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..core.prefetcher import EBCPConfig, EpochBasedCorrelationPrefetcher
 from ..prefetchers.base import Prefetcher
 from ..prefetchers.ghb import make_ghb_large, make_ghb_small
@@ -33,6 +35,9 @@ from .common import (
     default_config,
     new_runner,
 )
+
+if TYPE_CHECKING:
+    from ..resilience.policy import ExecutionPolicy
 
 __all__ = ["SCHEMES", "run", "build_comparison_prefetcher"]
 
@@ -83,14 +88,16 @@ def build_comparison_prefetcher(name: str) -> Prefetcher:
 
 
 def run(
-    records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED, jobs: "int | None" = None
+    records: int = DEFAULT_RECORDS,
+    seed: int = DEFAULT_SEED,
+    policy: "ExecutionPolicy | None" = None,
 ) -> FigureResult:
     runner = new_runner(records, seed)
     grid = runner.sweep(
         labels=list(SCHEMES),
         prefetcher_factory=build_comparison_prefetcher,
         config=default_config(),
-        jobs=jobs,
+        policy=policy,
     )
     series = {w: [p.improvement for p in points] for w, points in grid.items()}
     return FigureResult(

@@ -8,20 +8,25 @@ paper's published values alongside for comparison.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from ..analysis.calibration import TABLE1_TARGETS, CalibrationReport, check_baseline
 from .common import DEFAULT_RECORDS, DEFAULT_SEED, TableResult, default_config
+
+if TYPE_CHECKING:
+    from ..resilience.policy import ExecutionPolicy
 
 __all__ = ["run"]
 
 
 def _reports(
-    records: int, seed: int, config, jobs: "int | None"
+    records: int, seed: int, config, policy: "ExecutionPolicy | None"
 ) -> "list[CalibrationReport]":
     """One CalibrationReport per Table 1 workload, optionally in parallel."""
     from ..parallel import JobSpec, resolve_jobs, run_jobs
 
     workloads = list(TABLE1_TARGETS)
-    if resolve_jobs(jobs) <= 1:
+    if policy is None and resolve_jobs(None) <= 1:
         return [
             check_baseline(w, records=records, seed=seed, config=config) for w in workloads
         ]
@@ -29,7 +34,7 @@ def _reports(
         JobSpec(workload=w, records=records, seed=seed, config=config, label=w)
         for w in workloads
     ]
-    results = run_jobs(specs, jobs)
+    results = run_jobs(specs, policy=policy)
     return [
         CalibrationReport(workload=w, measured=result, targets=TABLE1_TARGETS[w])
         for w, result in zip(workloads, results)
@@ -37,7 +42,9 @@ def _reports(
 
 
 def run(
-    records: int = DEFAULT_RECORDS, seed: int = DEFAULT_SEED, jobs: "int | None" = None
+    records: int = DEFAULT_RECORDS,
+    seed: int = DEFAULT_SEED,
+    policy: "ExecutionPolicy | None" = None,
 ) -> TableResult:
     """Simulate all four baselines and tabulate measured vs paper values."""
     config = default_config()
@@ -53,7 +60,7 @@ def run(
         "L-miss/1k(paper)",
     ]
     rows = []
-    for report in _reports(records, seed, config, jobs):
+    for report in _reports(records, seed, config, policy):
         targets = report.targets
         m = report.measured
         rows.append(

@@ -20,19 +20,25 @@ Quick tour
 True
 """
 
-from .bus import EventBus
+from .bus import EventBus, global_bus, peek_global_bus, reset_global_bus
 from .events import (
     EVENT_TYPES,
     AccessResolved,
     BudgetExhausted,
+    CacheQuarantined,
     EpochClosed,
     Event,
+    ExecutionDegraded,
+    JobResumed,
+    JobRetried,
+    JobTimedOut,
     PrefetchDropped,
     PrefetchFilled,
     PrefetchHit,
     PrefetchIssued,
     TableRead,
     TableWrite,
+    WorkerCrashed,
     event_payload,
 )
 from .exporters import (
@@ -48,20 +54,26 @@ from .metrics import (
     Gauge,
     Histogram,
     MetricsRegistry,
+    ResilienceMetrics,
     SimulationMetrics,
 )
 
 __all__ = [
     "AccessResolved",
     "BudgetExhausted",
+    "CacheQuarantined",
     "ChromeTraceExporter",
     "Counter",
     "EpochClosed",
     "Event",
     "EventBus",
     "EVENT_TYPES",
+    "ExecutionDegraded",
     "Gauge",
     "Histogram",
+    "JobResumed",
+    "JobRetried",
+    "JobTimedOut",
     "JsonlTraceWriter",
     "MetricsRegistry",
     "PhaseTimer",
@@ -69,11 +81,16 @@ __all__ = [
     "PrefetchFilled",
     "PrefetchHit",
     "PrefetchIssued",
+    "ResilienceMetrics",
     "RunManifest",
     "SimulationMetrics",
     "TableRead",
     "TableWrite",
+    "WorkerCrashed",
     "configure_logging",
     "event_payload",
+    "global_bus",
+    "peek_global_bus",
     "read_jsonl",
+    "reset_global_bus",
 ]

@@ -18,11 +18,11 @@ one (verified by ``tests/test_obs_bus.py`` and the bench suite).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Type
+from typing import Callable, Dict, List, Optional, Type
 
 from .events import Event
 
-__all__ = ["EventBus"]
+__all__ = ["EventBus", "global_bus", "peek_global_bus", "reset_global_bus"]
 
 Callback = Callable[[Event], None]
 
@@ -104,3 +104,33 @@ class EventBus:
         """Drop every subscription (the bus can be reused afterwards)."""
         self._subscribers.clear()
         self._all.clear()
+
+
+# ----------------------------------------------------------------------
+# Process-wide bus
+# ----------------------------------------------------------------------
+# Layers with no bus plumbing of their own (the on-disk caches, the
+# resilient executor when its caller attached no bus) emit here.  The bus
+# is created lazily by the first *subscriber*: emitters use
+# ``peek_global_bus`` and pay only a module-global load when nobody is
+# listening.
+_GLOBAL_BUS: Optional[EventBus] = None
+
+
+def global_bus() -> EventBus:
+    """The process-wide bus, created on first use (for subscribers)."""
+    global _GLOBAL_BUS
+    if _GLOBAL_BUS is None:
+        _GLOBAL_BUS = EventBus()
+    return _GLOBAL_BUS
+
+
+def peek_global_bus() -> Optional[EventBus]:
+    """The process-wide bus if one exists — never creates (for emitters)."""
+    return _GLOBAL_BUS
+
+
+def reset_global_bus() -> None:
+    """Drop the process-wide bus entirely (tests)."""
+    global _GLOBAL_BUS
+    _GLOBAL_BUS = None

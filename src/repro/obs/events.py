@@ -23,7 +23,20 @@ Event                     Emitted by
 ``TableRead``             :class:`repro.prefetchers.base.TrafficMeter`
 ``TableWrite``            :class:`repro.prefetchers.base.TrafficMeter`
 ``BudgetExhausted``       :class:`repro.memory.bandwidth.EpochBudget`
+``JobRetried``            :mod:`repro.resilience.executor`
+``JobTimedOut``           :mod:`repro.resilience.executor`
+``WorkerCrashed``         :mod:`repro.resilience.executor`
+``JobResumed``            :mod:`repro.resilience.executor`
+``ExecutionDegraded``     :mod:`repro.resilience.executor`
+``CacheQuarantined``      :mod:`repro.resilience.integrity`
 ========================  ==================================================
+
+The resilience events (the last six) describe the *execution harness*
+rather than the simulated machine: bounded retries, per-job timeouts,
+worker-pool crashes, checkpoint resumes, degraded (in-process) execution
+and quarantined cache entries.  They are emitted on the bus passed to the
+executor, or on the process-wide :func:`repro.obs.bus.global_bus` when no
+bus was attached but one exists.
 
 Events deliberately carry plain scalars (plus the rich ``Epoch`` /
 ``Access`` objects where subscribers need them); :func:`event_payload`
@@ -53,6 +66,12 @@ __all__ = [
     "TableRead",
     "TableWrite",
     "BudgetExhausted",
+    "JobRetried",
+    "JobTimedOut",
+    "WorkerCrashed",
+    "JobResumed",
+    "ExecutionDegraded",
+    "CacheQuarantined",
     "EVENT_TYPES",
     "event_payload",
 ]
@@ -186,6 +205,74 @@ class BudgetExhausted(Event):
     utilization: float
 
 
+# ----------------------------------------------------------------------
+# Resilience / execution-harness events (repro.resilience)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class JobRetried(Event):
+    """A job attempt failed and the executor will try it again.
+
+    ``attempt`` is the attempt number that failed (1-based); the retry
+    about to run is attempt ``attempt + 1``.
+    """
+
+    label: str
+    index: int
+    attempt: int
+    cause: str
+
+
+@dataclass(frozen=True)
+class JobTimedOut(Event):
+    """A pooled job exceeded the policy's per-job ``timeout_s``."""
+
+    label: str
+    index: int
+    timeout_s: float
+
+
+@dataclass(frozen=True)
+class WorkerCrashed(Event):
+    """The process pool broke (a worker died); in-flight jobs replay."""
+
+    cause: str
+    jobs_in_flight: int
+
+
+@dataclass(frozen=True)
+class JobResumed(Event):
+    """A job's result was loaded from a checkpoint journal, not re-run."""
+
+    label: str
+    index: int
+    key: str
+
+
+@dataclass(frozen=True)
+class ExecutionDegraded(Event):
+    """Parallel execution fell back to in-process execution.
+
+    ``reason`` is ``"unpicklable"`` (specs cannot cross the process
+    boundary) or ``"pool_unavailable"`` (the pool could not start).
+    """
+
+    reason: str
+    cause: str = ""
+
+
+@dataclass(frozen=True)
+class CacheQuarantined(Event):
+    """A corrupt on-disk cache entry was quarantined and will regenerate.
+
+    ``kind`` is ``"trace"`` or ``"plane"``; ``reason`` is
+    ``"checksum_mismatch"`` or the decode error message.
+    """
+
+    path: str
+    kind: str
+    reason: str
+
+
 #: The full catalogue, in a stable order (used by exporters and tests).
 EVENT_TYPES: Tuple[type, ...] = (
     EpochClosed,
@@ -197,6 +284,12 @@ EVENT_TYPES: Tuple[type, ...] = (
     TableRead,
     TableWrite,
     BudgetExhausted,
+    JobRetried,
+    JobTimedOut,
+    WorkerCrashed,
+    JobResumed,
+    ExecutionDegraded,
+    CacheQuarantined,
 )
 
 

@@ -26,17 +26,30 @@ from .bus import EventBus
 from .events import (
     AccessResolved,
     BudgetExhausted,
+    CacheQuarantined,
     EpochClosed,
     Event,
+    ExecutionDegraded,
+    JobResumed,
+    JobRetried,
+    JobTimedOut,
     PrefetchDropped,
     PrefetchFilled,
     PrefetchHit,
     PrefetchIssued,
     TableRead,
     TableWrite,
+    WorkerCrashed,
 )
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "SimulationMetrics"]
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "ResilienceMetrics",
+    "SimulationMetrics",
+]
 
 
 class Counter:
@@ -346,5 +359,47 @@ class SimulationMetrics:
         self.bus_queue.set(event.utilization)
 
     # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return self.registry.to_dict()
+
+
+class ResilienceMetrics:
+    """Counts the execution-harness events of :mod:`repro.resilience`.
+
+    Subscribe it to the bus the executor emits on (usually
+    :func:`repro.obs.bus.global_bus`) to make retries, timeouts, worker
+    crashes, checkpoint resumes, degraded execution and quarantined cache
+    entries countable alongside the simulation instruments.
+    """
+
+    def __init__(self, bus: EventBus, registry: Optional[MetricsRegistry] = None) -> None:
+        self.bus = bus
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self.retries = r.counter("jobs_retried", "job attempts that failed and were retried")
+        self.timeouts = r.counter("jobs_timed_out", "pooled jobs that exceeded timeout_s")
+        self.crashes = r.counter("worker_crashes", "process-pool breakages recovered")
+        self.resumed = r.counter("jobs_resumed", "jobs loaded from a checkpoint journal")
+        self.degraded = r.counter("execution_degraded", "fallbacks to in-process execution")
+        self.quarantined = r.counter("cache_quarantined", "corrupt cache entries quarantined")
+        self._unsubscribe = [
+            bus.subscribe(JobRetried, self._count(self.retries)),
+            bus.subscribe(JobTimedOut, self._count(self.timeouts)),
+            bus.subscribe(WorkerCrashed, self._count(self.crashes)),
+            bus.subscribe(JobResumed, self._count(self.resumed)),
+            bus.subscribe(ExecutionDegraded, self._count(self.degraded)),
+            bus.subscribe(CacheQuarantined, self._count(self.quarantined)),
+        ]
+
+    @staticmethod
+    def _count(counter: Counter):
+        return lambda event: counter.inc()
+
+    def detach(self) -> None:
+        """Stop observing the bus (the registry keeps its numbers)."""
+        for unsubscribe in self._unsubscribe:
+            unsubscribe()
+        self._unsubscribe = []
+
     def to_dict(self) -> dict:
         return self.registry.to_dict()

@@ -4,8 +4,12 @@ The paper's evaluation is a pile of embarrassingly parallel
 (workload x configuration) grid points; this package fans them out over a
 ``ProcessPoolExecutor`` while guaranteeing results bit-identical to
 sequential execution.  Worker count comes from the ``-j/--jobs`` CLI
-flag, the ``jobs=`` parameter of the experiment entry points, or the
-``REPRO_JOBS`` environment variable (``0`` = all cores; default 1).
+flag, the ``jobs`` field of the :class:`~repro.resilience.ExecutionPolicy`
+passed to the experiment entry points, or the ``REPRO_JOBS`` environment
+variable (``0`` = all cores; default 1).  Execution itself — retries,
+timeouts, checkpoints, fault injection — lives in
+:mod:`repro.resilience`; ``run_jobs`` is a thin policy-applying wrapper
+over its executor.
 
 >>> from repro.parallel import ParallelSweepRunner
 >>> grid = ParallelSweepRunner(records=40_000, jobs=4).sweep(

@@ -23,11 +23,8 @@ from __future__ import annotations
 import copy
 import logging
 import os
-import pickle
-from concurrent.futures import ProcessPoolExecutor
-from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Iterable, Optional, Sequence
+from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from ..engine.config import ProcessorConfig
 from ..engine.filter_plane import compressed_enabled, get_filter_plane
@@ -36,6 +33,10 @@ from ..engine.stats import SimulationResult
 from ..prefetchers.base import Prefetcher
 from ..workloads.registry import make_workload
 from ..workloads.trace import Trace
+
+if TYPE_CHECKING:  # pragma: no cover - cycle: resilience.executor imports us
+    from ..obs.bus import EventBus
+    from ..resilience.policy import ExecutionPolicy
 
 __all__ = ["JobSpec", "run_job", "run_jobs", "resolve_jobs"]
 
@@ -169,46 +170,35 @@ def _warm_trace_cache(specs: Sequence[JobSpec]) -> None:
 
 
 def run_jobs(
-    specs: Iterable[JobSpec], jobs: Optional[int] = None
+    specs: Iterable[JobSpec],
+    jobs: Optional[int] = None,
+    policy: "Optional[ExecutionPolicy]" = None,
+    bus: "Optional[EventBus]" = None,
 ) -> "list[SimulationResult]":
-    """Run every job and return results in input order.
+    """Run every job under ``policy`` and return results in input order.
 
-    With ``jobs > 1`` the specs fan out over a ``ProcessPoolExecutor``;
+    This is a thin facade over :func:`repro.resilience.executor.execute`,
+    which owns pool management, bounded retry, per-job timeouts,
+    ``BrokenProcessPool`` recovery and checkpoint resume.  With the
+    default policy the behaviour matches the historical primitive:
+    ``policy.jobs > 1`` fans out over a ``ProcessPoolExecutor``, and
     anything that prevents parallel execution — unpicklable specs, a pool
-    that cannot start, workers dying — degrades to in-process execution
-    with a warning rather than failing the run.  Genuine simulation errors
-    propagate unchanged in both modes.
+    that cannot start — degrades to in-process execution with a warning
+    (and an :class:`~repro.obs.events.ExecutionDegraded` event) rather
+    than failing the run.  Genuine simulation errors propagate unchanged
+    in both modes.
 
-    On a single-core machine a pool is pure overhead (worker start-up and
-    pickling with no concurrency to gain), so the specs run in-process
-    even when more workers were requested; set ``$REPRO_FORCE_POOL=1`` to
-    force the pool anyway (e.g. to exercise the pickle boundary in tests).
+    ``jobs`` is a convenience for the one-knob callers; it is folded into
+    the policy (an explicit ``policy.jobs`` wins).  On a single-core
+    machine a pool is pure overhead, so specs run in-process even when
+    more workers were requested; ``$REPRO_FORCE_POOL=1`` forces the pool
+    anyway (e.g. to exercise the pickle boundary in tests).
     """
-    specs = list(specs)
-    n_workers = min(resolve_jobs(jobs), len(specs))
-    if (
-        n_workers > 1
-        and (os.cpu_count() or 1) <= 1
-        and os.environ.get("REPRO_FORCE_POOL") != "1"
-    ):
-        log.info("single-core machine: running %d jobs in-process", len(specs))
-        n_workers = 1
-    if n_workers <= 1:
-        _warm_trace_cache(specs)
-        return [spec.run() for spec in specs]
+    from ..resilience.executor import execute
+    from ..resilience.policy import ExecutionPolicy
 
-    try:
-        pickle.dumps(specs)
-    except Exception as exc:  # e.g. a prefetcher holding an open file/bus
-        log.warning("job specs not picklable (%s); running in-process", exc)
-        return [spec.run() for spec in specs]
-
-    # Warm both trace caches in the parent: forked workers inherit the
-    # in-process memo, spawned workers load from the on-disk cache.
-    _warm_trace_cache(specs)
-    try:
-        with ProcessPoolExecutor(max_workers=n_workers) as pool:
-            return list(pool.map(run_job, specs))
-    except (BrokenProcessPool, OSError, PermissionError) as exc:
-        log.warning("process pool unavailable (%s); running in-process", exc)
-        return [spec.run() for spec in specs]
+    if policy is None:
+        policy = ExecutionPolicy(jobs=jobs)
+    elif policy.jobs is None and jobs is not None:
+        policy = policy.replace(jobs=jobs)
+    return execute(list(specs), policy, bus=bus)

@@ -20,7 +20,7 @@ simulator runs out over worker processes via :func:`repro.parallel.run_jobs`:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
 
 from ..analysis.sweep import SweepPoint
 from ..engine.config import ProcessorConfig
@@ -28,6 +28,9 @@ from ..engine.stats import SimulationResult
 from ..prefetchers.base import Prefetcher
 from ..workloads.registry import COMMERCIAL_WORKLOADS
 from .jobs import JobSpec, run_jobs
+
+if TYPE_CHECKING:  # pragma: no cover - avoids an import cycle at runtime
+    from ..resilience.policy import ExecutionPolicy
 
 __all__ = ["ParallelSweepRunner"]
 
@@ -46,9 +49,24 @@ class ParallelSweepRunner:
     #: Compressed execution over precomputed L1 filter planes; ``None``
     #: defers to ``$REPRO_COMPRESSED`` (on by default, bit-identical).
     compressed: Optional[bool] = None
+    #: Execution policy (timeouts, retries, checkpointing, fault spec).
+    #: ``None`` builds one from ``jobs``/``compressed``; an explicit
+    #: policy wins, with ``jobs``/``compressed`` filling unset fields.
+    policy: "Optional[ExecutionPolicy]" = None
     #: Shared baseline results; the sequential SweepRunner passes its own
     #: memo here so repeated sweeps never re-simulate a baseline.
     baseline_memo: Dict[BaselineKey, SimulationResult] = field(default_factory=dict)
+
+    def effective_policy(self) -> "ExecutionPolicy":
+        """The policy this runner executes under (legacy knobs folded in)."""
+        from ..resilience.policy import ExecutionPolicy
+
+        policy = self.policy if self.policy is not None else ExecutionPolicy()
+        if policy.jobs is None and self.jobs is not None:
+            policy = policy.replace(jobs=self.jobs)
+        if policy.compressed is None and self.compressed is not None:
+            policy = policy.replace(compressed=self.compressed)
+        return policy
 
     def sweep(
         self,
@@ -93,7 +111,7 @@ class ParallelSweepRunner:
                 )
 
         specs = list(baseline_specs.values()) + candidate_specs
-        results = run_jobs(specs, self.jobs)
+        results = run_jobs(specs, policy=self.effective_policy())
 
         n_baselines = len(baseline_specs)
         for key, result in zip(baseline_specs.keys(), results[:n_baselines]):

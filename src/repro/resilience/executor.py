@@ -1,0 +1,509 @@
+"""Fault-tolerant execution of simulation job batches.
+
+:func:`execute` is the single engine behind ``run_jobs`` and both sweep
+runners.  It keeps the contract that made the old primitive trustworthy —
+results in input order, bit-identical between sequential and parallel
+execution — and layers the failure handling an overnight sweep needs:
+
+* **bounded retry** with exponential backoff for failing attempts;
+* **per-job timeouts** in pool mode (the pool is killed and rebuilt —
+  a ``ProcessPoolExecutor`` cannot cancel a running task — and the
+  survivor jobs are requeued without spending an attempt);
+* **``BrokenProcessPool`` recovery**: when a worker dies, the jobs that
+  were in flight replay in-process (each spending one attempt) and the
+  pool is rebuilt for the remaining queue;
+* **checkpoint resume**: with ``policy.checkpoint_dir`` set, completed
+  jobs are journalled durably and a re-run of the same batch loads them
+  from disk instead of re-simulating;
+* **observable degradation**: the legacy silent fall-backs (unpicklable
+  specs, a pool that cannot start) now log a warning *and* publish an
+  :class:`~repro.obs.events.ExecutionDegraded` event with the cause.
+
+Every decision is announced on the event bus (``JobRetried``,
+``JobTimedOut``, ``WorkerCrashed``, ``JobResumed``, ``ExecutionDegraded``)
+— the bus passed by the caller, or the process-wide one when subscribers
+exist and no bus was given.
+
+Deterministic failure for tests comes from :mod:`repro.resilience.faults`;
+with an empty :class:`~repro.resilience.faults.FaultSpec` the fault hooks
+cost a few string comparisons per attempt.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import logging
+import os
+import pickle
+import time
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+from ..obs.bus import EventBus, peek_global_bus
+from ..obs.events import (
+    Event,
+    ExecutionDegraded,
+    JobResumed,
+    JobRetried,
+    JobTimedOut,
+    WorkerCrashed,
+)
+from .checkpoint import CheckpointJournal, job_key
+from .faults import FaultSpec
+from .policy import ExecutionPolicy
+
+if TYPE_CHECKING:  # pragma: no cover - cycle: parallel.jobs imports us
+    from ..engine.stats import SimulationResult
+    from ..parallel.jobs import JobSpec
+
+__all__ = ["execute"]
+
+log = logging.getLogger(__name__)
+
+#: Ceiling on the event-loop tick while jobs are in flight (keeps
+#: pool-crash detection responsive even with no deadline pending).
+_MAX_TICK_S = 0.5
+
+
+def _emit(bus: Optional[EventBus], event: Event) -> None:
+    """Publish on the caller's bus, else the process-wide one (if any)."""
+    target = bus if bus is not None else peek_global_bus()
+    if target is not None and target.wants(type(event)):
+        target.emit(event)
+
+
+def _attempt(payload: "Tuple[JobSpec, str, FaultSpec]") -> "SimulationResult":
+    """Run one job attempt with fault hooks (pool entry point).
+
+    Module-level so it pickles; also used verbatim for in-process
+    attempts so both execution modes share one fault schedule.
+    """
+    spec, key, faults = payload
+    # Fault matching targets the human-facing label (falling back to the
+    # workload name), with the job key appended so claims stay unique.
+    fault_key = f"{spec.label or spec.workload}#{key}"
+    faults.maybe_crash(fault_key)
+    hang = faults.maybe_hang(fault_key)
+    if hang > 0:
+        time.sleep(hang)
+    return spec.run()
+
+
+def execute(
+    specs: "Sequence[JobSpec]",
+    policy: Optional[ExecutionPolicy] = None,
+    bus: Optional[EventBus] = None,
+) -> "List[SimulationResult]":
+    """Run every job under ``policy`` and return results in input order."""
+    from ..parallel.jobs import _warm_trace_cache
+
+    policy = policy or ExecutionPolicy()
+    specs = list(specs)
+    if not specs:
+        return []
+    faults = policy.faults()
+    if policy.compressed is not None:
+        # The policy decides for specs that left the mode open; a spec's
+        # explicit choice (benchmarks pinning the legacy path) wins.
+        specs = [
+            dataclasses.replace(s, compressed=policy.compressed)
+            if s.compressed is None
+            else s
+            for s in specs
+        ]
+
+    keys = [job_key(spec, i) for i, spec in enumerate(specs)]
+    results: "List[Optional[SimulationResult]]" = [None] * len(specs)
+
+    journal: Optional[CheckpointJournal] = None
+    if policy.checkpoint_dir:
+        journal = CheckpointJournal(policy.checkpoint_dir)
+        if journal.load():
+            for i, key in enumerate(keys):
+                restored = journal.lookup(key)
+                if restored is None:
+                    continue
+                results[i] = restored
+                _emit(bus, JobResumed(label=specs[i].label, index=i, key=key))
+            n_resumed = sum(r is not None for r in results)
+            if n_resumed:
+                log.info(
+                    "resumed %d/%d job(s) from checkpoint %s",
+                    n_resumed,
+                    len(specs),
+                    journal.path,
+                )
+
+    try:
+        pending = [i for i, r in enumerate(results) if r is None]
+        if pending:
+            n_workers = min(policy.resolved_jobs(), len(pending))
+            if (
+                n_workers > 1
+                and (os.cpu_count() or 1) <= 1
+                and os.environ.get("REPRO_FORCE_POOL") != "1"
+            ):
+                log.info(
+                    "single-core machine: running %d job(s) in-process",
+                    len(pending),
+                )
+                n_workers = 1
+            pooled = False
+            if n_workers > 1:
+                try:
+                    pickle.dumps([specs[i] for i in pending])
+                except Exception as exc:
+                    log.warning(
+                        "job specs not picklable (%s); running in-process", exc
+                    )
+                    _emit(
+                        bus,
+                        ExecutionDegraded(reason="unpicklable", cause=str(exc)),
+                    )
+                else:
+                    _warm_trace_cache([specs[i] for i in pending])
+                    pooled = _run_pooled(
+                        specs, keys, pending, results, n_workers, policy,
+                        faults, journal, bus,
+                    )
+            if not pooled:
+                _warm_trace_cache([specs[i] for i in pending])
+                for i in pending:
+                    if results[i] is None:
+                        results[i] = _run_resilient(
+                            specs[i], keys[i], i, policy, faults, journal, bus
+                        )
+    finally:
+        if journal is not None:
+            journal.close()
+    return list(results)  # type: ignore[arg-type]
+
+
+# ----------------------------------------------------------------------
+# In-process attempts with retry
+# ----------------------------------------------------------------------
+def _run_resilient(
+    spec: "JobSpec",
+    key: str,
+    index: int,
+    policy: ExecutionPolicy,
+    faults: FaultSpec,
+    journal: Optional[CheckpointJournal],
+    bus: Optional[EventBus],
+    failed_attempts: int = 0,
+) -> "SimulationResult":
+    """Run one job in-process under the retry/timeout budget.
+
+    ``failed_attempts`` pre-charges attempts already spent elsewhere
+    (e.g. in a pool worker that crashed while running this job).
+    """
+    attempts = failed_attempts
+    while True:
+        start = time.monotonic()
+        try:
+            result = _attempt((spec, key, faults))
+        except Exception as exc:
+            attempts += 1
+            if attempts > policy.retries:
+                raise
+            log.warning(
+                "job %d (%s) attempt %d failed (%s); retrying",
+                index,
+                spec.label or spec.workload,
+                attempts,
+                exc,
+            )
+            _emit(
+                bus,
+                JobRetried(
+                    label=spec.label, index=index, attempt=attempts, cause=str(exc)
+                ),
+            )
+            time.sleep(policy.backoff_for(attempts))
+            continue
+        elapsed = time.monotonic() - start
+        if policy.timeout_s is not None and elapsed > policy.timeout_s:
+            # A running Python function cannot be preempted safely, so an
+            # in-process overrun is only detected after the fact.
+            _emit(
+                bus,
+                JobTimedOut(
+                    label=spec.label, index=index, timeout_s=policy.timeout_s
+                ),
+            )
+            attempts += 1
+            if attempts > policy.retries:
+                # This attempt *did* produce a result; a late answer beats
+                # no answer once the retry budget is spent.
+                log.warning(
+                    "job %d (%s) exceeded timeout (%.1fs > %.1fs) with no "
+                    "retries left; keeping the late result",
+                    index,
+                    spec.label or spec.workload,
+                    elapsed,
+                    policy.timeout_s,
+                )
+            else:
+                log.warning(
+                    "job %d (%s) exceeded timeout (%.1fs > %.1fs); retrying",
+                    index,
+                    spec.label or spec.workload,
+                    elapsed,
+                    policy.timeout_s,
+                )
+                _emit(
+                    bus,
+                    JobRetried(
+                        label=spec.label,
+                        index=index,
+                        attempt=attempts,
+                        cause="timeout",
+                    ),
+                )
+                time.sleep(policy.backoff_for(attempts))
+                continue
+        if journal is not None:
+            journal.record(key, result)
+        return result
+
+
+# ----------------------------------------------------------------------
+# Pooled execution
+# ----------------------------------------------------------------------
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down without waiting for its (possibly hung) workers."""
+    try:
+        for proc in list(getattr(pool, "_processes", {}).values()):
+            proc.terminate()
+    except Exception:  # pragma: no cover - interpreter-internal layout
+        pass
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+def _run_pooled(
+    specs: "List[JobSpec]",
+    keys: List[str],
+    pending: List[int],
+    results: "List[Optional[SimulationResult]]",
+    n_workers: int,
+    policy: ExecutionPolicy,
+    faults: FaultSpec,
+    journal: Optional[CheckpointJournal],
+    bus: Optional[EventBus],
+) -> bool:
+    """Fan ``pending`` out over a process pool, filling ``results``.
+
+    Returns True when the batch completed under pool management (possibly
+    with in-process replays of crashed jobs); False when the pool could
+    not be started at all — the caller then degrades to in-process
+    execution.  Job errors that exhaust the retry budget propagate.
+    """
+    queue: "deque[int]" = deque(pending)
+    attempts: Dict[int, int] = {i: 0 for i in pending}
+    in_flight: "Dict[Future, Tuple[int, float]]" = {}
+
+    def make_pool() -> Optional[ProcessPoolExecutor]:
+        try:
+            return ProcessPoolExecutor(max_workers=n_workers)
+        except (OSError, PermissionError, ValueError) as exc:
+            log.warning("process pool unavailable (%s); running in-process", exc)
+            _emit(
+                bus, ExecutionDegraded(reason="pool_unavailable", cause=str(exc))
+            )
+            return None
+
+    def settle(index: int, result: "SimulationResult") -> None:
+        results[index] = result
+        if journal is not None:
+            journal.record(keys[index], result)
+
+    def charge_failure(index: int, cause: str, fatal: Exception) -> None:
+        """Spend one attempt for ``index``; requeue it or raise ``fatal``."""
+        attempts[index] += 1
+        if attempts[index] > policy.retries:
+            raise fatal
+        log.warning(
+            "job %d (%s) attempt %d failed (%s); retrying",
+            index,
+            specs[index].label or specs[index].workload,
+            attempts[index],
+            cause,
+        )
+        _emit(
+            bus,
+            JobRetried(
+                label=specs[index].label,
+                index=index,
+                attempt=attempts[index],
+                cause=cause,
+            ),
+        )
+        time.sleep(policy.backoff_for(attempts[index]))
+        queue.append(index)
+
+    pool = make_pool()
+    if pool is None:
+        return False
+    try:
+        while queue or in_flight:
+            if pool is None:
+                pool = make_pool()
+                if pool is None:
+                    # Mid-batch restart failed: finish everything
+                    # in-process under the same retry budget.
+                    queue.extend(index for index, _t0 in in_flight.values())
+                    in_flight.clear()
+                    while queue:
+                        index = queue.popleft()
+                        results[index] = _run_resilient(
+                            specs[index],
+                            keys[index],
+                            index,
+                            policy,
+                            faults,
+                            journal,
+                            bus,
+                            failed_attempts=attempts[index],
+                        )
+                    return True
+            # Keep at most n_workers jobs in flight so submission time
+            # approximates start time — that is what per-job deadlines
+            # are measured against.
+            while queue and len(in_flight) < n_workers:
+                index = queue.popleft()
+                future = pool.submit(_attempt, (specs[index], keys[index], faults))
+                in_flight[future] = (index, time.monotonic())
+            if not in_flight:
+                continue
+
+            tick = _MAX_TICK_S
+            if policy.timeout_s is not None:
+                now = time.monotonic()
+                nearest = min(
+                    t0 + policy.timeout_s - now for _i, t0 in in_flight.values()
+                )
+                tick = max(0.01, min(nearest, _MAX_TICK_S))
+            finished, _running = wait(
+                in_flight.keys(), timeout=tick, return_when=FIRST_COMPLETED
+            )
+
+            broken: Optional[BrokenProcessPool] = None
+            casualties: List[int] = []
+            for future in finished:
+                index, _t0 = in_flight.pop(future)
+                try:
+                    settle(index, future.result())
+                except BrokenProcessPool as exc:
+                    broken = exc
+                    casualties.append(index)
+                except Exception as exc:
+                    charge_failure(index, str(exc), fatal=exc)
+
+            if broken is not None:
+                # A worker died and the executor poisoned every in-flight
+                # future.  Harvest any that genuinely completed, then
+                # replay the casualties in-process (the crashed job is
+                # among them; each replay spends the crash's attempt) and
+                # rebuild the pool for the remaining queue.
+                for future, (index, _t0) in list(in_flight.items()):
+                    try:
+                        settle(index, future.result(timeout=0))
+                    except Exception:
+                        casualties.append(index)
+                in_flight.clear()
+                log.warning(
+                    "process pool broke (%s); replaying %d in-flight job(s) "
+                    "in-process",
+                    broken,
+                    len(casualties),
+                )
+                _emit(
+                    bus,
+                    WorkerCrashed(
+                        cause=str(broken), jobs_in_flight=len(casualties)
+                    ),
+                )
+                _kill_pool(pool)
+                pool = None
+                for index in casualties:
+                    attempts[index] += 1
+                    if attempts[index] > policy.retries:
+                        raise broken
+                    _emit(
+                        bus,
+                        JobRetried(
+                            label=specs[index].label,
+                            index=index,
+                            attempt=attempts[index],
+                            cause="worker crash",
+                        ),
+                    )
+                    results[index] = _run_resilient(
+                        specs[index],
+                        keys[index],
+                        index,
+                        policy,
+                        faults,
+                        journal,
+                        bus,
+                        failed_attempts=attempts[index],
+                    )
+                continue
+
+            if policy.timeout_s is not None and in_flight:
+                now = time.monotonic()
+                overdue = [
+                    (future, index)
+                    for future, (index, t0) in in_flight.items()
+                    if now - t0 > policy.timeout_s and not future.done()
+                ]
+                if overdue:
+                    # A ProcessPoolExecutor cannot cancel a running task,
+                    # so the whole pool goes: settle what finished in the
+                    # meantime, charge the overdue jobs one attempt,
+                    # requeue the innocent bystanders for free.
+                    for future, (index, _t0) in list(in_flight.items()):
+                        if future.done():
+                            del in_flight[future]
+                            try:
+                                settle(index, future.result())
+                            except Exception as exc:
+                                charge_failure(index, str(exc), fatal=exc)
+                    for future, index in overdue:
+                        if future not in in_flight:
+                            continue
+                        del in_flight[future]
+                        log.warning(
+                            "job %d (%s) exceeded timeout %.1fs; killing its "
+                            "pool",
+                            index,
+                            specs[index].label or specs[index].workload,
+                            policy.timeout_s,
+                        )
+                        _emit(
+                            bus,
+                            JobTimedOut(
+                                label=specs[index].label,
+                                index=index,
+                                timeout_s=policy.timeout_s,
+                            ),
+                        )
+                        charge_failure(
+                            index,
+                            "timeout",
+                            fatal=TimeoutError(
+                                f"job {index} ({specs[index].label}) exceeded "
+                                f"{policy.timeout_s}s after "
+                                f"{attempts[index] + 1} attempt(s)"
+                            ),
+                        )
+                    queue.extend(index for index, _t0 in in_flight.values())
+                    in_flight.clear()
+                    _kill_pool(pool)
+                    pool = None
+    finally:
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
+    return True

@@ -1,0 +1,143 @@
+"""Cache-entry integrity: checksum sidecars and quarantine.
+
+The trace cache and the filter-plane cache persist ``.npz`` archives that
+are expensive to rebuild.  A half-written or bit-rotted entry used to be
+deleted on decode failure; this module upgrades that story in two ways:
+
+* every stored entry gets a ``<name>.sha256`` sidecar written after the
+  atomic rename, and readers verify it *before* attempting to decode —
+  catching corruption that still decodes (silently wrong data), not just
+  corruption that raises;
+* a bad entry is moved into a ``quarantine/`` sibling directory (with its
+  sidecar and a short ``.reason`` note) instead of being unlinked, so a
+  recurring corruption source stays diagnosable, and a
+  :class:`~repro.obs.events.CacheQuarantined` event is published on the
+  process-wide bus.
+
+Both caches then simply regenerate the entry; corruption is never fatal.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import os
+from pathlib import Path
+from typing import Optional, Union
+
+__all__ = [
+    "checksum_path",
+    "write_checksum",
+    "verify_checksum",
+    "quarantine_entry",
+]
+
+log = logging.getLogger(__name__)
+
+_CHUNK = 1 << 20
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def _digest(path: Path) -> str:
+    h = hashlib.sha256()
+    with open(path, "rb") as fh:
+        while True:
+            chunk = fh.read(_CHUNK)
+            if not chunk:
+                break
+            h.update(chunk)
+    return h.hexdigest()
+
+
+def checksum_path(path: PathLike) -> Path:
+    """The sidecar path for a cache entry (``<entry>.sha256``)."""
+    p = Path(path)
+    return p.with_name(p.name + ".sha256")
+
+
+def write_checksum(path: PathLike) -> Path:
+    """Write/refresh the sidecar checksum for ``path``; returns the sidecar."""
+    p = Path(path)
+    sidecar = checksum_path(p)
+    tmp = sidecar.with_name(sidecar.name + ".tmp")
+    tmp.write_text(_digest(p) + "\n", encoding="ascii")
+    os.replace(tmp, sidecar)
+    return sidecar
+
+
+def verify_checksum(path: PathLike) -> Optional[str]:
+    """Check ``path`` against its sidecar.
+
+    Returns ``None`` when the entry is good *or* unverifiable (no sidecar
+    — e.g. an entry written by an older version; decode-time validation
+    still applies).  Returns a human-readable reason string on mismatch.
+    """
+    p = Path(path)
+    sidecar = checksum_path(p)
+    try:
+        expected = sidecar.read_text(encoding="ascii").strip()
+    except (OSError, UnicodeDecodeError):
+        return None
+    if not expected:
+        return None
+    try:
+        actual = _digest(p)
+    except OSError as exc:
+        return f"unreadable entry ({exc})"
+    if actual != expected:
+        return "checksum_mismatch"
+    return None
+
+
+def quarantine_entry(path: PathLike, kind: str, reason: str) -> Optional[Path]:
+    """Move a corrupt cache entry (and sidecar) into ``quarantine/``.
+
+    ``kind`` is ``"trace"`` or ``"plane"``.  Returns the quarantined
+    path, or ``None`` when the entry had already vanished.  Emits
+    :class:`~repro.obs.events.CacheQuarantined` on the process-wide bus
+    when one exists.
+    """
+    p = Path(path)
+    qdir = p.parent / "quarantine"
+    quarantined: Optional[Path] = None
+    try:
+        qdir.mkdir(parents=True, exist_ok=True)
+        target = qdir / p.name
+        if p.exists():
+            os.replace(p, target)
+            quarantined = target
+            note = target.with_name(target.name + ".reason")
+            try:
+                note.write_text(f"{kind}: {reason}\n", encoding="utf-8")
+            except OSError:
+                pass
+        sidecar = checksum_path(p)
+        if sidecar.exists():
+            os.replace(sidecar, qdir / sidecar.name)
+    except OSError as exc:
+        # Quarantine is best-effort: fall back to deletion so the corrupt
+        # entry cannot be picked up again.
+        log.warning("could not quarantine %s (%s); deleting instead", p, exc)
+        for victim in (p, checksum_path(p)):
+            try:
+                victim.unlink()
+            except OSError:
+                pass
+    log.warning(
+        "quarantined corrupt %s cache entry %s (%s); it will be regenerated",
+        kind,
+        p.name,
+        reason,
+    )
+    _emit_quarantined(str(p), kind, reason)
+    return quarantined
+
+
+def _emit_quarantined(path: str, kind: str, reason: str) -> None:
+    from ..obs.bus import peek_global_bus
+    from ..obs.events import CacheQuarantined
+
+    bus = peek_global_bus()
+    if bus is not None and bus.wants(CacheQuarantined):
+        bus.emit(CacheQuarantined(path=path, kind=kind, reason=reason))

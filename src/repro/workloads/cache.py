@@ -17,8 +17,10 @@ Layout and control
 * Invalidation: keys encode every generation parameter, so stale entries
   cannot be returned; delete the directory to reclaim space.
 * Robustness: writes go through a temp file + atomic rename (concurrent
-  workers may race to fill the same key), and a corrupted or unreadable
-  cache file falls back to regeneration with a warning instead of failing
+  workers may race to fill the same key) and gain a ``.sha256`` sidecar;
+  readers verify the checksum before decoding, and a corrupted or
+  unreadable entry is quarantined (``quarantine/`` beside the cache, via
+  :mod:`repro.resilience.integrity`) and regenerated instead of failing
   the run.
 """
 
@@ -76,22 +78,22 @@ class TraceCache:
         Any filesystem or decode failure degrades to ``build()`` — the
         cache is a pure accelerator and never affects results.
         """
+        from ..resilience.integrity import quarantine_entry, verify_checksum
+
         path = self.path_for(name, records, seed, scale)
         if path is None:
             return build()
         if path.exists():
-            try:
-                trace = Trace.load(path)
-                self.hits += 1
-                return trace
-            except Exception as exc:  # corrupt/truncated/incompatible file
-                log.warning(
-                    "trace cache entry %s unreadable (%s); regenerating", path, exc
-                )
+            reason = verify_checksum(path)
+            if reason is not None:
+                quarantine_entry(path, "trace", reason)
+            else:
                 try:
-                    path.unlink()
-                except OSError:
-                    pass
+                    trace = Trace.load(path)
+                    self.hits += 1
+                    return trace
+                except Exception as exc:  # corrupt/truncated/incompatible file
+                    quarantine_entry(path, "trace", f"unreadable entry ({exc})")
         self.misses += 1
         trace = build()
         self._store(path, trace)
@@ -99,6 +101,9 @@ class TraceCache:
 
     def _store(self, path: Path, trace: Trace) -> None:
         """Atomically persist a trace; failures only cost the speedup."""
+        from ..resilience.faults import FaultSpec
+        from ..resilience.integrity import write_checksum
+
         try:
             path.parent.mkdir(parents=True, exist_ok=True)
             fd, tmp_name = tempfile.mkstemp(
@@ -111,6 +116,8 @@ class TraceCache:
             finally:
                 if os.path.exists(tmp_name):
                     os.unlink(tmp_name)
+            write_checksum(path)
+            FaultSpec.from_env().maybe_corrupt(path, "trace")
         except OSError as exc:
             log.warning("could not write trace cache entry %s (%s)", path, exc)
 

@@ -2,10 +2,43 @@
 
 from __future__ import annotations
 
+import os
+import signal
+
 import pytest
 
 from repro.engine.config import CacheConfig, ProcessorConfig
 from repro.workloads.trace import TraceBuilder, TraceMeta
+
+#: Per-test wall-clock ceiling in seconds (``pytest-timeout`` is not
+#: available in the pinned environment, so this is implemented with
+#: ``SIGALRM``).  A hung test — the failure mode the resilience layer
+#: exists to contain — aborts with a stack trace instead of wedging the
+#: whole suite.  Override with ``REPRO_TEST_TIMEOUT`` (0 disables).
+_TEST_TIMEOUT_S = int(os.environ.get("REPRO_TEST_TIMEOUT", "300"))
+
+
+@pytest.fixture(autouse=True)
+def _test_timeout(request):
+    """Abort any single test that runs longer than the ceiling."""
+    if _TEST_TIMEOUT_S <= 0 or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+
+    def _on_timeout(signum, frame):
+        pytest.fail(
+            f"test exceeded REPRO_TEST_TIMEOUT={_TEST_TIMEOUT_S}s "
+            f"({request.node.nodeid})",
+            pytrace=True,
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_timeout)
+    signal.alarm(_TEST_TIMEOUT_S)
+    try:
+        yield
+    finally:
+        signal.alarm(0)
+        signal.signal(signal.SIGALRM, previous)
 
 
 @pytest.fixture

@@ -1,0 +1,113 @@
+"""CI chaos drill: full-stack recovery under injected faults.
+
+Gated behind ``REPRO_CHAOS=1`` (the CI workflow runs it as a dedicated
+step) because it deliberately crashes pool workers and corrupts cache
+entries.  Each scenario drives the real public stack — sweep runner,
+executor, on-disk caches — under ``REPRO_FAULT_*`` injection and asserts
+the end state is bit-identical to an undisturbed run.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+import repro.resilience.faults as faults_mod
+from repro.analysis.sweep import SweepRunner
+from repro.engine.config import ProcessorConfig
+from repro.obs.bus import global_bus, reset_global_bus
+from repro.obs.events import CacheQuarantined
+from repro.parallel import JobSpec, run_jobs
+from repro.prefetchers.registry import build_prefetcher
+from repro.resilience import ExecutionPolicy, FaultSpec, verify_checksum
+
+pytestmark = pytest.mark.skipif(
+    os.environ.get("REPRO_CHAOS") != "1",
+    reason="chaos drill; opt in with REPRO_CHAOS=1",
+)
+
+RECORDS = 3_000
+
+
+@pytest.fixture(autouse=True)
+def _fresh_fault_claims():
+    faults_mod._LOCAL_CLAIMS.clear()
+    yield
+    faults_mod._LOCAL_CLAIMS.clear()
+
+
+def test_sweep_survives_worker_crashes(tmp_path, monkeypatch):
+    """Every pool worker crashes once; the sweep result is unchanged."""
+    monkeypatch.setenv("REPRO_FORCE_POOL", "1")
+    config = ProcessorConfig.scaled()
+    labels = ["2", "4"]
+
+    def factory(label):
+        return build_prefetcher("ebcp", prefetch_degree=int(label))
+
+    clean = SweepRunner(records=RECORDS, workloads=("tpcw",)).sweep(
+        labels, factory, config=config
+    )
+    policy = ExecutionPolicy(
+        jobs=2,
+        retries=2,
+        backoff_s=0.0,
+        checkpoint_dir=str(tmp_path / "run"),
+        fault_spec=FaultSpec(
+            crash="*:1", state_dir=str(tmp_path / "fault-state")
+        ),
+    )
+    chaotic = SweepRunner(records=RECORDS, workloads=("tpcw",)).sweep(
+        labels, factory, config=config, policy=policy
+    )
+    for seq, par in zip(clean["tpcw"], chaotic["tpcw"]):
+        assert seq.label == par.label
+        assert seq.result.stats.to_dict() == par.result.stats.to_dict()
+        assert seq.baseline.stats.to_dict() == par.baseline.stats.to_dict()
+
+
+def test_runs_survive_cache_corruption(tmp_path, monkeypatch):
+    """Every fresh cache entry is corrupted twice; results never waver."""
+    monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path / "cache"))
+    monkeypatch.setenv("REPRO_FAULT_CORRUPT", "*:2")
+    monkeypatch.setenv("REPRO_FAULT_STATE", str(tmp_path / "fault-state"))
+    reset_global_bus()
+    quarantined = []
+    global_bus().subscribe(CacheQuarantined, quarantined.append)
+
+    def specs():
+        return [
+            JobSpec(
+                workload="specjbb2005",
+                records=21_000,
+                seed=13,
+                config=ProcessorConfig.scaled(),
+                prefetcher=build_prefetcher("ebcp"),
+                label="ebcp",
+            )
+        ]
+
+    from repro.workloads.registry import _cached_commercial
+
+    try:
+        runs = []
+        for _ in range(3):
+            # Drop the in-process trace memo (and with it the in-memory
+            # filter plane) so every run goes back to the disk cache.
+            _cached_commercial.cache_clear()
+            runs.append(run_jobs(specs())[0].stats.to_dict())
+    finally:
+        reset_global_bus()
+    assert runs[0] == runs[1] == runs[2]
+    assert len(quarantined) >= 2  # corrupt entries were detected, not used
+    # The cache converged to intact entries once the fault budget ran out.
+    cache_dir = tmp_path / "cache"
+    surviving = [
+        p
+        for p in cache_dir.rglob("*.npz")
+        if "quarantine" not in p.parts
+    ]
+    assert surviving
+    for entry in surviving:
+        assert verify_checksum(entry) is None

@@ -1,13 +1,11 @@
 """Tests for the simulator's observation hooks and writeback modelling.
 
-The primary interface is the :mod:`repro.obs` event bus; the legacy
-``epoch_listener``/``access_listener`` attributes remain as deprecated
-shims and keep their own coverage below.
+Observation goes through the :mod:`repro.obs` event bus; the pre-bus
+``epoch_listener``/``access_listener`` shims were removed after their
+deprecation cycle.
 """
 
 from __future__ import annotations
-
-import pytest
 
 from repro.engine.config import CacheConfig, ProcessorConfig
 from repro.engine.simulator import EpochSimulator
@@ -71,37 +69,11 @@ class TestBusObservation:
         assert measured[-1] is True
 
 
-class TestDeprecatedShims:
-    def test_epoch_listener_still_works_with_warning(self, builder):
-        for i in range(3):
-            builder.load(0x100, 0x100_0000 + i * 64, gap=300)
+class TestShimsRemoved:
+    def test_legacy_listener_attributes_are_gone(self):
         sim = EpochSimulator(small_config())
-        closed = []
-        with pytest.warns(DeprecationWarning):
-            sim.epoch_listener = closed.append
-        sim.run(builder.build(), warmup_records=0)
-        assert [e.index for e in closed] == list(range(3))
-
-    def test_access_listener_still_works_with_warning(self, builder):
-        builder.load(0x100, 0x100_0000, gap=10)
-        sim = EpochSimulator(small_config())
-        seen = []
-        with pytest.warns(DeprecationWarning):
-            sim.access_listener = lambda access, line, result: seen.append(result.outcome)
-        sim.run(builder.build(), warmup_records=0)
-        assert seen == [AccessOutcome.OFFCHIP_MISS]
-
-    def test_clearing_listener_unsubscribes(self, builder):
-        for i in range(3):
-            builder.load(0x100, 0x100_0000 + i * 64, gap=300)
-        sim = EpochSimulator(small_config())
-        closed = []
-        with pytest.warns(DeprecationWarning):
-            sim.epoch_listener = closed.append
-        with pytest.warns(DeprecationWarning):
-            sim.epoch_listener = None
-        sim.run(builder.build(), warmup_records=0)
-        assert closed == []
+        assert not hasattr(sim, "epoch_listener")
+        assert not hasattr(sim, "access_listener")
 
 
 class TestWritebacks:

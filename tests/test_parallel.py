@@ -7,7 +7,7 @@ import pickle
 
 import pytest
 
-import repro.parallel.jobs as jobs_mod
+import repro.resilience.executor as executor_mod
 from repro.analysis.sweep import SweepRunner
 from repro.engine.config import ProcessorConfig
 from repro.parallel import JobSpec, ParallelSweepRunner, resolve_jobs, run_jobs
@@ -90,7 +90,7 @@ class TestRunJobs:
         monkeypatch.setenv("REPRO_FORCE_POOL", "1")
         spec = _spec()
         spec.prefetcher.poison = lambda: None  # lambdas don't pickle
-        with caplog.at_level(logging.WARNING, logger="repro.parallel.jobs"):
+        with caplog.at_level(logging.WARNING, logger="repro.resilience.executor"):
             results = run_jobs([spec, _spec(prefetcher=None)], jobs=2)
         assert any("not picklable" in rec.message for rec in caplog.records)
         assert len(results) == 2
@@ -101,9 +101,9 @@ class TestRunJobs:
                 raise OSError("no process pool here")
 
         monkeypatch.setenv("REPRO_FORCE_POOL", "1")
-        monkeypatch.setattr(jobs_mod, "ProcessPoolExecutor", ExplodingPool)
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", ExplodingPool)
         specs = [_spec(prefetcher=None), _spec()]
-        with caplog.at_level(logging.WARNING, logger="repro.parallel.jobs"):
+        with caplog.at_level(logging.WARNING, logger="repro.resilience.executor"):
             results = run_jobs(specs, jobs=2)
         assert any("unavailable" in rec.message for rec in caplog.records)
         assert [r.stats.to_dict() for r in results] == [
@@ -118,9 +118,9 @@ class TestRunJobs:
                 raise AssertionError("pool started on a single-core machine")
 
         monkeypatch.delenv("REPRO_FORCE_POOL", raising=False)
-        monkeypatch.setattr(jobs_mod.os, "cpu_count", lambda: 1)
-        monkeypatch.setattr(jobs_mod, "ProcessPoolExecutor", MustNotStart)
-        with caplog.at_level(logging.INFO, logger="repro.parallel.jobs"):
+        monkeypatch.setattr(executor_mod.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", MustNotStart)
+        with caplog.at_level(logging.INFO, logger="repro.resilience.executor"):
             results = run_jobs([_spec(prefetcher=None), _spec()], jobs=2)
         assert any("in-process" in rec.message for rec in caplog.records)
         assert len(results) == 2
@@ -134,8 +134,8 @@ class TestRunJobs:
                 raise OSError("stop here; starting was the point")
 
         monkeypatch.setenv("REPRO_FORCE_POOL", "1")
-        monkeypatch.setattr(jobs_mod.os, "cpu_count", lambda: 1)
-        monkeypatch.setattr(jobs_mod, "ProcessPoolExecutor", RecordingPool)
+        monkeypatch.setattr(executor_mod.os, "cpu_count", lambda: 1)
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", RecordingPool)
         run_jobs([_spec(prefetcher=None), _spec(prefetcher=None)], jobs=2)
         assert started
 
@@ -180,7 +180,7 @@ class TestParallelSweepRunner:
         submitted = []
         real_run_jobs = run_jobs
 
-        def counting_run_jobs(specs, jobs=None):
+        def counting_run_jobs(specs, jobs=None, **kwargs):
             submitted.extend(specs)
             return real_run_jobs(specs, 1)
 

@@ -1,0 +1,386 @@
+"""repro.resilience: ExecutionPolicy, fault injection, retry, checkpoints.
+
+Every scenario asserts the executor's core invariant: whatever faults
+fire along the way, the surviving results are bit-identical to a clean
+sequential run.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+import repro.resilience.faults as faults_mod
+import repro.resilience.executor as executor_mod
+from repro.engine.config import ProcessorConfig
+from repro.obs import EventBus
+from repro.obs.events import (
+    ExecutionDegraded,
+    JobResumed,
+    JobRetried,
+    JobTimedOut,
+    WorkerCrashed,
+)
+from repro.obs.metrics import ResilienceMetrics
+from repro.parallel import JobSpec, run_jobs
+from repro.prefetchers.registry import build_prefetcher
+from repro.resilience import (
+    CheckpointJournal,
+    ExecutionPolicy,
+    FaultSpec,
+    WorkerCrashError,
+    execute,
+    job_key,
+)
+
+RECORDS = 3_000
+
+
+@pytest.fixture(autouse=True)
+def _fresh_fault_claims():
+    """Local fault claims are process-global; isolate each test."""
+    faults_mod._LOCAL_CLAIMS.clear()
+    yield
+    faults_mod._LOCAL_CLAIMS.clear()
+
+
+def _spec(label: str = "alpha", prefetcher: str | None = "ebcp") -> JobSpec:
+    return JobSpec(
+        workload="tpcw",
+        records=RECORDS,
+        seed=7,
+        config=ProcessorConfig.scaled(),
+        prefetcher=None if prefetcher is None else build_prefetcher(prefetcher),
+        label=label,
+    )
+
+
+def _collect(bus: EventBus, *event_types):
+    seen = []
+    for event_type in event_types:
+        bus.subscribe(event_type, seen.append)
+    return seen
+
+
+class TestExecutionPolicy:
+    def test_defaults(self):
+        policy = ExecutionPolicy()
+        assert policy.retries == 1
+        assert policy.timeout_s is None
+        assert policy.checkpoint_dir is None
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [{"retries": -1}, {"backoff_s": -0.5}, {"timeout_s": 0.0}, {"timeout_s": -1}],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            ExecutionPolicy(**kwargs)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ExecutionPolicy().retries = 5  # type: ignore[misc]
+
+    def test_replace_returns_updated_copy(self):
+        base = ExecutionPolicy(jobs=4, retries=2)
+        updated = base.replace(retries=0)
+        assert updated.retries == 0
+        assert updated.jobs == 4
+        assert base.retries == 2
+
+    def test_backoff_doubles_per_retry(self):
+        policy = ExecutionPolicy(backoff_s=0.25)
+        assert policy.backoff_for(1) == 0.25
+        assert policy.backoff_for(2) == 0.5
+        assert policy.backoff_for(3) == 1.0
+
+    def test_pickles(self):
+        policy = ExecutionPolicy(
+            jobs=2, timeout_s=60, retries=3, fault_spec=FaultSpec(crash="x:1")
+        )
+        assert pickle.loads(pickle.dumps(policy)) == policy
+
+    def test_from_env_reads_fault_knobs(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_CRASH", "alpha:1")
+        policy = ExecutionPolicy.from_env()
+        assert policy.faults().crash == "alpha:1"
+
+    def test_explicit_fault_spec_wins_over_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_CRASH", "alpha:1")
+        policy = ExecutionPolicy(fault_spec=FaultSpec())
+        assert not policy.faults().active
+
+
+class TestJobKey:
+    def test_deterministic(self):
+        assert job_key(_spec(), 0) == job_key(_spec(), 0)
+
+    def test_depends_on_identity_fields(self):
+        base = _spec()
+        assert job_key(base, 0) != job_key(base, 1)
+        other = _spec()
+        other.seed = 8
+        assert job_key(base, 0) != job_key(other, 0)
+
+    def test_execution_mode_does_not_change_identity(self):
+        fast, legacy = _spec(), _spec()
+        fast.compressed = True
+        legacy.compressed = False
+        assert job_key(fast, 0) == job_key(legacy, 0)
+
+
+class TestFaultSpec:
+    def test_inactive_by_default(self):
+        spec = FaultSpec()
+        assert not spec.active
+        spec.maybe_crash("anything")  # no-op
+        assert spec.maybe_hang("anything") == 0.0
+
+    def test_malformed_specs_are_ignored(self):
+        spec = FaultSpec(crash="toomany:fields:here", hang="nocount")
+        spec.maybe_crash("anything")
+        assert spec.maybe_hang("anything") == 0.0
+
+    def test_crash_budget_per_site(self):
+        spec = FaultSpec(crash="alpha:2")
+        for _ in range(2):
+            with pytest.raises(WorkerCrashError):
+                spec.maybe_crash("alpha#deadbeef")
+        spec.maybe_crash("alpha#deadbeef")  # budget spent
+        spec.maybe_crash("bravo#deadbeef")  # never matched
+
+    def test_state_dir_shares_claims_across_instances(self, tmp_path):
+        first = FaultSpec(crash="alpha:1", state_dir=str(tmp_path))
+        second = FaultSpec(crash="alpha:1", state_dir=str(tmp_path))
+        with pytest.raises(WorkerCrashError):
+            first.maybe_crash("alpha#1")
+        second.maybe_crash("alpha#1")  # the claim is durable
+
+    def test_maybe_corrupt_truncates_matching_kind(self, tmp_path):
+        victim = tmp_path / "entry.npz"
+        victim.write_bytes(b"x" * 100)
+        spec = FaultSpec(corrupt="trace:1")
+        assert spec.maybe_corrupt(victim, "plane") is False
+        assert spec.maybe_corrupt(victim, "trace") is True
+        assert victim.stat().st_size == 50
+        assert spec.maybe_corrupt(victim, "trace") is False  # budget spent
+
+
+class TestRetry:
+    def test_injected_crash_is_retried_bit_identically(self):
+        clean = _spec().run()
+        bus = EventBus()
+        retried = _collect(bus, JobRetried)
+        policy = ExecutionPolicy(
+            retries=1, backoff_s=0.0, fault_spec=FaultSpec(crash="alpha:1")
+        )
+        [result] = execute([_spec()], policy, bus=bus)
+        assert result.stats.to_dict() == clean.stats.to_dict()
+        assert len(retried) == 1
+        assert "injected crash" in retried[0].cause
+
+    def test_exhausted_retry_budget_raises(self):
+        policy = ExecutionPolicy(
+            retries=1, backoff_s=0.0, fault_spec=FaultSpec(crash="alpha:2")
+        )
+        with pytest.raises(WorkerCrashError):
+            execute([_spec()], policy)
+
+    def test_zero_retries_fails_on_first_crash(self):
+        policy = ExecutionPolicy(
+            retries=0, fault_spec=FaultSpec(crash="alpha:1")
+        )
+        with pytest.raises(WorkerCrashError):
+            execute([_spec()], policy)
+
+    def test_metrics_count_the_recovery(self):
+        bus = EventBus()
+        metrics = ResilienceMetrics(bus)
+        policy = ExecutionPolicy(
+            retries=2, backoff_s=0.0, fault_spec=FaultSpec(crash="alpha:2")
+        )
+        execute([_spec()], policy, bus=bus)
+        assert metrics.retries.value == 2
+        assert metrics.timeouts.value == 0
+
+
+class TestTimeout:
+    def test_overrun_is_retried(self):
+        clean = _spec().run()
+        bus = EventBus()
+        timed_out = _collect(bus, JobTimedOut)
+        policy = ExecutionPolicy(
+            timeout_s=0.75,
+            retries=1,
+            backoff_s=0.0,
+            fault_spec=FaultSpec(hang="alpha:1:1.5"),
+        )
+        [result] = execute([_spec()], policy, bus=bus)
+        assert result.stats.to_dict() == clean.stats.to_dict()
+        assert len(timed_out) == 1
+        assert timed_out[0].timeout_s == 0.75
+
+    def test_late_result_kept_when_budget_spent(self):
+        clean = _spec().run()
+        policy = ExecutionPolicy(
+            timeout_s=0.75,
+            retries=0,
+            fault_spec=FaultSpec(hang="alpha:1:1.5"),
+        )
+        [result] = execute([_spec()], policy)
+        assert result.stats.to_dict() == clean.stats.to_dict()
+
+
+class TestCheckpoint:
+    def test_journal_roundtrip(self, tmp_path):
+        spec = _spec()
+        result = spec.run()
+        key = job_key(spec, 0)
+        with CheckpointJournal(tmp_path) as journal:
+            journal.record(key, result)
+        reloaded = CheckpointJournal(tmp_path)
+        reloaded.load()
+        restored = reloaded.lookup(key)
+        assert restored is not None
+        assert restored.stats.to_dict() == result.stats.to_dict()
+        assert restored.cpi == result.cpi
+        assert restored.config_summary == result.config_summary
+
+    def test_corrupt_tail_is_tolerated(self, tmp_path):
+        spec = _spec()
+        key = job_key(spec, 0)
+        with CheckpointJournal(tmp_path) as journal:
+            journal.record(key, spec.run())
+        with open(tmp_path / CheckpointJournal.FILENAME, "a") as fh:
+            fh.write('{"half a rec')  # a crash mid-write
+        journal = CheckpointJournal(tmp_path)
+        journal.load()
+        assert journal.lookup(key) is not None
+        assert len(journal) == 1
+
+    def test_interrupted_batch_resumes_bit_identically(self, tmp_path):
+        def batch():
+            return [_spec("alpha"), _spec("bravo"), _spec("charlie", None)]
+
+        clean = [s.run() for s in batch()]
+
+        # First run: 'bravo' fails permanently after 'alpha' completed.
+        failing = ExecutionPolicy(
+            retries=0,
+            checkpoint_dir=str(tmp_path),
+            fault_spec=FaultSpec(crash="bravo:9"),
+        )
+        with pytest.raises(WorkerCrashError):
+            execute(batch(), failing)
+
+        # Second run: the fault is gone (the outage ended); 'alpha' must
+        # come from the journal, the rest must run.
+        bus = EventBus()
+        resumed = _collect(bus, JobResumed)
+        policy = ExecutionPolicy(
+            checkpoint_dir=str(tmp_path), fault_spec=FaultSpec()
+        )
+        results = execute(batch(), policy, bus=bus)
+        assert [r.stats.to_dict() for r in results] == [
+            c.stats.to_dict() for c in clean
+        ]
+        assert [event.index for event in resumed] == [0]
+
+    def test_completed_batch_resumes_without_any_simulation(self, tmp_path):
+        policy = ExecutionPolicy(checkpoint_dir=str(tmp_path))
+        first = execute([_spec("alpha"), _spec("bravo", None)], policy)
+        bus = EventBus()
+        resumed = _collect(bus, JobResumed)
+        second = execute([_spec("alpha"), _spec("bravo", None)], policy, bus=bus)
+        assert len(resumed) == 2
+        assert [r.stats.to_dict() for r in second] == [
+            r.stats.to_dict() for r in first
+        ]
+
+
+class TestDegradationIsObservable:
+    """The legacy silent in-process fallbacks now announce themselves."""
+
+    def test_pool_unavailable_warns_and_emits(self, monkeypatch, caplog):
+        class ExplodingPool:
+            def __init__(self, *args, **kwargs):
+                raise OSError("no pool for you")
+
+        monkeypatch.setenv("REPRO_FORCE_POOL", "1")
+        monkeypatch.setattr(executor_mod, "ProcessPoolExecutor", ExplodingPool)
+        bus = EventBus()
+        degraded = _collect(bus, ExecutionDegraded)
+        import logging
+
+        with caplog.at_level(logging.WARNING, logger="repro.resilience.executor"):
+            results = execute(
+                [_spec("alpha", None), _spec("bravo", None)],
+                ExecutionPolicy(jobs=2),
+                bus=bus,
+            )
+        assert len(results) == 2
+        assert any("unavailable" in rec.message for rec in caplog.records)
+        assert [event.reason for event in degraded] == ["pool_unavailable"]
+        assert "no pool for you" in degraded[0].cause
+
+    def test_unpicklable_specs_emit_cause(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FORCE_POOL", "1")
+        bad = _spec("alpha")
+        bad.prefetcher.poison = lambda: None
+        bus = EventBus()
+        degraded = _collect(bus, ExecutionDegraded)
+        execute([bad, _spec("bravo", None)], ExecutionPolicy(jobs=2), bus=bus)
+        assert [event.reason for event in degraded] == ["unpicklable"]
+        assert degraded[0].cause
+
+
+class TestPoolRecovery:
+    def test_worker_crash_recovers_bit_identically(self, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_FORCE_POOL", "1")
+        specs = [_spec("alpha", None), _spec("bravo")]
+        clean = [s.run() for s in specs]
+        bus = EventBus()
+        crashed = _collect(bus, WorkerCrashed)
+        policy = ExecutionPolicy(
+            jobs=2,
+            retries=2,
+            backoff_s=0.0,
+            fault_spec=FaultSpec(crash="*:1", state_dir=str(tmp_path)),
+        )
+        results = execute(
+            [_spec("alpha", None), _spec("bravo")], policy, bus=bus
+        )
+        assert [r.stats.to_dict() for r in results] == [
+            c.stats.to_dict() for c in clean
+        ]
+        assert crashed  # the pool breakage was observed
+
+
+class TestPolicyThreadsThroughTheStack:
+    def test_run_jobs_accepts_policy(self):
+        clean = _spec().run()
+        policy = ExecutionPolicy(
+            retries=1, backoff_s=0.0, fault_spec=FaultSpec(crash="alpha:1")
+        )
+        [result] = run_jobs([_spec()], policy=policy)
+        assert result.stats.to_dict() == clean.stats.to_dict()
+
+    def test_sweep_runner_accepts_policy(self, tmp_path):
+        from repro.analysis.sweep import SweepRunner
+
+        config = ProcessorConfig.scaled()
+
+        def factory(label):
+            return build_prefetcher("ebcp", prefetch_degree=int(label))
+
+        sequential = SweepRunner(records=RECORDS, workloads=("tpcw",)).sweep(
+            ["2"], factory, config=config
+        )
+        policy = ExecutionPolicy(checkpoint_dir=str(tmp_path))
+        resilient = SweepRunner(records=RECORDS, workloads=("tpcw",)).sweep(
+            ["2"], factory, config=config, policy=policy
+        )
+        seq, res = sequential["tpcw"][0], resilient["tpcw"][0]
+        assert seq.result.stats.to_dict() == res.result.stats.to_dict()
+        assert (tmp_path / CheckpointJournal.FILENAME).exists()

@@ -64,12 +64,13 @@ class TestTraceCache:
         cache.get_or_build("tpcw", 2_000, 11, 1.0, _build)
         path = cache.path_for("tpcw", 2_000, 11, 1.0)
         path.write_bytes(b"this is not an npz file")
-        with caplog.at_level(logging.WARNING, logger="repro.workloads.cache"):
+        with caplog.at_level(logging.WARNING, logger="repro.resilience.integrity"):
             trace = cache.get_or_build("tpcw", 2_000, 11, 1.0, _build)
-        assert any("unreadable" in rec.message for rec in caplog.records)
+        assert any("quarantined" in rec.message for rec in caplog.records)
         assert cache.misses == 2  # regeneration counted as a miss
         _assert_traces_identical(trace, _build())
-        # The bad file was replaced by a good one.
+        # The bad file was quarantined and replaced by a good one.
+        assert (tmp_path / "quarantine" / path.name).exists()
         _assert_traces_identical(Trace.load(path), trace)
 
     def test_disabled_cache_always_builds(self):
