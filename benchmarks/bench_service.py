@@ -1,0 +1,147 @@
+"""Bench: the resident service vs cold CLI invocations.
+
+Emits ``BENCH_service.json`` with
+
+* the cold path: wall-clock of ``python -m repro simulate`` subprocesses
+  (interpreter boot + trace build + simulation — what every one-shot CLI
+  call pays),
+* the warm path: served latency against a resident service, split into
+  the first (simulating) request and cache-hit repeats, with p50/p99 and
+  sustained requests/sec over a repeat burst, and
+* identity + speedup assertions (hard): served results are bit-identical
+  to the in-process JobSpec path, and a warm-cache repeat must be at
+  least ``WARM_SPEEDUP_FLOOR``x faster than a cold CLI run — the
+  service's reason to exist.
+
+The floor is conservative: a cold CLI run costs hundreds of
+milliseconds of interpreter/import/trace setup, a cache hit is a dict
+lookup plus one JSON frame, so the measured ratio is typically far
+above 5x on every machine class.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.engine.config import ProcessorConfig
+from repro.parallel import JobSpec
+from repro.prefetchers.registry import build_prefetcher
+from repro.resilience import ExecutionPolicy
+from repro.service import BackgroundService, ServiceClient, ServiceConfig
+
+from conftest import BENCH_RECORDS, BENCH_SEED, publish
+
+#: Serving is about interactive latency, not full-length fidelity — cap
+#: the trace so the cold runs stay in CI budget.
+_SERVICE_RECORDS_CAP = 40_000
+
+#: Warm-over-cold floor the bench enforces (the ISSUE acceptance bar).
+WARM_SPEEDUP_FLOOR = 5.0
+
+_COLD_RUNS = 3
+_WARM_REPEATS = 30
+
+WORKLOAD = "tpcw"
+PREFETCHER = "ebcp"
+
+
+def _percentile(sorted_values: list, q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, int(round(q * (len(sorted_values) - 1))))
+    return sorted_values[index]
+
+
+def _cold_cli_run(records: int) -> float:
+    """Seconds for one cold ``python -m repro simulate`` subprocess."""
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+    started = time.perf_counter()
+    subprocess.run(
+        [sys.executable, "-m", "repro", "simulate", WORKLOAD, PREFETCHER,
+         "--records", str(records), "--seed", str(BENCH_SEED)],
+        check=True,
+        env=env,
+        stdout=subprocess.DEVNULL,
+    )
+    return time.perf_counter() - started
+
+
+def test_service_vs_cold_cli():
+    records = min(BENCH_RECORDS, _SERVICE_RECORDS_CAP)
+
+    cold_s = sorted(_cold_cli_run(records) for _ in range(_COLD_RUNS))
+    cold_median_s = cold_s[len(cold_s) // 2]
+
+    policy = ExecutionPolicy(jobs=1, retries=1)
+    with BackgroundService(ServiceConfig(port=0), policy=policy) as svc:
+        with ServiceClient(*svc.address, timeout_s=600.0, retries=1) as client:
+            started = time.perf_counter()
+            first = client.simulate(WORKLOAD, PREFETCHER, records=records,
+                                    seed=BENCH_SEED)
+            first_s = time.perf_counter() - started
+            assert first.cached is False
+
+            warm_s = []
+            burst_started = time.perf_counter()
+            for _ in range(_WARM_REPEATS):
+                t0 = time.perf_counter()
+                served = client.simulate(WORKLOAD, PREFETCHER, records=records,
+                                         seed=BENCH_SEED)
+                warm_s.append(time.perf_counter() - t0)
+                assert served.cached is True
+            burst_s = time.perf_counter() - burst_started
+            stats = client.stats()
+
+    # Identity: the served snapshot equals the in-process JobSpec path.
+    local = JobSpec(WORKLOAD, records, BENCH_SEED, ProcessorConfig.scaled(),
+                    build_prefetcher(PREFETCHER), PREFETCHER).run()
+    assert first.result.snapshot() == local.snapshot()
+
+    warm_s.sort()
+    warm_p50_s = _percentile(warm_s, 0.50)
+    warm_p99_s = _percentile(warm_s, 0.99)
+    sustained_rps = _WARM_REPEATS / burst_s if burst_s else 0.0
+    speedup = cold_median_s / warm_p50_s if warm_p50_s else float("inf")
+
+    lines = [
+        "service vs cold CLI "
+        f"({WORKLOAD}/{PREFETCHER}, {records} records, seed {BENCH_SEED})",
+        f"  cold CLI median of {_COLD_RUNS}      {cold_median_s * 1000:9.1f} ms",
+        f"  served first (simulated)  {first_s * 1000:9.1f} ms",
+        f"  served repeat p50         {warm_p50_s * 1000:9.1f} ms",
+        f"  served repeat p99         {warm_p99_s * 1000:9.1f} ms",
+        f"  sustained warm repeats    {sustained_rps:9.1f} req/s",
+        f"  warm-over-cold speedup    {speedup:9.1f}x  (floor {WARM_SPEEDUP_FLOOR}x)",
+    ]
+    publish(
+        "service",
+        "\n".join(lines),
+        data={
+            "workload": WORKLOAD,
+            "prefetcher": PREFETCHER,
+            "service_records": records,
+            "cold_cli_s": cold_s,
+            "cold_cli_median_s": cold_median_s,
+            "served_first_s": first_s,
+            "warm_p50_s": warm_p50_s,
+            "warm_p99_s": warm_p99_s,
+            "warm_repeats": _WARM_REPEATS,
+            "sustained_warm_rps": sustained_rps,
+            "warm_over_cold_speedup": speedup,
+            "speedup_floor": WARM_SPEEDUP_FLOOR,
+            "cache": stats["cache"],
+        },
+    )
+
+    assert speedup >= WARM_SPEEDUP_FLOOR, (
+        f"warm-cache repeat ({warm_p50_s * 1000:.1f} ms p50) is only "
+        f"{speedup:.1f}x faster than a cold CLI run "
+        f"({cold_median_s * 1000:.1f} ms); the service must clear "
+        f"{WARM_SPEEDUP_FLOOR}x"
+    )

@@ -25,6 +25,7 @@ Packages
 ``repro.obs``          event bus, metrics registry, trace exporters
 ``repro.parallel``     process-level fan-out of independent runs
 ``repro.resilience``   execution policy, retries, checkpoints, faults
+``repro.service``      resident TCP simulation service + client SDK
 ``repro.api``          the one-stop stable facade over all of the above
 """
 

@@ -29,6 +29,11 @@ Experiments
     table/figure
 Observability
     :class:`EventBus`, :class:`MetricsRegistry`
+Service
+    :class:`ServiceClient` / :class:`AsyncServiceClient` (talk to a
+    running ``repro-ebcp serve``), :class:`ServedResult`,
+    :class:`ServiceConfig`, :class:`SimulationService`, and the typed
+    client errors :class:`ServiceError` / :class:`ServiceBusyError`
 
 >>> from repro import api
 >>> policy = api.ExecutionPolicy(jobs=2, retries=2, timeout_s=600)
@@ -39,6 +44,7 @@ Observability
 from __future__ import annotations
 
 from .analysis.sweep import SweepRunner
+from .core import make_ebcp
 from .engine import (
     CacheConfig,
     EpochSimulator,
@@ -50,11 +56,20 @@ from .experiments import EXPERIMENTS
 from .obs import EventBus, MetricsRegistry
 from .parallel import JobSpec, ParallelSweepRunner, run_jobs
 from .prefetchers import PREFETCHERS, Prefetcher, build_prefetcher
-from .core import make_ebcp
 from .resilience import ExecutionPolicy
+from .service import (
+    AsyncServiceClient,
+    ServedResult,
+    ServiceBusyError,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    SimulationService,
+)
 from .workloads import COMMERCIAL_WORKLOADS, WORKLOADS, Trace, make_workload
 
 __all__ = [
+    "AsyncServiceClient",
     "CacheConfig",
     "COMMERCIAL_WORKLOADS",
     "EXPERIMENTS",
@@ -67,8 +82,14 @@ __all__ = [
     "ParallelSweepRunner",
     "Prefetcher",
     "ProcessorConfig",
+    "ServedResult",
+    "ServiceBusyError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
     "SimulationResult",
     "SimulationStats",
+    "SimulationService",
     "SweepRunner",
     "Trace",
     "WORKLOADS",

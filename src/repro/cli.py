@@ -10,9 +10,15 @@ Subcommands
                      export a Chrome trace-event epoch timeline (open in
                      ui.perfetto.dev), plus optional JSONL / manifest /
                      metrics files
+``serve``            run the resident simulation service (async TCP,
+                     micro-batching, result cache; drains on SIGTERM)
+``call``             send one request to a running service: a simulate
+                     round-trip, or ``--ping`` / ``--stats`` /
+                     ``--shutdown``
 
 Global flags ``-v``/``-q`` raise/lower the stdlib-logging verbosity of
-the ``repro`` logger (repeatable: ``-vv`` for debug).
+the ``repro`` logger (repeatable: ``-vv`` for debug); ``--version``
+prints the package version.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ import sys
 import time
 from typing import Sequence
 
+from . import __version__
 from .analysis.reporting import banner, format_table
 from .engine.config import ProcessorConfig
 from .engine.simulator import EpochSimulator
@@ -210,6 +217,78 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the resident simulation service until it drains."""
+    import asyncio
+
+    from .service import ServiceConfig, serve
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        queue_size=args.queue_size,
+        max_batch=args.max_batch,
+        batch_window_s=args.batch_window_ms / 1000.0,
+        cache_entries=args.cache_entries,
+    )
+    return asyncio.run(serve(config, _policy_from_args(args)))
+
+
+def _cmd_call(args: argparse.Namespace) -> int:
+    """One request against a running service (the smoke-test verb)."""
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(
+        host=args.host,
+        port=args.port,
+        timeout_s=args.timeout if args.timeout is not None else 30.0,
+        retries=args.retries,
+        backoff_s=args.backoff,
+    )
+    try:
+        with client:
+            if args.ping:
+                payload = client.ping()
+                print(json.dumps(payload, indent=2, sort_keys=True))
+                return 0
+            if args.stats:
+                print(json.dumps(client.stats(), indent=2, sort_keys=True))
+                return 0
+            if args.shutdown:
+                print(json.dumps(client.shutdown(), indent=2, sort_keys=True))
+                return 0
+            if not args.workload or not args.prefetcher:
+                print(
+                    "call requires WORKLOAD and PREFETCHER "
+                    "(or one of --ping/--stats/--shutdown)",
+                    file=sys.stderr,
+                )
+                return 2
+            served = client.simulate(
+                args.workload,
+                args.prefetcher,
+                records=args.records,
+                seed=args.seed,
+                use_cache=not args.no_cache,
+            )
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(
+            f"cannot reach service at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    # Same rendering as `simulate`, so served and local runs diff cleanly.
+    print(banner(f"{args.workload} / {args.prefetcher} (served)"))
+    for key, value in served.result.to_dict().items():
+        print(f"  {key:26s} {value}")
+    print(f"  {'cached':26s} {served.cached}")
+    print(f"  {'server_elapsed_ms':26s} {served.elapsed_ms:.1f}")
+    return 0
+
+
 def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     """Flags that map one-to-one onto :class:`repro.resilience.ExecutionPolicy`."""
     group = parser.add_argument_group("execution policy")
@@ -258,6 +337,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-ebcp",
         description="Epoch-Based Correlation Prefetching (MICRO 2007) reproduction",
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}",
+        help="print the package version and exit",
     )
     parser.add_argument(
         "-v", "--verbose", action="count", default=0,
@@ -347,6 +430,70 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_execution_flags(p_tr)  # single observed run; accepted for interface parity
     p_tr.set_defaults(func=_cmd_trace)
+
+    p_srv = sub.add_parser(
+        "serve",
+        help="run the resident simulation service (drains on SIGTERM)",
+    )
+    p_srv.add_argument("--host", default="127.0.0.1")
+    p_srv.add_argument("--port", type=int, default=7421,
+                       help="TCP port (0 = ephemeral; default: 7421)")
+    p_srv.add_argument(
+        "--queue-size", type=int, default=64, metavar="N",
+        help="request-queue capacity; a full queue answers queue_full "
+        "instead of buffering (default: 64)",
+    )
+    p_srv.add_argument(
+        "--max-batch", type=int, default=8, metavar="N",
+        help="most simulate requests dispatched as one executor batch "
+        "(default: 8)",
+    )
+    p_srv.add_argument(
+        "--batch-window-ms", type=float, default=5.0, metavar="MS",
+        help="how long the dispatcher waits for a micro-batch to fill "
+        "(default: 5 ms)",
+    )
+    p_srv.add_argument(
+        "--cache-entries", type=int, default=256, metavar="N",
+        help="result-cache capacity; 0 disables caching (default: 256)",
+    )
+    _add_execution_flags(p_srv)
+    p_srv.set_defaults(func=_cmd_serve)
+
+    p_call = sub.add_parser(
+        "call",
+        help="send one request to a running service",
+    )
+    p_call.add_argument("workload", nargs="?", choices=sorted(WORKLOADS))
+    p_call.add_argument("prefetcher", nargs="?", choices=sorted(PREFETCHERS))
+    p_call.add_argument("--host", default="127.0.0.1")
+    p_call.add_argument("--port", type=int, default=7421)
+    p_call.add_argument("--records", type=int, default=280_000)
+    p_call.add_argument("--seed", type=int, default=7)
+    p_call.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the service's result cache for this request",
+    )
+    p_call.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt client timeout (default: 30)",
+    )
+    p_call.add_argument(
+        "--retries", type=int, default=1, metavar="N",
+        help="transport/backpressure retries before giving up (default: 1)",
+    )
+    p_call.add_argument(
+        "--backoff", type=float, default=0.25, metavar="SECONDS",
+        help="base retry delay, doubling per attempt (default: 0.25)",
+    )
+    group = p_call.add_mutually_exclusive_group()
+    group.add_argument("--ping", action="store_true",
+                       help="liveness/version check instead of a simulation")
+    group.add_argument("--stats", action="store_true",
+                       help="fetch the service metrics snapshot")
+    group.add_argument("--shutdown", action="store_true",
+                       help="ask the service to drain and exit")
+    p_call.set_defaults(func=_cmd_call)
 
     return parser
 

@@ -36,6 +36,9 @@ from .events import (
     PrefetchFilled,
     PrefetchHit,
     PrefetchIssued,
+    QueueSaturated,
+    RequestCompleted,
+    RequestReceived,
     TableRead,
     TableWrite,
     WorkerCrashed,
@@ -55,6 +58,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     ResilienceMetrics,
+    ServiceMetrics,
     SimulationMetrics,
 )
 
@@ -81,8 +85,12 @@ __all__ = [
     "PrefetchFilled",
     "PrefetchHit",
     "PrefetchIssued",
+    "QueueSaturated",
+    "RequestCompleted",
+    "RequestReceived",
     "ResilienceMetrics",
     "RunManifest",
+    "ServiceMetrics",
     "SimulationMetrics",
     "TableRead",
     "TableWrite",

@@ -29,14 +29,22 @@ Event                     Emitted by
 ``JobResumed``            :mod:`repro.resilience.executor`
 ``ExecutionDegraded``     :mod:`repro.resilience.executor`
 ``CacheQuarantined``      :mod:`repro.resilience.integrity`
+``RequestReceived``       :class:`repro.service.server.SimulationService`
+``RequestCompleted``      :class:`repro.service.server.SimulationService`
+``QueueSaturated``        :class:`repro.service.server.SimulationService`
 ========================  ==================================================
 
-The resilience events (the last six) describe the *execution harness*
-rather than the simulated machine: bounded retries, per-job timeouts,
-worker-pool crashes, checkpoint resumes, degraded (in-process) execution
-and quarantined cache entries.  They are emitted on the bus passed to the
+The resilience events describe the *execution harness* rather than the
+simulated machine: bounded retries, per-job timeouts, worker-pool
+crashes, checkpoint resumes, degraded (in-process) execution and
+quarantined cache entries.  They are emitted on the bus passed to the
 executor, or on the process-wide :func:`repro.obs.bus.global_bus` when no
 bus was attached but one exists.
+
+The service events (the last three) describe the request plane of the
+resident simulation service (:mod:`repro.service`): request admission,
+completion (with end-to-end latency and cache disposition) and
+backpressure (a request bounced off the full queue).
 
 Events deliberately carry plain scalars (plus the rich ``Epoch`` /
 ``Access`` objects where subscribers need them); :func:`event_payload`
@@ -72,6 +80,9 @@ __all__ = [
     "JobResumed",
     "ExecutionDegraded",
     "CacheQuarantined",
+    "RequestReceived",
+    "RequestCompleted",
+    "QueueSaturated",
     "EVENT_TYPES",
     "event_payload",
 ]
@@ -273,6 +284,48 @@ class CacheQuarantined(Event):
     reason: str
 
 
+# ----------------------------------------------------------------------
+# Simulation-service / request-plane events (repro.service)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RequestReceived(Event):
+    """The service admitted one protocol request for processing."""
+
+    request_type: str  # "simulate" | "stats" | "ping" | "shutdown"
+    request_id: str
+
+
+@dataclass(frozen=True)
+class RequestCompleted(Event):
+    """One protocol request finished and its response was produced.
+
+    ``latency_ms`` is the end-to-end server-side latency (admission to
+    response ready); ``cached`` marks a simulate request answered from
+    the fingerprint-keyed result cache without running a job.
+    """
+
+    request_type: str
+    request_id: str
+    ok: bool
+    cached: bool
+    latency_ms: float
+    batch_size: int = 0
+
+
+@dataclass(frozen=True)
+class QueueSaturated(Event):
+    """A simulate request bounced off the full request queue.
+
+    The service answers with a ``queue_full`` error (carrying a
+    ``retry_after_s`` hint) instead of buffering without bound — this
+    event is the observable trace of that backpressure decision.
+    """
+
+    depth: int
+    limit: int
+    request_id: str = ""
+
+
 #: The full catalogue, in a stable order (used by exporters and tests).
 EVENT_TYPES: Tuple[type, ...] = (
     EpochClosed,
@@ -290,6 +343,9 @@ EVENT_TYPES: Tuple[type, ...] = (
     JobResumed,
     ExecutionDegraded,
     CacheQuarantined,
+    RequestReceived,
+    RequestCompleted,
+    QueueSaturated,
 )
 
 

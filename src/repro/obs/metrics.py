@@ -37,6 +37,9 @@ from .events import (
     PrefetchFilled,
     PrefetchHit,
     PrefetchIssued,
+    QueueSaturated,
+    RequestCompleted,
+    RequestReceived,
     TableRead,
     TableWrite,
     WorkerCrashed,
@@ -48,6 +51,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "ResilienceMetrics",
+    "ServiceMetrics",
     "SimulationMetrics",
 ]
 
@@ -395,6 +399,82 @@ class ResilienceMetrics:
     def _count(counter: Counter):
         return lambda event: counter.inc()
 
+    def detach(self) -> None:
+        """Stop observing the bus (the registry keeps its numbers)."""
+        for unsubscribe in self._unsubscribe:
+            unsubscribe()
+        self._unsubscribe = []
+
+    def to_dict(self) -> dict:
+        return self.registry.to_dict()
+
+
+#: Request-latency buckets in milliseconds: sub-millisecond cache hits
+#: through multi-second cold simulations.
+REQUEST_LATENCY_MS_BUCKETS = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0, 30000.0,
+)
+#: Micro-batch sizes (requests dispatched per execute() call).
+BATCH_SIZE_BUCKETS = (1, 2, 4, 8, 16, 32, 64)
+
+
+class ServiceMetrics:
+    """The request-plane instrument set of :mod:`repro.service`.
+
+    Subscribes to the service events (``RequestReceived``,
+    ``RequestCompleted``, ``QueueSaturated``) and exposes the gauges the
+    server updates directly (queue depth).  A ``stats`` protocol request
+    is answered with ``registry.to_dict()`` of this registry, so every
+    instrument here is remotely scrapeable.
+    """
+
+    def __init__(self, bus: EventBus, registry: Optional[MetricsRegistry] = None) -> None:
+        self.bus = bus
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self.received = r.counter("requests_received", "protocol requests admitted")
+        self.completed = r.counter("requests_completed", "protocol requests answered ok")
+        self.failed = r.counter("requests_failed", "protocol requests answered with an error")
+        self.saturated = r.counter(
+            "queue_saturated", "simulate requests bounced off the full queue"
+        )
+        self.cache_hits = r.counter(
+            "result_cache_hits", "simulate requests served from the result cache"
+        )
+        self.cache_misses = r.counter(
+            "result_cache_misses", "simulate requests that ran a simulation job"
+        )
+        self.queue_depth = r.gauge("service_queue_depth", "requests waiting in the queue")
+        self.latency_ms = r.histogram(
+            "request_latency_ms",
+            REQUEST_LATENCY_MS_BUCKETS,
+            "end-to-end server-side request latency",
+        )
+        self.batch_size = r.histogram(
+            "batch_size", BATCH_SIZE_BUCKETS, "simulate requests per dispatched micro-batch"
+        )
+        self._unsubscribe = [
+            bus.subscribe(RequestReceived, self._on_received),
+            bus.subscribe(RequestCompleted, self._on_completed),
+            bus.subscribe(QueueSaturated, self._on_saturated),
+        ]
+
+    # ------------------------------------------------------------------
+    def _on_received(self, event: RequestReceived) -> None:
+        self.received.inc()
+        self.registry.counter(f"requests.{event.request_type}").inc()
+
+    def _on_completed(self, event: RequestCompleted) -> None:
+        (self.completed if event.ok else self.failed).inc()
+        self.latency_ms.observe(event.latency_ms)
+        if event.request_type == "simulate" and event.ok:
+            (self.cache_hits if event.cached else self.cache_misses).inc()
+
+    def _on_saturated(self, event: QueueSaturated) -> None:
+        self.saturated.inc()
+
+    # ------------------------------------------------------------------
     def detach(self) -> None:
         """Stop observing the bus (the registry keeps its numbers)."""
         for unsubscribe in self._unsubscribe:

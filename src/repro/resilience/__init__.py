@@ -29,7 +29,7 @@ Modules
 """
 
 from .checkpoint import CheckpointJournal, job_key
-from .executor import execute
+from .executor import PersistentPool, execute
 from .faults import FaultSpec, WorkerCrashError
 from .integrity import (
     checksum_path,
@@ -43,6 +43,7 @@ __all__ = [
     "CheckpointJournal",
     "ExecutionPolicy",
     "FaultSpec",
+    "PersistentPool",
     "WorkerCrashError",
     "checksum_path",
     "execute",

@@ -58,7 +58,7 @@ if TYPE_CHECKING:  # pragma: no cover - cycle: parallel.jobs imports us
     from ..engine.stats import SimulationResult
     from ..parallel.jobs import JobSpec
 
-__all__ = ["execute"]
+__all__ = ["PersistentPool", "execute"]
 
 log = logging.getLogger(__name__)
 
@@ -91,10 +91,61 @@ def _attempt(payload: "Tuple[JobSpec, str, FaultSpec]") -> "SimulationResult":
     return spec.run()
 
 
+class PersistentPool:
+    """A process pool that outlives individual :func:`execute` calls.
+
+    Batch callers pay pool spin-up once per call; a resident service
+    (:mod:`repro.service`) cannot afford that per request.  Passing a
+    ``PersistentPool`` as ``execute(..., pool=...)`` makes the executor
+    *lease* the pool instead of creating its own: the pool's warm workers
+    (with their inherited trace/filter-plane memos under ``fork``) are
+    reused across calls, and the executor leaves it running when the
+    batch finishes.
+
+    The fault-handling contract is preserved: when the executor must kill
+    the pool (per-job timeout, ``BrokenProcessPool``), it calls
+    :meth:`invalidate` — the broken pool dies and the *next* lease builds
+    a fresh one.  Not thread-safe; the owner is expected to dispatch
+    batches from one thread at a time (the service's batcher does).
+    """
+
+    def __init__(self, max_workers: int) -> None:
+        self.max_workers = max(1, max_workers)
+        self._pool: Optional[ProcessPoolExecutor] = None
+        #: Pools built over this object's lifetime (1 = never invalidated).
+        self.generation = 0
+
+    def lease(self) -> ProcessPoolExecutor:
+        """The live pool, building one if needed (may raise ``OSError``)."""
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            self.generation += 1
+        return self._pool
+
+    def invalidate(self) -> None:
+        """Kill the current pool; the next :meth:`lease` starts fresh."""
+        if self._pool is not None:
+            _kill_pool(self._pool)
+            self._pool = None
+
+    def shutdown(self) -> None:
+        """Tear the pool down for good (service shutdown)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "PersistentPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.shutdown()
+
+
 def execute(
     specs: "Sequence[JobSpec]",
     policy: Optional[ExecutionPolicy] = None,
     bus: Optional[EventBus] = None,
+    pool: Optional[PersistentPool] = None,
 ) -> "List[SimulationResult]":
     """Run every job under ``policy`` and return results in input order."""
     from ..parallel.jobs import _warm_trace_cache
@@ -166,7 +217,7 @@ def execute(
                     _warm_trace_cache([specs[i] for i in pending])
                     pooled = _run_pooled(
                         specs, keys, pending, results, n_workers, policy,
-                        faults, journal, bus,
+                        faults, journal, bus, manager=pool,
                     )
             if not pooled:
                 _warm_trace_cache([specs[i] for i in pending])
@@ -292,6 +343,7 @@ def _run_pooled(
     faults: FaultSpec,
     journal: Optional[CheckpointJournal],
     bus: Optional[EventBus],
+    manager: Optional[PersistentPool] = None,
 ) -> bool:
     """Fan ``pending`` out over a process pool, filling ``results``.
 
@@ -299,6 +351,10 @@ def _run_pooled(
     with in-process replays of crashed jobs); False when the pool could
     not be started at all — the caller then degrades to in-process
     execution.  Job errors that exhaust the retry budget propagate.
+
+    With ``manager`` set the pool is leased from a :class:`PersistentPool`
+    instead of created (and never shut down here); kill paths invalidate
+    the manager so the next lease rebuilds.
     """
     queue: "deque[int]" = deque(pending)
     attempts: Dict[int, int] = {i: 0 for i in pending}
@@ -306,6 +362,8 @@ def _run_pooled(
 
     def make_pool() -> Optional[ProcessPoolExecutor]:
         try:
+            if manager is not None:
+                return manager.lease()
             return ProcessPoolExecutor(max_workers=n_workers)
         except (OSError, PermissionError, ValueError) as exc:
             log.warning("process pool unavailable (%s); running in-process", exc)
@@ -313,6 +371,12 @@ def _run_pooled(
                 bus, ExecutionDegraded(reason="pool_unavailable", cause=str(exc))
             )
             return None
+
+    def discard_pool(pool: ProcessPoolExecutor) -> None:
+        if manager is not None:
+            manager.invalidate()
+        else:
+            _kill_pool(pool)
 
     def settle(index: int, result: "SimulationResult") -> None:
         results[index] = result
@@ -425,7 +489,7 @@ def _run_pooled(
                         cause=str(broken), jobs_in_flight=len(casualties)
                     ),
                 )
-                _kill_pool(pool)
+                discard_pool(pool)
                 pool = None
                 for index in casualties:
                     attempts[index] += 1
@@ -501,9 +565,9 @@ def _run_pooled(
                         )
                     queue.extend(index for index, _t0 in in_flight.values())
                     in_flight.clear()
-                    _kill_pool(pool)
+                    discard_pool(pool)
                     pool = None
     finally:
-        if pool is not None:
+        if pool is not None and manager is None:
             pool.shutdown(wait=False, cancel_futures=True)
     return True

@@ -1,0 +1,67 @@
+"""The resident simulation service: async server + client SDK.
+
+Everything below the service already existed as batch machinery — the
+observability bus (:mod:`repro.obs`), parallel job fan-out
+(:mod:`repro.parallel`), filter-plane caches
+(:mod:`repro.engine.filter_plane`) and the fault-tolerant executor
+(:mod:`repro.resilience`).  This package turns that per-run machinery
+into shared warm infrastructure: one long-lived process that serves
+simulate requests over TCP, micro-batching concurrent requests into one
+executor batch over a persistent process pool and answering repeats
+from a fingerprint-keyed result cache.
+
+Quick tour
+----------
+Serve (blocking; drains gracefully on SIGTERM)::
+
+    repro-ebcp serve --port 7421 -j 4
+
+Call from Python (sync)::
+
+    from repro.service import ServiceClient
+    with ServiceClient("127.0.0.1", 7421) as client:
+        served = client.simulate("tpcw", "ebcp", records=50_000)
+        print(served.result.cpi, served.cached)
+
+or async — concurrent calls coalesce into one server micro-batch::
+
+    from repro.service import AsyncServiceClient
+    client = AsyncServiceClient("127.0.0.1", 7421)
+    results = await asyncio.gather(
+        *(client.simulate(w, "ebcp", records=50_000)
+          for w in ("tpcc", "tpcw", "tpch")))
+
+Modules
+-------
+``protocol``  newline-delimited versioned JSON frames, typed error codes
+``server``    :class:`SimulationService` — queue, batcher, drain logic
+``client``    :class:`ServiceClient` / :class:`AsyncServiceClient`
+``cache``     :class:`ResultCache` — fingerprint-keyed LRU of results
+"""
+
+from .cache import ResultCache
+from .client import (
+    AsyncServiceClient,
+    ServedResult,
+    ServiceBusyError,
+    ServiceClient,
+    ServiceError,
+)
+from .protocol import PROTOCOL_VERSION, SUPPORTED_VERSIONS, ErrorCode
+from .server import BackgroundService, ServiceConfig, SimulationService, serve
+
+__all__ = [
+    "AsyncServiceClient",
+    "BackgroundService",
+    "ErrorCode",
+    "PROTOCOL_VERSION",
+    "ResultCache",
+    "SUPPORTED_VERSIONS",
+    "ServedResult",
+    "ServiceBusyError",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "SimulationService",
+    "serve",
+]

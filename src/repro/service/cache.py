@@ -1,0 +1,103 @@
+"""Fingerprint-keyed result cache for served simulations.
+
+A resident service sees the same request many times — dashboards poll,
+sweeps overlap, users rerun.  Simulation is deterministic in its inputs,
+so a repeat request need not re-simulate: the cache keys a completed
+:class:`~repro.engine.stats.SimulationResult` by the *content identity*
+of the run —
+
+* :meth:`Trace.fingerprint() <repro.workloads.trace.Trace.fingerprint>`
+  — a content hash over all six record columns, so two requests that
+  generate byte-identical traces share an entry no matter how they were
+  parameterised;
+* :meth:`ProcessorConfig.fingerprint()
+  <repro.engine.config.ProcessorConfig.fingerprint>` — the exact
+  hierarchy/latency/bandwidth tuple;
+* the prefetcher's *registry name* — the service only accepts registered
+  prefetcher names and builds a fresh instance per job, so equal names
+  mean identical initial predictor state;
+* the warmup split.
+
+``compressed`` execution mode is deliberately **not** part of the key:
+compressed and legacy execution are bit-identical by construction (the
+same argument the checkpoint journal makes), so a cache entry is valid
+in either mode.
+
+Entries are :meth:`~repro.engine.stats.SimulationResult.snapshot`
+dictionaries, not live objects — every hit rehydrates a fresh
+``SimulationResult`` so callers can never mutate the cached copy.
+Eviction is LRU with a bounded entry count.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from threading import Lock
+from typing import Optional, Tuple
+
+from ..engine.stats import SimulationResult
+
+__all__ = ["ResultCache"]
+
+CacheKey = Tuple[str, tuple, str, Optional[int]]
+
+
+class ResultCache:
+    """Bounded LRU of simulation results keyed by run content identity."""
+
+    def __init__(self, max_entries: int = 256) -> None:
+        if max_entries < 0:
+            raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[CacheKey, dict]" = OrderedDict()
+        self._lock = Lock()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def key(
+        trace_fingerprint: str,
+        config_fingerprint: tuple,
+        prefetcher: str,
+        warmup_records: Optional[int],
+    ) -> CacheKey:
+        return (trace_fingerprint, config_fingerprint, prefetcher, warmup_records)
+
+    def get(self, key: CacheKey) -> Optional[SimulationResult]:
+        """The cached result for ``key`` (a fresh object), or None."""
+        with self._lock:
+            snapshot = self._entries.get(key)
+            if snapshot is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+        return SimulationResult.from_snapshot(snapshot)
+
+    def put(self, key: CacheKey, result: SimulationResult) -> None:
+        if self.max_entries == 0:
+            return
+        snapshot = result.snapshot()
+        with self._lock:
+            self._entries[key] = snapshot
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def info(self) -> dict:
+        """JSON-safe occupancy/effectiveness summary (stats responses)."""
+        return {
+            "entries": len(self._entries),
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+        }

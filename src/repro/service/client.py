@@ -1,0 +1,325 @@
+"""Client SDK for the simulation service.
+
+Two clients over the same newline-delimited JSON protocol:
+
+* :class:`ServiceClient` — synchronous, one persistent socket with
+  automatic reconnect, for scripts and the ``repro-ebcp call`` CLI;
+* :class:`AsyncServiceClient` — asyncio, one connection per request so
+  concurrent ``simulate`` calls land in the same server micro-batch.
+
+Both derive their per-request behaviour from the same
+:class:`~repro.resilience.policy.ExecutionPolicy` the batch layers use:
+``timeout_s`` bounds each attempt, ``retries`` bounds how many transport
+failures (connect refused, socket timeout, reset) are absorbed, and
+``backoff_for`` spaces the attempts.  ``queue_full`` backpressure
+responses are also retried, honouring the server's ``retry_after_s``
+hint — so a saturated service slows its clients down instead of failing
+them.
+
+Responses to ``simulate`` carry a lossless
+:meth:`~repro.engine.stats.SimulationResult.snapshot`; the SDK rehydrates
+it into a full :class:`~repro.engine.stats.SimulationResult`, so served
+stats are bit-identical to a local run.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import socket
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+from ..engine.stats import SimulationResult
+from ..resilience.policy import ExecutionPolicy
+from . import protocol
+from .protocol import (
+    ProtocolError,
+    Request,
+    ServiceBusyError,
+    ServiceError,
+    SimulateParams,
+)
+
+__all__ = [
+    "ServiceClient",
+    "AsyncServiceClient",
+    "ServedResult",
+    "ServiceError",
+    "ServiceBusyError",
+]
+
+#: Attempt ceiling when the caller passes no policy: one retry, matching
+#: ``ExecutionPolicy()``'s default.
+_DEFAULT_POLICY = ExecutionPolicy()
+
+
+@dataclass(frozen=True)
+class ServedResult:
+    """One simulate response: the result plus its service disposition."""
+
+    result: SimulationResult
+    #: True when the service answered from its fingerprint result cache.
+    cached: bool
+    #: Server-side end-to-end latency of this request, in milliseconds.
+    elapsed_ms: float
+
+
+def _decode_served(frame: Dict[str, Any]) -> ServedResult:
+    protocol.raise_for_error(frame)
+    return ServedResult(
+        result=SimulationResult.from_snapshot(frame["result"]),
+        cached=bool(frame.get("cached", False)),
+        elapsed_ms=float(frame.get("elapsed_ms", 0.0)),
+    )
+
+
+class _ClientBase:
+    """Retry/backoff plumbing shared by the sync and async clients."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 7421,
+        timeout_s: Optional[float] = 30.0,
+        retries: int = 1,
+        backoff_s: float = 0.25,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.retries = max(0, retries)
+        self.backoff_s = backoff_s
+        self._ids = itertools.count(1)
+        self._id_prefix = uuid.uuid4().hex[:8]
+
+    @classmethod
+    def from_policy(
+        cls, host: str, port: int, policy: ExecutionPolicy
+    ) -> "_ClientBase":
+        """A client whose timeout/retry/backoff mirror an execution policy."""
+        return cls(
+            host=host,
+            port=port,
+            timeout_s=policy.timeout_s if policy.timeout_s is not None else 30.0,
+            retries=policy.retries,
+            backoff_s=policy.backoff_s,
+        )
+
+    # ------------------------------------------------------------------
+    def _next_id(self) -> str:
+        return f"{self._id_prefix}-{next(self._ids)}"
+
+    def _backoff_for(self, attempt: int) -> float:
+        if attempt <= 0 or self.backoff_s <= 0:
+            return 0.0
+        return self.backoff_s * (2.0 ** (attempt - 1))
+
+    def _frame_for(self, request_type: str, params: Optional[Dict[str, Any]]) -> bytes:
+        request = Request(type=request_type, id=self._next_id(), params=params or {})
+        return protocol.encode_frame(request.to_dict())
+
+
+class ServiceClient(_ClientBase):
+    """Synchronous client over one persistent, auto-reconnecting socket."""
+
+    def __init__(self, *args: Any, **kwargs: Any) -> None:
+        super().__init__(*args, **kwargs)
+        self._sock: Optional[socket.socket] = None
+        self._rfile = None
+
+    # ------------------------------------------------------------------
+    # Connection management
+    # ------------------------------------------------------------------
+    def _connect(self) -> None:
+        if self._sock is not None:
+            return
+        sock = socket.create_connection(
+            (self.host, self.port), timeout=self.timeout_s
+        )
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+
+    def close(self) -> None:
+        if self._rfile is not None:
+            try:
+                self._rfile.close()
+            except OSError:
+                pass
+            self._rfile = None
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+    def _roundtrip(self, frame: bytes) -> Dict[str, Any]:
+        """One request/response over the live socket (no retry here)."""
+        self._connect()
+        assert self._sock is not None and self._rfile is not None
+        self._sock.settimeout(self.timeout_s)
+        self._sock.sendall(frame)
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("service closed the connection")
+        return protocol.decode_frame(line)
+
+    def _request(
+        self, request_type: str, params: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Send one request with the client's retry/backoff budget.
+
+        Transport failures (refused connection, timeout, reset) and
+        ``queue_full`` responses are retried up to ``retries`` times;
+        protocol-level errors raise immediately as
+        :class:`~repro.service.protocol.ServiceError`.
+        """
+        attempts = 0
+        while True:
+            frame = self._frame_for(request_type, params)
+            try:
+                # raise_for_error turns a queue_full response into
+                # ServiceBusyError *inside* the retry loop; other error
+                # codes raise ServiceError straight through to the caller.
+                return protocol.raise_for_error(self._roundtrip(frame))
+            except ServiceBusyError as exc:
+                attempts += 1
+                if attempts > self.retries:
+                    raise
+                time.sleep(max(exc.retry_after_s, self._backoff_for(attempts)))
+            except (OSError, ConnectionError, ProtocolError):
+                # OSError covers socket.timeout and refused connections;
+                # a half-read stream is unusable, so always reconnect.
+                self.close()
+                attempts += 1
+                if attempts > self.retries:
+                    raise
+                time.sleep(self._backoff_for(attempts))
+
+    # ------------------------------------------------------------------
+    # Public surface
+    # ------------------------------------------------------------------
+    def ping(self) -> Dict[str, Any]:
+        """Liveness + version/protocol discovery."""
+        frame = protocol.raise_for_error(self._request("ping"))
+        return frame["result"]
+
+    def simulate(
+        self,
+        workload: str,
+        prefetcher: str = "none",
+        records: int = 280_000,
+        seed: int = 7,
+        warmup_records: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> ServedResult:
+        """Run (or fetch) one simulation on the service."""
+        params = SimulateParams(
+            workload=workload,
+            prefetcher=prefetcher,
+            records=records,
+            seed=seed,
+            warmup_records=warmup_records,
+            use_cache=use_cache,
+        )
+        return _decode_served(self._request("simulate", params.to_dict()))
+
+    def stats(self) -> Dict[str, Any]:
+        """The service's metrics-registry snapshot plus queue/cache state."""
+        frame = protocol.raise_for_error(self._request("stats"))
+        return frame["result"]
+
+    def shutdown(self) -> Dict[str, Any]:
+        """Ask the service to drain and exit (in-flight work completes)."""
+        frame = protocol.raise_for_error(self._request("shutdown"))
+        return frame["result"]
+
+
+class AsyncServiceClient(_ClientBase):
+    """Asyncio client; each request uses its own connection.
+
+    Separate connections are what let concurrent ``simulate`` calls be
+    admitted independently — and therefore coalesce into one server-side
+    micro-batch.
+    """
+
+    async def _roundtrip(self, frame: bytes) -> Dict[str, Any]:
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(self.host, self.port), self.timeout_s
+        )
+        try:
+            writer.write(frame)
+            await writer.drain()
+            line = await asyncio.wait_for(reader.readline(), self.timeout_s)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+        if not line:
+            raise ConnectionError("service closed the connection")
+        return protocol.decode_frame(line)
+
+    async def _request(
+        self, request_type: str, params: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        attempts = 0
+        while True:
+            frame = self._frame_for(request_type, params)
+            try:
+                return protocol.raise_for_error(await self._roundtrip(frame))
+            except ServiceBusyError as exc:
+                attempts += 1
+                if attempts > self.retries:
+                    raise
+                await asyncio.sleep(max(exc.retry_after_s, self._backoff_for(attempts)))
+            except (OSError, ConnectionError, ProtocolError, asyncio.TimeoutError):
+                attempts += 1
+                if attempts > self.retries:
+                    raise
+                await asyncio.sleep(self._backoff_for(attempts))
+
+    # ------------------------------------------------------------------
+    async def ping(self) -> Dict[str, Any]:
+        frame = protocol.raise_for_error(await self._request("ping"))
+        return frame["result"]
+
+    async def simulate(
+        self,
+        workload: str,
+        prefetcher: str = "none",
+        records: int = 280_000,
+        seed: int = 7,
+        warmup_records: Optional[int] = None,
+        use_cache: bool = True,
+    ) -> ServedResult:
+        params = SimulateParams(
+            workload=workload,
+            prefetcher=prefetcher,
+            records=records,
+            seed=seed,
+            warmup_records=warmup_records,
+            use_cache=use_cache,
+        )
+        return _decode_served(await self._request("simulate", params.to_dict()))
+
+    async def stats(self) -> Dict[str, Any]:
+        frame = protocol.raise_for_error(await self._request("stats"))
+        return frame["result"]
+
+    async def shutdown(self) -> Dict[str, Any]:
+        frame = protocol.raise_for_error(await self._request("shutdown"))
+        return frame["result"]

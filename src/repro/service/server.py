@@ -1,0 +1,614 @@
+"""The asyncio simulation service.
+
+One resident process that serves simulation requests over TCP, keeping
+everything a cold CLI invocation pays for — interpreter startup, trace
+generation, filter-plane warming, process-pool spin-up — warm across
+requests:
+
+* **bounded admission**: simulate requests enter an ``asyncio.Queue``
+  with a hard capacity; when it is full the client gets an immediate
+  ``queue_full`` error with a ``retry_after_s`` hint (explicit
+  backpressure) instead of the server buffering without bound;
+* **micro-batching**: the dispatcher drains up to
+  ``ServiceConfig.max_batch`` queued requests within
+  ``ServiceConfig.batch_window_s`` and ships them as *one*
+  :class:`~repro.parallel.jobs.JobSpec` batch through
+  :func:`repro.resilience.executor.execute` — so concurrent requests
+  share the executor's trace warming and fan out over the pool together;
+* **persistent pool**: the executor leases a
+  :class:`~repro.resilience.executor.PersistentPool` owned by the
+  service, so pool workers (and their inherited trace/filter-plane
+  memos) survive across batches;
+* **result cache**: completed runs are cached by content fingerprint
+  (:mod:`repro.service.cache`); a repeat request is answered in
+  microseconds without touching the queue's *execution* cost (it still
+  passes admission, so backpressure semantics stay uniform);
+* **graceful drain**: SIGTERM/SIGINT (or a ``shutdown`` request) stops
+  admission, finishes every queued and in-flight request, delivers the
+  responses, then exits.
+
+Identity guarantee
+------------------
+A served simulate request runs the *same* :class:`JobSpec` path as
+``repro-ebcp simulate`` and the sweep runners, so its
+:class:`~repro.engine.stats.SimulationStats` are bit-identical to a
+fresh CLI invocation with equal parameters (asserted in
+``tests/test_service.py``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import __version__
+from ..engine.config import ProcessorConfig
+from ..engine.stats import SimulationResult
+from ..obs.bus import EventBus
+from ..obs.events import QueueSaturated, RequestCompleted, RequestReceived
+from ..obs.metrics import MetricsRegistry, ServiceMetrics
+from ..parallel.jobs import JobSpec
+from ..prefetchers.registry import PREFETCHERS, build_prefetcher
+from ..resilience.executor import PersistentPool, execute
+from ..resilience.policy import ExecutionPolicy
+from ..workloads.registry import WORKLOADS, make_workload
+from . import protocol
+from .cache import ResultCache
+from .protocol import ErrorCode, ProtocolError, Request, SimulateParams
+
+__all__ = ["ServiceConfig", "SimulationService", "BackgroundService", "serve"]
+
+log = logging.getLogger(__name__)
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of one service instance.
+
+    ``port=0`` binds an ephemeral port; the bound address is available as
+    :attr:`SimulationService.address` after :meth:`~SimulationService.start`.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 7421
+    #: Hard capacity of the request queue; the backpressure threshold.
+    queue_size: int = 64
+    #: Most simulate requests dispatched as one executor batch.
+    max_batch: int = 8
+    #: How long the dispatcher waits for the batch to fill before
+    #: dispatching what it has.
+    batch_window_s: float = 0.005
+    #: Result-cache capacity (entries); 0 disables caching.
+    cache_entries: int = 256
+    #: Grace period for handlers to flush responses during shutdown.
+    drain_timeout_s: float = 30.0
+
+
+@dataclass
+class _PendingRequest:
+    """One admitted simulate request waiting for its batch."""
+
+    request_id: str
+    params: SimulateParams
+    received_at: float
+    future: "asyncio.Future[Tuple[SimulationResult, bool]]"
+    cache_key: Optional[tuple] = None
+
+
+@dataclass
+class _BatchOutcome:
+    """What one dispatched micro-batch produced, per pending request."""
+
+    results: List[Optional[SimulationResult]] = field(default_factory=list)
+    cached: List[bool] = field(default_factory=list)
+    error: Optional[BaseException] = None
+
+
+class SimulationService:
+    """Asyncio TCP server speaking :mod:`repro.service.protocol`."""
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        policy: Optional[ExecutionPolicy] = None,
+        bus: Optional[EventBus] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        self.config = config or ServiceConfig()
+        self.policy = policy or ExecutionPolicy()
+        self.bus = bus if bus is not None else EventBus()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.metrics = ServiceMetrics(self.bus, self.registry)
+        self.cache = ResultCache(self.config.cache_entries)
+        self.pool = PersistentPool(self.policy.resolved_jobs())
+        self.address: Optional[Tuple[str, int]] = None
+
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._queue: "Optional[asyncio.Queue[_PendingRequest]]" = None
+        self._batcher_task: Optional[asyncio.Task] = None
+        self._dispatch_gate: Optional[asyncio.Event] = None
+        self._draining = False
+        self._busy_handlers = 0
+        self._writers: "set[asyncio.StreamWriter]" = set()
+        self._started_at = time.monotonic()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Bind, start serving, and return the bound ``(host, port)``."""
+        self._loop = asyncio.get_running_loop()
+        self._queue = asyncio.Queue(maxsize=self.config.queue_size)
+        self._dispatch_gate = asyncio.Event()
+        self._dispatch_gate.set()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=protocol.MAX_FRAME_BYTES,
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        self._started_at = time.monotonic()
+        self._batcher_task = asyncio.create_task(self._batch_loop())
+        log.info("simulation service listening on %s:%d", *self.address)
+        return self.address
+
+    async def run(self, install_signal_handlers: bool = False) -> None:
+        """Serve until drained (SIGTERM/SIGINT or a ``shutdown`` request)."""
+        if self._server is None:
+            await self.start()
+        if install_signal_handlers:
+            import signal
+
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self.begin_drain)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass  # non-main thread / platform without signal support
+        assert self._batcher_task is not None
+        await self._batcher_task
+        # The batcher resolved every admitted future; give the connection
+        # handlers a bounded grace period to write those responses out.
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        while self._busy_handlers and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+        for writer in list(self._writers):
+            writer.close()
+        assert self._server is not None
+        self._server.close()
+        await self._server.wait_closed()
+        self.pool.shutdown()
+        log.info("simulation service drained and stopped")
+
+    def begin_drain(self) -> None:
+        """Stop admission; queued and in-flight requests still complete.
+
+        Callable from the event loop (signal handlers, the ``shutdown``
+        request); thread-safe via :meth:`begin_drain_threadsafe`.
+        """
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()  # stop accepting new connections
+        log.info("simulation service draining (no new requests admitted)")
+
+    def begin_drain_threadsafe(self) -> None:
+        self._call_threadsafe(self.begin_drain)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # ------------------------------------------------------------------
+    # Test seam: hold the dispatcher to observe queue/backpressure states
+    # deterministically (queue saturation, drain with work pending).
+    # ------------------------------------------------------------------
+    def hold_dispatch(self) -> None:
+        assert self._dispatch_gate is not None
+        self._dispatch_gate.clear()
+
+    def release_dispatch(self) -> None:
+        assert self._dispatch_gate is not None
+        self._dispatch_gate.set()
+
+    def release_dispatch_threadsafe(self) -> None:
+        self._call_threadsafe(self.release_dispatch)
+
+    def _call_threadsafe(self, callback) -> None:
+        """Schedule on the service loop; a no-op once the loop is gone
+        (an already-drained service needs no further nudging)."""
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(callback)
+        except RuntimeError:
+            pass  # loop closed between the check and the call
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    # Frame exceeded the stream limit: answer and hang up
+                    # (the stream is no longer line-synchronised).
+                    writer.write(
+                        protocol.encode_frame(
+                            protocol.error_response(
+                                "",
+                                ErrorCode.MALFORMED_FRAME,
+                                f"frame exceeds {protocol.MAX_FRAME_BYTES} bytes",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break  # EOF: client hung up
+                self._busy_handlers += 1
+                try:
+                    response = await self._handle_frame(line)
+                finally:
+                    self._busy_handlers -= 1
+                writer.write(protocol.encode_frame(response))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client vanished mid-conversation; nothing to answer
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _handle_frame(self, line: bytes) -> Dict[str, Any]:
+        started = time.monotonic()
+        try:
+            request = protocol.parse_request(line)
+        except ProtocolError as exc:
+            request_id = str(exc.details.get("request_id", ""))
+            details = {k: v for k, v in exc.details.items() if k != "request_id"}
+            self._emit_completed("invalid", request_id, started, ok=False)
+            return protocol.error_response(request_id, exc.code, exc.message, **details)
+
+        if self.bus.wants(RequestReceived):
+            self.bus.emit(RequestReceived(request_type=request.type, request_id=request.id))
+
+        if request.type == "ping":
+            response = protocol.ok_response(request.id, self._ping_payload())
+        elif request.type == "stats":
+            response = protocol.ok_response(request.id, self._stats_payload())
+        elif request.type == "shutdown":
+            self.begin_drain()
+            response = protocol.ok_response(request.id, {"draining": True})
+        else:  # simulate
+            response = await self._handle_simulate(request, started)
+            return response  # _handle_simulate emits its own completion
+        self._emit_completed(request.type, request.id, started, ok=True)
+        return response
+
+    async def _handle_simulate(self, request: Request, started: float) -> Dict[str, Any]:
+        if self._draining:
+            self._emit_completed("simulate", request.id, started, ok=False)
+            return protocol.error_response(
+                request.id, ErrorCode.SHUTTING_DOWN, "service is draining; not admitting"
+            )
+        try:
+            params = SimulateParams.from_dict(request.params)
+            self._validate_names(params)
+        except ProtocolError as exc:
+            self._emit_completed("simulate", request.id, started, ok=False)
+            return protocol.error_response(request.id, exc.code, exc.message, **exc.details)
+
+        assert self._queue is not None and self._loop is not None
+        pending = _PendingRequest(
+            request_id=request.id,
+            params=params,
+            received_at=started,
+            future=self._loop.create_future(),
+        )
+        try:
+            self._queue.put_nowait(pending)
+        except asyncio.QueueFull:
+            retry_after = max(2.0 * self.config.batch_window_s, 0.05)
+            if self.bus.wants(QueueSaturated):
+                self.bus.emit(
+                    QueueSaturated(
+                        depth=self._queue.qsize(),
+                        limit=self.config.queue_size,
+                        request_id=request.id,
+                    )
+                )
+            self._emit_completed("simulate", request.id, started, ok=False)
+            return protocol.error_response(
+                request.id,
+                ErrorCode.QUEUE_FULL,
+                f"request queue full ({self.config.queue_size} waiting)",
+                retry_after_s=retry_after,
+            )
+        self.metrics.queue_depth.set(float(self._queue.qsize()))
+
+        try:
+            result, cached = await pending.future
+        except Exception as exc:
+            log.exception("simulate request %s failed", request.id or "<anon>")
+            self._emit_completed("simulate", request.id, started, ok=False)
+            return protocol.error_response(
+                request.id, ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}"
+            )
+        elapsed_ms = (time.monotonic() - started) * 1000.0
+        self._emit_completed("simulate", request.id, started, ok=True, cached=cached)
+        return protocol.ok_response(
+            request.id,
+            result.snapshot(),
+            cached=cached,
+            elapsed_ms=elapsed_ms,
+        )
+
+    # ------------------------------------------------------------------
+    # Micro-batching dispatcher
+    # ------------------------------------------------------------------
+    async def _batch_loop(self) -> None:
+        assert self._queue is not None and self._dispatch_gate is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._next_pending()
+            if first is None:
+                return  # draining and nothing left
+            batch = [first]
+            deadline = loop.time() + self.config.batch_window_s
+            while len(batch) < self.config.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(await asyncio.wait_for(self._queue.get(), remaining))
+                except asyncio.TimeoutError:
+                    break
+            self.metrics.queue_depth.set(float(self._queue.qsize()))
+            await self._dispatch_gate.wait()
+            self.metrics.batch_size.observe(len(batch))
+            outcome = await asyncio.to_thread(self._run_batch, batch)
+            for i, pending in enumerate(batch):
+                if pending.future.cancelled():  # pragma: no cover - defensive
+                    continue
+                if outcome.error is not None:
+                    pending.future.set_exception(outcome.error)
+                else:
+                    pending.future.set_result((outcome.results[i], outcome.cached[i]))
+
+    async def _next_pending(self) -> Optional[_PendingRequest]:
+        """The next queued request; None once draining with an empty queue."""
+        assert self._queue is not None
+        while True:
+            if self._draining:
+                try:
+                    return self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    return None
+            try:
+                return await asyncio.wait_for(self._queue.get(), timeout=0.1)
+            except asyncio.TimeoutError:
+                continue
+
+    def _run_batch(self, batch: List[_PendingRequest]) -> _BatchOutcome:
+        """Resolve one micro-batch (worker thread; blocking is fine here).
+
+        Requests that hit the result cache are answered without a job;
+        the rest — deduplicated, so identical concurrent requests share
+        one simulation — go through :func:`repro.resilience.execute`
+        over the persistent pool.
+        """
+        outcome = _BatchOutcome(
+            results=[None] * len(batch), cached=[False] * len(batch)
+        )
+        try:
+            config = ProcessorConfig.scaled()
+            specs: List[JobSpec] = []
+            spec_slots: Dict[tuple, List[int]] = {}
+            spec_order: List[tuple] = []
+            for i, pending in enumerate(batch):
+                params = pending.params
+                # The registry memoises traces in-process, and Trace
+                # caches its fingerprint, so a warm repeat costs a dict
+                # lookup — this is what keys the result cache.
+                trace = make_workload(
+                    params.workload, records=params.records, seed=params.seed
+                )
+                key = ResultCache.key(
+                    trace.fingerprint(),
+                    config.fingerprint(),
+                    params.prefetcher,
+                    params.warmup_records,
+                )
+                pending.cache_key = key
+                if params.use_cache:
+                    hit = self.cache.get(key)
+                    if hit is not None:
+                        outcome.results[i] = hit
+                        outcome.cached[i] = True
+                        continue
+                if key in spec_slots:
+                    spec_slots[key].append(i)
+                    continue
+                spec_slots[key] = [i]
+                spec_order.append(key)
+                specs.append(
+                    JobSpec(
+                        workload=params.workload,
+                        records=params.records,
+                        seed=params.seed,
+                        config=config,
+                        prefetcher=(
+                            None
+                            if params.prefetcher == "none"
+                            else build_prefetcher(params.prefetcher)
+                        ),
+                        label=params.prefetcher,
+                        warmup_records=params.warmup_records,
+                    )
+                )
+            if specs:
+                job_results = execute(specs, self.policy, bus=self.bus, pool=self.pool)
+                for key, result in zip(spec_order, job_results):
+                    self.cache.put(key, result)
+                    for slot in spec_slots[key]:
+                        outcome.results[slot] = result
+        except BaseException as exc:  # delivered per-request as INTERNAL
+            outcome.error = exc
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Payloads and plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate_names(params: SimulateParams) -> None:
+        if params.workload not in WORKLOADS:
+            raise ProtocolError(
+                ErrorCode.INVALID_REQUEST,
+                f"unknown workload '{params.workload}'",
+                known=sorted(WORKLOADS),
+            )
+        if params.prefetcher not in PREFETCHERS:
+            raise ProtocolError(
+                ErrorCode.INVALID_REQUEST,
+                f"unknown prefetcher '{params.prefetcher}'",
+                known=sorted(PREFETCHERS),
+            )
+
+    def _ping_payload(self) -> Dict[str, Any]:
+        return {
+            "pong": True,
+            "version": __version__,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "supported_versions": list(protocol.SUPPORTED_VERSIONS),
+        }
+
+    def _stats_payload(self) -> Dict[str, Any]:
+        assert self._queue is not None
+        return {
+            "uptime_s": time.monotonic() - self._started_at,
+            "queue": {"depth": self._queue.qsize(), "limit": self.config.queue_size},
+            "cache": self.cache.info(),
+            "pool": {
+                "workers": self.pool.max_workers,
+                "generation": self.pool.generation,
+            },
+            "draining": self._draining,
+            "metrics": self.registry.to_dict(),
+        }
+
+    def _emit_completed(
+        self,
+        request_type: str,
+        request_id: str,
+        started: float,
+        ok: bool,
+        cached: bool = False,
+    ) -> None:
+        if self.bus.wants(RequestCompleted):
+            self.bus.emit(
+                RequestCompleted(
+                    request_type=request_type,
+                    request_id=request_id,
+                    ok=ok,
+                    cached=cached,
+                    latency_ms=(time.monotonic() - started) * 1000.0,
+                )
+            )
+
+
+async def serve(
+    config: Optional[ServiceConfig] = None,
+    policy: Optional[ExecutionPolicy] = None,
+    ready_message: bool = True,
+) -> int:
+    """Run one service until it drains (the ``repro-ebcp serve`` body)."""
+    service = SimulationService(config=config, policy=policy)
+    host, port = await service.start()
+    if ready_message:
+        # The sentinel line CI and scripts wait for before sending traffic.
+        print(f"repro-ebcp service listening on {host}:{port}", flush=True)
+    await service.run(install_signal_handlers=True)
+    return 0
+
+
+class BackgroundService:
+    """A service on a daemon thread — the harness tests and benches use.
+
+    Runs ``asyncio.run(service.run())`` off-thread and blocks until the
+    ephemeral port is bound, so callers can connect immediately:
+
+    >>> with BackgroundService() as svc:        # doctest: +SKIP
+    ...     client = ServiceClient(*svc.address)
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        policy: Optional[ExecutionPolicy] = None,
+        start_timeout_s: float = 10.0,
+    ) -> None:
+        self.service = SimulationService(
+            config=config or ServiceConfig(port=0), policy=policy
+        )
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._main, name="repro-service", daemon=True
+        )
+        self._start_timeout_s = start_timeout_s
+
+    def _main(self) -> None:
+        async def body() -> None:
+            await self.service.start()
+            self._ready.set()
+            await self.service.run()
+
+        try:
+            asyncio.run(body())
+        except BaseException as exc:  # surfaced to the starting thread
+            self._error = exc
+            self._ready.set()
+
+    # ------------------------------------------------------------------
+    def start(self) -> "BackgroundService":
+        self._thread.start()
+        if not self._ready.wait(self._start_timeout_s):
+            raise TimeoutError("service failed to start within the timeout")
+        if self._error is not None:
+            raise RuntimeError("service failed to start") from self._error
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        assert self.service.address is not None
+        return self.service.address
+
+    def stop(self, timeout_s: float = 30.0) -> None:
+        self.service.begin_drain_threadsafe()
+        self._thread.join(timeout_s)
+        if self._thread.is_alive():  # pragma: no cover - drain wedged
+            raise TimeoutError("service did not drain within the timeout")
+
+    def __enter__(self) -> "BackgroundService":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()

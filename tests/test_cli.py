@@ -130,3 +130,53 @@ class TestTraceCommand:
         assert args.verbose == 2
         args = build_parser().parse_args(["-q", "experiments"])
         assert args.quiet == 1
+
+
+class TestVersionFlag:
+    def test_version_flag_prints_package_version(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
+
+    def test_version_matches_pyproject(self):
+        """One version, declared twice — keep the copies in lock step."""
+        import re
+        from pathlib import Path
+
+        from repro import __version__
+
+        # No tomllib on 3.9, so read the pin with a targeted regex.
+        pyproject = Path(__file__).resolve().parent.parent / "pyproject.toml"
+        match = re.search(
+            r'^version\s*=\s*"([^"]+)"', pyproject.read_text(), re.MULTILINE
+        )
+        assert match is not None, "pyproject.toml lost its version pin"
+        assert match.group(1) == __version__
+
+
+class TestServeCallParser:
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "0", "--queue-size", "16", "--max-batch", "4",
+             "--batch-window-ms", "2.5", "-j", "2"]
+        )
+        assert args.port == 0
+        assert args.queue_size == 16
+        assert args.max_batch == 4
+        assert args.batch_window_ms == 2.5
+
+    def test_call_simulate_requires_workload(self, capsys):
+        assert main(["call"]) == 2
+
+    def test_call_admin_flags_are_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["call", "--ping", "--stats"])
+
+    def test_call_refused_connection_reports_error(self, capsys):
+        # Port 1 is never listening; the client should fail cleanly.
+        assert main(["call", "--ping", "--port", "1", "--retries", "0",
+                     "--timeout", "2"]) == 1
+        assert "cannot reach service" in capsys.readouterr().err
