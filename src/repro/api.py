@@ -28,7 +28,9 @@ Experiments
     ``run(records=..., seed=..., policy=...)`` regenerates one paper
     table/figure
 Observability
-    :class:`EventBus`, :class:`MetricsRegistry`
+    :class:`EventBus`, :class:`MetricsRegistry`, and the tracing
+    vocabulary :class:`TraceContext` / :class:`SpanRecorder` /
+    :class:`TelemetrySink` with :func:`render_prometheus` exposition
 Service
     :class:`ServiceClient` / :class:`AsyncServiceClient` (talk to a
     running ``repro-ebcp serve``), :class:`ServedResult`,
@@ -53,7 +55,14 @@ from .engine import (
     SimulationStats,
 )
 from .experiments import EXPERIMENTS
-from .obs import EventBus, MetricsRegistry
+from .obs import (
+    EventBus,
+    MetricsRegistry,
+    SpanRecorder,
+    TelemetrySink,
+    TraceContext,
+    render_prometheus,
+)
 from .parallel import JobSpec, ParallelSweepRunner, run_jobs
 from .prefetchers import PREFETCHERS, Prefetcher, build_prefetcher
 from .resilience import ExecutionPolicy
@@ -90,11 +99,15 @@ __all__ = [
     "SimulationResult",
     "SimulationStats",
     "SimulationService",
+    "SpanRecorder",
     "SweepRunner",
+    "TelemetrySink",
     "Trace",
+    "TraceContext",
     "WORKLOADS",
     "build_prefetcher",
     "make_ebcp",
     "make_workload",
+    "render_prometheus",
     "run_jobs",
 ]

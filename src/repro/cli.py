@@ -11,10 +11,17 @@ Subcommands
                      ui.perfetto.dev), plus optional JSONL / manifest /
                      metrics files
 ``serve``            run the resident simulation service (async TCP,
-                     micro-batching, result cache; drains on SIGTERM)
+                     micro-batching, result cache; drains on SIGTERM);
+                     ``--metrics-out`` / ``--trace-out`` dump the merged
+                     registry and the request-span trace on shutdown
 ``call``             send one request to a running service: a simulate
                      round-trip, or ``--ping`` / ``--stats`` /
-                     ``--shutdown``
+                     ``--metrics`` / ``--shutdown``; ``--traced`` wraps
+                     the call in a client span (``--trace-out`` exports
+                     it as a Chrome trace)
+``top``              live refreshing terminal view of a running service
+                     (req/s, queue depth, batches, cache hit ratio,
+                     latency quantiles, per-prefetcher epoch MLP)
 
 Global flags ``-v``/``-q`` raise/lower the stdlib-logging verbosity of
 the ``repro`` logger (repeatable: ``-vv`` for debug); ``--version``
@@ -230,20 +237,31 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         batch_window_s=args.batch_window_ms / 1000.0,
         cache_entries=args.cache_entries,
+        worker_metrics=not args.no_worker_metrics,
     )
-    return asyncio.run(serve(config, _policy_from_args(args)))
+    return asyncio.run(
+        serve(
+            config,
+            _policy_from_args(args),
+            metrics_out=args.metrics_out,
+            trace_out=args.trace_out,
+        )
+    )
 
 
 def _cmd_call(args: argparse.Namespace) -> int:
     """One request against a running service (the smoke-test verb)."""
+    from .obs import SpanRecorder, write_chrome_trace
     from .service import ServiceClient, ServiceError
 
+    recorder = SpanRecorder("client") if (args.traced or args.trace_out) else None
     client = ServiceClient(
         host=args.host,
         port=args.port,
         timeout_s=args.timeout if args.timeout is not None else 30.0,
         retries=args.retries,
         backoff_s=args.backoff,
+        recorder=recorder,
     )
     try:
         with client:
@@ -254,13 +272,16 @@ def _cmd_call(args: argparse.Namespace) -> int:
             if args.stats:
                 print(json.dumps(client.stats(), indent=2, sort_keys=True))
                 return 0
+            if args.metrics:
+                print(client.metrics(), end="")
+                return 0
             if args.shutdown:
                 print(json.dumps(client.shutdown(), indent=2, sort_keys=True))
                 return 0
             if not args.workload or not args.prefetcher:
                 print(
                     "call requires WORKLOAD and PREFETCHER "
-                    "(or one of --ping/--stats/--shutdown)",
+                    "(or one of --ping/--stats/--metrics/--shutdown)",
                     file=sys.stderr,
                 )
                 return 2
@@ -271,6 +292,14 @@ def _cmd_call(args: argparse.Namespace) -> int:
                 seed=args.seed,
                 use_cache=not args.no_cache,
             )
+            merged = None
+            if args.metrics_out:
+                # The server's view: its own instruments plus the worker
+                # registries it merged — the same snapshot `serve
+                # --metrics-out` dumps on shutdown.
+                stats = client.stats()
+                merged = dict(stats.get("metrics", {}))
+                merged.update(stats.get("simulation", {}))
     except ServiceError as exc:
         print(f"service error: {exc}", file=sys.stderr)
         return 1
@@ -286,7 +315,110 @@ def _cmd_call(args: argparse.Namespace) -> int:
         print(f"  {key:26s} {value}")
     print(f"  {'cached':26s} {served.cached}")
     print(f"  {'server_elapsed_ms':26s} {served.elapsed_ms:.1f}")
+    if recorder is not None and recorder.spans:
+        print(f"  {'trace_id':26s} {recorder.spans[0]['trace_id']}")
+    if merged is not None:
+        _write_json(args.metrics_out, merged)
+        print(f"merged metrics written to {args.metrics_out}")
+    if args.trace_out and recorder is not None:
+        write_chrome_trace(recorder.spans, args.trace_out)
+        print(f"client trace written to {args.trace_out}")
     return 0
+
+
+def _render_top(stats: dict, req_per_s: float) -> str:
+    """One frame of the live service view, from a ``stats`` payload."""
+    lines = [banner("repro-ebcp top")]
+    queue = stats.get("queue", {})
+    cache = stats.get("cache", {})
+    pool = stats.get("pool", {})
+    latency = stats.get("latency_ms", {})
+    metrics = stats.get("metrics", {})
+    received = metrics.get("requests_received", {}).get("value", 0)
+    completed = metrics.get("requests_completed", {}).get("value", 0)
+    failed = metrics.get("requests_failed", {}).get("value", 0)
+    hits = cache.get("hits", 0)
+    misses = cache.get("misses", 0)
+    lookups = hits + misses
+    hit_ratio = (hits / lookups) if lookups else 0.0
+    batch = metrics.get("batch_size", {})
+    lines.append(
+        f"  uptime {stats.get('uptime_s', 0.0):8.1f} s"
+        f"    requests {received} ({req_per_s:.1f}/s)"
+        f"    ok {completed}  failed {failed}"
+        f"    {'DRAINING' if stats.get('draining') else 'serving'}"
+    )
+    lines.append(
+        f"  queue {queue.get('depth', 0)}/{queue.get('limit', 0)}"
+        f"    pool {pool.get('workers', 0)}w gen{pool.get('generation', 0)}"
+        f"    batch mean {batch.get('mean', 0.0):.1f} max {batch.get('max', 0)}"
+    )
+    lines.append(
+        f"  cache {cache.get('entries', 0)} entries"
+        f"    hit ratio {hit_ratio * 100:5.1f} % ({hits}/{lookups})"
+    )
+    lines.append(
+        f"  latency p50 {latency.get('p50', 0.0):8.1f} ms"
+        f"    p90 {latency.get('p90', 0.0):8.1f} ms"
+        f"    p99 {latency.get('p99', 0.0):8.1f} ms"
+        f"    n={latency.get('count', 0)}"
+    )
+    mlp_rows = [
+        (name[: -len(".epoch_mlp")], payload)
+        for name, payload in sorted(stats.get("simulation", {}).items())
+        if name.endswith(".epoch_mlp") and payload.get("type") == "histogram"
+    ]
+    if mlp_rows:
+        lines.append("  epoch MLP by prefetcher:")
+        for label, payload in mlp_rows:
+            lines.append(
+                f"    {label:16s} mean {payload.get('mean', 0.0):5.2f}"
+                f"  max {payload.get('max', 0.0):5.1f}"
+                f"  epochs {payload.get('total', 0)}"
+            )
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Poll ``stats`` and render a live refreshing terminal view."""
+    from .service import ServiceClient, ServiceError
+
+    client = ServiceClient(
+        host=args.host, port=args.port, timeout_s=args.timeout or 10.0, retries=0
+    )
+    previous_received: float | None = None
+    previous_at = time.monotonic()
+    iterations = 0
+    try:
+        with client:
+            while True:
+                try:
+                    stats = client.stats()
+                except (ServiceError, OSError) as exc:
+                    print(f"cannot poll service at {args.host}:{args.port}: {exc}",
+                          file=sys.stderr)
+                    return 1
+                now = time.monotonic()
+                received = stats.get("metrics", {}).get(
+                    "requests_received", {}
+                ).get("value", 0)
+                req_per_s = 0.0
+                if previous_received is not None and now > previous_at:
+                    req_per_s = max(0.0, received - previous_received) / (
+                        now - previous_at
+                    )
+                previous_received, previous_at = received, now
+                frame = _render_top(stats, req_per_s)
+                if not args.no_clear:
+                    # ANSI clear + home keeps the view in place like top(1).
+                    print("\x1b[2J\x1b[H", end="")
+                print(frame, flush=True)
+                iterations += 1
+                if args.iterations and iterations >= args.iterations:
+                    return 0
+                time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
@@ -457,6 +589,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--cache-entries", type=int, default=256, metavar="N",
         help="result-cache capacity; 0 disables caching (default: 256)",
     )
+    p_srv.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="write the merged registry (service + aggregated worker "
+        "metrics) as JSON when the service drains",
+    )
+    p_srv.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write every request span the service recorded (including "
+        "worker-side spans) as a Chrome trace on shutdown",
+    )
+    p_srv.add_argument(
+        "--no-worker-metrics", action="store_true",
+        help="skip per-job worker metric collection (smaller job results, "
+        "no per-prefetcher aggregates)",
+    )
     _add_execution_flags(p_srv)
     p_srv.set_defaults(func=_cmd_serve)
 
@@ -486,14 +633,55 @@ def build_parser() -> argparse.ArgumentParser:
         "--backoff", type=float, default=0.25, metavar="SECONDS",
         help="base retry delay, doubling per attempt (default: 0.25)",
     )
+    p_call.add_argument(
+        "--traced", action="store_true",
+        help="wrap the call in a client span and send its trace context, "
+        "so server/worker spans join the client's trace",
+    )
+    p_call.add_argument(
+        "--trace-out", metavar="PATH",
+        help="write the client-side spans as a Chrome trace (implies "
+        "--traced)",
+    )
+    p_call.add_argument(
+        "--metrics-out", metavar="PATH",
+        help="after the call, fetch the service's merged registry "
+        "(service + aggregated worker metrics) and write it as JSON",
+    )
     group = p_call.add_mutually_exclusive_group()
     group.add_argument("--ping", action="store_true",
                        help="liveness/version check instead of a simulation")
     group.add_argument("--stats", action="store_true",
                        help="fetch the service metrics snapshot")
+    group.add_argument("--metrics", action="store_true",
+                       help="fetch the merged registry as Prometheus text")
     group.add_argument("--shutdown", action="store_true",
                        help="ask the service to drain and exit")
     p_call.set_defaults(func=_cmd_call)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live refreshing view of a running service (poll stats)",
+    )
+    p_top.add_argument("--host", default="127.0.0.1")
+    p_top.add_argument("--port", type=int, default=7421)
+    p_top.add_argument(
+        "--interval", type=float, default=1.0, metavar="SECONDS",
+        help="seconds between polls (default: 1.0)",
+    )
+    p_top.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="stop after N frames (default: 0 = until interrupted)",
+    )
+    p_top.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen (logs, CI)",
+    )
+    p_top.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-poll client timeout (default: 10)",
+    )
+    p_top.set_defaults(func=_cmd_top)
 
     return parser
 

@@ -61,6 +61,15 @@ from .metrics import (
     ServiceMetrics,
     SimulationMetrics,
 )
+from .prometheus import render_prometheus
+from .tracing import (
+    SpanRecorder,
+    TelemetrySink,
+    TraceContext,
+    chrome_trace_from_spans,
+    wall_us,
+    write_chrome_trace,
+)
 
 __all__ = [
     "AccessResolved",
@@ -92,13 +101,20 @@ __all__ = [
     "RunManifest",
     "ServiceMetrics",
     "SimulationMetrics",
+    "SpanRecorder",
     "TableRead",
     "TableWrite",
+    "TelemetrySink",
+    "TraceContext",
     "WorkerCrashed",
+    "chrome_trace_from_spans",
     "configure_logging",
     "event_payload",
     "global_bus",
     "peek_global_bus",
     "read_jsonl",
+    "render_prometheus",
     "reset_global_bus",
+    "wall_us",
+    "write_chrome_trace",
 ]

@@ -71,6 +71,10 @@ class Counter:
             raise ValueError("counters only go up")
         self.value += amount
 
+    def merge_dict(self, payload: dict) -> None:
+        """Fold another counter's snapshot into this one (sum)."""
+        self.inc(payload.get("value", 0))
+
     def to_dict(self) -> dict:
         return {"type": "counter", "value": self.value}
 
@@ -99,6 +103,22 @@ class Gauge:
     @property
     def mean(self) -> float:
         return self._sum / self._n if self._n else 0.0
+
+    def merge_dict(self, payload: dict) -> None:
+        """Fold another gauge's snapshot into this one.
+
+        Last write wins for ``value`` (the snapshot being merged is
+        assumed newer than this registry's state — the worker just
+        reported it); extremes and the running mean fold losslessly.
+        """
+        samples = int(payload.get("samples", 0))
+        if not samples:
+            return
+        self.value = payload.get("value", 0.0)
+        self.min = min(self.min, payload.get("min", self.value))
+        self.max = max(self.max, payload.get("max", self.value))
+        self._n += samples
+        self._sum += payload.get("mean", 0.0) * samples
 
     def to_dict(self) -> dict:
         return {
@@ -158,9 +178,18 @@ class Histogram:
         return self._sum / self._n if self._n else 0.0
 
     def quantile(self, q: float) -> float:
-        """Approximate quantile: the bucket bound covering rank ``q``.
+        """Bucket-interpolated quantile estimate (Prometheus-style).
 
-        Returns the last bound for observations in the overflow bucket.
+        The bucket containing rank ``q * total`` is found, then the
+        value is linearly interpolated between the bucket's effective
+        edges — the previous bound (or the observed minimum for the
+        first occupied bucket) and ``min(bound, observed max)``.
+        Observations in the overflow bucket interpolate between the last
+        bound and the observed maximum, so p99 of a long-tailed
+        distribution is a real estimate rather than a clamped bound.
+        The estimate is exact at bucket boundaries and off by at most
+        one bucket width inside a bucket (asserted against numpy
+        percentiles in ``tests/test_metrics_merge.py``).
         """
         if not 0.0 <= q <= 1.0:
             raise ValueError("quantile must be in [0, 1]")
@@ -168,11 +197,54 @@ class Histogram:
             return 0.0
         rank = q * self._n
         cumulative = 0
+        previous_bound: Optional[float] = None
         for bound, count in zip(self.bounds, self.counts):
-            cumulative += count
-            if cumulative >= rank:
-                return bound
-        return self.bounds[-1]
+            if count:
+                if cumulative + count >= rank:
+                    lower = self._min if previous_bound is None else previous_bound
+                    upper = min(bound, self._max)
+                    fraction = max(0.0, rank - cumulative) / count
+                    value = lower + fraction * (upper - lower)
+                    return min(max(value, self._min), self._max)
+                cumulative += count
+            previous_bound = bound
+        if self.overflow:
+            lower = self.bounds[-1] if cumulative else self._min
+            fraction = max(0.0, rank - cumulative) / self.overflow
+            value = lower + fraction * (max(self._max, lower) - lower)
+            return min(max(value, self._min), self._max)
+        return self._max
+
+    def merge_dict(self, payload: dict) -> None:
+        """Fold another histogram's snapshot into this one, bucket-wise.
+
+        The other histogram must have identical bucket bounds — merging
+        differently bucketed histograms would silently redistribute
+        observations, so it is a :class:`ValueError` instead.
+        """
+        bounds = list(payload.get("buckets", []))
+        if bounds != self.bounds:
+            raise ValueError(
+                f"cannot merge histogram '{self.name}': bucket bounds differ "
+                f"({bounds} vs {self.bounds})"
+            )
+        counts = payload.get("counts", [])
+        for i, count in enumerate(counts):
+            self.counts[i] += count
+        self.overflow += payload.get("overflow", 0)
+        total = int(payload.get("total", 0))
+        if total:
+            self._n += total
+            self._sum += payload.get("sum", 0.0)
+            self._min = min(self._min, payload.get("min", float("inf")))
+            self._max = max(self._max, payload.get("max", float("-inf")))
+
+    @classmethod
+    def from_dict(cls, name: str, payload: dict, help: str = "") -> "Histogram":
+        """Rehydrate a histogram from its :meth:`to_dict` snapshot."""
+        hist = cls(name, payload["buckets"], help)
+        hist.merge_dict(payload)
+        return hist
 
     def to_dict(self) -> dict:
         return {
@@ -215,6 +287,34 @@ class MetricsRegistry:
 
     def histogram(self, name: str, buckets: Sequence[float], help: str = "") -> Histogram:
         return self._get_or_create(name, Histogram, lambda: Histogram(name, buckets, help))  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    def merge(self, other: "MetricsRegistry | dict", prefix: str = "") -> "MetricsRegistry":
+        """Fold another registry (or its :meth:`to_dict` snapshot) in.
+
+        Counters sum, gauges take the incoming value (last write wins)
+        while folding extremes and running means, histograms merge
+        bucket-wise (identical bounds required — :class:`ValueError`
+        otherwise).  ``prefix`` namespaces every incoming instrument
+        (e.g. ``"ebcp."`` for per-prefetcher aggregation).  Merging a
+        snapshot whose instrument kind conflicts with an existing name
+        raises :class:`TypeError`.  The snapshot form is what pool
+        workers ship back piggybacked on job results, so cross-process
+        aggregation needs no shared memory.
+        """
+        snapshot = other.to_dict() if isinstance(other, MetricsRegistry) else other
+        for name, payload in snapshot.items():
+            target = prefix + name
+            kind = payload.get("type")
+            if kind == "counter":
+                self.counter(target).merge_dict(payload)
+            elif kind == "gauge":
+                self.gauge(target).merge_dict(payload)
+            elif kind == "histogram":
+                self.histogram(target, payload["buckets"]).merge_dict(payload)
+            else:
+                raise ValueError(f"unknown instrument kind {kind!r} for '{name}'")
+        return self
 
     # ------------------------------------------------------------------
     def __contains__(self, name: str) -> bool:

@@ -1,0 +1,89 @@
+"""Prometheus text exposition for :class:`~repro.obs.metrics.MetricsRegistry`.
+
+:func:`render_prometheus` turns a registry (or its ``to_dict()``
+snapshot — the form that crosses process boundaries) into the
+Prometheus text format (version 0.0.4), so the service's ``metrics``
+request is scrapeable by any Prometheus-compatible collector with zero
+dependencies on our side:
+
+* counters  → ``# TYPE name counter`` + one sample;
+* gauges    → ``# TYPE name gauge`` + one sample (plus ``_min`` /
+  ``_max`` gauges when the gauge has samples);
+* histograms → cumulative ``name_bucket{le="..."}`` series ending in
+  ``le="+Inf"``, plus ``name_sum`` and ``name_count``.
+
+Instrument names are sanitised to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``): dots and dashes become underscores, so
+the per-prefetcher aggregates like ``ebcp.epoch_mlp`` expose as
+``repro_ebcp_epoch_mlp``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Union
+
+from .metrics import MetricsRegistry
+
+__all__ = ["render_prometheus"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LEADING_RE = re.compile(r"^[^a-zA-Z_:]")
+
+
+def _sanitize(name: str) -> str:
+    name = _NAME_RE.sub("_", name)
+    if _LEADING_RE.match(name):
+        name = "_" + name
+    return name
+
+
+def _format_value(value: Union[int, float]) -> str:
+    if isinstance(value, bool):  # bools are ints; be explicit
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return repr(float(value))
+
+
+def render_prometheus(
+    metrics: Union[MetricsRegistry, dict], namespace: str = "repro"
+) -> str:
+    """The registry/snapshot as Prometheus text exposition (0.0.4)."""
+    snapshot = metrics.to_dict() if isinstance(metrics, MetricsRegistry) else metrics
+    prefix = f"{_sanitize(namespace)}_" if namespace else ""
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        payload = snapshot[name]
+        kind = payload.get("type")
+        metric = prefix + _sanitize(name)
+        if kind == "counter":
+            lines.append(f"# TYPE {metric} counter")
+            lines.append(f"{metric} {_format_value(payload.get('value', 0))}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {metric} gauge")
+            lines.append(f"{metric} {_format_value(payload.get('value', 0.0))}")
+            if payload.get("samples"):
+                lines.append(f"# TYPE {metric}_min gauge")
+                lines.append(f"{metric}_min {_format_value(payload.get('min', 0.0))}")
+                lines.append(f"# TYPE {metric}_max gauge")
+                lines.append(f"{metric}_max {_format_value(payload.get('max', 0.0))}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {metric} histogram")
+            cumulative = 0
+            for bound, count in zip(payload.get("buckets", []), payload.get("counts", [])):
+                cumulative += count
+                lines.append(
+                    f'{metric}_bucket{{le="{_format_value(float(bound))}"}} {cumulative}'
+                )
+            total = payload.get("total", cumulative + payload.get("overflow", 0))
+            lines.append(f'{metric}_bucket{{le="+Inf"}} {total}')
+            lines.append(f"{metric}_sum {_format_value(payload.get('sum', 0.0))}")
+            lines.append(f"{metric}_count {total}")
+    return "\n".join(lines) + ("\n" if lines else "")

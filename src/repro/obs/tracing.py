@@ -1,0 +1,344 @@
+"""End-to-end request tracing across processes.
+
+A request's journey through the service tier crosses at least three
+processes — client SDK, asyncio server, pool worker — and each leg was
+previously invisible to the others.  This module provides the minimal
+distributed-tracing vocabulary that stitches them back together:
+
+* :class:`TraceContext` — the ``(trace_id, span_id)`` pair that rides on
+  protocol frames and job payloads.  Every span created under a context
+  shares its ``trace_id``; ``span_id`` identifies the parent span.
+* :class:`SpanRecorder` — a per-process collector.  :meth:`~SpanRecorder.span`
+  opens a timed scope (a context manager) whose
+  :attr:`~SpanScope.context` is the :class:`TraceContext` to hand to the
+  next hop; finished spans accumulate as plain JSON/pickle-safe dicts so
+  worker processes can ship them back piggybacked on job results.
+* :func:`chrome_trace_from_spans` — renders any collection of span dicts
+  (from one recorder or several processes' worth, concatenated) as a
+  Chrome trace-event document that loads in ``ui.perfetto.dev`` as one
+  coherent timeline.
+* :class:`TelemetrySink` — the parent-side funnel the executor fills:
+  worker spans land in a recorder, worker metrics snapshots merge into a
+  :class:`~repro.obs.metrics.MetricsRegistry` (per-prefetcher prefixed).
+
+Clock
+-----
+Spans are stamped with :func:`wall_us` — epoch-based wall time in
+microseconds (``time.time_ns() // 1000``).  Unlike ``perf_counter``,
+the epoch clock is shared by every process on the machine, so spans
+recorded in the client, the server and a pool worker land on one
+timeline without offset negotiation.
+
+Span schema (the dict each recorder stores)::
+
+    {"name": "server:simulate",      # what happened
+     "trace_id": "2f0c…",            # whole-request identity
+     "span_id": "91ab…",             # this span
+     "parent_id": "55e2…" | None,    # the enclosing span (None = root)
+     "ts_us": 1723100000000000,      # wall_us() at entry
+     "dur_us": 5210,                 # scope duration
+     "pid": 4242,                    # os.getpid() of the recording process
+     "process": "server",            # human label: client|server|worker
+     "args": {...}}                  # free-form attributes
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from pathlib import Path
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle with .metrics
+    from .metrics import MetricsRegistry
+
+__all__ = [
+    "TraceContext",
+    "SpanScope",
+    "SpanRecorder",
+    "TelemetrySink",
+    "wall_us",
+    "chrome_trace_from_spans",
+    "write_chrome_trace",
+]
+
+PathLike = Union[str, Path]
+
+
+def wall_us() -> int:
+    """Epoch wall time in microseconds — one clock for every process."""
+    return time.time_ns() // 1_000
+
+
+def _new_id() -> str:
+    return uuid.uuid4().hex[:16]
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The propagation token: which trace, and which span is the parent.
+
+    The wire form (:meth:`to_wire`) is a two-key dict small enough to
+    ride on every protocol frame and job payload; :meth:`from_wire` is
+    deliberately forgiving — observability must never fail a request, so
+    anything malformed decodes to ``None`` (an untraced request).
+    """
+
+    trace_id: str
+    span_id: str
+
+    @classmethod
+    def new(cls) -> "TraceContext":
+        """A fresh root context (new trace, new span id)."""
+        return cls(trace_id=_new_id(), span_id=_new_id())
+
+    def child(self) -> "TraceContext":
+        """A context in the same trace with a fresh span id."""
+        return TraceContext(trace_id=self.trace_id, span_id=_new_id())
+
+    def to_wire(self) -> Dict[str, str]:
+        return {"trace_id": self.trace_id, "span_id": self.span_id}
+
+    @classmethod
+    def from_wire(cls, payload: Any) -> Optional["TraceContext"]:
+        """Decode a wire dict; ``None`` for anything not a valid context."""
+        if not isinstance(payload, dict):
+            return None
+        trace_id = payload.get("trace_id")
+        span_id = payload.get("span_id")
+        if (
+            isinstance(trace_id, str)
+            and isinstance(span_id, str)
+            and trace_id
+            and span_id
+        ):
+            return cls(trace_id=trace_id, span_id=span_id)
+        return None
+
+
+class SpanScope:
+    """One open span: a context manager that records itself on exit.
+
+    :attr:`context` is this span's own :class:`TraceContext` — hand it to
+    the next hop (a protocol frame, a job payload) so downstream spans
+    become children of this one.  Attributes set via :meth:`set` (or the
+    constructor's ``**attrs``) end up in the span dict's ``args``.
+    """
+
+    __slots__ = ("_recorder", "name", "context", "parent_id", "args", "_start_us")
+
+    def __init__(
+        self,
+        recorder: "SpanRecorder",
+        name: str,
+        parent: Optional[TraceContext],
+        attrs: Dict[str, Any],
+    ) -> None:
+        self._recorder = recorder
+        self.name = name
+        if parent is None:
+            self.context = TraceContext.new()
+            self.parent_id: Optional[str] = None
+        else:
+            self.context = parent.child()
+            self.parent_id = parent.span_id
+        self.args = dict(attrs)
+        self._start_us = 0
+
+    def set(self, **attrs: Any) -> "SpanScope":
+        """Attach attributes to the span (merged into ``args``)."""
+        self.args.update(attrs)
+        return self
+
+    def __enter__(self) -> "SpanScope":
+        self._start_us = wall_us()
+        return self
+
+    def __exit__(self, exc_type: object, *exc: object) -> None:
+        if exc_type is not None:
+            self.args.setdefault("error", getattr(exc_type, "__name__", str(exc_type)))
+        self._recorder.record(
+            {
+                "name": self.name,
+                "trace_id": self.context.trace_id,
+                "span_id": self.context.span_id,
+                "parent_id": self.parent_id,
+                "ts_us": self._start_us,
+                "dur_us": wall_us() - self._start_us,
+                "pid": os.getpid(),
+                "process": self._recorder.process,
+                "args": self.args,
+            }
+        )
+
+
+class SpanRecorder:
+    """Per-process span collector (thread-safe appends).
+
+    One recorder per process role: the client SDK, the service and each
+    pool worker own one.  Workers :meth:`drain` theirs into the job
+    result; the parent :meth:`extend`\\ s them into its own recorder so a
+    single recorder ends up holding the whole cross-process tree.
+    """
+
+    def __init__(self, process: str = "") -> None:
+        #: Human-readable role label stamped on every span.
+        self.process = process or f"pid-{os.getpid()}"
+        self.spans: List[dict] = []
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def span(
+        self, name: str, parent: Optional[TraceContext] = None, **attrs: Any
+    ) -> SpanScope:
+        """Open a timed scope; ``parent=None`` starts a new trace."""
+        return SpanScope(self, name, parent, attrs)
+
+    def record(self, span: dict) -> None:
+        with self._lock:
+            self.spans.append(span)
+
+    def record_manual(
+        self,
+        name: str,
+        parent: TraceContext,
+        ts_us: int,
+        dur_us: int,
+        **attrs: Any,
+    ) -> None:
+        """Record a span from externally measured timestamps.
+
+        Used where the scope's lifetime does not match a ``with`` block —
+        e.g. the admission wait, measured from request receipt to batch
+        pickup by two different coroutines.
+        """
+        self.record(
+            {
+                "name": name,
+                "trace_id": parent.trace_id,
+                "span_id": _new_id(),
+                "parent_id": parent.span_id,
+                "ts_us": ts_us,
+                "dur_us": max(0, dur_us),
+                "pid": os.getpid(),
+                "process": self.process,
+                "args": dict(attrs),
+            }
+        )
+
+    def extend(self, spans: Iterable[dict]) -> None:
+        """Absorb spans recorded elsewhere (e.g. shipped from a worker)."""
+        with self._lock:
+            self.spans.extend(spans)
+
+    def drain(self) -> List[dict]:
+        """Remove and return every recorded span (worker → result path)."""
+        with self._lock:
+            spans, self.spans = self.spans, []
+        return spans
+
+    # ------------------------------------------------------------------
+    def to_chrome(self) -> dict:
+        """This recorder's spans as a Chrome trace-event document."""
+        return chrome_trace_from_spans(self.spans)
+
+    def write_chrome(self, path: PathLike) -> Path:
+        return write_chrome_trace(self.spans, path)
+
+
+def chrome_trace_from_spans(spans: Iterable[dict]) -> dict:
+    """Render span dicts (any processes' worth) as one Chrome trace.
+
+    Each distinct ``(pid, process)`` pair becomes a named process track;
+    spans render as complete ("X") slices with their trace/span/parent
+    ids in ``args`` so Perfetto queries can reconstruct the tree.
+    Timestamps are shifted so the earliest span starts at zero.
+    """
+    spans = list(spans)
+    t0 = min((s["ts_us"] for s in spans), default=0)
+    events: List[dict] = []
+    named: set = set()
+    for span in spans:
+        pid = span.get("pid", 0)
+        process = span.get("process", "")
+        if pid not in named:
+            named.add(pid)
+            events.append(
+                {
+                    "ph": "M",
+                    "pid": pid,
+                    "name": "process_name",
+                    "args": {"name": process or f"pid-{pid}"},
+                }
+            )
+        args = dict(span.get("args", {}))
+        args["trace_id"] = span["trace_id"]
+        args["span_id"] = span["span_id"]
+        args["parent_id"] = span.get("parent_id")
+        events.append(
+            {
+                "name": span["name"],
+                "cat": "request",
+                "ph": "X",
+                "ts": span["ts_us"] - t0,
+                "dur": max(1, span.get("dur_us", 0)),
+                "pid": pid,
+                "tid": 0,
+                "args": args,
+            }
+        )
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "otherData": {"time_unit": "1us (epoch wall clock, zero-shifted)"},
+    }
+
+
+def write_chrome_trace(spans: Iterable[dict], path: PathLike) -> Path:
+    path = Path(path)
+    path.write_text(
+        json.dumps(chrome_trace_from_spans(spans), indent=1), encoding="utf-8"
+    )
+    return path
+
+
+class TelemetrySink:
+    """Parent-side funnel for telemetry shipped back from job attempts.
+
+    The executor calls :meth:`absorb` once per completed attempt with the
+    spans and metrics snapshot the worker produced.  Spans accumulate in
+    ``recorder``; metric snapshots merge into ``registry`` under a
+    ``"<label>."`` prefix, so a service aggregates e.g.
+    ``ebcp.epoch_mlp`` across every worker and batch.
+
+    Either side may be ``None``: a sink with only a registry aggregates
+    metrics without tracing, and vice versa.
+    """
+
+    def __init__(
+        self,
+        registry: "Optional[MetricsRegistry]" = None,
+        recorder: Optional[SpanRecorder] = None,
+    ) -> None:
+        self.registry = registry
+        self.recorder = recorder
+
+    @property
+    def collects_metrics(self) -> bool:
+        return self.registry is not None
+
+    def absorb(
+        self,
+        spans: Optional[Iterable[dict]],
+        metrics_snapshot: Optional[dict],
+        label: str = "",
+    ) -> None:
+        if self.recorder is not None and spans:
+            self.recorder.extend(spans)
+        if self.registry is not None and metrics_snapshot:
+            prefix = f"{label}." if label else ""
+            self.registry.merge(metrics_snapshot, prefix=prefix)

@@ -102,16 +102,20 @@ class JobSpec:
             self.workload, records=self.records, seed=self.seed, scale=self.scale
         )
 
-    def run(self) -> SimulationResult:
+    def run(self, bus: "Optional[EventBus]" = None) -> SimulationResult:
         trace = self.build_trace()
         # Simulate a *copy* of the prefetcher: running warms its tables, and
         # an idempotent spec is what makes in-process fallback (and re-runs)
         # bit-identical to shipping the spec through the pickle boundary.
+        # An attached bus observes the run (worker-side telemetry); it never
+        # alters simulation state, so results stay bit-identical with or
+        # without one.
         sim = EpochSimulator(
             self.config,
             copy.deepcopy(self.prefetcher),
             cpi_perf=trace.meta.cpi_perf,
             overlap=trace.meta.overlap,
+            bus=bus,
         )
         return sim.run(
             trace, warmup_records=self.warmup_records, compressed=self.compressed

@@ -50,6 +50,7 @@ from ..obs.events import (
     JobTimedOut,
     WorkerCrashed,
 )
+from ..obs.tracing import SpanRecorder, TelemetrySink, TraceContext
 from .checkpoint import CheckpointJournal, job_key
 from .faults import FaultSpec
 from .policy import ExecutionPolicy
@@ -74,13 +75,29 @@ def _emit(bus: Optional[EventBus], event: Event) -> None:
         target.emit(event)
 
 
-def _attempt(payload: "Tuple[JobSpec, str, FaultSpec]") -> "SimulationResult":
+#: What one attempt ships back: the result plus the telemetry recorded
+#: while producing it (spans as a tuple of dicts, metrics as a registry
+#: snapshot or ``None``).  Everything is picklable, so the same triple
+#: crosses the pool boundary and the in-process fast path.
+_AttemptOutcome = Tuple["SimulationResult", tuple, Optional[dict]]
+
+
+def _attempt(
+    payload: "Tuple[JobSpec, str, FaultSpec, Optional[dict], bool]",
+) -> _AttemptOutcome:
     """Run one job attempt with fault hooks (pool entry point).
 
     Module-level so it pickles; also used verbatim for in-process
     attempts so both execution modes share one fault schedule.
+
+    ``payload[3]`` is an optional :class:`TraceContext` wire dict — when
+    present the run is wrapped in a worker-side span that joins the
+    caller's trace.  ``payload[4]`` asks the attempt to observe the
+    simulation with a private bus + :class:`SimulationMetrics` and ship
+    the registry snapshot back.  With neither, this is exactly the
+    untraced fast path: ``spec.run()`` and empty telemetry.
     """
-    spec, key, faults = payload
+    spec, key, faults, ctx_wire, collect = payload
     # Fault matching targets the human-facing label (falling back to the
     # workload name), with the job key appended so claims stay unique.
     fault_key = f"{spec.label or spec.workload}#{key}"
@@ -88,7 +105,29 @@ def _attempt(payload: "Tuple[JobSpec, str, FaultSpec]") -> "SimulationResult":
     hang = faults.maybe_hang(fault_key)
     if hang > 0:
         time.sleep(hang)
-    return spec.run()
+    ctx = TraceContext.from_wire(ctx_wire)
+    if ctx is None and not collect:
+        return spec.run(), (), None
+
+    from ..obs.metrics import SimulationMetrics
+
+    bus: Optional[EventBus] = None
+    sim_metrics: Optional[SimulationMetrics] = None
+    if collect:
+        bus = EventBus()
+        sim_metrics = SimulationMetrics(bus)
+    recorder = SpanRecorder("worker")
+    with recorder.span(
+        f"job:{spec.label or spec.workload}",
+        parent=ctx,
+        workload=spec.workload,
+        records=spec.records,
+        seed=spec.seed,
+    ):
+        result = spec.run(bus=bus)
+    snapshot = sim_metrics.registry.to_dict() if sim_metrics is not None else None
+    spans = tuple(recorder.drain()) if ctx is not None else ()
+    return result, spans, snapshot
 
 
 class PersistentPool:
@@ -146,14 +185,35 @@ def execute(
     policy: Optional[ExecutionPolicy] = None,
     bus: Optional[EventBus] = None,
     pool: Optional[PersistentPool] = None,
+    trace: Optional[TraceContext] = None,
+    telemetry: Optional[TelemetrySink] = None,
 ) -> "List[SimulationResult]":
-    """Run every job under ``policy`` and return results in input order."""
+    """Run every job under ``policy`` and return results in input order.
+
+    ``trace`` joins this batch to a caller's trace: the whole call is
+    wrapped in an ``execute`` span (recorded on ``telemetry.recorder``
+    when present) whose context propagates into every attempt, so
+    worker-side ``job:*`` spans share the caller's trace_id.
+    ``telemetry`` additionally makes attempts observe their simulation
+    and ship back a metrics snapshot, which is merged into
+    ``telemetry.registry`` under a per-job label prefix.  Both are pure
+    observability: results stay bit-identical with or without them.
+    """
     from ..parallel.jobs import _warm_trace_cache
 
     policy = policy or ExecutionPolicy()
     specs = list(specs)
     if not specs:
         return []
+    collect = telemetry is not None and telemetry.collects_metrics
+    recorder = telemetry.recorder if telemetry is not None else None
+    exec_span = None
+    ctx = trace
+    if recorder is not None and trace is not None:
+        exec_span = recorder.span("execute", parent=trace, jobs=len(specs))
+        exec_span.__enter__()
+        ctx = exec_span.context
+    ctx_wire = ctx.to_wire() if ctx is not None else None
     faults = policy.faults()
     if policy.compressed is not None:
         # The policy decides for specs that left the mode open; a spec's
@@ -218,17 +278,22 @@ def execute(
                     pooled = _run_pooled(
                         specs, keys, pending, results, n_workers, policy,
                         faults, journal, bus, manager=pool,
+                        ctx_wire=ctx_wire, collect=collect, telemetry=telemetry,
                     )
             if not pooled:
                 _warm_trace_cache([specs[i] for i in pending])
                 for i in pending:
                     if results[i] is None:
                         results[i] = _run_resilient(
-                            specs[i], keys[i], i, policy, faults, journal, bus
+                            specs[i], keys[i], i, policy, faults, journal, bus,
+                            ctx_wire=ctx_wire, collect=collect,
+                            telemetry=telemetry,
                         )
     finally:
         if journal is not None:
             journal.close()
+        if exec_span is not None:
+            exec_span.__exit__(None)
     return list(results)  # type: ignore[arg-type]
 
 
@@ -244,6 +309,9 @@ def _run_resilient(
     journal: Optional[CheckpointJournal],
     bus: Optional[EventBus],
     failed_attempts: int = 0,
+    ctx_wire: Optional[dict] = None,
+    collect: bool = False,
+    telemetry: Optional[TelemetrySink] = None,
 ) -> "SimulationResult":
     """Run one job in-process under the retry/timeout budget.
 
@@ -254,7 +322,9 @@ def _run_resilient(
     while True:
         start = time.monotonic()
         try:
-            result = _attempt((spec, key, faults))
+            result, spans, snapshot = _attempt(
+                (spec, key, faults, ctx_wire, collect)
+            )
         except Exception as exc:
             attempts += 1
             if attempts > policy.retries:
@@ -315,6 +385,10 @@ def _run_resilient(
                 )
                 time.sleep(policy.backoff_for(attempts))
                 continue
+        if telemetry is not None:
+            # Only the attempt that settles ships telemetry; retried
+            # attempts' spans die with the retry, like pooled casualties.
+            telemetry.absorb(spans, snapshot, label=spec.label or spec.workload)
         if journal is not None:
             journal.record(key, result)
         return result
@@ -344,6 +418,9 @@ def _run_pooled(
     journal: Optional[CheckpointJournal],
     bus: Optional[EventBus],
     manager: Optional[PersistentPool] = None,
+    ctx_wire: Optional[dict] = None,
+    collect: bool = False,
+    telemetry: Optional[TelemetrySink] = None,
 ) -> bool:
     """Fan ``pending`` out over a process pool, filling ``results``.
 
@@ -378,8 +455,14 @@ def _run_pooled(
         else:
             _kill_pool(pool)
 
-    def settle(index: int, result: "SimulationResult") -> None:
+    def settle(index: int, outcome: _AttemptOutcome) -> None:
+        result, spans, snapshot = outcome
         results[index] = result
+        if telemetry is not None:
+            telemetry.absorb(
+                spans, snapshot,
+                label=specs[index].label or specs[index].workload,
+            )
         if journal is not None:
             journal.record(keys[index], result)
 
@@ -430,6 +513,9 @@ def _run_pooled(
                             journal,
                             bus,
                             failed_attempts=attempts[index],
+                            ctx_wire=ctx_wire,
+                            collect=collect,
+                            telemetry=telemetry,
                         )
                     return True
             # Keep at most n_workers jobs in flight so submission time
@@ -437,7 +523,9 @@ def _run_pooled(
             # are measured against.
             while queue and len(in_flight) < n_workers:
                 index = queue.popleft()
-                future = pool.submit(_attempt, (specs[index], keys[index], faults))
+                future = pool.submit(
+                    _attempt, (specs[index], keys[index], faults, ctx_wire, collect)
+                )
                 in_flight[future] = (index, time.monotonic())
             if not in_flight:
                 continue
@@ -513,6 +601,9 @@ def _run_pooled(
                         journal,
                         bus,
                         failed_attempts=attempts[index],
+                        ctx_wire=ctx_wire,
+                        collect=collect,
+                        telemetry=telemetry,
                     )
                 continue
 

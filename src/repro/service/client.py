@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
 from ..engine.stats import SimulationResult
+from ..obs.tracing import SpanRecorder, TraceContext
 from ..resilience.policy import ExecutionPolicy
 from . import protocol
 from .protocol import (
@@ -86,12 +87,17 @@ class _ClientBase:
         timeout_s: Optional[float] = 30.0,
         retries: int = 1,
         backoff_s: float = 0.25,
+        recorder: Optional[SpanRecorder] = None,
     ) -> None:
         self.host = host
         self.port = port
         self.timeout_s = timeout_s
         self.retries = max(0, retries)
         self.backoff_s = backoff_s
+        #: When set, ``simulate`` wraps each call in a ``client:simulate``
+        #: span and sends its context on the frame, so server- and
+        #: worker-side spans join the client's trace.
+        self.recorder = recorder
         self._ids = itertools.count(1)
         self._id_prefix = uuid.uuid4().hex[:8]
 
@@ -117,8 +123,18 @@ class _ClientBase:
             return 0.0
         return self.backoff_s * (2.0 ** (attempt - 1))
 
-    def _frame_for(self, request_type: str, params: Optional[Dict[str, Any]]) -> bytes:
-        request = Request(type=request_type, id=self._next_id(), params=params or {})
+    def _frame_for(
+        self,
+        request_type: str,
+        params: Optional[Dict[str, Any]],
+        trace: Optional[TraceContext] = None,
+    ) -> bytes:
+        request = Request(
+            type=request_type,
+            id=self._next_id(),
+            params=params or {},
+            trace=trace.to_wire() if trace is not None else None,
+        )
         return protocol.encode_frame(request.to_dict())
 
 
@@ -177,7 +193,10 @@ class ServiceClient(_ClientBase):
         return protocol.decode_frame(line)
 
     def _request(
-        self, request_type: str, params: Optional[Dict[str, Any]] = None
+        self,
+        request_type: str,
+        params: Optional[Dict[str, Any]] = None,
+        trace: Optional[TraceContext] = None,
     ) -> Dict[str, Any]:
         """Send one request with the client's retry/backoff budget.
 
@@ -188,7 +207,7 @@ class ServiceClient(_ClientBase):
         """
         attempts = 0
         while True:
-            frame = self._frame_for(request_type, params)
+            frame = self._frame_for(request_type, params, trace=trace)
             try:
                 # raise_for_error turns a queue_full response into
                 # ServiceBusyError *inside* the retry loop; other error
@@ -224,8 +243,15 @@ class ServiceClient(_ClientBase):
         seed: int = 7,
         warmup_records: Optional[int] = None,
         use_cache: bool = True,
+        trace: Optional[TraceContext] = None,
     ) -> ServedResult:
-        """Run (or fetch) one simulation on the service."""
+        """Run (or fetch) one simulation on the service.
+
+        With a ``recorder`` attached the call is wrapped in a
+        ``client:simulate`` span whose context rides on the frame;
+        passing ``trace`` instead (or additionally, as the span's
+        parent) joins an existing trace.
+        """
         params = SimulateParams(
             workload=workload,
             prefetcher=prefetcher,
@@ -234,12 +260,29 @@ class ServiceClient(_ClientBase):
             warmup_records=warmup_records,
             use_cache=use_cache,
         )
-        return _decode_served(self._request("simulate", params.to_dict()))
+        if self.recorder is not None:
+            with self.recorder.span(
+                "client:simulate",
+                parent=trace,
+                workload=workload,
+                prefetcher=prefetcher,
+            ) as span:
+                served = _decode_served(
+                    self._request("simulate", params.to_dict(), trace=span.context)
+                )
+                span.set(cached=served.cached)
+                return served
+        return _decode_served(self._request("simulate", params.to_dict(), trace=trace))
 
     def stats(self) -> Dict[str, Any]:
         """The service's metrics-registry snapshot plus queue/cache state."""
         frame = protocol.raise_for_error(self._request("stats"))
         return frame["result"]
+
+    def metrics(self) -> str:
+        """The merged service registry as Prometheus text exposition."""
+        frame = protocol.raise_for_error(self._request("metrics"))
+        return frame["result"]["text"]
 
     def shutdown(self) -> Dict[str, Any]:
         """Ask the service to drain and exit (in-flight work completes)."""
@@ -274,11 +317,14 @@ class AsyncServiceClient(_ClientBase):
         return protocol.decode_frame(line)
 
     async def _request(
-        self, request_type: str, params: Optional[Dict[str, Any]] = None
+        self,
+        request_type: str,
+        params: Optional[Dict[str, Any]] = None,
+        trace: Optional[TraceContext] = None,
     ) -> Dict[str, Any]:
         attempts = 0
         while True:
-            frame = self._frame_for(request_type, params)
+            frame = self._frame_for(request_type, params, trace=trace)
             try:
                 return protocol.raise_for_error(await self._roundtrip(frame))
             except ServiceBusyError as exc:
@@ -305,6 +351,7 @@ class AsyncServiceClient(_ClientBase):
         seed: int = 7,
         warmup_records: Optional[int] = None,
         use_cache: bool = True,
+        trace: Optional[TraceContext] = None,
     ) -> ServedResult:
         params = SimulateParams(
             workload=workload,
@@ -314,11 +361,32 @@ class AsyncServiceClient(_ClientBase):
             warmup_records=warmup_records,
             use_cache=use_cache,
         )
-        return _decode_served(await self._request("simulate", params.to_dict()))
+        if self.recorder is not None:
+            with self.recorder.span(
+                "client:simulate",
+                parent=trace,
+                workload=workload,
+                prefetcher=prefetcher,
+            ) as span:
+                served = _decode_served(
+                    await self._request(
+                        "simulate", params.to_dict(), trace=span.context
+                    )
+                )
+                span.set(cached=served.cached)
+                return served
+        return _decode_served(
+            await self._request("simulate", params.to_dict(), trace=trace)
+        )
 
     async def stats(self) -> Dict[str, Any]:
         frame = protocol.raise_for_error(await self._request("stats"))
         return frame["result"]
+
+    async def metrics(self) -> str:
+        """The merged service registry as Prometheus text exposition."""
+        frame = protocol.raise_for_error(await self._request("metrics"))
+        return frame["result"]["text"]
 
     async def shutdown(self) -> Dict[str, Any]:
         frame = protocol.raise_for_error(await self._request("shutdown"))

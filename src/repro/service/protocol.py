@@ -12,12 +12,17 @@ Versioning
 Every frame carries ``"v"``.  A request whose version the server does
 not speak is answered with an ``unsupported_version`` error that lists
 ``SUPPORTED_VERSIONS``, so a newer client can downgrade instead of
-guessing.  Version 1 is the only version so far; the field exists so
-the protocol can evolve without a flag day.
+guessing.  Version 2 adds the ``metrics`` request type and an optional
+``trace`` field on request frames; both are strict supersets of
+version 1, so v1 clients (which send neither) are still served — the
+server accepts every version in ``SUPPORTED_VERSIONS``.
 
 Request frames
 --------------
-``{"v": 1, "id": "<client-chosen>", "type": "<type>", "params": {...}}``
+``{"v": 2, "id": "<client-chosen>", "type": "<type>", "params": {...},
+"trace": {"trace_id": ..., "span_id": ...}}`` — ``trace`` is optional
+(v2+) and carries the client's :class:`~repro.obs.tracing.TraceContext`
+so server-side spans join the client's trace.
 
 =============  ========================================================
 type           params
@@ -27,6 +32,7 @@ type           params
                optional ``warmup_records``, ``use_cache`` (default
                true)
 ``stats``      none — the service's metrics-registry snapshot
+``metrics``    none — the merged registry as Prometheus text (v2+)
 ``shutdown``   none — begin graceful drain (in-flight requests finish)
 =============  ========================================================
 
@@ -65,13 +71,14 @@ __all__ = [
 ]
 
 #: The protocol version this build speaks natively.
-PROTOCOL_VERSION = 1
-#: Every version the server accepts (negotiation surface).
-SUPPORTED_VERSIONS: Tuple[int, ...] = (1,)
+PROTOCOL_VERSION = 2
+#: Every version the server accepts (negotiation surface).  v1 clients
+#: never send ``trace`` or ``metrics`` and are served unchanged.
+SUPPORTED_VERSIONS: Tuple[int, ...] = (1, 2)
 #: Upper bound on one frame; a longer line is a malformed frame.
 MAX_FRAME_BYTES = 1 << 20
 
-REQUEST_TYPES = ("ping", "simulate", "stats", "shutdown")
+REQUEST_TYPES = ("ping", "simulate", "stats", "metrics", "shutdown")
 
 
 class ErrorCode(str, Enum):
@@ -180,17 +187,24 @@ class SimulateParams:
 
 @dataclass(frozen=True)
 class Request:
-    """One parsed, version-checked request frame."""
+    """One parsed, version-checked request frame.
+
+    ``trace`` is the optional (v2+) trace-context wire dict; absent for
+    v1 clients and untraced v2 requests.
+    """
 
     type: str
     id: str
     version: int = PROTOCOL_VERSION
     params: Dict[str, Any] = field(default_factory=dict)
+    trace: Optional[Dict[str, str]] = None
 
     def to_dict(self) -> Dict[str, Any]:
         frame: Dict[str, Any] = {"v": self.version, "id": self.id, "type": self.type}
         if self.params:
             frame["params"] = self.params
+        if self.trace:
+            frame["trace"] = self.trace
         return frame
 
 
@@ -255,7 +269,14 @@ def parse_request(line: bytes) -> Request:
         raise ProtocolError(
             ErrorCode.INVALID_REQUEST, "'params' must be an object", request_id=request_id
         )
-    return Request(type=request_type, id=request_id, version=version, params=params)
+    # Trace context is best-effort observability: a malformed one is
+    # dropped, never a request failure.
+    trace = payload.get("trace")
+    if not isinstance(trace, dict):
+        trace = None
+    return Request(
+        type=request_type, id=request_id, version=version, params=params, trace=trace
+    )
 
 
 # ----------------------------------------------------------------------

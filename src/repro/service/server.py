@@ -51,6 +51,8 @@ from ..engine.stats import SimulationResult
 from ..obs.bus import EventBus
 from ..obs.events import QueueSaturated, RequestCompleted, RequestReceived
 from ..obs.metrics import MetricsRegistry, ServiceMetrics
+from ..obs.prometheus import render_prometheus
+from ..obs.tracing import SpanRecorder, TelemetrySink, TraceContext, wall_us
 from ..parallel.jobs import JobSpec
 from ..prefetchers.registry import PREFETCHERS, build_prefetcher
 from ..resilience.executor import PersistentPool, execute
@@ -86,6 +88,9 @@ class ServiceConfig:
     cache_entries: int = 256
     #: Grace period for handlers to flush responses during shutdown.
     drain_timeout_s: float = 30.0
+    #: Collect worker-side :class:`SimulationMetrics` per job and merge
+    #: them into the service-global registry (per-prefetcher prefixed).
+    worker_metrics: bool = True
 
 
 @dataclass
@@ -97,6 +102,11 @@ class _PendingRequest:
     received_at: float
     future: "asyncio.Future[Tuple[SimulationResult, bool]]"
     cache_key: Optional[tuple] = None
+    #: The server-side span context this request's downstream spans
+    #: (admission, batch, cache, worker jobs) parent to; None = untraced.
+    trace: Optional[TraceContext] = None
+    #: ``wall_us()`` at admission — start of the admission-wait span.
+    received_us: int = 0
 
 
 @dataclass
@@ -125,6 +135,16 @@ class SimulationService:
         self.metrics = ServiceMetrics(self.bus, self.registry)
         self.cache = ResultCache(self.config.cache_entries)
         self.pool = PersistentPool(self.policy.resolved_jobs())
+        #: Server-side span collector; worker spans are absorbed here too,
+        #: so after a traced request it holds the whole cross-process tree.
+        self.recorder = SpanRecorder("server")
+        #: Worker simulation metrics, merged across jobs under a
+        #: per-prefetcher prefix (``ebcp.epoch_mlp``, ...).
+        self.sim_registry = MetricsRegistry()
+        self.sink = TelemetrySink(
+            registry=self.sim_registry if self.config.worker_metrics else None,
+            recorder=self.recorder,
+        )
         self.address: Optional[Tuple[str, int]] = None
 
         self._server: Optional[asyncio.AbstractServer] = None
@@ -294,6 +314,8 @@ class SimulationService:
             response = protocol.ok_response(request.id, self._ping_payload())
         elif request.type == "stats":
             response = protocol.ok_response(request.id, self._stats_payload())
+        elif request.type == "metrics":
+            response = protocol.ok_response(request.id, self._metrics_payload())
         elif request.type == "shutdown":
             self.begin_drain()
             response = protocol.ok_response(request.id, {"draining": True})
@@ -304,6 +326,20 @@ class SimulationService:
         return response
 
     async def _handle_simulate(self, request: Request, started: float) -> Dict[str, Any]:
+        """Serve one simulate, continuing the client's trace when present."""
+        ctx = TraceContext.from_wire(request.trace)
+        if ctx is None:
+            return await self._simulate_body(request, started, span=None)
+        with self.recorder.span(
+            "server:simulate", parent=ctx, request_id=request.id
+        ) as span:
+            response = await self._simulate_body(request, started, span=span)
+            span.set(ok=bool(response.get("ok")))
+            return response
+
+    async def _simulate_body(
+        self, request: Request, started: float, span: Optional[Any]
+    ) -> Dict[str, Any]:
         if self._draining:
             self._emit_completed("simulate", request.id, started, ok=False)
             return protocol.error_response(
@@ -322,6 +358,8 @@ class SimulationService:
             params=params,
             received_at=started,
             future=self._loop.create_future(),
+            trace=span.context if span is not None else None,
+            received_us=wall_us(),
         )
         try:
             self._queue.put_nowait(pending)
@@ -353,6 +391,8 @@ class SimulationService:
                 request.id, ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}"
             )
         elapsed_ms = (time.monotonic() - started) * 1000.0
+        if span is not None:
+            span.set(cached=cached)
         self._emit_completed("simulate", request.id, started, ok=True, cached=cached)
         return protocol.ok_response(
             request.id,
@@ -384,7 +424,33 @@ class SimulationService:
             self.metrics.queue_depth.set(float(self._queue.qsize()))
             await self._dispatch_gate.wait()
             self.metrics.batch_size.observe(len(batch))
-            outcome = await asyncio.to_thread(self._run_batch, batch)
+            # Close each traced request's admission-wait span (receipt →
+            # batch pickup, measured across two coroutines) and pick the
+            # first traced request as the batch span's parent — a batch
+            # has one span but possibly many traces.
+            picked_up_us = wall_us()
+            batch_ctx: Optional[TraceContext] = None
+            for pending in batch:
+                if pending.trace is None:
+                    continue
+                self.recorder.record_manual(
+                    "admission",
+                    pending.trace,
+                    pending.received_us,
+                    picked_up_us - pending.received_us,
+                    request_id=pending.request_id,
+                )
+                if batch_ctx is None:
+                    batch_ctx = pending.trace
+            if batch_ctx is not None:
+                with self.recorder.span(
+                    "batch", parent=batch_ctx, size=len(batch)
+                ) as batch_span:
+                    outcome = await asyncio.to_thread(
+                        self._run_batch, batch, batch_span.context
+                    )
+            else:
+                outcome = await asyncio.to_thread(self._run_batch, batch, None)
             for i, pending in enumerate(batch):
                 if pending.future.cancelled():  # pragma: no cover - defensive
                     continue
@@ -407,13 +473,18 @@ class SimulationService:
             except asyncio.TimeoutError:
                 continue
 
-    def _run_batch(self, batch: List[_PendingRequest]) -> _BatchOutcome:
+    def _run_batch(
+        self,
+        batch: List[_PendingRequest],
+        batch_ctx: Optional[TraceContext] = None,
+    ) -> _BatchOutcome:
         """Resolve one micro-batch (worker thread; blocking is fine here).
 
         Requests that hit the result cache are answered without a job;
         the rest — deduplicated, so identical concurrent requests share
         one simulation — go through :func:`repro.resilience.execute`
-        over the persistent pool.
+        over the persistent pool.  ``batch_ctx`` is the batch span's
+        context; it propagates through the executor into worker jobs.
         """
         outcome = _BatchOutcome(
             results=[None] * len(batch), cached=[False] * len(batch)
@@ -439,7 +510,14 @@ class SimulationService:
                 )
                 pending.cache_key = key
                 if params.use_cache:
-                    hit = self.cache.get(key)
+                    if pending.trace is not None:
+                        with self.recorder.span(
+                            "cache:lookup", parent=pending.trace
+                        ) as cache_span:
+                            hit = self.cache.get(key)
+                            cache_span.set(hit=hit is not None)
+                    else:
+                        hit = self.cache.get(key)
                     if hit is not None:
                         outcome.results[i] = hit
                         outcome.cached[i] = True
@@ -465,7 +543,10 @@ class SimulationService:
                     )
                 )
             if specs:
-                job_results = execute(specs, self.policy, bus=self.bus, pool=self.pool)
+                job_results = execute(
+                    specs, self.policy, bus=self.bus, pool=self.pool,
+                    trace=batch_ctx, telemetry=self.sink,
+                )
                 for key, result in zip(spec_order, job_results):
                     self.cache.put(key, result)
                     for slot in spec_slots[key]:
@@ -502,6 +583,7 @@ class SimulationService:
 
     def _stats_payload(self) -> Dict[str, Any]:
         assert self._queue is not None
+        latency = self.metrics.latency_ms
         return {
             "uptime_s": time.monotonic() - self._started_at,
             "queue": {"depth": self._queue.qsize(), "limit": self.config.queue_size},
@@ -511,7 +593,31 @@ class SimulationService:
                 "generation": self.pool.generation,
             },
             "draining": self._draining,
+            "latency_ms": {
+                "p50": latency.quantile(0.5),
+                "p90": latency.quantile(0.9),
+                "p99": latency.quantile(0.99),
+                "count": latency.total,
+            },
             "metrics": self.registry.to_dict(),
+            "simulation": self.sim_registry.to_dict(),
+        }
+
+    def merged_metrics(self) -> Dict[str, Any]:
+        """Service + aggregated worker instruments as one snapshot.
+
+        Names cannot collide: worker instruments arrive prefixed with
+        their job label (``ebcp.``, ``pointer_chase.``, ...), while the
+        service's own instruments are unprefixed.
+        """
+        snapshot = dict(self.registry.to_dict())
+        snapshot.update(self.sim_registry.to_dict())
+        return snapshot
+
+    def _metrics_payload(self) -> Dict[str, Any]:
+        return {
+            "content_type": "text/plain; version=0.0.4",
+            "text": render_prometheus(self.merged_metrics()),
         }
 
     def _emit_completed(
@@ -538,14 +644,37 @@ async def serve(
     config: Optional[ServiceConfig] = None,
     policy: Optional[ExecutionPolicy] = None,
     ready_message: bool = True,
+    metrics_out: Optional[str] = None,
+    trace_out: Optional[str] = None,
 ) -> int:
-    """Run one service until it drains (the ``repro-ebcp serve`` body)."""
+    """Run one service until it drains (the ``repro-ebcp serve`` body).
+
+    ``metrics_out`` dumps the merged registry (service + aggregated
+    worker metrics) as JSON on shutdown; ``trace_out`` writes every span
+    the service recorded (its own and the worker spans it absorbed) as a
+    Chrome trace.
+    """
+    import json as _json
+
+    from ..obs.tracing import write_chrome_trace
+
     service = SimulationService(config=config, policy=policy)
     host, port = await service.start()
     if ready_message:
         # The sentinel line CI and scripts wait for before sending traffic.
         print(f"repro-ebcp service listening on {host}:{port}", flush=True)
     await service.run(install_signal_handlers=True)
+    if metrics_out:
+        from pathlib import Path
+
+        Path(metrics_out).write_text(
+            _json.dumps(service.merged_metrics(), indent=2, sort_keys=True),
+            encoding="utf-8",
+        )
+        log.info("merged metrics written to %s", metrics_out)
+    if trace_out:
+        write_chrome_trace(service.recorder.spans, trace_out)
+        log.info("service trace written to %s", trace_out)
     return 0
 
 

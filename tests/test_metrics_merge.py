@@ -1,0 +1,235 @@
+"""Tests for cross-process metrics aggregation and quantile estimation.
+
+Two contracts from the observability PR: (1) ``MetricsRegistry.merge``
+folds worker snapshots into a service-global registry without losing
+counts (counters sum, gauges last-write + extremes, histograms merge
+bucket-wise and reject mismatched bounds); (2) ``Histogram.quantile``
+estimates percentiles from buckets closely enough to drive real latency
+reporting — asserted against exact numpy percentiles on known
+distributions, with error bounded by one bucket width.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.prometheus import render_prometheus
+
+
+def _registry_with(counter=0, gauge=None, hist_values=(), buckets=(1, 2, 4, 8)):
+    registry = MetricsRegistry()
+    if counter:
+        registry.counter("reqs").inc(counter)
+    if gauge is not None:
+        registry.gauge("depth").set(gauge)
+    if hist_values:
+        h = registry.histogram("lat", list(buckets))
+        for v in hist_values:
+            h.observe(v)
+    return registry
+
+
+class TestCounterMerge:
+    def test_counters_sum(self):
+        a = _registry_with(counter=3)
+        a.merge(_registry_with(counter=5))
+        assert a["reqs"].value == 8
+
+    def test_merge_creates_missing_instruments(self):
+        a = MetricsRegistry()
+        a.merge(_registry_with(counter=5))
+        assert a["reqs"].value == 5
+
+    def test_merge_accepts_snapshot_dicts(self):
+        a = _registry_with(counter=3)
+        a.merge(_registry_with(counter=5).to_dict())
+        assert a["reqs"].value == 8
+
+    def test_kind_conflict_raises(self):
+        a = MetricsRegistry()
+        a.gauge("reqs")
+        with pytest.raises(TypeError):
+            a.merge(_registry_with(counter=5))
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            MetricsRegistry().merge({"x": {"type": "summary", "value": 1}})
+
+
+class TestGaugeMerge:
+    def test_last_write_wins_and_extremes_fold(self):
+        a = MetricsRegistry()
+        g = a.gauge("depth")
+        g.set(10.0)
+        g.set(2.0)
+        b = MetricsRegistry()
+        b.gauge("depth").set(5.0)
+        a.merge(b)
+        merged = a["depth"]
+        assert merged.value == 5.0  # incoming value wins
+        assert merged.min == 2.0
+        assert merged.max == 10.0
+
+    def test_sample_statistics_accumulate(self):
+        a = _registry_with(gauge=4.0)
+        a.merge(_registry_with(gauge=8.0))
+        snap = a["depth"].to_dict()
+        assert snap["samples"] == 2
+        assert snap["mean"] == pytest.approx(6.0)
+
+    def test_empty_gauge_snapshot_is_a_noop(self):
+        a = _registry_with(gauge=4.0)
+        b = MetricsRegistry()
+        b.gauge("depth")  # registered, never set
+        a.merge(b)
+        assert a["depth"].value == 4.0
+        assert a["depth"].to_dict()["samples"] == 1
+
+
+class TestHistogramMerge:
+    def test_bucket_wise_merge(self):
+        a = _registry_with(hist_values=[1, 3, 9])
+        a.merge(_registry_with(hist_values=[2, 3, 100]))
+        merged = a["lat"].to_dict()
+        assert merged["total"] == 6
+        assert merged["overflow"] == 2  # 9 and 100 both exceed the 8 bound
+        assert merged["min"] == 1
+        assert merged["max"] == 100
+        assert sum(merged["counts"]) + merged["overflow"] == 6
+
+    def test_mismatched_buckets_rejected(self):
+        a = _registry_with(hist_values=[1])
+        with pytest.raises(ValueError, match="bucket bounds differ"):
+            a.merge(_registry_with(hist_values=[1], buckets=(1, 2, 4)))
+
+    def test_merged_quantiles_match_pooled_observations(self):
+        rng = np.random.default_rng(11)
+        lots = rng.uniform(0, 8, size=500)
+        buckets = [1, 2, 3, 4, 5, 6, 7, 8]
+        a = MetricsRegistry()
+        b = MetricsRegistry()
+        for v in lots[:250]:
+            a.histogram("lat", buckets).observe(float(v))
+        for v in lots[250:]:
+            b.histogram("lat", buckets).observe(float(v))
+        pooled = Histogram("lat", buckets)
+        for v in lots:
+            pooled.observe(float(v))
+        a.merge(b)
+        for q in (0.5, 0.9, 0.99):
+            assert a["lat"].quantile(q) == pytest.approx(pooled.quantile(q))
+
+    def test_prefix_namespaces_incoming(self):
+        a = MetricsRegistry()
+        a.merge(_registry_with(counter=2), prefix="ebcp.")
+        a.merge(_registry_with(counter=3), prefix="stream.")
+        assert a["ebcp.reqs"].value == 2
+        assert a["stream.reqs"].value == 3
+
+    def test_from_dict_round_trips(self):
+        h = Histogram("lat", [1, 2, 4, 8])
+        for v in (0.5, 1.5, 3, 7, 20):
+            h.observe(v)
+        again = Histogram.from_dict("lat", h.to_dict())
+        assert again.to_dict() == h.to_dict()
+
+
+class TestQuantileEstimation:
+    """Bucket-interpolated quantiles vs exact numpy percentiles."""
+
+    def test_uniform_distribution_within_one_bucket_width(self):
+        rng = np.random.default_rng(7)
+        values = rng.uniform(0.0, 100.0, size=2_000)
+        buckets = [float(b) for b in range(10, 101, 10)]
+        h = Histogram("lat", buckets)
+        for v in values:
+            h.observe(float(v))
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            exact = float(np.percentile(values, q * 100))
+            assert abs(h.quantile(q) - exact) <= 10.0, (
+                f"q={q}: estimate {h.quantile(q):.2f} vs exact {exact:.2f}"
+            )
+
+    def test_exponential_tail_within_one_bucket_width(self):
+        rng = np.random.default_rng(13)
+        values = rng.exponential(scale=20.0, size=5_000)
+        buckets = [1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0]
+        h = Histogram("lat", buckets)
+        for v in values:
+            h.observe(float(v))
+        for q, width in ((0.5, 15.0), (0.9, 25.0), (0.99, 150.0)):
+            exact = float(np.percentile(values, q * 100))
+            assert abs(h.quantile(q) - exact) <= width
+
+    def test_overflow_quantile_interpolates_to_observed_max(self):
+        h = Histogram("lat", [1.0, 2.0])
+        for v in (10.0, 20.0, 30.0, 40.0):
+            h.observe(v)  # everything in overflow
+        assert h.quantile(1.0) == pytest.approx(40.0)
+        assert 2.0 <= h.quantile(0.5) <= 40.0
+
+    def test_clamped_to_observed_range(self):
+        h = Histogram("lat", [10.0, 20.0])
+        h.observe(12.0)
+        h.observe(13.0)
+        assert h.quantile(0.0) >= 12.0
+        assert h.quantile(1.0) <= 13.0
+
+    def test_empty_histogram_is_zero(self):
+        assert Histogram("lat", [1.0]).quantile(0.5) == 0.0
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", [1.0]).quantile(1.5)
+
+
+class TestInstrumentMergeDicts:
+    def test_counter_merge_dict(self):
+        c = Counter("x")
+        c.inc(2)
+        c.merge_dict({"type": "counter", "value": 3})
+        assert c.value == 5
+
+    def test_gauge_merge_dict_folds_extremes(self):
+        g = Gauge("x")
+        g.set(1.0)
+        g.merge_dict({"type": "gauge", "value": 9.0, "min": 0.5, "max": 9.0,
+                      "samples": 2, "mean": 4.75})
+        assert g.value == 9.0
+        assert g.min == 0.5
+        assert g.max == 9.0
+
+
+class TestPrometheusExposition:
+    def test_counter_and_gauge_lines(self):
+        registry = _registry_with(counter=4, gauge=2.5)
+        text = render_prometheus(registry)
+        assert "# TYPE repro_reqs counter" in text
+        assert "repro_reqs 4" in text
+        assert "# TYPE repro_depth gauge" in text
+        assert "repro_depth 2.5" in text
+
+    def test_histogram_is_cumulative_and_ends_at_inf(self):
+        registry = _registry_with(hist_values=[1, 1, 3, 9])
+        text = render_prometheus(registry)
+        lines = [l for l in text.splitlines() if l.startswith("repro_lat_bucket")]
+        counts = [int(l.rsplit(" ", 1)[1]) for l in lines]
+        assert counts == sorted(counts), "bucket series must be cumulative"
+        assert lines[-1].startswith('repro_lat_bucket{le="+Inf"}')
+        assert counts[-1] == 4
+        assert "repro_lat_count 4" in text
+
+    def test_names_are_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("ebcp.epoch-mlp total").inc()
+        text = render_prometheus(registry)
+        assert "repro_ebcp_epoch_mlp_total 1" in text
+
+    def test_snapshot_dict_renders_like_registry(self):
+        registry = _registry_with(counter=4, gauge=2.5, hist_values=[1, 5])
+        assert render_prometheus(registry.to_dict()) == render_prometheus(registry)
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
