@@ -3,12 +3,21 @@
 Emits ``BENCH_speed.json`` with
 
 * single-process throughput (trace records simulated per second) for the
-  no-prefetching baseline and the default EBCP, on both the compressed
-  (filter-plane) and the legacy record-by-record execution paths,
+  no-prefetching baseline and every EBCP variant (``ebcp``,
+  ``ebcp_minus``, ``ebcp_onchip``) on the epoch-batched kernel path,
+  alongside the scalar (``REPRO_KERNEL=off``) and legacy
+  (record-by-record) reference paths,
+* the kernel-over-scalar speedup ratio per variant (the claim of the
+  epoch-batched kernel) and the compressed-over-legacy ratio (the claim
+  of the filter-plane layer),
 * wall-clock time of the same 8-job sweep grid at ``jobs=1`` vs
   ``jobs=4`` and the resulting speedup, and
-* bit-identity checks (hard assertions): parallelism and compressed
-  execution must never change results.
+* bit-identity checks (hard assertions): parallelism, compressed
+  execution and the epoch-batched kernel must never change results.
+
+The rendered ``results/speed.txt`` is produced from the *same* payload
+dict that becomes ``BENCH_speed.json`` (see :func:`_render_speed_text`),
+so the two can never drift apart.
 
 The parallel-speedup assertion is gated on the machine actually having
 cores to fan out to — on a single-core runner ``run_jobs`` now skips the
@@ -17,12 +26,13 @@ is still reported for the record.
 
 Perf-regression guard
 ---------------------
-With ``REPRO_PERF_GUARD=1`` (the CI guard step) the bench fails if the
-measured compressed-over-legacy speedup drops more than 25 % below the
-frozen reference speedups.  The guard compares *ratios measured within
-one run on one machine*, so it is machine-class independent — absolute
-records/sec on a laptop and a CI runner differ wildly, but the ratio a
-pure-speed optimisation claims must hold everywhere.
+With ``REPRO_PERF_GUARD=1`` (the CI guard step) the bench fails if a
+measured speedup ratio drops more than 25 % below its frozen reference
+floor — both the filter-plane ratios and the kernel-over-scalar ratio on
+``ebcp``.  The guard compares *ratios measured within one run on one
+machine*, so it is machine-class independent — absolute records/sec on a
+laptop and a CI runner differ wildly, but the ratio a pure-speed
+optimisation claims must hold everywhere.
 """
 
 from __future__ import annotations
@@ -39,10 +49,10 @@ from repro.workloads.registry import COMMERCIAL_WORKLOADS, make_workload
 
 from conftest import publish
 
-#: Frozen reference numbers (ebcp on tpcw at 40 K records, seed 7,
-#: best-of-5 on the development machine).  Absolute records/sec are
-#: machine-specific; the *speedup ratios* are what the optimisations
-#: claim and what the perf guard enforces.
+#: Frozen reference numbers (tpcw at 40 K records, seed 7, best-of-N on
+#: the development machine).  Absolute records/sec are machine-specific;
+#: the *speedup ratios* are what the optimisations claim and what the
+#: perf guard enforces.
 REFERENCE = {
     "pre_optimization_records_per_sec": 48_908,
     "post_optimization_records_per_sec": 57_172,
@@ -51,6 +61,12 @@ REFERENCE = {
     #: machine-independent claim of the filter-plane layer (measured
     #: ~3.4x none / ~1.5x ebcp; floors hold 25 % slack below that).
     "filter_plane_speedup_floor": {"none": 3.0, "ebcp": 1.15},
+    #: ebcp throughput before the epoch-batched kernel (scalar compressed
+    #: path on the development machine) and the kernel-over-scalar ratio
+    #: floor the kernel claims (measured ~5.4x; the floor holds slack).
+    "pre_kernel_records_per_sec": 99_693,
+    "kernel_records_per_sec": 569_065,
+    "kernel_speedup_floor": {"ebcp": 4.0},
     "method": "interleaved best-of-N on one machine; guard compares ratios",
 }
 
@@ -60,6 +76,18 @@ _GUARD_SLACK = 0.75
 
 _SPEED_RECORDS_CAP = 40_000
 
+#: EBCP variants measured on the kernel and scalar paths.
+_VARIANTS = ("ebcp", "ebcp_minus", "ebcp_onchip")
+
+
+def _run_once(trace, config, scheme: str, compressed: bool) -> EpochSimulator:
+    prefetcher = None if scheme == "none" else build_prefetcher(scheme)
+    sim = EpochSimulator(
+        config, prefetcher, cpi_perf=trace.meta.cpi_perf, overlap=trace.meta.overlap
+    )
+    sim.run(trace, compressed=compressed)
+    return sim
+
 
 def _throughput(
     workload: str,
@@ -68,8 +96,14 @@ def _throughput(
     scheme: str,
     compressed: bool,
     repeats: int = 5,
+    kernel: "bool | None" = None,
 ):
-    """Best-of-N records/sec for one (workload, prefetcher, mode)."""
+    """Best-of-N records/sec for one (workload, prefetcher, mode).
+
+    ``kernel`` toggles ``REPRO_KERNEL`` around the timed runs: ``False``
+    forces the scalar reference path, ``True`` requires the kernel,
+    ``None`` leaves the environment alone.
+    """
     trace = make_workload(workload, records=records, seed=seed)
     trace.columns()  # pre-pack so we time the simulator, not the conversion
     config = ProcessorConfig.scaled()
@@ -79,16 +113,50 @@ def _throughput(
         l1i = (config.l1i.size_bytes, config.l1i.ways, config.line_size)
         l1d = (config.l1d.size_bytes, config.l1d.ways, config.line_size)
         get_filter_plane(trace, l1i, l1d)
-    best = float("inf")
-    for _ in range(repeats):
-        prefetcher = None if scheme == "none" else build_prefetcher(scheme)
-        sim = EpochSimulator(
-            config, prefetcher, cpi_perf=trace.meta.cpi_perf, overlap=trace.meta.overlap
-        )
-        start = time.perf_counter()
-        sim.run(trace, compressed=compressed)
-        best = min(best, time.perf_counter() - start)
+    saved = os.environ.get("REPRO_KERNEL")
+    if kernel is False:
+        os.environ["REPRO_KERNEL"] = "off"
+    elif kernel is True:
+        os.environ.pop("REPRO_KERNEL", None)
+    try:
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            sim = _run_once(trace, config, scheme, compressed)
+            best = min(best, time.perf_counter() - start)
+        if kernel is True:
+            assert sim.last_run_path == "epoch_kernel", (
+                f"expected the epoch kernel on '{scheme}', "
+                f"took {sim.last_run_path!r}"
+            )
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_KERNEL", None)
+        else:
+            os.environ["REPRO_KERNEL"] = saved
     return len(trace) / best
+
+
+def _kernel_identity(records: int, seed: int) -> None:
+    """Hard assertion: kernel and scalar paths are bit-identical."""
+    trace = make_workload("tpcw", records=records, seed=seed)
+    config = ProcessorConfig.scaled()
+    saved = os.environ.get("REPRO_KERNEL")
+    try:
+        os.environ.pop("REPRO_KERNEL", None)
+        kernel_sim = _run_once(trace, config, "ebcp", compressed=True)
+        os.environ["REPRO_KERNEL"] = "off"
+        scalar_sim = _run_once(trace, config, "ebcp", compressed=True)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_KERNEL", None)
+        else:
+            os.environ["REPRO_KERNEL"] = saved
+    assert kernel_sim.last_run_path == "epoch_kernel"
+    assert scalar_sim.last_run_path == "compressed"
+    assert kernel_sim.stats.to_dict() == scalar_sim.stats.to_dict(), (
+        "epoch kernel and scalar path disagree — bit-identity violated"
+    )
 
 
 def _sweep_specs(records: int, seed: int) -> "list[JobSpec]":
@@ -107,6 +175,42 @@ def _sweep_specs(records: int, seed: int) -> "list[JobSpec]":
     ]
 
 
+def _render_speed_text(data: dict) -> str:
+    """Render ``results/speed.txt`` from the published JSON payload.
+
+    Taking the payload as the single source means the text file and
+    ``BENCH_speed.json`` always describe the same run.
+    """
+    throughput = data["records_per_sec"]
+    scalar = data["records_per_sec_scalar"]
+    legacy = data["records_per_sec_legacy"]
+    kernel_speedup = data["kernel_speedup"]
+    plane_speedup = data["filter_plane_speedup"]
+    cores = data["cpu_count"]
+    lines = ["Simulator speed:"]
+    lines.append(
+        f"  records/sec (none): {throughput['none']:10.0f}"
+        f"  (legacy {legacy['none']:8.0f}, plane speedup {plane_speedup['none']:.2f}x)"
+    )
+    for scheme in _VARIANTS:
+        lines.append(
+            f"  records/sec ({scheme}): {throughput[scheme]:10.0f}"
+            f"  (scalar {scalar[scheme]:8.0f}, kernel speedup "
+            f"{kernel_speedup[scheme]:.2f}x)"
+        )
+    lines.append(
+        f"  ebcp legacy path: {legacy['ebcp']:10.0f} rec/s"
+        f"  (scalar plane speedup {plane_speedup['ebcp']:.2f}x)"
+    )
+    lines.append(f"  8-job sweep, jobs=1: {data['sweep_jobs1_seconds']:6.2f} s")
+    lines.append(
+        f"  8-job sweep, jobs=4: {data['sweep_jobs4_seconds']:6.2f} s"
+        f"  (speedup {data['parallel_speedup_j4']:.2f}x "
+        f"on {cores} core{'' if cores == 1 else 's'})"
+    )
+    return "\n".join(lines)
+
+
 def test_speed(benchmark, bench_records, bench_seed):
     records = min(bench_records, _SPEED_RECORDS_CAP)
 
@@ -115,10 +219,23 @@ def test_speed(benchmark, bench_records, bench_seed):
         for workload in COMMERCIAL_WORKLOADS:
             make_workload(workload, records=records, seed=bench_seed).columns()
 
+        # The kernel must match the scalar path before its speed counts.
+        _kernel_identity(records, bench_seed)
+
         throughput = {
-            scheme: _throughput("tpcw", records, bench_seed, scheme, compressed=True)
-            for scheme in ("none", "ebcp")
+            "none": _throughput(
+                "tpcw", records, bench_seed, "none", compressed=True
+            )
         }
+        scalar = {}
+        for scheme in _VARIANTS:
+            throughput[scheme] = _throughput(
+                "tpcw", records, bench_seed, scheme, compressed=True, kernel=True
+            )
+            scalar[scheme] = _throughput(
+                "tpcw", records, bench_seed, scheme,
+                compressed=True, repeats=3, kernel=False,
+            )
         legacy = {
             scheme: _throughput("tpcw", records, bench_seed, scheme, compressed=False)
             for scheme in ("none", "ebcp")
@@ -132,10 +249,11 @@ def test_speed(benchmark, bench_records, bench_seed):
         parallel = run_jobs(_sweep_specs(records, bench_seed), jobs=4)
         jobs4_seconds = time.perf_counter() - start
 
-        return throughput, legacy, sequential, parallel, jobs1_seconds, jobs4_seconds
+        return throughput, scalar, legacy, sequential, parallel, jobs1_seconds, jobs4_seconds
 
     (
         throughput,
+        scalar,
         legacy,
         sequential,
         parallel,
@@ -148,36 +266,32 @@ def test_speed(benchmark, bench_records, bench_seed):
         r.stats.to_dict() for r in parallel
     ]
 
-    plane_speedup = {s: throughput[s] / legacy[s] for s in throughput}
+    kernel_speedup = {s: throughput[s] / scalar[s] for s in _VARIANTS}
+    plane_speedup = {
+        "none": throughput["none"] / legacy["none"],
+        # The plane claim predates the kernel: compare scalar-compressed
+        # against legacy so the two optimisations are attributed separately.
+        "ebcp": scalar["ebcp"] / legacy["ebcp"],
+    }
     speedup = jobs1_seconds / jobs4_seconds
     cores = os.cpu_count() or 1
-    lines = [
-        "Simulator speed:",
-        f"  records/sec (none): {throughput['none']:10.0f}"
-        f"  (legacy {legacy['none']:8.0f}, plane speedup {plane_speedup['none']:.2f}x)",
-        f"  records/sec (ebcp): {throughput['ebcp']:10.0f}"
-        f"  (legacy {legacy['ebcp']:8.0f}, plane speedup {plane_speedup['ebcp']:.2f}x)",
-        f"  8-job sweep, jobs=1: {jobs1_seconds:6.2f} s",
-        f"  8-job sweep, jobs=4: {jobs4_seconds:6.2f} s  (speedup {speedup:.2f}x "
-        f"on {cores} core{'' if cores == 1 else 's'})",
-    ]
-    publish(
-        "speed",
-        "\n".join(lines),
-        data={
-            "kind": "speed",
-            "id": "speed",
-            "records_per_sec": throughput,
-            "records_per_sec_legacy": legacy,
-            "filter_plane_speedup": plane_speedup,
-            "sweep_jobs1_seconds": jobs1_seconds,
-            "sweep_jobs4_seconds": jobs4_seconds,
-            "parallel_speedup_j4": speedup,
-            "parallel_identical": True,
-            "cpu_count": cores,
-            "single_process_reference": REFERENCE,
-        },
-    )
+    data = {
+        "kind": "speed",
+        "id": "speed",
+        "records_per_sec": throughput,
+        "records_per_sec_scalar": scalar,
+        "records_per_sec_legacy": legacy,
+        "kernel_speedup": kernel_speedup,
+        "filter_plane_speedup": plane_speedup,
+        "kernel_identity": True,
+        "sweep_jobs1_seconds": jobs1_seconds,
+        "sweep_jobs4_seconds": jobs4_seconds,
+        "parallel_speedup_j4": speedup,
+        "parallel_identical": True,
+        "cpu_count": cores,
+        "single_process_reference": REFERENCE,
+    }
+    publish("speed", _render_speed_text(data), data=data)
 
     if os.environ.get("REPRO_PERF_GUARD", "").strip() == "1" and records >= 20_000:
         floors = REFERENCE["filter_plane_speedup_floor"]
@@ -186,6 +300,13 @@ def test_speed(benchmark, bench_records, bench_seed):
             assert plane_speedup[scheme] >= required, (
                 f"perf regression: filter-plane speedup on '{scheme}' is "
                 f"{plane_speedup[scheme]:.2f}x, below {required:.2f}x "
+                f"(>25% under the {floor:.2f}x reference floor)"
+            )
+        for scheme, floor in REFERENCE["kernel_speedup_floor"].items():
+            required = floor * _GUARD_SLACK
+            assert kernel_speedup[scheme] >= required, (
+                f"perf regression: epoch-kernel speedup on '{scheme}' is "
+                f"{kernel_speedup[scheme]:.2f}x, below {required:.2f}x "
                 f"(>25% under the {floor:.2f}x reference floor)"
             )
 

@@ -54,6 +54,7 @@ RATIO_METRICS: Dict[str, List[Tuple[Tuple[str, ...], str, float]]] = {
     "speed": [
         (("filter_plane_speedup", "none"), "min_ratio", 0.25),
         (("filter_plane_speedup", "ebcp"), "min_ratio", 0.25),
+        (("kernel_speedup", "ebcp"), "min_ratio", 0.25),
     ],
 }
 

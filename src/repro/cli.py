@@ -363,6 +363,22 @@ def _render_top(stats: dict, req_per_s: float) -> str:
         f"    p99 {latency.get('p99', 0.0):8.1f} ms"
         f"    n={latency.get('count', 0)}"
     )
+    sim_metrics = stats.get("simulation", {})
+    fallbacks = sum(
+        payload.get("value", 0)
+        for name, payload in sim_metrics.items()
+        if name.endswith(".kernel_fallbacks") or name == "kernel_fallbacks"
+    )
+    if fallbacks:
+        causes = sorted(
+            (name.rsplit("kernel_fallbacks.", 1)[1], payload.get("value", 0))
+            for name, payload in sim_metrics.items()
+            if "kernel_fallbacks." in name
+        )
+        detail = ", ".join(f"{cause} {count}" for cause, count in causes)
+        lines.append(
+            f"  kernel fallbacks {fallbacks}" + (f"  ({detail})" if detail else "")
+        )
     mlp_rows = [
         (name[: -len(".epoch_mlp")], payload)
         for name, payload in sorted(stats.get("simulation", {}).items())
@@ -487,6 +503,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable compressed execution over precomputed L1 filter "
         "planes and walk every trace record (bit-identical, slower; "
         "equivalent to REPRO_COMPRESSED=0)",
+    )
+    parser.add_argument(
+        "--no-kernel", action="store_true",
+        help="disable the epoch-batched EBCP execution kernel and use the "
+        "scalar reference path (bit-identical, slower; equivalent to "
+        "REPRO_KERNEL=off)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -694,6 +716,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         # specs, pool workers) already consults, so setting it here turns
         # the whole run — including forked workers — legacy.
         os.environ["REPRO_COMPRESSED"] = "0"
+    if args.no_kernel:
+        os.environ["REPRO_KERNEL"] = "off"
     return args.func(args)
 
 

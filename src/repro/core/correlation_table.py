@@ -27,6 +27,13 @@ Semantics implemented:
 The table object also *owns* its physical allocation via
 :class:`~repro.memory.main_memory.MainMemory`, so the prefetcher's
 active/inactive state machine (Section 3.4.1) can be exercised.
+
+State is array-backed: a preallocated tag array (``-1`` = free, valid
+tags are non-negative line numbers) parallel to an address-map array,
+so the hot lookup path is one hash, one indexed compare and — only on a
+hit — one sort, with no per-entry objects allocated on the train path.
+:class:`TableEntry` survives as the diagnostic *view* type constructed
+on demand by :meth:`CorrelationTable.entry_at`.
 """
 
 from __future__ import annotations
@@ -88,7 +95,8 @@ class CorrelationTable:
         self.n_entries = n_entries
         self.addrs_per_entry = addrs_per_entry
         self.entry_bytes = entry_bytes
-        self._entries: list[TableEntry | None] = [None] * n_entries
+        self._tags: list[int] = [-1] * n_entries
+        self._addrs: list[dict[int, int] | None] = [None] * n_entries
         self._stamp = 0
         self.stats = TableStats()
         self.allocation: Allocation | None = None
@@ -110,7 +118,8 @@ class CorrelationTable:
     def detach_memory(self) -> None:
         """The OS reclaimed the region: all learned state is lost."""
         self.allocation = None
-        self._entries = [None] * self.n_entries
+        self._tags = [-1] * self.n_entries
+        self._addrs = [None] * self.n_entries
 
     @property
     def is_resident(self) -> bool:
@@ -135,12 +144,12 @@ class CorrelationTable:
         None otherwise.  The caller charges one entry-sized memory read.
         """
         self.stats.lookups += 1
-        index = self.index_of(key_line)
-        entry = self._entries[index]
-        if entry is None or entry.tag != key_line:
+        index = ((key_line * _HASH_MULT) & _HASH_MASK) % self.n_entries
+        if self._tags[index] != key_line:
             return None
         self.stats.lookup_hits += 1
-        return index, entry.ordered_addresses()
+        addrs = self._addrs[index]
+        return index, sorted(addrs, key=addrs.__getitem__, reverse=True)
 
     def train(self, key_line: int, payload: tuple[int, ...] | list[int]) -> int:
         """Insert/update the entry for ``key_line`` with EMAB payload.
@@ -149,35 +158,38 @@ class CorrelationTable:
         """
         self.stats.trains += 1
         index = self.index_of(key_line)
-        entry = self._entries[index]
         capped = list(payload[: self.addrs_per_entry])
-        if entry is None or entry.tag != key_line:
-            if entry is not None:
+        if self._tags[index] != key_line:
+            if self._tags[index] != -1:
                 self.stats.tag_conflicts += 1
             self.stats.allocations += 1
-            fresh = TableEntry(tag=key_line)
+            addrs = {}
+            stamp = self._stamp
             for line in capped:
-                self._stamp += 1
-                fresh.addrs[line] = self._stamp
-            self._entries[index] = fresh
+                stamp += 1
+                addrs[line] = stamp
+            self._stamp = stamp
+            self._tags[index] = key_line
+            self._addrs[index] = addrs
             return index
         # Tag match: refresh or LRU-replace.  Addresses inserted by this
         # training step are protected from evicting one another.
+        addrs = self._addrs[index]
         inserted: set[int] = set()
         for line in capped:
             self._stamp += 1
-            if line in entry.addrs:
-                entry.addrs[line] = self._stamp
+            if line in addrs:
+                addrs[line] = self._stamp
                 inserted.add(line)
                 continue
-            if len(entry.addrs) >= self.addrs_per_entry:
-                candidates = [a for a in entry.addrs if a not in inserted]
+            if len(addrs) >= self.addrs_per_entry:
+                candidates = [a for a in addrs if a not in inserted]
                 if not candidates:
                     break  # entry entirely filled by this payload already
-                victim = min(candidates, key=entry.addrs.__getitem__)
-                del entry.addrs[victim]
+                victim = min(candidates, key=addrs.__getitem__)
+                del addrs[victim]
                 self.stats.address_replacements += 1
-            entry.addrs[line] = self._stamp
+            addrs[line] = self._stamp
             inserted.add(line)
         return index
 
@@ -191,18 +203,21 @@ class CorrelationTable:
         self.stats.touches += 1
         if not (0 <= index < self.n_entries):
             return False
-        entry = self._entries[index]
-        if entry is None or line not in entry.addrs:
+        addrs = self._addrs[index]
+        if addrs is None or line not in addrs:
             return False
         self._stamp += 1
-        entry.addrs[line] = self._stamp
+        addrs[line] = self._stamp
         return True
 
     # ------------------------------------------------------------------
     def entry_at(self, index: int) -> TableEntry | None:
-        """Direct entry access (tests and diagnostics)."""
-        return self._entries[index]
+        """Entry view at ``index`` (tests and diagnostics); the address
+        map is shared with the live table, not copied."""
+        if self._tags[index] == -1:
+            return None
+        return TableEntry(tag=self._tags[index], addrs=self._addrs[index])
 
     @property
     def live_entries(self) -> int:
-        return sum(1 for entry in self._entries if entry is not None)
+        return sum(1 for tag in self._tags if tag != -1)

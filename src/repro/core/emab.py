@@ -23,13 +23,18 @@ epoch i+1.  The handicapped *EBCP minus* variant uses ``skip = 1``
 
 Store misses are never recorded (weak consistency makes store prefetching
 non-essential); the engine simply never reports them here.
+
+The buffer is backed by one preallocated flat slot array of
+``depth × capacity`` lines plus per-entry fill counts and a ring head —
+a rotation is two integer updates instead of list allocation and deque
+shifting, and a recorded miss is a single indexed store.  The original
+list-of-lists surface (``current_entry``, ``snapshot``) is preserved as
+copying views.
 """
 
 from __future__ import annotations
 
-from collections import deque
 from dataclasses import dataclass
-from itertools import islice
 
 __all__ = ["TrainingView", "EpochMissAddressBuffer"]
 
@@ -62,26 +67,40 @@ class EpochMissAddressBuffer:
         self.stored_epochs = stored_epochs
         self.capacity_per_epoch = capacity_per_epoch
         self.depth = skip_epochs + stored_epochs
-        self._entries: deque[list[int]] = deque(maxlen=self.depth)
-        self._entries.append([])
+        # Flat ring storage: slot s occupies lines[s*cap : s*cap + counts[s]].
+        self._lines: list[int] = [0] * (self.depth * capacity_per_epoch)
+        self._counts: list[int] = [0] * self.depth
+        self._head = 0  # slot holding the oldest buffered epoch
+        self._filled = 1  # live entries; a fresh buffer has one open entry
         self.overflow_drops = 0
 
     # ------------------------------------------------------------------
+    def _slot(self, ordinal: int) -> int:
+        """Physical slot of the ``ordinal``-th live entry (0 = oldest)."""
+        return (self._head + ordinal) % self.depth
+
+    def _entry(self, ordinal: int) -> list[int]:
+        slot = self._slot(ordinal)
+        base = slot * self.capacity_per_epoch
+        return self._lines[base : base + self._counts[slot]]
+
     @property
     def current_entry(self) -> list[int]:
-        return self._entries[-1]
+        return self._entry(self._filled - 1)
 
     @property
     def filled_entries(self) -> int:
-        return len(self._entries)
+        return self._filled
 
     def record_miss(self, line: int) -> None:
         """Record an L2 instruction/load miss of the current epoch."""
-        entry = self._entries[-1]
-        if len(entry) >= self.capacity_per_epoch:
+        slot = self._slot(self._filled - 1)
+        count = self._counts[slot]
+        if count >= self.capacity_per_epoch:
             self.overflow_drops += 1
             return
-        entry.append(line)
+        self._lines[slot * self.capacity_per_epoch + count] = line
+        self._counts[slot] = count + 1
 
     # ------------------------------------------------------------------
     def epoch_boundary(self) -> TrainingView | None:
@@ -92,32 +111,56 @@ class EpochMissAddressBuffer:
         ``depth - 1`` epochs behind the one that just ended.
         """
         view: TrainingView | None = None
-        if len(self._entries) == self.depth:
-            oldest = self._entries[0]
-            if oldest:
+        if self._filled == self.depth:
+            if self._counts[self._head]:
                 payload: list[int] = []
                 seen: set[int] = set()
                 seen_add = seen.add
                 payload_append = payload.append
-                for entry in islice(self._entries, self.skip_epochs, None):
-                    for line in entry:
+                for ordinal in range(self.skip_epochs, self.depth):
+                    for line in self._entry(ordinal):
                         if line not in seen:
                             seen_add(line)
                             payload_append(line)
                 if payload:
-                    view = TrainingView(key_line=oldest[0], payload=tuple(payload))
-        self._entries.append([])  # deque maxlen drops the oldest entry
+                    view = TrainingView(
+                        key_line=self._lines[self._head * self.capacity_per_epoch],
+                        payload=tuple(payload),
+                    )
+            # Drop the oldest entry; its slot becomes the new open entry.
+            recycled = self._head
+            self._head = (self._head + 1) % self.depth
+            self._counts[recycled] = 0
+        else:
+            self._counts[self._slot(self._filled)] = 0
+            self._filled += 1
         return view
 
     def reset(self) -> None:
-        self._entries.clear()
-        self._entries.append([])
+        self._counts = [0] * self.depth
+        self._head = 0
+        self._filled = 1
+
+    def restore(self, entries: list[list[int]], overflow_drops: int = 0) -> None:
+        """Bulk-load buffered entries (oldest first) — batch-kernel sync."""
+        if not 1 <= len(entries) <= self.depth:
+            raise ValueError("restore needs between 1 and depth entries")
+        self.reset()
+        cap = self.capacity_per_epoch
+        for slot, entry in enumerate(entries):
+            if len(entry) > cap:
+                raise ValueError("entry exceeds capacity_per_epoch")
+            base = slot * cap
+            self._lines[base : base + len(entry)] = entry
+            self._counts[slot] = len(entry)
+        self._filled = len(entries)
+        self.overflow_drops = overflow_drops
 
     @property
     def occupancy(self) -> int:
         """Total miss addresses currently buffered across all entries."""
-        return sum(len(entry) for entry in self._entries)
+        return sum(self._counts[self._slot(i)] for i in range(self._filled))
 
     def snapshot(self) -> list[list[int]]:
         """Copy of all buffered entries, oldest first (for tests)."""
-        return [list(entry) for entry in self._entries]
+        return [self._entry(i) for i in range(self._filled)]

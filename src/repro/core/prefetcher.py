@@ -90,6 +90,11 @@ class EpochBasedCorrelationPrefetcher(Prefetcher):
 
     name = "ebcp"
     targets_instructions = True
+    #: The epoch-batched execution kernel (``engine/ebcp_kernel.py``) can
+    #: replay this prefetcher's exact semantics from a precomputed epoch
+    #: segmentation.  Subclasses that override the observe hooks must
+    #: clear this flag (the kernel additionally refuses subclasses).
+    supports_epoch_batch = True
 
     def __init__(self, config: EBCPConfig | None = None) -> None:
         super().__init__()

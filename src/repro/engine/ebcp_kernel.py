@@ -1,0 +1,860 @@
+"""Epoch-batched execution kernel for EBCP and its variants.
+
+The scalar simulator spends most of an ``ebcp`` run re-deriving facts that
+are pure functions of the trace and the cache geometry: the L2 outcome of
+every L1 miss, the victim each install evicts, the would-be epoch
+(interval) boundaries, and the EMAB's entire contents (the buffer records
+every non-store off-chip-class event in stream order, so its state at any
+boundary — and therefore every training view it will ever emit — is known
+before the run starts).  :mod:`repro.engine.filter_plane` precomputes all
+of that once per (trace, geometry) as an :class:`EpochSegmentPlane`.
+
+What remains genuinely dynamic is the feedback loop through the
+correlation table and the prefetch buffer: a table lookup issues
+prefetches, a later demand access may hit the staged line, the hit
+refreshes the producing table entry's LRU stamp (``touch``), which
+changes what later training steps evict — so table and buffer state
+cannot be precomputed.  This kernel walks only the L2-*missing* records
+(the L2-hit majority of the miss stream collapses into the precomputed
+plane) and replays the exact operation sequence of
+``EpochSimulator._step_miss`` with every piece of mutable state held in
+plain locals: the correlation table's arrays, the bandwidth model's
+budget arithmetic and the traffic meter are inlined against the same
+data the real objects own, performing the identical Python float and
+dict operations in the identical order — bit-identical results, enforced
+by kernel-vs-scalar identity tests across every workload family.
+
+At the end of the run the simulator's objects (L2 contents, prefetch
+buffer, MSHRs, EMAB, epoch tracker, correlation-table stats, bus stats,
+pending transfers) are restored to exactly the state the scalar walk
+would have left, so ``_finish_run`` — and any later scalar run on the
+same simulator — behaves identically.
+
+``REPRO_KERNEL=0/off`` (or the ``--no-kernel`` CLI flag) forces the
+scalar reference path; :func:`kernel_fallback_cause` names why a run
+cannot use the kernel, and the simulator reports it as a
+``KernelFallback`` observability event.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import TYPE_CHECKING, Any, Optional
+
+from ..core.correlation_table import _HASH_MASK, _HASH_MULT
+from ..memory.prefetch_buffer import BufferEntry
+from ..memory.request import AccessKind, PrefetchRequest, Priority
+from .epoch import Epoch
+from .filter_plane import get_epoch_segments, get_filter_plane, kernel_enabled
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .simulator import EpochSimulator
+
+__all__ = ["kernel_enabled", "kernel_fallback_cause", "run_epoch_batched"]
+
+log = logging.getLogger(__name__)
+
+_KIND_OBJS = (AccessKind.IFETCH, AccessKind.LOAD, AccessKind.STORE)
+
+
+def kernel_fallback_cause(sim: "EpochSimulator") -> Optional[str]:
+    """Why the epoch-batched kernel cannot run this simulation.
+
+    Returns ``None`` when the kernel is usable.  The checks mirror the
+    kernel's assumptions: it replays EBCP's exact semantics (so only the
+    unmodified prefetcher class qualifies), it cannot feed per-access
+    event subscribers, and it precomputes the epoch segmentation from a
+    cold start (so a warm simulator must take the scalar path).
+    """
+    from ..core.prefetcher import EpochBasedCorrelationPrefetcher
+
+    prefetcher = sim.prefetcher
+    if prefetcher is None or not getattr(prefetcher, "supports_epoch_batch", False):
+        return "unsupported_prefetcher"
+    if type(prefetcher) is not EpochBasedCorrelationPrefetcher:
+        return "subclassed_prefetcher"
+    if not kernel_enabled():
+        return "disabled"
+    if sim.bus is not None:
+        return "bus_attached"
+    if sim._wants_access_stream:
+        return "access_stream"
+    if not prefetcher.is_active:
+        return "prefetcher_inactive"
+    emab = prefetcher.emab
+    if (
+        sim.tracker.open_epoch is not None
+        or sim.tracker.epoch_count != 0
+        or sim._interval_trigger_inst is not None
+        or sim._pending
+        or sim._penalty_accum != 0.0
+        or sim._store_read_bytes
+        or sim._store_write_bytes
+        or sim.mshrs.outstanding
+        or sim.hierarchy.l2.occupancy
+        or sim.hierarchy.prefetch_buffer.occupancy
+        or emab.occupancy != 0
+        or emab.filled_entries != 1
+    ):
+        return "warm_state"
+    return None
+
+
+def run_epoch_batched(
+    sim: "EpochSimulator", trace: Any, warmup_records: int, n: int
+):
+    """Run the trace through the epoch-batched kernel.
+
+    The caller (``EpochSimulator.run``) has validated the preconditions
+    via :func:`kernel_fallback_cause`.
+    """
+    hierarchy = sim.hierarchy
+    prefetcher = sim.prefetcher
+    cfg = prefetcher.config
+    plane = get_filter_plane(
+        trace, hierarchy.l1i.geometry_key(), hierarchy.l1d.geometry_key()
+    )
+    seg = get_epoch_segments(trace, plane, hierarchy.l2.geometry_key(), sim._rob_size)
+    views, view_entries, emab_overflow = seg.training_views(
+        trace, plane, cfg.skip_epochs, cfg.stored_epochs, cfg.emab_capacity_per_epoch
+    )
+    (
+        w_kinds,
+        w_pcs,
+        w_serials,
+        w_insts,
+        w_lines,
+        w_victims,
+        w_vdirty,
+        w_triggers,
+    ) = seg.walk_columns(trace, plane)
+
+    n_misses = plane.n_misses
+    n_walk = seg.n_walk
+    split = plane.miss_count_before(warmup_records)
+    wsplit = seg.walk_count_before(split)
+    inst_prefix = plane.inst_prefix
+    total_inst = int(inst_prefix[n])
+    measure_start_inst = int(inst_prefix[warmup_records])
+
+    # ------------------------------------------------------------------
+    # Hot-loop locals.  Everything below mirrors a field of a simulator
+    # object; the sync-back section at the end is the single place where
+    # local state flows back into those objects.
+    # ------------------------------------------------------------------
+    sim._measuring = False
+    measuring = False
+
+    cpi = sim._cpi_onchip
+    mem_lat = sim._memory_latency
+    base_penalty = sim._base_penalty
+    line_bytes = sim._line_bytes
+    rob_size = sim._rob_size
+    pacc = sim._penalty_accum
+
+    # Epoch tracker state as plain scalars; the open Epoch object is
+    # reconstructed at the end of the run.
+    ep_open = False
+    ep_index = 0
+    ep_trigger_line = 0
+    ep_trigger_kind = 0
+    ep_trigger_pc = 0
+    ep_trigger_inst = 0
+    ep_sealed = False
+    ep_lines: list = []
+    ep_kind_codes: list = []
+    epoch_count = sim.tracker.epoch_count
+    term = sim.tracker.termination_reasons  # mutated in place, like the scalar path
+
+    # Interval state (final values synced back; the per-event trigger
+    # decision itself comes precomputed from the segment plane).
+    itrig: Optional[int] = None
+    isealed = False
+    boundary_ordinal = 0
+
+    # MSHR file as a plain set plus counters.
+    mshr_cap = sim.mshrs.capacity
+    ms: set = set()
+    ms_add = ms.add
+    n_mshr_alloc = 0
+    n_mshr_merge = 0
+
+    # L2 residency: the real cache object stays untouched during the walk
+    # (its exact final contents come from the segment plane); the kernel
+    # only needs membership for prefetch redundancy filtering.
+    resident: set = set()
+    res_add = resident.add
+    res_discard = resident.discard
+
+    # Prefetch buffer shadow: per-set dicts of line -> mutable
+    # [ready_cycle, table_index, last_use, issue_epoch] entries.
+    buffer = hierarchy.prefetch_buffer
+    bways = buffer.ways
+    bmask = buffer._set_mask
+    bsets: list = [dict() for _ in range(buffer.n_sets)]
+    bstamp = buffer._stamp
+    b_fills = b_hits = b_late = b_evictions = b_evicted_unused = 0
+
+    # Pending bus transfers as (issue_epoch, line, table_index) tuples.
+    pending: list = []
+    pending_append = pending.append
+
+    store_read = sim._store_read_bytes
+    store_write = sim._store_write_bytes
+
+    # Bandwidth model: the per-close budget arithmetic of
+    # EpochBudget/BandwidthModel.close_epoch/queueing_delay, inlined with
+    # the identical float-operation sequence.  Per-priority byte accounts
+    # mirror BusStats and are merged into the live objects at the end.
+    bandwidth = sim.bandwidth
+    read_bpc = bandwidth.read_bytes_per_cycle
+    write_bpc = bandwidth.write_bytes_per_cycle
+    q_threshold = bandwidth.queue_threshold
+    q_factor = bandwidth.queue_penalty_factor
+    ema_alpha = bandwidth.EMA_ALPHA
+    ema = bandwidth._ema_read_utilization
+    last_util = bandwidth._last_read_utilization
+    r_by: dict = {}
+    r_drop: dict = {}
+    w_by: dict = {}
+    w_drop: dict = {}
+    r_used_total = 0
+    w_used_total = 0
+    r_budget_total = 0
+    w_budget_total = 0
+    iD = int(Priority.DEMAND)
+    iL = int(Priority.TABLE_LOOKUP)
+    iP = int(Priority.PREFETCH)
+    iU = int(Priority.TABLE_UPDATE)
+    iW = int(Priority.LRU_WRITEBACK)
+
+    # Correlation table, inlined against its own arrays (CorrelationTable
+    # lookup/train/touch semantics, including the shared LRU stamp).
+    table = prefetcher.table
+    tbl_tags = table._tags
+    tbl_addrs = table._addrs
+    tbl_n = table.n_entries
+    tbl_cap = table.addrs_per_entry
+    tbl_stamp = table._stamp
+    n_lookups = n_lookup_hits = n_trains = n_allocs = 0
+    n_conflicts = n_repl = n_touches = 0
+
+    # Traffic meter (TrafficMeter add_*/drain), as pending + total locals.
+    traffic = prefetcher.traffic
+    tm_lookup_r = traffic.lookup_read_bytes
+    tm_update_r = traffic.update_read_bytes
+    tm_update_w = traffic.update_write_bytes
+    tm_lru_w = traffic.lru_write_bytes
+    tm_total_r = 0
+    tm_total_w = 0
+
+    in_memory = cfg.table_in_memory
+    entry_bytes = cfg.entry_bytes
+    degree = cfg.prefetch_degree
+    ready_mul = (2 if in_memory else 1) * mem_lat
+    n_issued = 0
+    n_suppressed = 0
+
+    # Measured-region statistics as plain locals, reset at the warm-up
+    # boundary and folded into the fresh SimulationStats at the end.
+    of_counts = [0, 0, 0]  # offchip_misses by kind code
+    ph_counts = [0, 0, 0]  # prefetch_hits by kind code
+    s_late = 0
+    s_epochs = 0
+    s_serial_epochs = 0
+    s_generated = 0
+    s_filled = 0
+    s_redundant = 0
+    s_dropped = 0
+    s_offchip_cycles = 0.0
+    s_queueing_cycles = 0.0
+    s_read_bytes = 0
+    s_write_bytes = 0
+    s_read_budget = 0
+    s_table_r = 0
+    s_table_w = 0
+    term_merged: dict = {}
+
+    walk_iter = zip(
+        w_kinds, w_pcs, w_serials, w_insts, w_lines, w_victims, w_vdirty, w_triggers
+    )
+    for i, (kc, pc, serial, inst, line, victim, vdirty, trig) in enumerate(walk_iter):
+        if i == wsplit and not measuring and warmup_records < n:
+            # Warm-up / measurement boundary: the scalar path swaps in
+            # fresh stats objects; here the locals reset instead.
+            sim._begin_measurement()
+            measuring = True
+            of_counts = [0, 0, 0]
+            ph_counts = [0, 0, 0]
+            s_late = s_epochs = s_serial_epochs = 0
+            s_generated = s_filled = s_redundant = s_dropped = 0
+            s_offchip_cycles = s_queueing_cycles = 0.0
+            s_read_bytes = s_write_bytes = s_read_budget = 0
+            s_table_r = s_table_w = 0
+            term_merged = {}
+            r_by = {}
+            r_drop = {}
+            w_by = {}
+            w_drop = {}
+            r_used_total = w_used_total = 0
+            r_budget_total = w_budget_total = 0
+
+        # Prospective epoch membership (EpochTracker.can_join, inlined).
+        if not ep_open:
+            prospective = epoch_count
+            joins = False
+            reason = "first_miss"
+        else:
+            if serial:
+                joins, reason = False, "serial_dependence"
+            elif ep_sealed:
+                joins, reason = False, "instruction_miss_seal"
+            elif inst - ep_trigger_inst > rob_size:
+                joins, reason = False, "rob_window"
+            elif line in ms or len(ms) < mshr_cap:
+                joins, reason = True, ""
+            else:
+                joins, reason = False, "mshr_full"
+            prospective = ep_index if joins else epoch_count
+        cycle = inst * cpi + pacc
+        if ep_open and not joins:
+            cycle += mem_lat
+
+        # Prefetch-buffer probe (PrefetchBuffer.lookup, inlined) and the
+        # L2 install, whose outcome the segment plane precomputed.
+        bucket = bsets[line & bmask]
+        hit_entry = bucket.get(line)
+        late = False
+        if hit_entry is not None:
+            if hit_entry[0] <= cycle:
+                del bucket[line]
+                b_hits += 1
+            else:
+                hit_entry = None
+                late = True
+                b_late += 1
+        res_add(line)
+        if victim >= 0:
+            res_discard(victim)
+            if vdirty:
+                store_write += line_bytes
+
+        cand = None
+        if hit_entry is not None:
+            # ---------------- PREFETCH_HIT ----------------
+            ph_counts[kc] += 1
+            if kc != 2:
+                if trig:
+                    if boundary_ordinal:
+                        view = views[boundary_ordinal]
+                        if view is not None:
+                            # table.train(view[0], view[1]), inlined.
+                            vk = view[0]
+                            n_trains += 1
+                            ti = ((vk * _HASH_MULT) & _HASH_MASK) % tbl_n
+                            capped = view[1][:tbl_cap]
+                            if tbl_tags[ti] != vk:
+                                if tbl_tags[ti] != -1:
+                                    n_conflicts += 1
+                                n_allocs += 1
+                                addrs = {}
+                                st = tbl_stamp
+                                for ln in capped:
+                                    st += 1
+                                    addrs[ln] = st
+                                tbl_stamp = st
+                                tbl_tags[ti] = vk
+                                tbl_addrs[ti] = addrs
+                            else:
+                                addrs = tbl_addrs[ti]
+                                inserted = set()
+                                for ln in capped:
+                                    tbl_stamp += 1
+                                    if ln in addrs:
+                                        addrs[ln] = tbl_stamp
+                                        inserted.add(ln)
+                                        continue
+                                    if len(addrs) >= tbl_cap:
+                                        cands = [a for a in addrs if a not in inserted]
+                                        if not cands:
+                                            break
+                                        vv = min(cands, key=addrs.__getitem__)
+                                        del addrs[vv]
+                                        n_repl += 1
+                                    addrs[ln] = tbl_stamp
+                                    inserted.add(ln)
+                            if in_memory:
+                                tm_update_r += entry_bytes
+                                tm_update_w += entry_bytes
+                                tm_total_r += entry_bytes
+                                tm_total_w += entry_bytes
+                    boundary_ordinal += 1
+                    itrig = inst
+                    isealed = False
+                if kc == 0:
+                    isealed = True
+                # observe_prefetch_hit: the EMAB record is precomputed;
+                # table.touch refreshes the producing entry's LRU stamp.
+                ti = hit_entry[1]
+                if ti is not None:
+                    n_touches += 1
+                    addrs = tbl_addrs[ti]
+                    if addrs is not None and line in addrs:
+                        tbl_stamp += 1
+                        addrs[line] = tbl_stamp
+                        if in_memory:
+                            tm_lru_w += entry_bytes
+                            tm_total_w += entry_bytes
+                if trig:
+                    # _lookup_and_issue: table.lookup(line), inlined.
+                    if in_memory:
+                        tm_lookup_r += entry_bytes
+                        tm_total_r += entry_bytes
+                    n_lookups += 1
+                    ti = ((line * _HASH_MULT) & _HASH_MASK) % tbl_n
+                    if tbl_tags[ti] == line:
+                        n_lookup_hits += 1
+                        addrs = tbl_addrs[ti]
+                        cand = sorted(addrs, key=addrs.__getitem__, reverse=True)
+        else:
+            # ---------------- genuine off-chip miss ----------------
+            of_counts[kc] += 1
+            if late:
+                s_late += 1
+            if kc == 2:
+                # Weak consistency: stores only consume bandwidth.
+                store_read += line_bytes
+                store_write += line_bytes
+                continue
+            if joins:
+                if line in ms:
+                    n_mshr_merge += 1
+                else:
+                    ms_add(line)
+                    n_mshr_alloc += 1
+                ep_lines.append(line)
+                ep_kind_codes.append(kc)
+                if kc == 0:
+                    ep_sealed = True
+            else:
+                term[reason] = term.get(reason, 0) + 1
+                if ep_open:
+                    # ---- close the open epoch (_process_epoch_close +
+                    # EpochBudget charges, inlined) ----
+                    ms.clear()
+                    span = inst - ep_trigger_inst
+                    if span < 0:
+                        span = 0
+                    duration = span * cpi + base_penalty
+                    rb = duration * read_bpc
+                    wb = duration * write_bpc
+                    r_budget_total += int(rb)
+                    w_budget_total += int(wb)
+                    r_used = 0.0
+                    w_used = 0.0
+                    nb = len(ep_lines) * line_bytes
+                    r_used += nb
+                    r_by[iD] = r_by.get(iD, 0) + nb
+                    r_used_total += nb
+                    if store_read:
+                        r_used += store_read
+                        r_by[iD] = r_by.get(iD, 0) + store_read
+                        r_used_total += store_read
+                        store_read = 0
+                    if store_write:
+                        w_used += store_write
+                        w_by[iD] = w_by.get(iD, 0) + store_write
+                        w_used_total += store_write
+                        store_write = 0
+                    # TrafficMeter.drain()
+                    lookup_r, update_r = tm_lookup_r, tm_update_r
+                    update_w, lru_w = tm_update_w, tm_lru_w
+                    tm_lookup_r = tm_update_r = tm_update_w = tm_lru_w = 0
+                    if lookup_r:
+                        r_used += lookup_r
+                        r_by[iL] = r_by.get(iL, 0) + lookup_r
+                        r_used_total += lookup_r
+                    if update_r:
+                        if r_used + update_r > rb:
+                            r_drop[iU] = r_drop.get(iU, 0) + update_r
+                        else:
+                            r_used += update_r
+                            r_by[iU] = r_by.get(iU, 0) + update_r
+                            r_used_total += update_r
+                    if update_w:
+                        if w_used + update_w > wb:
+                            w_drop[iU] = w_drop.get(iU, 0) + update_w
+                        else:
+                            w_used += update_w
+                            w_by[iU] = w_by.get(iU, 0) + update_w
+                            w_used_total += update_w
+                    if lru_w:
+                        if w_used + lru_w > wb:
+                            w_drop[iW] = w_drop.get(iW, 0) + lru_w
+                        else:
+                            w_used += lru_w
+                            w_by[iW] = w_by.get(iW, 0) + lru_w
+                            w_used_total += lru_w
+                    s_table_r += lookup_r + update_r
+                    s_table_w += update_w + lru_w
+                    if pending:
+                        still: list = []
+                        still_append = still.append
+                        for tr in pending:
+                            if tr[0] > ep_index:
+                                still_append(tr)
+                                continue
+                            tline = tr[1]
+                            tb = bsets[tline & bmask]
+                            if tline not in tb:
+                                # Consumed or evicted: the transfer
+                                # physically happened, charge it.
+                                r_used += line_bytes
+                                r_by[iP] = r_by.get(iP, 0) + line_bytes
+                                r_used_total += line_bytes
+                                s_filled += 1
+                            elif r_used + line_bytes > rb:
+                                r_drop[iP] = r_drop.get(iP, 0) + line_bytes
+                                del tb[tline]
+                                s_dropped += 1
+                            else:
+                                r_used += line_bytes
+                                r_by[iP] = r_by.get(iP, 0) + line_bytes
+                                r_used_total += line_bytes
+                                s_filled += 1
+                        pending = still
+                        pending_append = pending.append
+                    # close_epoch + queueing_delay
+                    last_util = r_used / rb if rb else 0.0
+                    ema += ema_alpha * (last_util - ema)
+                    over = ema - q_threshold
+                    if over <= 0:
+                        queueing = 0.0
+                    else:
+                        q_span = 1.0 - q_threshold
+                        if q_span < 1e-9:
+                            q_span = 1e-9
+                        q_ratio = over / q_span
+                        if q_ratio > 2.0:
+                            q_ratio = 2.0
+                        queueing = base_penalty * q_factor * q_ratio
+                    pacc += base_penalty + queueing
+                    s_offchip_cycles += base_penalty + queueing
+                    s_queueing_cycles += queueing
+                    s_read_bytes += int(r_used)
+                    s_write_bytes += int(w_used)
+                    s_read_budget += int(rb)
+                    for r, c in term.items():
+                        term_merged[r] = term_merged.get(r, 0) + c
+                    term.clear()
+                # ---- open the new epoch ----
+                ep_open = True
+                ep_index = epoch_count
+                ep_trigger_line = line
+                ep_trigger_kind = kc
+                ep_trigger_pc = pc
+                ep_trigger_inst = inst
+                ep_lines = [line]
+                ep_kind_codes = [kc]
+                ep_sealed = kc == 0
+                epoch_count += 1
+                s_epochs += 1
+                if serial:
+                    s_serial_epochs += 1
+                # MSHR allocation happens after the close drained the file.
+                if line in ms:
+                    n_mshr_merge += 1
+                else:
+                    ms_add(line)
+                    n_mshr_alloc += 1
+            # _interval_event + observe_offchip_miss (EMAB precomputed).
+            if trig:
+                if boundary_ordinal:
+                    view = views[boundary_ordinal]
+                    if view is not None:
+                        # table.train(view[0], view[1]), inlined.
+                        vk = view[0]
+                        n_trains += 1
+                        ti = ((vk * _HASH_MULT) & _HASH_MASK) % tbl_n
+                        capped = view[1][:tbl_cap]
+                        if tbl_tags[ti] != vk:
+                            if tbl_tags[ti] != -1:
+                                n_conflicts += 1
+                            n_allocs += 1
+                            addrs = {}
+                            st = tbl_stamp
+                            for ln in capped:
+                                st += 1
+                                addrs[ln] = st
+                            tbl_stamp = st
+                            tbl_tags[ti] = vk
+                            tbl_addrs[ti] = addrs
+                        else:
+                            addrs = tbl_addrs[ti]
+                            inserted = set()
+                            for ln in capped:
+                                tbl_stamp += 1
+                                if ln in addrs:
+                                    addrs[ln] = tbl_stamp
+                                    inserted.add(ln)
+                                    continue
+                                if len(addrs) >= tbl_cap:
+                                    cands = [a for a in addrs if a not in inserted]
+                                    if not cands:
+                                        break
+                                    vv = min(cands, key=addrs.__getitem__)
+                                    del addrs[vv]
+                                    n_repl += 1
+                                addrs[ln] = tbl_stamp
+                                inserted.add(ln)
+                        if in_memory:
+                            tm_update_r += entry_bytes
+                            tm_update_w += entry_bytes
+                            tm_total_r += entry_bytes
+                            tm_total_w += entry_bytes
+                boundary_ordinal += 1
+                itrig = inst
+                isealed = False
+                # _lookup_and_issue: table.lookup(line), inlined.
+                if in_memory:
+                    tm_lookup_r += entry_bytes
+                    tm_total_r += entry_bytes
+                n_lookups += 1
+                ti = ((line * _HASH_MULT) & _HASH_MASK) % tbl_n
+                if tbl_tags[ti] == line:
+                    n_lookup_hits += 1
+                    addrs = tbl_addrs[ti]
+                    cand = sorted(addrs, key=addrs.__getitem__, reverse=True)
+            else:
+                n_suppressed += 1
+            if kc == 0:
+                isealed = True
+
+        if cand is not None:
+            # make_request + _register_requests, inlined against the
+            # buffer shadow.  Both call sites register with the same epoch
+            # index: the prospective epoch (== the new epoch's index when
+            # one was just opened).
+            for pline in cand[:degree]:
+                n_issued += 1
+                s_generated += 1
+                if pline in resident:
+                    s_redundant += 1
+                    continue
+                rc = cycle + ready_mul
+                b = bsets[pline & bmask]
+                bstamp += 1
+                existing = b.get(pline)
+                if existing is not None:
+                    # Refresh: earliest readiness wins, LRU stamp updates.
+                    if rc < existing[0]:
+                        existing[0] = rc
+                    existing[2] = bstamp
+                else:
+                    if len(b) >= bways:
+                        vmin = -1
+                        vline = -1
+                        for bl, be in b.items():
+                            lu = be[2]
+                            if vmin < 0 or lu < vmin:
+                                vmin = lu
+                                vline = bl
+                        del b[vline]
+                        b_evictions += 1
+                        b_evicted_unused += 1
+                    b[pline] = [rc, ti, bstamp, prospective]
+                    b_fills += 1
+                pending_append((prospective, pline, ti))
+
+    if not measuring and warmup_records < n:
+        # Boundary past the last walk item: reset for the measured region.
+        sim._begin_measurement()
+        measuring = True
+        of_counts = [0, 0, 0]
+        ph_counts = [0, 0, 0]
+        s_late = s_epochs = s_serial_epochs = 0
+        s_generated = s_filled = s_redundant = s_dropped = 0
+        s_offchip_cycles = s_queueing_cycles = 0.0
+        s_read_bytes = s_write_bytes = s_read_budget = 0
+        s_table_r = s_table_w = 0
+        term_merged = {}
+        r_by = {}
+        r_drop = {}
+        w_by = {}
+        w_drop = {}
+        r_used_total = w_used_total = 0
+        r_budget_total = w_budget_total = 0
+
+    # ------------------------------------------------------------------
+    # Sync every piece of state back to the simulator's real objects so
+    # _finish_run — and any subsequent scalar use of this simulator —
+    # observes exactly what the scalar walk would have left behind.
+    # ------------------------------------------------------------------
+    if measuring:
+        stats = sim.stats
+        stats.accesses = n - warmup_records
+        stats.l1i_hits = int(
+            plane.l1i_hit_prefix[n] - plane.l1i_hit_prefix[warmup_records]
+        )
+        stats.l1d_hits = int(
+            plane.l1d_hit_prefix[n] - plane.l1d_hit_prefix[warmup_records]
+        )
+        stats.l2_accesses = n_misses - split
+        stats.l2_hits = seg.l2_hits_in(split, n_misses)
+        offchip = stats.offchip_misses
+        phits = stats.prefetch_hits
+        for code, kind in enumerate(_KIND_OBJS):
+            offchip[kind] += of_counts[code]
+            phits[kind] += ph_counts[code]
+        stats.late_prefetches += s_late
+        stats.epochs += s_epochs
+        stats.serial_epochs += s_serial_epochs
+        stats.prefetches_generated += s_generated
+        stats.prefetches_filled += s_filled
+        stats.prefetches_redundant += s_redundant
+        stats.prefetches_dropped += s_dropped
+        stats.offchip_cycles += s_offchip_cycles
+        stats.queueing_cycles += s_queueing_cycles
+        stats.read_bytes += s_read_bytes
+        stats.write_bytes += s_write_bytes
+        stats.read_budget_bytes += s_read_budget
+        stats.table_read_bytes += s_table_r
+        stats.table_write_bytes += s_table_w
+        merged = stats.termination_reasons
+        for r, c in term_merged.items():
+            merged[r] = merged.get(r, 0) + c
+
+    sim._penalty_accum = pacc
+    sim._store_read_bytes = store_read
+    sim._store_write_bytes = store_write
+    sim._interval_trigger_inst = itrig
+    sim._interval_sealed = isealed
+    prefetcher.issued_requests += n_issued
+    prefetcher.lookups_suppressed += n_suppressed
+
+    # Bandwidth model: EMA feedback plus the (post-boundary) bus stats.
+    bandwidth._last_read_utilization = last_util
+    bandwidth._ema_read_utilization = ema
+    for shadow_by, shadow_drop, bus_stats, used, budget in (
+        (r_by, r_drop, bandwidth.read_stats, r_used_total, r_budget_total),
+        (w_by, w_drop, bandwidth.write_stats, w_used_total, w_budget_total),
+    ):
+        bus_stats.used_bytes += used
+        bus_stats.budget_bytes += budget
+        by = bus_stats.bytes_by_priority
+        for k, v in shadow_by.items():
+            by[k] = by.get(k, 0) + v
+        dropped = bus_stats.dropped_by_priority
+        for k, v in shadow_drop.items():
+            dropped[k] = dropped.get(k, 0) + v
+
+    # Correlation table: stamp + stats (the arrays were mutated in place).
+    table._stamp = tbl_stamp
+    tstats = table.stats
+    tstats.lookups += n_lookups
+    tstats.lookup_hits += n_lookup_hits
+    tstats.trains += n_trains
+    tstats.allocations += n_allocs
+    tstats.tag_conflicts += n_conflicts
+    tstats.address_replacements += n_repl
+    tstats.touches += n_touches
+
+    # Traffic meter: pending (undrained) bytes + lifetime totals.
+    traffic.lookup_read_bytes = tm_lookup_r
+    traffic.update_read_bytes = tm_update_r
+    traffic.update_write_bytes = tm_update_w
+    traffic.lru_write_bytes = tm_lru_w
+    traffic.total_read_bytes += tm_total_r
+    traffic.total_write_bytes += tm_total_w
+
+    # EMAB end-of-run state: the capped entries of the trailing intervals.
+    if boundary_ordinal:
+        emab = prefetcher.emab
+        tail = view_entries[max(0, boundary_ordinal - emab.depth) : boundary_ordinal]
+        emab.restore(
+            [list(entry) for entry in tail], emab.overflow_drops + emab_overflow
+        )
+
+    mshrs = sim.mshrs
+    mshrs._lines.clear()
+    mshrs._lines.update(ms)
+    mshrs.stats.allocations += n_mshr_alloc
+    mshrs.stats.merges += n_mshr_merge
+
+    # L2: adopt the precomputed final contents (stamps are stream
+    # positions + 1, shifted by whatever the global stamp already was).
+    l2 = hierarchy.l2
+    final_lines, final_stamps, final_dirty = seg.final_state
+    l2_sets = l2._sets
+    l2_tshift = l2._tag_shift
+    l2_smask = l2._set_mask
+    stamp_base = l2._stamp
+    for fline, fstamp in zip(final_lines.tolist(), final_stamps.tolist()):
+        l2_sets[fline & l2_smask][fline >> l2_tshift] = stamp_base + fstamp
+    l2._stamp = stamp_base + n_misses  # each miss record bumps it exactly once
+    l2._dirty.update(final_lines[final_dirty].tolist())
+    l2.stats.hits += int(seg.l2_hit_prefix[n_misses])
+    l2.stats.misses += n_walk
+    l2.stats.insertions += n_walk
+    l2.stats.evictions += seg.n_evictions
+
+    buffer._stamp = bstamp
+    bstats = buffer.stats
+    bstats.fills += b_fills
+    bstats.hits += b_hits
+    bstats.late_hits += b_late
+    bstats.evictions += b_evictions
+    bstats.evicted_unused += b_evicted_unused
+    pf_name = prefetcher.name
+    real_sets = buffer._sets
+    for set_index, shadow in enumerate(bsets):
+        if shadow:
+            real_set = real_sets[set_index]
+            for bl, be in shadow.items():
+                real_set[bl] = BufferEntry(
+                    line=bl,
+                    ready_cycle=be[0],
+                    table_index=be[1],
+                    source=pf_name,
+                    last_use=be[2],
+                    issue_epoch=be[3],
+                )
+
+    from .simulator import _PendingTransfer
+
+    epochs_until_ready = 2 if in_memory else 1
+    sim._pending = [
+        _PendingTransfer(
+            PrefetchRequest(
+                line_addr=tline,
+                epochs_until_ready=epochs_until_ready,
+                priority=Priority.PREFETCH,
+                table_index=tindex,
+                source=pf_name,
+                issue_epoch=tie,
+            ),
+            tie,
+            tline,
+        )
+        for tie, tline, tindex in pending
+    ]
+
+    tracker = sim.tracker
+    tracker.epoch_count = epoch_count
+    if ep_open:
+        epoch = Epoch(
+            index=ep_index,
+            trigger_line=ep_trigger_line,
+            trigger_kind=_KIND_OBJS[ep_trigger_kind],
+            trigger_pc=ep_trigger_pc,
+            trigger_inst=ep_trigger_inst,
+        )
+        epoch.miss_lines = ep_lines
+        epoch.miss_kinds = [_KIND_OBJS[k] for k in ep_kind_codes]
+        epoch.sealed = ep_sealed
+        tracker.open_epoch = epoch
+    else:
+        tracker.open_epoch = None
+
+    sim.last_run_path = "epoch_kernel"
+    return sim._finish_run(trace, total_inst, measure_start_inst)

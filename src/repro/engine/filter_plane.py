@@ -40,11 +40,17 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 __all__ = [
     "FilterPlane",
+    "EpochSegmentPlane",
     "compute_filter_plane",
+    "compute_epoch_segments",
     "get_filter_plane",
+    "get_epoch_segments",
     "l1_hit_mask",
     "l1_hit_mask_reference",
+    "l2_evolution",
+    "l2_evolution_reference",
     "compressed_enabled",
+    "kernel_enabled",
 ]
 
 log = logging.getLogger(__name__)
@@ -62,11 +68,22 @@ _MIN_PERSIST_RECORDS = 20_000
 
 _PLANE_FORMAT_VERSION = 1
 
+_SEGMENT_FORMAT_VERSION = 1
+
 
 def compressed_enabled() -> bool:
     """Default for compressed execution: on unless ``REPRO_COMPRESSED``
     is set to a disabled value (``0``/``off``/``false``/...)."""
     value = os.environ.get("REPRO_COMPRESSED")
+    if value is None:
+        return True
+    return value.strip().lower() not in _DISABLED_VALUES
+
+
+def kernel_enabled() -> bool:
+    """Default for the epoch-batched kernel: on unless ``REPRO_KERNEL``
+    is set to a disabled value (``0``/``off``/``false``/...)."""
+    value = os.environ.get("REPRO_KERNEL")
     if value is None:
         return True
     return value.strip().lower() not in _DISABLED_VALUES
@@ -233,6 +250,7 @@ class FilterPlane:
         self.store_bytes_prefix = trace.store_count_prefix() * int(l1i_key[2])
         self.miss_indices = np.flatnonzero(miss_mask)
         self._miss_columns: tuple | None = None
+        self._segment_cache: dict = {}
 
     # ------------------------------------------------------------------
     @property
@@ -367,3 +385,445 @@ def get_filter_plane(
             _store_plane(path, plane)
     memo[memo_key] = plane
     return plane
+
+
+# ----------------------------------------------------------------------
+# Epoch segmentation over the compressed miss stream
+# ----------------------------------------------------------------------
+# Just as the L1s are pure filters of the demand stream, the *L2* is a
+# pure filter of the L1-miss stream: ``CacheHierarchy`` looks every miss
+# up in the L2 and installs it on an L2 miss regardless of prefetcher
+# outcome, and nothing else mutates L2 state.  The L2 hit/miss outcome,
+# the evicted victim line, and the victim's dirty bit are therefore
+# functions of (trace, L1 geometries, L2 geometry) alone.
+#
+# Epoch *triggers* go one step further.  ``EpochSimulator._interval_event``
+# is fed every non-store record that reaches off-chip decision logic —
+# prefetch hit or genuine miss alike — and its new-interval rule (first
+# event, serial instruction, sealed by an instruction fetch, or ROB-range
+# overflow) reads only the event stream itself.  The "first miss of each
+# would-be epoch" mask is therefore precomputable per (trace, L1 geoms,
+# L2 geom, ROB size) and shared by every EBCP variant and every run.
+
+
+def l2_evolution(
+    lines: np.ndarray, store_mask: np.ndarray, n_sets: int, ways: int
+) -> tuple:
+    """L2 outcomes over the L1-miss line stream (NumPy lockstep kernel).
+
+    Extends :func:`_grouped_lru_hit_mask` with the write-allocate dirty
+    protocol the hierarchy applies per miss record: lookup, then on a
+    miss insert the line (marking it dirty when the record is a store)
+    and evict the strict-LRU victim, reporting the victim's dirty bit.
+
+    Returns ``(hit_mask, victims, victim_dirty, final_state)`` where the
+    per-record ``victims`` entry is the evicted line number or ``-1``,
+    and ``final_state = (lines, stamps, dirty)`` reconstructs the cache
+    contents after the full stream — stamps equal the reference cache's
+    global LRU counter (each miss-stream record bumps it exactly once),
+    so a simulator can adopt the state mid-flight.
+    """
+    n = lines.size
+    hit_mask = np.empty(n, dtype=bool)
+    victims = np.full(n, -1, dtype=np.int64)
+    victim_dirty = np.zeros(n, dtype=bool)
+    if n == 0:
+        empty = (np.empty(0, np.int64), np.empty(0, np.int64), np.empty(0, bool))
+        return hit_mask, victims, victim_dirty, empty
+    set_mask = n_sets - 1
+    tag_shift = n_sets.bit_length() - 1
+    set_idx = (lines & set_mask).astype(np.int64)
+    tags = lines >> tag_shift
+    order = np.argsort(set_idx, kind="stable")
+    sorted_tags = tags[order]
+    sorted_store = np.asarray(store_mask, dtype=bool)[order]
+    counts = np.bincount(set_idx, minlength=n_sets)
+    offsets = np.zeros(n_sets, dtype=np.int64)
+    np.cumsum(counts[:-1], out=offsets[1:])
+
+    state_tags = np.full((n_sets, ways), -1, dtype=np.int64)
+    state_stamp = np.full((n_sets, ways), -1, dtype=np.int64)
+    state_dirty = np.zeros((n_sets, ways), dtype=bool)
+    state_pos = np.full((n_sets, ways), -1, dtype=np.int64)
+    ptr = np.zeros(n_sets, dtype=np.int64)
+    active = np.flatnonzero(counts)
+    round_no = 0
+    while active.size:
+        pos = offsets[active] + ptr[active]
+        opos = order[pos]
+        t = sorted_tags[pos]
+        eq = state_tags[active] == t[:, None]
+        hit = eq.any(axis=1)
+        hit_mask[opos] = hit
+        way = np.where(hit, eq.argmax(axis=1), state_stamp[active].argmin(axis=1))
+        vtag = state_tags[active, way]
+        vdirty = state_dirty[active, way]
+        evict = ~hit & (vtag >= 0)
+        victims[opos[evict]] = (vtag[evict] << tag_shift) | active[evict]
+        victim_dirty[opos[evict]] = vdirty[evict]
+        state_tags[active, way] = t
+        state_dirty[active, way] = np.where(hit, vdirty, sorted_store[pos])
+        state_stamp[active, way] = round_no
+        state_pos[active, way] = opos
+        ptr[active] += 1
+        round_no += 1
+        active = active[ptr[active] < counts[active]]
+
+    valid = state_tags >= 0
+    set_ids = np.nonzero(valid)[0]
+    final_lines = (state_tags[valid] << tag_shift) | set_ids
+    final_stamps = state_pos[valid] + 1
+    final_dirty = state_dirty[valid]
+    return hit_mask, victims, victim_dirty, (final_lines, final_stamps, final_dirty)
+
+
+def l2_evolution_reference(
+    lines: np.ndarray, store_mask: np.ndarray, l2_key: GeometryKey
+) -> tuple:
+    """Pure-Python reference: replays the hierarchy's exact L2 protocol
+    through :class:`SetAssociativeCache` (lookup → insert → mark dirty on
+    store → pop the victim's dirty bit).  Verifies the NumPy kernel and
+    serves degenerate geometries."""
+    from ..memory.cache import SetAssociativeCache
+
+    l2 = SetAssociativeCache(*l2_key, name="plane-L2")
+    n = len(lines)
+    hit_mask = np.empty(n, dtype=bool)
+    victims = np.full(n, -1, dtype=np.int64)
+    victim_dirty = np.zeros(n, dtype=bool)
+    line_list = np.asarray(lines).tolist()
+    store_list = np.asarray(store_mask, dtype=bool).tolist()
+    for i, (line, is_store) in enumerate(zip(line_list, store_list)):
+        if l2.lookup(line):
+            hit_mask[i] = True
+            continue
+        hit_mask[i] = False
+        victim = l2.insert(line)
+        if is_store:
+            l2.mark_dirty(line)
+        if victim is not None:
+            victims[i] = victim
+            victim_dirty[i] = l2.pop_dirty(victim)
+    final_lines, final_stamps, final_dirty = [], [], []
+    tag_shift = l2._tag_shift
+    for index, cache_set in enumerate(l2._sets):
+        for tag, stamp in cache_set.items():
+            line = (tag << tag_shift) | index
+            final_lines.append(line)
+            final_stamps.append(stamp)
+            final_dirty.append(l2.is_dirty(line))
+    final = (
+        np.asarray(final_lines, dtype=np.int64),
+        np.asarray(final_stamps, dtype=np.int64),
+        np.asarray(final_dirty, dtype=bool),
+    )
+    return hit_mask, victims, victim_dirty, final
+
+
+def _trigger_mask(kinds, serials, insts, rob_size: int) -> np.ndarray:
+    """First-event-of-interval mask over the walk stream.
+
+    Mirrors ``EpochSimulator._interval_event``: stores never participate;
+    a non-store event opens a new interval when it is the first ever, is
+    marked serializing, follows an instruction fetch (sealed), or retired
+    more than ``rob_size`` instructions after the current trigger."""
+    n = len(kinds)
+    out = np.zeros(n, dtype=bool)
+    trigger_inst = None
+    sealed = False
+    for i in range(n):
+        kind = kinds[i]
+        if kind == 2:  # store — bypasses interval logic entirely
+            continue
+        inst = insts[i]
+        if (
+            trigger_inst is None
+            or serials[i]
+            or sealed
+            or inst - trigger_inst > rob_size
+        ):
+            out[i] = True
+            trigger_inst = inst
+            sealed = False
+        if kind == 0:  # IFETCH seals the interval
+            sealed = True
+    return out
+
+
+class EpochSegmentPlane:
+    """Precomputed epoch segmentation for one (plane, L2 geometry, ROB).
+
+    Everything here is shared by every run of the same configuration:
+
+    * ``l2_hit_mask[j]`` — L2 outcome of miss-stream record ``j`` (with a
+      leading-zero prefix for O(1) range stats),
+    * ``walk_sel`` — positions of L2-*missing* records inside the miss
+      stream (the only records the epoch kernel must walk),
+    * ``victims`` / ``victim_dirty`` — per walk item, the L2 line evicted
+      by the install (−1 when the set had a free way) and its dirty bit,
+    * ``trigger`` — per walk item, True when the record is the first
+      miss of a (would-be) epoch interval; always False for stores,
+    * ``final_state`` — L2 contents after the whole stream, so a kernel
+      run can leave the simulator's real L2 object in the exact state the
+      scalar walk would have produced.
+
+    Derived, lazily-built batch views (walk columns, per-epoch training
+    views) are memoised on the instance and shared across runs.
+    """
+
+    def __init__(
+        self,
+        l2_hit_mask: np.ndarray,
+        victims: np.ndarray,
+        victim_dirty: np.ndarray,
+        trigger: np.ndarray,
+        final_state: tuple,
+        l2_key: GeometryKey,
+        rob_size: int,
+    ) -> None:
+        self.l2_hit_mask = l2_hit_mask
+        self.l2_key = l2_key
+        self.rob_size = rob_size
+        m = l2_hit_mask.size
+        self.l2_hit_prefix = np.zeros(m + 1, dtype=np.int64)
+        np.cumsum(l2_hit_mask, out=self.l2_hit_prefix[1:])
+        self.walk_sel = np.flatnonzero(~l2_hit_mask)
+        self.victims = victims
+        self.victim_dirty = victim_dirty
+        self.trigger = trigger
+        self.final_state = final_state
+        self.n_evictions = int(np.count_nonzero(victims >= 0))
+        if victims.shape != self.walk_sel.shape or trigger.shape != self.walk_sel.shape:
+            raise ValueError("segment columns must be walk-stream length")
+        self._walk_columns: tuple | None = None
+        self._views_memo: dict = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def n_walk(self) -> int:
+        return int(self.walk_sel.size)
+
+    def l2_hits_in(self, lo: int, hi: int) -> int:
+        """L2 hits among miss-stream records ``[lo, hi)``."""
+        return int(self.l2_hit_prefix[hi] - self.l2_hit_prefix[lo])
+
+    def walk_count_before(self, miss_index: int) -> int:
+        """Walk items among miss-stream records ``[0, miss_index)``."""
+        return int(np.searchsorted(self.walk_sel, miss_index))
+
+    def walk_columns(self, trace: "Trace", plane: FilterPlane) -> tuple:
+        """Packed per-walk-item columns as plain Python lists.
+
+        ``(kind, pc, serial, inst, line, victim, victim_dirty, trigger)``
+        — built once and reused by every kernel run of this plane.
+        """
+        if self._walk_columns is None:
+            idx = plane.miss_indices[self.walk_sel]
+            self._walk_columns = (
+                trace.kind[idx].tolist(),
+                trace.pc[idx].tolist(),
+                (trace.serial[idx] != 0).tolist(),
+                plane.inst_prefix[idx + 1].tolist(),
+                (trace.addr[idx] >> plane.line_shift).tolist(),
+                self.victims.tolist(),
+                self.victim_dirty.tolist(),
+                self.trigger.tolist(),
+            )
+        return self._walk_columns
+
+    def training_views(
+        self, trace: "Trace", plane: FilterPlane, skip: int, stored: int, cap: int
+    ) -> tuple:
+        """Per-trigger EMAB training views for one (skip, stored, cap).
+
+        The EMAB's contents are a pure function of the event stream: the
+        buffer rotates at every interval boundary *before* recording the
+        boundary's own miss, so interval ``k`` spans the events from
+        trigger ``k`` (inclusive) to trigger ``k+1`` (exclusive), capped
+        at ``cap`` lines.  Returns ``(views, entries, overflow)``:
+
+        * ``views[k]`` — ``(key_line, payload_lines)`` emitted at the
+          boundary that *opens* interval ``k``, or ``None`` when the
+          buffer was not yet full or produced an empty payload,
+        * ``entries[k]`` — interval ``k``'s capped line list (the tail of
+          this list rebuilds the EMAB's end-of-run state),
+        * ``overflow`` — total lines dropped past the per-entry cap.
+        """
+        key = (skip, stored, cap)
+        cached = self._views_memo.get(key)
+        if cached is not None:
+            return cached
+        kinds, _pcs, _serials, _insts, lines, _v, _vd, triggers = self.walk_columns(
+            trace, plane
+        )
+        ev_lines = [ln for ln, k in zip(lines, kinds) if k != 2]
+        ev_trigger = [tr for tr, k in zip(triggers, kinds) if k != 2]
+        starts = [i for i, tr in enumerate(ev_trigger) if tr]
+        bounds = starts + [len(ev_lines)]
+        depth = skip + stored
+        n_triggers = len(starts)
+        entries = []
+        overflow = 0
+        for k in range(n_triggers):
+            lo, hi = bounds[k], bounds[k + 1]
+            if hi - lo > cap:
+                overflow += (hi - lo) - cap
+                hi = lo + cap
+            entries.append(ev_lines[lo:hi])
+        views: list = [None] * n_triggers
+        for k in range(depth, n_triggers):
+            oldest = entries[k - depth]
+            if not oldest:
+                continue
+            payload = []
+            seen = set()
+            for entry in entries[k - depth + skip : k]:
+                for line in entry:
+                    if line not in seen:
+                        seen.add(line)
+                        payload.append(line)
+            if payload:
+                views[k] = (oldest[0], payload)
+        cached = (views, entries, overflow)
+        self._views_memo[key] = cached
+        return cached
+
+
+def compute_epoch_segments(
+    trace: "Trace",
+    plane: FilterPlane,
+    l2_key: GeometryKey,
+    rob_size: int,
+    kernel: str | None = None,
+) -> EpochSegmentPlane:
+    """Compute the segmentation directly (no caching)."""
+    if kernel is None:
+        kernel = os.environ.get("REPRO_FILTER_KERNEL", "numpy").strip().lower()
+    idx = plane.miss_indices
+    lines = (np.asarray(trace.addr, dtype=np.int64)[idx]) >> plane.line_shift
+    kinds = np.asarray(trace.kind)[idx]
+    store_mask = kinds == 2
+    n_sets, ways = _geometry_sets(l2_key)
+    if kernel == "python" or n_sets < 4:
+        hit, victims, victim_dirty, final = l2_evolution_reference(
+            lines, store_mask, l2_key
+        )
+    else:
+        hit, victims, victim_dirty, final = l2_evolution(
+            lines, store_mask, n_sets, ways
+        )
+    walk_sel = np.flatnonzero(~hit)
+    widx = idx[walk_sel]
+    trigger = _trigger_mask(
+        kinds[walk_sel].tolist(),
+        (np.asarray(trace.serial)[widx] != 0).tolist(),
+        plane.inst_prefix[widx + 1].tolist(),
+        rob_size,
+    )
+    return EpochSegmentPlane(
+        hit, victims[walk_sel], victim_dirty[walk_sel], trigger, final, l2_key, rob_size
+    )
+
+
+def _segment_path(trace: "Trace", plane: FilterPlane, l2_key: GeometryKey, rob_size: int):
+    from ..workloads.cache import plane_cache_root
+
+    root = plane_cache_root()
+    if root is None:
+        return None
+    l1i, l1d = plane.l1i_key, plane.l1d_key
+    geom = (
+        f"i{l1i[0]}x{l1i[1]}-d{l1d[0]}x{l1d[1]}-l{l1i[2]}"
+        f"-seg-l2{l2_key[0]}x{l2_key[1]}-r{rob_size}"
+    )
+    return root / f"{trace.fingerprint()}-{geom}.npz"
+
+
+def _load_segments(path, plane, l2_key, rob_size) -> Optional[EpochSegmentPlane]:
+    from ..resilience.integrity import quarantine_entry, verify_checksum
+
+    reason = verify_checksum(path)
+    if reason is not None:
+        quarantine_entry(path, "plane", reason)
+        return None
+    try:
+        with np.load(path) as data:
+            if int(data["version"][0]) != _SEGMENT_FORMAT_VERSION:
+                return None
+            n_misses = int(data["n_misses"][0])
+            if n_misses != plane.n_misses:
+                return None
+            l2_hit = np.unpackbits(data["l2_hit"], count=n_misses).astype(bool)
+            n_walk = int(n_misses - l2_hit.sum())
+            victims = data["victims"]
+            victim_dirty = np.unpackbits(data["victim_dirty"], count=n_walk).astype(bool)
+            trigger = np.unpackbits(data["trigger"], count=n_walk).astype(bool)
+            final = (
+                data["final_lines"],
+                data["final_stamps"],
+                np.unpackbits(
+                    data["final_dirty"], count=int(data["final_lines"].size)
+                ).astype(bool),
+            )
+        return EpochSegmentPlane(
+            l2_hit, victims, victim_dirty, trigger, final, l2_key, rob_size
+        )
+    except Exception as exc:  # corrupt/truncated/incompatible entry
+        quarantine_entry(path, "plane", f"unreadable entry ({exc})")
+        return None
+
+
+def _store_segments(path, seg: EpochSegmentPlane) -> None:
+    from ..resilience.faults import FaultSpec
+    from ..resilience.integrity import write_checksum
+
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(path.parent), prefix=path.stem, suffix=".tmp.npz"
+        )
+        os.close(fd)
+        try:
+            np.savez_compressed(
+                tmp_name,
+                version=np.array([_SEGMENT_FORMAT_VERSION], dtype=np.int64),
+                n_misses=np.array([seg.l2_hit_mask.size], dtype=np.int64),
+                l2_hit=np.packbits(seg.l2_hit_mask),
+                victims=seg.victims,
+                victim_dirty=np.packbits(seg.victim_dirty),
+                trigger=np.packbits(seg.trigger),
+                final_lines=seg.final_state[0],
+                final_stamps=seg.final_state[1],
+                final_dirty=np.packbits(seg.final_state[2]),
+            )
+            os.replace(tmp_name, path)
+        finally:
+            if os.path.exists(tmp_name):
+                os.unlink(tmp_name)
+        write_checksum(path)
+        FaultSpec.from_env().maybe_corrupt(path, "plane")
+    except OSError as exc:
+        log.warning("could not write epoch-segment cache entry %s (%s)", path, exc)
+
+
+def get_epoch_segments(
+    trace: "Trace", plane: FilterPlane, l2_key: GeometryKey, rob_size: int
+) -> EpochSegmentPlane:
+    """The segmentation for ``(plane, L2 geometry, ROB)``, cached twice:
+    in memory on the plane object, on disk beside the plane's ``.npz``."""
+    memo = plane._segment_cache
+    memo_key = (l2_key, rob_size)
+    seg = memo.get(memo_key)
+    if seg is not None:
+        return seg
+    path = None
+    if plane.n_records >= _MIN_PERSIST_RECORDS:
+        path = _segment_path(trace, plane, l2_key, rob_size)
+    if path is not None and path.exists():
+        seg = _load_segments(path, plane, l2_key, rob_size)
+    if seg is None:
+        seg = compute_epoch_segments(trace, plane, l2_key, rob_size)
+        if path is not None:
+            _store_segments(path, seg)
+    memo[memo_key] = seg
+    return seg

@@ -38,6 +38,7 @@ from ..memory.request import Access, AccessKind, PrefetchRequest, Priority
 from ..obs.bus import EventBus
 from ..obs.events import (
     EpochClosed,
+    KernelFallback,
     PrefetchDropped,
     PrefetchFilled,
     PrefetchHit,
@@ -120,6 +121,9 @@ class EpochSimulator:
         #: from a precomputed plane: _step_miss then passes ``l1=None`` to
         #: the hierarchy so the (never again read) L1 fill is skipped.
         self._l1_precomputed = False
+        #: Which execution path the most recent ``run`` took:
+        #: ``"epoch_kernel"``, ``"compressed"`` or ``"legacy"``.
+        self.last_run_path: str | None = None
         #: The observability event bus; None keeps the null-sink fast path
         #: (a single ``is None`` check per emission site).
         self.bus = bus
@@ -181,8 +185,19 @@ class EpochSimulator:
             "on" if self.bus is not None else "off",
             compressed,
         )
+        batchable = self.prefetcher is not None and getattr(
+            self.prefetcher, "supports_epoch_batch", False
+        )
         if compressed:
+            if batchable:
+                result = self._try_epoch_kernel(trace, warmup_records, n)
+                if result is not None:
+                    return result
             return self._run_compressed(trace, warmup_records, n)
+        if batchable:
+            # The kernel rides on compressed execution; report the silent
+            # scalar fallback so it is visible in the telemetry surface.
+            self._note_kernel_fallback("compressed_disabled")
 
         if hasattr(trace, "columns"):
             # Real Trace objects pack their columns once and reuse them
@@ -203,6 +218,7 @@ class EpochSimulator:
                 else [0] * n
             )
 
+        self.last_run_path = "legacy"
         self._measuring = False
         inst = 0
         measure_start_inst = 0
@@ -241,6 +257,25 @@ class EpochSimulator:
     # ------------------------------------------------------------------
     # Compressed execution (precomputed L1 filter plane)
     # ------------------------------------------------------------------
+    def _try_epoch_kernel(
+        self, trace: Any, warmup_records: int, n: int
+    ) -> SimulationResult | None:
+        """Dispatch to the epoch-batched kernel when its preconditions
+        hold; otherwise report the fallback cause and return None."""
+        from .ebcp_kernel import kernel_fallback_cause, run_epoch_batched
+
+        cause = kernel_fallback_cause(self)
+        if cause is not None:
+            self._note_kernel_fallback(cause)
+            return None
+        return run_epoch_batched(self, trace, warmup_records, n)
+
+    def _note_kernel_fallback(self, cause: str) -> None:
+        name = self.prefetcher.name if self.prefetcher is not None else "none"
+        log.debug("epoch kernel fallback (%s): %s", name, cause)
+        if self.bus is not None:
+            self.bus.emit(KernelFallback(prefetcher=name, cause=cause))
+
     def _run_compressed(self, trace: Any, warmup_records: int, n: int) -> SimulationResult:
         """Run only the L1-miss records; L1-hit runs collapse to O(1).
 
@@ -249,6 +284,7 @@ class EpochSimulator:
         instruction clock at each miss) exactly as the record-by-record
         loop would have accumulated them.
         """
+        self.last_run_path = "compressed"
         hierarchy = self.hierarchy
         plane = get_filter_plane(
             trace, hierarchy.l1i.geometry_key(), hierarchy.l1d.geometry_key()

@@ -23,6 +23,7 @@ Event                     Emitted by
 ``TableRead``             :class:`repro.prefetchers.base.TrafficMeter`
 ``TableWrite``            :class:`repro.prefetchers.base.TrafficMeter`
 ``BudgetExhausted``       :class:`repro.memory.bandwidth.EpochBudget`
+``KernelFallback``        :class:`repro.engine.simulator.EpochSimulator`
 ``JobRetried``            :mod:`repro.resilience.executor`
 ``JobTimedOut``           :mod:`repro.resilience.executor`
 ``WorkerCrashed``         :mod:`repro.resilience.executor`
@@ -74,6 +75,7 @@ __all__ = [
     "TableRead",
     "TableWrite",
     "BudgetExhausted",
+    "KernelFallback",
     "JobRetried",
     "JobTimedOut",
     "WorkerCrashed",
@@ -216,6 +218,20 @@ class BudgetExhausted(Event):
     utilization: float
 
 
+@dataclass(frozen=True)
+class KernelFallback(Event):
+    """A run that could have used the epoch-batched execution kernel
+    silently took the scalar path instead.
+
+    ``cause`` names the reason (``bus_attached``, ``warm_state``,
+    ``disabled``, ``compressed_disabled``, ...) — see
+    :func:`repro.engine.ebcp_kernel.kernel_fallback_cause`.
+    """
+
+    prefetcher: str
+    cause: str
+
+
 # ----------------------------------------------------------------------
 # Resilience / execution-harness events (repro.resilience)
 # ----------------------------------------------------------------------
@@ -337,6 +353,7 @@ EVENT_TYPES: Tuple[type, ...] = (
     TableRead,
     TableWrite,
     BudgetExhausted,
+    KernelFallback,
     JobRetried,
     JobTimedOut,
     WorkerCrashed,

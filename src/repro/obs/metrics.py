@@ -33,6 +33,7 @@ from .events import (
     JobResumed,
     JobRetried,
     JobTimedOut,
+    KernelFallback,
     PrefetchDropped,
     PrefetchFilled,
     PrefetchHit,
@@ -365,6 +366,9 @@ class SimulationMetrics:
         self.table_reads = r.counter("table_read_bytes", "correlation-table read traffic")
         self.table_writes = r.counter("table_write_bytes", "correlation-table write traffic")
         self.budget_exhausted = r.counter("budget_exhausted", "droppable charges refused")
+        self.kernel_fallbacks = r.counter(
+            "kernel_fallbacks", "runs that fell back from the epoch-batched kernel"
+        )
 
         self.epoch_misses = r.histogram(
             "epoch_misses", EPOCH_MISS_BUCKETS, "misses per epoch (== per-epoch MLP)"
@@ -397,6 +401,7 @@ class SimulationMetrics:
             bus.subscribe(TableRead, self._on_table_read),
             bus.subscribe(TableWrite, self._on_table_write),
             bus.subscribe(BudgetExhausted, self._on_budget),
+            bus.subscribe(KernelFallback, self._on_kernel_fallback),
         ]
 
     # ------------------------------------------------------------------
@@ -461,6 +466,11 @@ class SimulationMetrics:
         self._tally(event)
         self.budget_exhausted.inc()
         self.bus_queue.set(event.utilization)
+
+    def _on_kernel_fallback(self, event: KernelFallback) -> None:
+        self._tally(event)
+        self.kernel_fallbacks.inc()
+        self.registry.counter(f"kernel_fallbacks.{event.cause}").inc()
 
     # ------------------------------------------------------------------
     def to_dict(self) -> dict:

@@ -27,7 +27,12 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
 from ..engine.config import ProcessorConfig
-from ..engine.filter_plane import compressed_enabled, get_filter_plane
+from ..engine.filter_plane import (
+    compressed_enabled,
+    get_epoch_segments,
+    get_filter_plane,
+    kernel_enabled,
+)
 from ..engine.simulator import EpochSimulator
 from ..engine.stats import SimulationResult
 from ..prefetchers.base import Prefetcher
@@ -133,6 +138,19 @@ class JobSpec:
             (cfg.l1d.size_bytes, cfg.l1d.ways, cfg.line_size),
         )
 
+    def wants_kernel(self) -> bool:
+        """Whether running this spec can take the epoch-batched kernel."""
+        return (
+            self.wants_compressed()
+            and kernel_enabled()
+            and getattr(self.prefetcher, "supports_epoch_batch", False)
+        )
+
+    def segment_geometry_key(self) -> "tuple[tuple, int]":
+        """The (L2 geometry, ROB size) key of this spec's epoch segments."""
+        cfg = self.config
+        return ((cfg.l2.size_bytes, cfg.l2.ways, cfg.line_size), cfg.rob_size)
+
 
 def run_job(spec: JobSpec) -> SimulationResult:
     """Process-pool entry point (must be a module-level callable)."""
@@ -152,13 +170,23 @@ def _warm_trace_cache(specs: Sequence[JobSpec]) -> None:
     """
     seen: set = set()
     warmed_planes: set = set()
+    warmed_segments: set = set()
     for spec in specs:
         if spec.n_threads > 0:
             continue  # CMP composites are built from cached per-thread traces
         key = (spec.workload, spec.records, spec.seed, spec.scale)
         geometry = spec.l1_geometry_keys() if spec.wants_compressed() else None
         plane_key = None if geometry is None else key + geometry
-        if key in seen and (plane_key is None or plane_key in warmed_planes):
+        segment_key = (
+            plane_key + spec.segment_geometry_key()
+            if plane_key is not None and spec.wants_kernel()
+            else None
+        )
+        if (
+            key in seen
+            and (plane_key is None or plane_key in warmed_planes)
+            and (segment_key is None or segment_key in warmed_segments)
+        ):
             continue
         try:
             # Memoised by the registry: a repeat call is a dict lookup.
@@ -168,9 +196,15 @@ def _warm_trace_cache(specs: Sequence[JobSpec]) -> None:
         except KeyError:
             continue  # unknown name: let the worker raise the real error
         seen.add(key)
-        if plane_key is not None and plane_key not in warmed_planes:
+        if plane_key is not None:
             warmed_planes.add(plane_key)
-            get_filter_plane(trace, *geometry)
+            plane = get_filter_plane(trace, *geometry)
+            if segment_key is not None and segment_key not in warmed_segments:
+                # Kernel-eligible jobs also consult the epoch-segment plane
+                # (per distinct L2 geometry + ROB size) — warm it alongside.
+                warmed_segments.add(segment_key)
+                l2_geometry, rob_size = spec.segment_geometry_key()
+                get_epoch_segments(trace, plane, l2_geometry, rob_size)
 
 
 def run_jobs(

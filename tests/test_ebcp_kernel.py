@@ -1,0 +1,323 @@
+"""Tests for the epoch-batched EBCP execution kernel.
+
+The load-bearing claims verified here:
+
+* the kernel produces field-for-field identical ``SimulationStats`` to
+  the scalar reference path (``REPRO_KERNEL=off``) on every workload
+  family and EBCP variant,
+* identity holds on *adversarial* randomized miss streams — tiny cache
+  geometries that conflict hard, EMAB overflow, correlation-table
+  aliasing, MSHR exhaustion and warm-up boundaries in arbitrary places —
+  and extends to the post-run state of every simulator object (so a
+  subsequent scalar run continues identically),
+* the default (goldens) configuration actually exercises the kernel —
+  a silent fallback would leave the fast path untested, and
+* every fallback is observable: the simulator emits a ``KernelFallback``
+  event naming the cause.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.prefetcher import EBCPConfig, EpochBasedCorrelationPrefetcher
+from repro.engine.config import CacheConfig, ProcessorConfig
+from repro.engine.simulator import EpochSimulator
+from repro.obs.bus import EventBus
+from repro.obs.events import KernelFallback
+from repro.workloads.registry import COMMERCIAL_WORKLOADS, make_workload
+from repro.workloads.trace import Trace, TraceMeta
+
+LINE = 64
+
+VARIANT_CONFIGS = {
+    "ebcp": EBCPConfig(),
+    "ebcp_minus": EBCPConfig(skip_epochs=1),
+    "ebcp_onchip": EBCPConfig(table_in_memory=False),
+}
+
+
+@pytest.fixture(autouse=True)
+def _kernel_env():
+    """Each test starts from the default (kernel-enabled) environment."""
+    saved = os.environ.pop("REPRO_KERNEL", None)
+    yield
+    if saved is None:
+        os.environ.pop("REPRO_KERNEL", None)
+    else:
+        os.environ["REPRO_KERNEL"] = saved
+
+
+def run_pair(trace, config, make_prefetcher, warmup_records=None):
+    """Run (kernel, scalar) sims on the same trace; return both sims."""
+    os.environ.pop("REPRO_KERNEL", None)
+    kernel_sim = EpochSimulator(
+        config, make_prefetcher(),
+        cpi_perf=trace.meta.cpi_perf, overlap=trace.meta.overlap,
+    )
+    kernel_sim.run(trace, warmup_records=warmup_records)
+
+    os.environ["REPRO_KERNEL"] = "off"
+    scalar_sim = EpochSimulator(
+        config, make_prefetcher(),
+        cpi_perf=trace.meta.cpi_perf, overlap=trace.meta.overlap,
+    )
+    scalar_sim.run(trace, warmup_records=warmup_records)
+    os.environ.pop("REPRO_KERNEL", None)
+    return kernel_sim, scalar_sim
+
+
+def state_fingerprint(sim: EpochSimulator) -> dict:
+    """Every piece of post-run state a later scalar run would consult."""
+    pf = sim.prefetcher
+    l2 = sim.hierarchy.l2
+    buf = sim.hierarchy.prefetch_buffer
+    open_epoch = sim.tracker.open_epoch
+    return {
+        "stats": sim.stats.to_dict(),
+        "penalty_accum": sim._penalty_accum,
+        "interval": (sim._interval_trigger_inst, sim._interval_sealed),
+        "store_bytes": (sim._store_read_bytes, sim._store_write_bytes),
+        "epoch_count": sim.tracker.epoch_count,
+        "open_epoch": None if open_epoch is None else (
+            open_epoch.index,
+            open_epoch.trigger_line,
+            open_epoch.trigger_kind,
+            open_epoch.trigger_inst,
+            tuple(open_epoch.miss_lines),
+            tuple(open_epoch.miss_kinds),
+            open_epoch.sealed,
+        ),
+        "termination": dict(sim.tracker.termination_reasons),
+        "mshrs": (sorted(sim.mshrs._lines), vars(sim.mshrs.stats)),
+        "l2": (
+            sorted((t, s) for bucket in l2._sets for t, s in bucket.items()),
+            l2._stamp,
+            sorted(l2._dirty),
+            vars(l2.stats),
+        ),
+        "buffer": (
+            sorted(
+                (e.line, e.ready_cycle, e.table_index, e.last_use, e.issue_epoch)
+                for bucket in buf._sets for e in bucket.values()
+            ),
+            buf._stamp,
+            vars(buf.stats),
+        ),
+        "pending": sorted(
+            (p.issue_epoch, p.line, p.request.table_index) for p in sim._pending
+        ),
+        "table": (
+            list(pf.table._tags),
+            [None if a is None else dict(a) for a in pf.table._addrs],
+            pf.table._stamp,
+            vars(pf.table.stats),
+        ),
+        "emab": (pf.emab.occupancy, pf.emab.overflow_drops, pf.emab.filled_entries),
+        "traffic": vars(pf.traffic),
+        "issued": pf.issued_requests,
+        "suppressed": pf.lookups_suppressed,
+        "bandwidth": (
+            sim.bandwidth._ema_read_utilization,
+            sim.bandwidth._last_read_utilization,
+            vars(sim.bandwidth.read_stats),
+            vars(sim.bandwidth.write_stats),
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Identity on every workload family x variant
+# ----------------------------------------------------------------------
+class TestKernelIdentity:
+    @pytest.mark.parametrize("workload", COMMERCIAL_WORKLOADS)
+    @pytest.mark.parametrize("variant", sorted(VARIANT_CONFIGS))
+    def test_stats_and_state_identical(self, workload, variant):
+        trace = make_workload(workload, records=8_000, seed=7)
+        cfg = VARIANT_CONFIGS[variant]
+        kernel_sim, scalar_sim = run_pair(
+            trace, ProcessorConfig.scaled(),
+            lambda: EpochBasedCorrelationPrefetcher(cfg),
+        )
+        assert kernel_sim.last_run_path == "epoch_kernel"
+        assert scalar_sim.last_run_path == "compressed"
+        assert kernel_sim.stats.to_dict() == scalar_sim.stats.to_dict()
+        assert state_fingerprint(kernel_sim) == state_fingerprint(scalar_sim)
+
+    def test_warm_second_run_continues_identically(self):
+        """After a kernel run, a scalar run on the same simulator matches
+        the all-scalar double run — the synced-back state is complete."""
+        trace = make_workload("tpcw", records=6_000, seed=7)
+        kernel_sim, scalar_sim = run_pair(
+            trace, ProcessorConfig.scaled(), EpochBasedCorrelationPrefetcher
+        )
+        second_kernel = kernel_sim.run(trace)
+        second_scalar = scalar_sim.run(trace)
+        # The warm simulator must take the scalar path (precomputed
+        # segmentation assumes a cold start) ...
+        assert kernel_sim.last_run_path == "compressed"
+        # ... and still agree with the never-kernel control, run for run.
+        assert second_kernel.stats.to_dict() == second_scalar.stats.to_dict()
+        assert state_fingerprint(kernel_sim) == state_fingerprint(scalar_sim)
+
+
+# ----------------------------------------------------------------------
+# Default configuration exercises the kernel (goldens cover it)
+# ----------------------------------------------------------------------
+class TestKernelIsExercised:
+    def test_goldens_configuration_takes_kernel_path(self):
+        """The golden-file runs must go through the kernel, not around it."""
+        trace = make_workload("tpcw", records=2_000, seed=7)
+        sim = EpochSimulator(
+            ProcessorConfig.scaled(), EpochBasedCorrelationPrefetcher(),
+            cpi_perf=trace.meta.cpi_perf, overlap=trace.meta.overlap,
+        )
+        sim.run(trace)
+        assert sim.last_run_path == "epoch_kernel"
+
+
+# ----------------------------------------------------------------------
+# Property: identity on adversarial randomized miss streams
+# ----------------------------------------------------------------------
+#: Tiny geometries so sets conflict hard: 256 B 2-way L1s, a 512 B 2-way
+#: L2 (8 lines), an 8-entry buffer, 2 MSHRs and an 8-entry ROB window.
+_TINY = ProcessorConfig.scaled(
+    rob_size=8,
+    l1i=CacheConfig(256, 2, LINE, 3),
+    l1d=CacheConfig(256, 2, LINE, 3),
+    l2=CacheConfig(512, 2, LINE, 20),
+    l2_mshrs=2,
+    prefetch_buffer_entries=8,
+    prefetch_buffer_ways=2,
+)
+
+#: Prime table size -> aliasing; tiny EMAB -> overflow; small degree.
+_TINY_EBCP = EBCPConfig(
+    prefetch_degree=4,
+    table_entries=37,
+    addrs_per_entry=4,
+    emab_capacity_per_epoch=2,
+)
+
+
+class TestKernelProperty:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        records=st.lists(
+            st.tuples(
+                st.integers(0, 2),           # kind
+                st.integers(0, 31),          # line (tiny space, hard conflicts)
+                st.booleans(),               # serial dependence
+                st.integers(0, 3),           # instruction gap
+            ),
+            min_size=1,
+            max_size=250,
+        ),
+        warmup_fraction=st.sampled_from([0.0, 0.25, 0.5, 1.0]),
+        skip_epochs=st.sampled_from([1, 2]),
+        in_memory=st.booleans(),
+    )
+    def test_random_streams_identical(
+        self, records, warmup_fraction, skip_epochs, in_memory
+    ):
+        n = len(records)
+        trace = Trace(
+            gap=np.array([g for *_, g in records], dtype=np.int64),
+            kind=np.array([k for k, *_ in records], dtype=np.uint8),
+            pc=np.array([(line * 4) for _, line, *_ in records], dtype=np.int64),
+            addr=np.array([line * LINE for _, line, *_ in records], dtype=np.int64),
+            serial=np.array([s for _, _, s, _ in records], dtype=np.uint8),
+            meta=TraceMeta(name="prop", cpi_perf=1.0, overlap=0.10),
+        )
+        cfg = EBCPConfig(
+            prefetch_degree=_TINY_EBCP.prefetch_degree,
+            table_entries=_TINY_EBCP.table_entries,
+            addrs_per_entry=_TINY_EBCP.addrs_per_entry,
+            emab_capacity_per_epoch=_TINY_EBCP.emab_capacity_per_epoch,
+            skip_epochs=skip_epochs,
+            table_in_memory=in_memory,
+        )
+        kernel_sim, scalar_sim = run_pair(
+            trace, _TINY,
+            lambda: EpochBasedCorrelationPrefetcher(cfg),
+            warmup_records=int(n * warmup_fraction),
+        )
+        assert kernel_sim.last_run_path == "epoch_kernel"
+        assert kernel_sim.stats.to_dict() == scalar_sim.stats.to_dict()
+        assert state_fingerprint(kernel_sim) == state_fingerprint(scalar_sim)
+
+
+# ----------------------------------------------------------------------
+# Fallbacks are observable
+# ----------------------------------------------------------------------
+def _collect_fallbacks(bus: EventBus) -> list:
+    events: list = []
+    bus.subscribe(KernelFallback, events.append)
+    return events
+
+
+class TestKernelFallback:
+    def test_disabled_by_env(self):
+        os.environ["REPRO_KERNEL"] = "off"
+        trace = make_workload("tpcw", records=2_000, seed=7)
+        sim = EpochSimulator(
+            ProcessorConfig.scaled(), EpochBasedCorrelationPrefetcher(),
+            cpi_perf=trace.meta.cpi_perf, overlap=trace.meta.overlap,
+        )
+        sim.run(trace)
+        assert sim.last_run_path == "compressed"
+
+    def test_bus_attached_emits_event_with_cause(self):
+        trace = make_workload("tpcw", records=2_000, seed=7)
+        bus = EventBus()
+        events = _collect_fallbacks(bus)
+        sim = EpochSimulator(
+            ProcessorConfig.scaled(), EpochBasedCorrelationPrefetcher(),
+            cpi_perf=trace.meta.cpi_perf, overlap=trace.meta.overlap,
+            bus=bus,
+        )
+        sim.run(trace)
+        assert sim.last_run_path != "epoch_kernel"
+        assert [e.cause for e in events] == ["bus_attached"]
+        assert events[0].prefetcher == "ebcp"
+
+    def test_legacy_path_emits_compressed_disabled(self):
+        trace = make_workload("tpcw", records=2_000, seed=7)
+        bus = EventBus()
+        events = _collect_fallbacks(bus)
+        sim = EpochSimulator(
+            ProcessorConfig.scaled(), EpochBasedCorrelationPrefetcher(),
+            cpi_perf=trace.meta.cpi_perf, overlap=trace.meta.overlap,
+            bus=bus,
+        )
+        sim.run(trace, compressed=False)
+        assert sim.last_run_path == "legacy"
+        assert [e.cause for e in events] == ["compressed_disabled"]
+
+    def test_unsupported_prefetcher_no_kernel(self):
+        trace = make_workload("tpcw", records=2_000, seed=7)
+        sim = EpochSimulator(
+            ProcessorConfig.scaled(), None,
+            cpi_perf=trace.meta.cpi_perf, overlap=trace.meta.overlap,
+        )
+        sim.run(trace)
+        assert sim.last_run_path == "compressed"
+
+    def test_warm_state_falls_back(self):
+        from repro.engine.ebcp_kernel import kernel_fallback_cause
+
+        trace = make_workload("tpcw", records=2_000, seed=7)
+        sim = EpochSimulator(
+            ProcessorConfig.scaled(), EpochBasedCorrelationPrefetcher(),
+            cpi_perf=trace.meta.cpi_perf, overlap=trace.meta.overlap,
+        )
+        sim.run(trace)
+        assert sim.last_run_path == "epoch_kernel"
+        assert kernel_fallback_cause(sim) == "warm_state"
+        sim.run(trace)
+        assert sim.last_run_path == "compressed"
