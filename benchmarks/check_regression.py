@@ -50,6 +50,11 @@ RATIO_METRICS: Dict[str, List[Tuple[Tuple[str, ...], str, float]]] = {
         (("warm_over_cold_speedup",), "min_ratio", 0.70),
         (("trace_overhead_ratio",), "max_ratio", 0.50),
         (("sustained_warm_rps",), "min_ratio", 0.70),
+        # Sharded tier: 4-vs-1-worker cache-miss throughput (cpu-count
+        # sensitive, hence the generous floor) and the router's warm-hit
+        # overhead vs the single-process service.
+        (("scaling_throughput_ratio_4w",), "min_ratio", 0.60),
+        (("sharded_warm_over_single_ratio",), "max_ratio", 0.50),
     ],
     "speed": [
         (("filter_plane_speedup", "none"), "min_ratio", 0.25),

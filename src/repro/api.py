@@ -34,8 +34,10 @@ Observability
 Service
     :class:`ServiceClient` / :class:`AsyncServiceClient` (talk to a
     running ``repro-ebcp serve``), :class:`ServedResult`,
-    :class:`ServiceConfig`, :class:`SimulationService`, and the typed
-    client errors :class:`ServiceError` / :class:`ServiceBusyError`
+    :class:`ServiceConfig`, :class:`SimulationService`, the sharded
+    tier :class:`ShardedService` with :class:`HashRing` /
+    :func:`routing_key` consistent-hash routing, and the typed client
+    errors :class:`ServiceError` / :class:`ServiceBusyError`
 
 >>> from repro import api
 >>> policy = api.ExecutionPolicy(jobs=2, retries=2, timeout_s=600)
@@ -68,12 +70,15 @@ from .prefetchers import PREFETCHERS, Prefetcher, build_prefetcher
 from .resilience import ExecutionPolicy
 from .service import (
     AsyncServiceClient,
+    HashRing,
     ServedResult,
     ServiceBusyError,
     ServiceClient,
     ServiceConfig,
     ServiceError,
+    ShardedService,
     SimulationService,
+    routing_key,
 )
 from .workloads import COMMERCIAL_WORKLOADS, WORKLOADS, Trace, make_workload
 
@@ -85,6 +90,7 @@ __all__ = [
     "EpochSimulator",
     "EventBus",
     "ExecutionPolicy",
+    "HashRing",
     "JobSpec",
     "MetricsRegistry",
     "PREFETCHERS",
@@ -96,6 +102,7 @@ __all__ = [
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "ShardedService",
     "SimulationResult",
     "SimulationStats",
     "SimulationService",
@@ -109,5 +116,6 @@ __all__ = [
     "make_ebcp",
     "make_workload",
     "render_prometheus",
+    "routing_key",
     "run_jobs",
 ]

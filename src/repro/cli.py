@@ -12,16 +12,24 @@ Subcommands
                      metrics files
 ``serve``            run the resident simulation service (async TCP,
                      micro-batching, result cache; drains on SIGTERM);
+                     ``--workers N`` shards it over N worker processes
+                     behind a consistent-hash front-end, ``--cache-dir``
+                     adds the restart-surviving disk cache tier, and
+                     ``--prewarm`` pre-generates traces per shard;
                      ``--metrics-out`` / ``--trace-out`` dump the merged
                      registry and the request-span trace on shutdown
 ``call``             send one request to a running service: a simulate
                      round-trip, or ``--ping`` / ``--stats`` /
-                     ``--metrics`` / ``--shutdown``; ``--traced`` wraps
-                     the call in a client span (``--trace-out`` exports
-                     it as a Chrome trace)
+                     ``--metrics`` / ``--telemetry`` / ``--shutdown``;
+                     ``--traced`` wraps the call in a client span
+                     (``--trace-out`` exports it as a Chrome trace);
+                     against a sharded service the serving shard's
+                     index/pid is printed
 ``top``              live refreshing terminal view of a running service
                      (req/s, queue depth, batches, cache hit ratio,
-                     latency quantiles, per-prefetcher epoch MLP)
+                     latency quantiles, per-prefetcher epoch MLP; a
+                     sharded service additionally gets per-shard rows
+                     and the disk cache tier)
 
 Global flags ``-v``/``-q`` raise/lower the stdlib-logging verbosity of
 the ``repro`` logger (repeatable: ``-vv`` for debug); ``--version``
@@ -224,6 +232,24 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_prewarm(specs: "list[str] | None") -> "tuple[tuple[str, int, int], ...]":
+    """Parse ``--prewarm WORKLOAD[:RECORDS[:SEED]]`` occurrences."""
+    parsed = []
+    for spec in specs or ():
+        parts = spec.split(":")
+        if len(parts) > 3 or not parts[0]:
+            raise SystemExit(f"bad --prewarm spec '{spec}' (WORKLOAD[:RECORDS[:SEED]])")
+        if parts[0] not in WORKLOADS:
+            raise SystemExit(f"bad --prewarm spec '{spec}': unknown workload '{parts[0]}'")
+        try:
+            records = int(parts[1]) if len(parts) > 1 else 280_000
+            seed = int(parts[2]) if len(parts) > 2 else 7
+        except ValueError:
+            raise SystemExit(f"bad --prewarm spec '{spec}' (WORKLOAD[:RECORDS[:SEED]])")
+        parsed.append((parts[0], records, seed))
+    return tuple(parsed)
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     """Run the resident simulation service until it drains."""
     import asyncio
@@ -237,6 +263,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         max_batch=args.max_batch,
         batch_window_s=args.batch_window_ms / 1000.0,
         cache_entries=args.cache_entries,
+        cache_dir=args.cache_dir,
+        max_disk_entries=args.max_disk_entries,
+        prewarm=_parse_prewarm(args.prewarm),
         worker_metrics=not args.no_worker_metrics,
     )
     return asyncio.run(
@@ -245,6 +274,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             _policy_from_args(args),
             metrics_out=args.metrics_out,
             trace_out=args.trace_out,
+            workers=args.workers,
         )
     )
 
@@ -275,13 +305,20 @@ def _cmd_call(args: argparse.Namespace) -> int:
             if args.metrics:
                 print(client.metrics(), end="")
                 return 0
+            if args.telemetry:
+                payload = client.telemetry()
+                spans = payload.get("spans", [])
+                print(json.dumps(payload, indent=2, sort_keys=True))
+                print(f"# {len(spans)} spans from pid {payload.get('pid')}",
+                      file=sys.stderr)
+                return 0
             if args.shutdown:
                 print(json.dumps(client.shutdown(), indent=2, sort_keys=True))
                 return 0
             if not args.workload or not args.prefetcher:
                 print(
-                    "call requires WORKLOAD and PREFETCHER "
-                    "(or one of --ping/--stats/--metrics/--shutdown)",
+                    "call requires WORKLOAD and PREFETCHER (or one of "
+                    "--ping/--stats/--metrics/--telemetry/--shutdown)",
                     file=sys.stderr,
                 )
                 return 2
@@ -315,6 +352,11 @@ def _cmd_call(args: argparse.Namespace) -> int:
         print(f"  {key:26s} {value}")
     print(f"  {'cached':26s} {served.cached}")
     print(f"  {'server_elapsed_ms':26s} {served.elapsed_ms:.1f}")
+    if served.shard is not None:
+        print(
+            f"  {'shard':26s} {served.shard.get('index')} "
+            f"(pid {served.shard.get('pid')})"
+        )
     if recorder is not None and recorder.spans:
         print(f"  {'trace_id':26s} {recorder.spans[0]['trace_id']}")
     if merged is not None:
@@ -357,12 +399,43 @@ def _render_top(stats: dict, req_per_s: float) -> str:
         f"  cache {cache.get('entries', 0)} entries"
         f"    hit ratio {hit_ratio * 100:5.1f} % ({hits}/{lookups})"
     )
+    disk = cache.get("disk")
+    if disk:
+        lines.append(
+            f"  disk tier {disk.get('entries', 0)} entries"
+            f"    hits {disk.get('hits', 0)}"
+            f"    spilled {disk.get('spilled', 0)}"
+            f"    quarantined {disk.get('quarantined', 0)}"
+        )
     lines.append(
         f"  latency p50 {latency.get('p50', 0.0):8.1f} ms"
         f"    p90 {latency.get('p90', 0.0):8.1f} ms"
         f"    p99 {latency.get('p99', 0.0):8.1f} ms"
         f"    n={latency.get('count', 0)}"
     )
+    if stats.get("sharded"):
+        lines.append(
+            f"  shards ({stats.get('workers', 0)} workers, consistent-hash routed):"
+        )
+        lines.append(
+            f"    {'shard':>5s} {'pid':>8s} {'requests':>9s} {'routed':>7s}"
+            f" {'cache hit%':>10s} {'queue':>6s} {'p50 ms':>9s}"
+        )
+        for shard in stats.get("shards", []):
+            if shard.get("unreachable"):
+                lines.append(f"    {shard.get('index', '?'):>5} UNREACHABLE")
+                continue
+            shard_cache = shard.get("cache", {})
+            shard_hits = shard_cache.get("hits", 0)
+            shard_lookups = shard_hits + shard_cache.get("misses", 0)
+            shard_ratio = (shard_hits / shard_lookups * 100) if shard_lookups else 0.0
+            lines.append(
+                f"    {shard.get('index', 0):>5d} {shard.get('pid', 0):>8d}"
+                f" {shard.get('requests', 0):>9d} {shard.get('routed', 0):>7d}"
+                f" {shard_ratio:>9.1f}%"
+                f" {shard.get('queue', {}).get('depth', 0):>6d}"
+                f" {shard.get('latency_ms', {}).get('p50', 0.0):>9.1f}"
+            )
     sim_metrics = stats.get("simulation", {})
     fallbacks = sum(
         payload.get("value", 0)
@@ -612,6 +685,30 @@ def build_parser() -> argparse.ArgumentParser:
         help="result-cache capacity; 0 disables caching (default: 256)",
     )
     p_srv.add_argument(
+        "--workers", type=int, default=1, metavar="N",
+        help="shard the service over N worker processes behind a "
+        "consistent-hash front-end; each shard owns its own queue, "
+        "micro-batcher, pool and result cache (default: 1 = single "
+        "process, no front-end)",
+    )
+    p_srv.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="spill result-cache entries to DIR as checksummed JSON so "
+        "warm results survive restarts; shards share the directory "
+        "(default: memory only)",
+    )
+    p_srv.add_argument(
+        "--max-disk-entries", type=int, default=4096, metavar="N",
+        help="disk-tier capacity before oldest entries are pruned "
+        "(default: 4096)",
+    )
+    p_srv.add_argument(
+        "--prewarm", action="append", metavar="WORKLOAD[:RECORDS[:SEED]]",
+        help="pre-generate this trace (and its filter planes) before "
+        "reporting ready; repeatable; sharded serves partition the list "
+        "by routing shard (e.g. --prewarm tpcw:50000:7)",
+    )
+    p_srv.add_argument(
         "--metrics-out", metavar="PATH",
         help="write the merged registry (service + aggregated worker "
         "metrics) as JSON when the service drains",
@@ -677,6 +774,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fetch the service metrics snapshot")
     group.add_argument("--metrics", action="store_true",
                        help="fetch the merged registry as Prometheus text")
+    group.add_argument("--telemetry", action="store_true",
+                       help="fetch the service's spans and metric registries "
+                       "as JSON (a sharded service answers for the whole "
+                       "fleet)")
     group.add_argument("--shutdown", action="store_true",
                        help="ask the service to drain and exit")
     p_call.set_defaults(func=_cmd_call)

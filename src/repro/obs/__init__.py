@@ -58,6 +58,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
     ResilienceMetrics,
+    RouterMetrics,
     ServiceMetrics,
     SimulationMetrics,
 )
@@ -98,6 +99,7 @@ __all__ = [
     "RequestCompleted",
     "RequestReceived",
     "ResilienceMetrics",
+    "RouterMetrics",
     "RunManifest",
     "ServiceMetrics",
     "SimulationMetrics",

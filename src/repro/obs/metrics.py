@@ -52,6 +52,7 @@ __all__ = [
     "Histogram",
     "MetricsRegistry",
     "ResilienceMetrics",
+    "RouterMetrics",
     "ServiceMetrics",
     "SimulationMetrics",
 ]
@@ -514,6 +515,48 @@ class ResilienceMetrics:
         for unsubscribe in self._unsubscribe:
             unsubscribe()
         self._unsubscribe = []
+
+    def to_dict(self) -> dict:
+        return self.registry.to_dict()
+
+
+#: Forwarding-latency buckets in milliseconds: the front-end's view of
+#: one proxied round-trip (shard link write → shard response read).
+FORWARD_LATENCY_MS_BUCKETS = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1000.0, 2500.0, 5000.0, 10000.0, 30000.0,
+)
+
+
+class RouterMetrics:
+    """The instrument set of the sharded front-end router.
+
+    The router is not a simulator — it parses, routes and proxies — so
+    its instruments are updated directly rather than via bus events:
+    one counter per routable outcome plus a per-shard routing tally
+    (``routed.shard-0``, ...) and the proxied round-trip latency.  The
+    registry is merged into the front-end's aggregate ``stats`` /
+    ``metrics`` payloads, so shard balance is remotely scrapeable.
+    """
+
+    def __init__(self, registry: Optional[MetricsRegistry] = None) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        r = self.registry
+        self.routed = r.counter("router_requests_routed", "simulate frames proxied to a shard")
+        self.errors = r.counter(
+            "router_forward_errors", "proxied frames that failed at the shard link"
+        )
+        self.shards = r.gauge("router_shards", "live shard processes behind the ring")
+        self.forward_ms = r.histogram(
+            "router_forward_latency_ms",
+            FORWARD_LATENCY_MS_BUCKETS,
+            "front-end round-trip latency of one proxied simulate",
+        )
+
+    def count_route(self, shard: str) -> None:
+        """One frame routed to ``shard`` (also bumps the per-shard tally)."""
+        self.routed.inc()
+        self.registry.counter(f"routed.{shard}").inc()
 
     def to_dict(self) -> dict:
         return self.registry.to_dict()

@@ -241,6 +241,16 @@ class SpanRecorder:
             spans, self.spans = self.spans, []
         return spans
 
+    def snapshot(self) -> List[dict]:
+        """A copy of every recorded span, leaving the recorder intact.
+
+        The non-destructive sibling of :meth:`drain` — what a shard
+        answers a ``telemetry`` request with, so polling the spans does
+        not erase them from the shard's own ``--trace-out`` dump.
+        """
+        with self._lock:
+            return list(self.spans)
+
     # ------------------------------------------------------------------
     def to_chrome(self) -> dict:
         """This recorder's spans as a Chrome trace-event document."""

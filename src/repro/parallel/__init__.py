@@ -19,7 +19,14 @@ over its executor.
 ... )  # doctest: +SKIP
 """
 
-from .jobs import JobSpec, resolve_jobs, run_job, run_jobs
+from .jobs import JobSpec, resolve_jobs, run_job, run_jobs, warm_trace_cache
 from .runner import ParallelSweepRunner
 
-__all__ = ["JobSpec", "ParallelSweepRunner", "resolve_jobs", "run_job", "run_jobs"]
+__all__ = [
+    "JobSpec",
+    "ParallelSweepRunner",
+    "resolve_jobs",
+    "run_job",
+    "run_jobs",
+    "warm_trace_cache",
+]

@@ -43,7 +43,7 @@ if TYPE_CHECKING:  # pragma: no cover - cycle: resilience.executor imports us
     from ..obs.bus import EventBus
     from ..resilience.policy import ExecutionPolicy
 
-__all__ = ["JobSpec", "run_job", "run_jobs", "resolve_jobs"]
+__all__ = ["JobSpec", "run_job", "run_jobs", "resolve_jobs", "warm_trace_cache"]
 
 log = logging.getLogger(__name__)
 
@@ -205,6 +205,17 @@ def _warm_trace_cache(specs: Sequence[JobSpec]) -> None:
                 warmed_segments.add(segment_key)
                 l2_geometry, rob_size = spec.segment_geometry_key()
                 get_epoch_segments(trace, plane, l2_geometry, rob_size)
+
+
+def warm_trace_cache(specs: Sequence[JobSpec]) -> None:
+    """Public pre-warming entry point (what shard start-up calls).
+
+    A shard that knows its expected working set (``serve --prewarm``)
+    generates those traces, filter planes and epoch-segment planes
+    before reporting ready, so its first real request is answered from
+    warm state instead of paying generation cost under traffic.
+    """
+    _warm_trace_cache(specs)
 
 
 def run_jobs(

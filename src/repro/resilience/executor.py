@@ -130,6 +130,11 @@ def _attempt(
     return result, spans, snapshot
 
 
+def _pool_warmup() -> int:
+    """No-op pool task (module-level so it pickles); see ``warm()``."""
+    return os.getpid()
+
+
 class PersistentPool:
     """A process pool that outlives individual :func:`execute` calls.
 
@@ -160,6 +165,23 @@ class PersistentPool:
             self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
             self.generation += 1
         return self._pool
+
+    def warm(self, timeout_s: float = 30.0) -> int:
+        """Pre-spawn every worker so the first batch pays no fork cost.
+
+        ``ProcessPoolExecutor`` forks workers lazily on submission; a
+        freshly started shard would otherwise pay that latency on its
+        first request.  Submits one no-op per worker and waits for all
+        of them; returns the number of workers confirmed live (0 when
+        the pool could not start — callers treat warming as best-effort).
+        """
+        try:
+            pool = self.lease()
+            futures = [pool.submit(_pool_warmup) for _ in range(self.max_workers)]
+            done, _pending = wait(futures, timeout=timeout_s)
+            return sum(1 for f in done if not f.exception())
+        except (OSError, PermissionError, ValueError, BrokenProcessPool):
+            return 0
 
     def invalidate(self) -> None:
         """Kill the current pool; the next :meth:`lease` starts fresh."""

@@ -16,6 +16,12 @@ Serve (blocking; drains gracefully on SIGTERM)::
 
     repro-ebcp serve --port 7421 -j 4
 
+or sharded — N worker processes behind a consistent-hash front-end,
+each with its own pool and cache, spilling warm results to a disk tier
+that survives restarts::
+
+    repro-ebcp serve --port 7421 --workers 4 --cache-dir /var/cache/repro
+
 Call from Python (sync)::
 
     from repro.service import ServiceClient
@@ -37,6 +43,10 @@ Modules
 ``server``    :class:`SimulationService` — queue, batcher, drain logic
 ``client``    :class:`ServiceClient` / :class:`AsyncServiceClient`
 ``cache``     :class:`ResultCache` — fingerprint-keyed LRU of results
+              with an optional checksummed disk spill tier
+``sharding``  :class:`HashRing` / :func:`routing_key` — consistent-hash
+              request routing
+``router``    :class:`ShardedService` — the multi-process front-end
 """
 
 from .cache import ResultCache
@@ -48,12 +58,15 @@ from .client import (
     ServiceError,
 )
 from .protocol import PROTOCOL_VERSION, SUPPORTED_VERSIONS, ErrorCode
+from .router import ShardedService
 from .server import BackgroundService, ServiceConfig, SimulationService, serve
+from .sharding import HashRing, routing_key
 
 __all__ = [
     "AsyncServiceClient",
     "BackgroundService",
     "ErrorCode",
+    "HashRing",
     "PROTOCOL_VERSION",
     "ResultCache",
     "SUPPORTED_VERSIONS",
@@ -62,6 +75,8 @@ __all__ = [
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "ShardedService",
     "SimulationService",
+    "routing_key",
     "serve",
 ]

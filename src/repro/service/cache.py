@@ -1,4 +1,4 @@
-"""Fingerprint-keyed result cache for served simulations.
+"""Fingerprint-keyed result cache for served simulations — now tiered.
 
 A resident service sees the same request many times — dashboards poll,
 sweeps overlap, users rerun.  Simulation is deterministic in its inputs,
@@ -23,36 +23,85 @@ compressed and legacy execution are bit-identical by construction (the
 same argument the checkpoint journal makes), so a cache entry is valid
 in either mode.
 
-Entries are :meth:`~repro.engine.stats.SimulationResult.snapshot`
-dictionaries, not live objects — every hit rehydrates a fresh
-``SimulationResult`` so callers can never mutate the cached copy.
-Eviction is LRU with a bounded entry count.
+Tiers
+-----
+The in-memory tier is a bounded LRU of
+:meth:`~repro.engine.stats.SimulationResult.snapshot` dictionaries —
+every hit rehydrates a fresh ``SimulationResult`` so callers can never
+mutate the cached copy.
+
+With ``spill_dir`` set, every ``put`` also writes the snapshot through
+to disk as a content-addressed JSON entry (file name = sha256 of the
+canonical key) with a sha256 sidecar from
+:mod:`repro.resilience.integrity`.  A memory miss then falls through to
+the disk tier: the sidecar is verified *before* decoding, a bad entry is
+quarantined (``quarantine/`` sibling + ``CacheQuarantined`` event) and
+treated as a miss, and a good entry is promoted back into memory.
+Because entries are content-addressed and written atomically
+(``tmp`` + ``os.replace``), several shard processes can safely share one
+``spill_dir`` — concurrent writers of the same key write identical
+bytes — and a warm result survives worker crashes, full restarts and
+ring resizes.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
+import logging
+import os
 from collections import OrderedDict
+from pathlib import Path
 from threading import Lock
-from typing import Optional, Tuple
+from typing import Any, List, Optional, Tuple, Union
 
 from ..engine.stats import SimulationResult
+from ..resilience.integrity import quarantine_entry, verify_checksum, write_checksum
 
 __all__ = ["ResultCache"]
 
+log = logging.getLogger(__name__)
+
 CacheKey = Tuple[str, tuple, str, Optional[int]]
+
+PathLike = Union[str, "os.PathLike[str]"]
+
+
+def _key_jsonable(key: CacheKey) -> List[Any]:
+    """The key as canonical JSON-safe data (tuples become lists)."""
+    return json.loads(
+        json.dumps(list(key), separators=(",", ":"), default=list)
+    )
 
 
 class ResultCache:
-    """Bounded LRU of simulation results keyed by run content identity."""
+    """LRU of simulation results with an optional write-through disk tier."""
 
-    def __init__(self, max_entries: int = 256) -> None:
+    def __init__(
+        self,
+        max_entries: int = 256,
+        spill_dir: Optional[PathLike] = None,
+        max_disk_entries: int = 4096,
+    ) -> None:
         if max_entries < 0:
             raise ValueError(f"max_entries must be >= 0, got {max_entries}")
+        if max_disk_entries < 1:
+            raise ValueError(f"max_disk_entries must be >= 1, got {max_disk_entries}")
         self.max_entries = max_entries
+        self.spill_dir = Path(spill_dir) if spill_dir is not None else None
+        self.max_disk_entries = max_disk_entries
         self._entries: "OrderedDict[CacheKey, dict]" = OrderedDict()
         self._lock = Lock()
         self.hits = 0
         self.misses = 0
+        #: Memory misses answered from the disk tier (and promoted).
+        self.disk_hits = 0
+        #: Snapshots written through to the disk tier.
+        self.spilled = 0
+        #: Disk entries quarantined (bad sidecar, undecodable, key clash).
+        self.quarantined = 0
+        if self.spill_dir is not None:
+            self.spill_dir.mkdir(parents=True, exist_ok=True)
 
     # ------------------------------------------------------------------
     @staticmethod
@@ -65,39 +114,177 @@ class ResultCache:
         return (trace_fingerprint, config_fingerprint, prefetcher, warmup_records)
 
     def get(self, key: CacheKey) -> Optional[SimulationResult]:
-        """The cached result for ``key`` (a fresh object), or None."""
+        """The cached result for ``key`` (a fresh object), or None.
+
+        Checks the memory tier first, then — when spilling is enabled —
+        the disk tier, promoting a verified disk entry back into memory.
+        """
         with self._lock:
             snapshot = self._entries.get(key)
-            if snapshot is None:
-                self.misses += 1
-                return None
-            self._entries.move_to_end(key)
-            self.hits += 1
-        return SimulationResult.from_snapshot(snapshot)
+            if snapshot is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return SimulationResult.from_snapshot(snapshot)
+        snapshot = self._disk_get(key)
+        if snapshot is not None:
+            with self._lock:
+                self.disk_hits += 1
+                self._remember(key, snapshot)
+            return SimulationResult.from_snapshot(snapshot)
+        with self._lock:
+            self.misses += 1
+        return None
 
     def put(self, key: CacheKey, result: SimulationResult) -> None:
-        if self.max_entries == 0:
+        if self.max_entries == 0 and self.spill_dir is None:
             return
         snapshot = result.snapshot()
-        with self._lock:
-            self._entries[key] = snapshot
-            self._entries.move_to_end(key)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+        if self.max_entries:
+            with self._lock:
+                self._remember(key, snapshot)
+        self._disk_put(key, snapshot)
+
+    def _remember(self, key: CacheKey, snapshot: dict) -> None:
+        """Insert into the memory LRU (caller holds the lock)."""
+        self._entries[key] = snapshot
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+
+    # ------------------------------------------------------------------
+    # Disk tier
+    # ------------------------------------------------------------------
+    def entry_path(self, key: CacheKey) -> Path:
+        """The content-addressed disk path of ``key``'s entry."""
+        assert self.spill_dir is not None
+        canonical = json.dumps(_key_jsonable(key), separators=(",", ":"))
+        digest = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        return self.spill_dir / f"{digest}.json"
+
+    def _disk_put(self, key: CacheKey, snapshot: dict) -> None:
+        if self.spill_dir is None:
+            return
+        path = self.entry_path(key)
+        payload = {"key": _key_jsonable(key), "snapshot": snapshot}
+        tmp = path.with_name(f"{path.name}.tmp.{os.getpid()}")
+        try:
+            tmp.write_text(
+                json.dumps(payload, separators=(",", ":"), sort_keys=True),
+                encoding="utf-8",
+            )
+            os.replace(tmp, path)
+            write_checksum(path)
+        except OSError as exc:
+            log.warning("could not spill result cache entry %s (%s)", path.name, exc)
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return
+        self.spilled += 1
+        self._prune_disk()
+
+    def _disk_get(self, key: CacheKey) -> Optional[dict]:
+        if self.spill_dir is None:
+            return None
+        path = self.entry_path(key)
+        if not path.exists():
+            return None
+        reason = verify_checksum(path)
+        if reason is not None:
+            self.quarantined += 1
+            quarantine_entry(path, "result", reason)
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            stored_key = payload["key"]
+            snapshot = payload["snapshot"]
+        except (OSError, ValueError, KeyError, TypeError) as exc:
+            self.quarantined += 1
+            quarantine_entry(path, "result", f"undecodable entry ({exc})")
+            return None
+        if stored_key != _key_jsonable(key):
+            # A sha256 collision is not a realistic cause; a mismatch
+            # means the entry was tampered with or mis-written.
+            self.quarantined += 1
+            quarantine_entry(path, "result", "stored key does not match its address")
+            return None
+        if not isinstance(snapshot, dict):
+            self.quarantined += 1
+            quarantine_entry(path, "result", "snapshot is not an object")
+            return None
+        # Touch the entry so disk pruning tracks recency, not write age.
+        try:
+            os.utime(path)
+        except OSError:
+            pass
+        return snapshot
+
+    def _prune_disk(self) -> None:
+        """Drop the oldest disk entries beyond ``max_disk_entries``."""
+        assert self.spill_dir is not None
+        try:
+            entries = [
+                p for p in self.spill_dir.glob("*.json") if p.is_file()
+            ]
+        except OSError:
+            return
+        excess = len(entries) - self.max_disk_entries
+        if excess <= 0:
+            return
+
+        def mtime(p: Path) -> float:
+            try:
+                return p.stat().st_mtime
+            except OSError:
+                return 0.0
+
+        for victim in sorted(entries, key=mtime)[:excess]:
+            for path in (victim, victim.with_name(victim.name + ".sha256")):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+
+    def disk_entries(self) -> int:
+        """How many entries the disk tier currently holds."""
+        if self.spill_dir is None:
+            return 0
+        try:
+            return sum(1 for _ in self.spill_dir.glob("*.json"))
+        except OSError:
+            return 0
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
         return len(self._entries)
 
-    def clear(self) -> None:
+    def clear(self, disk: bool = False) -> None:
+        """Empty the memory tier; with ``disk=True`` the disk tier too."""
         with self._lock:
             self._entries.clear()
+        if disk and self.spill_dir is not None:
+            for path in self.spill_dir.glob("*.json*"):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
 
     def info(self) -> dict:
         """JSON-safe occupancy/effectiveness summary (stats responses)."""
-        return {
+        info = {
             "entries": len(self._entries),
             "max_entries": self.max_entries,
             "hits": self.hits,
             "misses": self.misses,
         }
+        if self.spill_dir is not None:
+            info["disk"] = {
+                "dir": str(self.spill_dir),
+                "entries": self.disk_entries(),
+                "max_entries": self.max_disk_entries,
+                "hits": self.disk_hits,
+                "spilled": self.spilled,
+                "quarantined": self.quarantined,
+            }
+        return info

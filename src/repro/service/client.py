@@ -11,10 +11,13 @@ Both derive their per-request behaviour from the same
 :class:`~repro.resilience.policy.ExecutionPolicy` the batch layers use:
 ``timeout_s`` bounds each attempt, ``retries`` bounds how many transport
 failures (connect refused, socket timeout, reset) are absorbed, and
-``backoff_for`` spaces the attempts.  ``queue_full`` backpressure
-responses are also retried, honouring the server's ``retry_after_s``
-hint — so a saturated service slows its clients down instead of failing
-them.
+attempts are spaced by capped exponential backoff with full jitter —
+``backoff_s * 2**(attempt-1)``, capped at ``max_backoff_s``, scaled by a
+uniform factor in ``[0.5, 1.0]`` so a fleet of clients reconnecting to a
+restarted (or sharded) service spreads out instead of stampeding in
+lock-step.  ``queue_full`` backpressure responses are also retried,
+honouring the server's ``retry_after_s`` hint — so a saturated service
+slows its clients down instead of failing them.
 
 Responses to ``simulate`` carry a lossless
 :meth:`~repro.engine.stats.SimulationResult.snapshot`; the SDK rehydrates
@@ -26,6 +29,7 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import random
 import socket
 import time
 import uuid
@@ -66,14 +70,19 @@ class ServedResult:
     cached: bool
     #: Server-side end-to-end latency of this request, in milliseconds.
     elapsed_ms: float
+    #: ``{"index", "pid"}`` of the worker process that served the request
+    #: when it came through a sharded front-end; ``None`` single-process.
+    shard: Optional[Dict[str, Any]] = None
 
 
 def _decode_served(frame: Dict[str, Any]) -> ServedResult:
     protocol.raise_for_error(frame)
+    shard = frame.get("shard")
     return ServedResult(
         result=SimulationResult.from_snapshot(frame["result"]),
         cached=bool(frame.get("cached", False)),
         elapsed_ms=float(frame.get("elapsed_ms", 0.0)),
+        shard=shard if isinstance(shard, dict) else None,
     )
 
 
@@ -87,6 +96,8 @@ class _ClientBase:
         timeout_s: Optional[float] = 30.0,
         retries: int = 1,
         backoff_s: float = 0.25,
+        max_backoff_s: float = 10.0,
+        jitter: bool = True,
         recorder: Optional[SpanRecorder] = None,
     ) -> None:
         self.host = host
@@ -94,6 +105,9 @@ class _ClientBase:
         self.timeout_s = timeout_s
         self.retries = max(0, retries)
         self.backoff_s = backoff_s
+        self.max_backoff_s = max_backoff_s
+        self.jitter = jitter
+        self._rng = random.Random()
         #: When set, ``simulate`` wraps each call in a ``client:simulate``
         #: span and sends its context on the frame, so server- and
         #: worker-side spans join the client's trace.
@@ -119,9 +133,19 @@ class _ClientBase:
         return f"{self._id_prefix}-{next(self._ids)}"
 
     def _backoff_for(self, attempt: int) -> float:
+        """Delay before retry ``attempt``: capped exponential, jittered.
+
+        The jitter factor is uniform in ``[0.5, 1.0]`` — it only ever
+        *shortens* the deterministic delay, so existing timeout budgets
+        still hold, while reconnecting clients desynchronise instead of
+        hammering a restarted service in phase.
+        """
         if attempt <= 0 or self.backoff_s <= 0:
             return 0.0
-        return self.backoff_s * (2.0 ** (attempt - 1))
+        delay = min(self.backoff_s * (2.0 ** (attempt - 1)), self.max_backoff_s)
+        if self.jitter:
+            delay *= 0.5 + 0.5 * self._rng.random()
+        return delay
 
     def _frame_for(
         self,
@@ -284,6 +308,15 @@ class ServiceClient(_ClientBase):
         frame = protocol.raise_for_error(self._request("metrics"))
         return frame["result"]["text"]
 
+    def telemetry(self, drain: bool = False) -> Dict[str, Any]:
+        """The service's spans and metric registries (v3+).
+
+        Against a sharded front-end this is the whole fleet's telemetry;
+        ``drain=True`` removes the spans server-side after reading.
+        """
+        frame = protocol.raise_for_error(self._request("telemetry", {"drain": drain}))
+        return frame["result"]
+
     def shutdown(self) -> Dict[str, Any]:
         """Ask the service to drain and exit (in-flight work completes)."""
         frame = protocol.raise_for_error(self._request("shutdown"))
@@ -300,7 +333,10 @@ class AsyncServiceClient(_ClientBase):
 
     async def _roundtrip(self, frame: bytes) -> Dict[str, Any]:
         reader, writer = await asyncio.wait_for(
-            asyncio.open_connection(self.host, self.port), self.timeout_s
+            asyncio.open_connection(
+                self.host, self.port, limit=protocol.MAX_FRAME_BYTES
+            ),
+            self.timeout_s,
         )
         try:
             writer.write(frame)
@@ -387,6 +423,13 @@ class AsyncServiceClient(_ClientBase):
         """The merged service registry as Prometheus text exposition."""
         frame = protocol.raise_for_error(await self._request("metrics"))
         return frame["result"]["text"]
+
+    async def telemetry(self, drain: bool = False) -> Dict[str, Any]:
+        """The service's spans and metric registries (v3+)."""
+        frame = protocol.raise_for_error(
+            await self._request("telemetry", {"drain": drain})
+        )
+        return frame["result"]
 
     async def shutdown(self) -> Dict[str, Any]:
         frame = protocol.raise_for_error(await self._request("shutdown"))

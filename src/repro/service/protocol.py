@@ -12,14 +12,16 @@ Versioning
 Every frame carries ``"v"``.  A request whose version the server does
 not speak is answered with an ``unsupported_version`` error that lists
 ``SUPPORTED_VERSIONS``, so a newer client can downgrade instead of
-guessing.  Version 2 adds the ``metrics`` request type and an optional
-``trace`` field on request frames; both are strict supersets of
-version 1, so v1 clients (which send neither) are still served — the
-server accepts every version in ``SUPPORTED_VERSIONS``.
+guessing.  Version 2 added the ``metrics`` request type and an optional
+``trace`` field on request frames; version 3 adds the ``telemetry``
+request type and shard metadata on simulate responses served by a
+sharded front-end.  Each version is a strict superset of the previous
+one, so v1/v2 clients are still served — the server accepts every
+version in ``SUPPORTED_VERSIONS``.
 
 Request frames
 --------------
-``{"v": 2, "id": "<client-chosen>", "type": "<type>", "params": {...},
+``{"v": 3, "id": "<client-chosen>", "type": "<type>", "params": {...},
 "trace": {"trace_id": ..., "span_id": ...}}`` — ``trace`` is optional
 (v2+) and carries the client's :class:`~repro.obs.tracing.TraceContext`
 so server-side spans join the client's trace.
@@ -31,8 +33,12 @@ type           params
 ``simulate``   ``workload``, ``prefetcher``, ``records``, ``seed``,
                optional ``warmup_records``, ``use_cache`` (default
                true)
-``stats``      none — the service's metrics-registry snapshot
+``stats``      none — the service's metrics-registry snapshot (sharded:
+               the cross-shard aggregate plus a per-shard breakdown)
 ``metrics``    none — the merged registry as Prometheus text (v2+)
+``telemetry``  optional ``drain`` (default false) — the spans and
+               metric registries the service holds, for cross-process
+               aggregation; ``drain`` removes the spans on read (v3+)
 ``shutdown``   none — begin graceful drain (in-flight requests finish)
 =============  ========================================================
 
@@ -42,6 +48,9 @@ Response frames
 ``{"v": 1, "id": ..., "ok": false, "error": {"code": ..., "message":
 ..., ...}}`` with a typed :class:`ErrorCode`.  ``queue_full`` errors
 additionally carry ``retry_after_s`` — the server's backpressure hint.
+A simulate response proxied by a sharded front-end additionally carries
+``"shard": {"index": ..., "pid": ...}`` — which worker process ran (or
+cached) the request.
 """
 
 from __future__ import annotations
@@ -71,14 +80,14 @@ __all__ = [
 ]
 
 #: The protocol version this build speaks natively.
-PROTOCOL_VERSION = 2
-#: Every version the server accepts (negotiation surface).  v1 clients
-#: never send ``trace`` or ``metrics`` and are served unchanged.
-SUPPORTED_VERSIONS: Tuple[int, ...] = (1, 2)
+PROTOCOL_VERSION = 3
+#: Every version the server accepts (negotiation surface).  v1/v2
+#: clients never send the newer request types and are served unchanged.
+SUPPORTED_VERSIONS: Tuple[int, ...] = (1, 2, 3)
 #: Upper bound on one frame; a longer line is a malformed frame.
 MAX_FRAME_BYTES = 1 << 20
 
-REQUEST_TYPES = ("ping", "simulate", "stats", "metrics", "shutdown")
+REQUEST_TYPES = ("ping", "simulate", "stats", "metrics", "telemetry", "shutdown")
 
 
 class ErrorCode(str, Enum):

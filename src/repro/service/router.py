@@ -1,0 +1,733 @@
+"""The sharded service tier: consistent-hash front-end over N shards.
+
+One :class:`ShardedService` is a front-end acceptor plus ``workers``
+single-shard worker processes, each running an unmodified
+:class:`~repro.service.server.SimulationService` on an ephemeral
+localhost port — its own admission queue, micro-batcher,
+:class:`~repro.resilience.executor.PersistentPool` and
+:class:`~repro.service.cache.ResultCache`.  The front-end:
+
+* **routes** every simulate frame over a consistent-hash ring
+  (:mod:`repro.service.sharding`) keyed by the request's generation
+  parameters + processor-config fingerprint, so every run of one trace
+  lands on the same shard and that shard's trace memo, filter planes
+  and result cache stay hot (locality-preserving request routing);
+* **proxies** at the byte level: an untraced frame is forwarded
+  verbatim over a pooled shard connection and the shard's response is
+  returned with ``"shard": {"index", "pid"}`` metadata attached;
+  a traced frame is re-parented under a ``router:route`` span first,
+  so the client's trace shows the routing hop;
+* **answers control requests itself**: ``ping`` describes the fleet,
+  ``stats``/``metrics`` fan out to every shard and merge the registries
+  (:meth:`MetricsRegistry.merge`) into one aggregate *plus* per-shard
+  breakdowns, ``telemetry`` combines every process's spans;
+* **drains gracefully**: stop accepting, finish in-flight proxied
+  requests, pull each shard's spans and metrics (``telemetry`` with
+  ``drain=true``), forward ``shutdown``, and join the processes — so
+  ``--trace-out``/``--metrics-out`` on the front-end cover the whole
+  fleet.
+
+Shards share one ``cache_dir`` when configured: the disk tier is
+content-addressed and written atomically, so warm results survive not
+just restarts but ring resizes (a key that moves shards is re-served
+from disk, not re-simulated).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import logging
+import multiprocessing
+import os
+import signal
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from .. import __version__
+from ..engine.config import ProcessorConfig
+from ..obs.metrics import MetricsRegistry, RouterMetrics
+from ..obs.prometheus import render_prometheus
+from ..obs.tracing import SpanRecorder, TraceContext
+from ..prefetchers.registry import PREFETCHERS
+from ..resilience.policy import ExecutionPolicy
+from ..workloads.registry import WORKLOADS
+from . import protocol
+from .protocol import ErrorCode, ProtocolError, Request, SimulateParams
+from .server import ServiceConfig, SimulationService
+from .sharding import HashRing, routing_key
+
+__all__ = ["ShardedService", "ShardInfo"]
+
+log = logging.getLogger(__name__)
+
+
+def _shard_main(
+    index: int, config: ServiceConfig, policy: ExecutionPolicy, conn: Any
+) -> None:
+    """Worker-process entry point: run one shard until drained.
+
+    Reports ``{"port", "pid"}`` through ``conn`` once the shard is
+    bound (and pre-warmed, when configured), so the front-end only
+    advertises readiness when the whole fleet can serve.  SIGINT is
+    ignored before the loop starts — a Ctrl-C against the process group
+    must reach the shard as the front-end's orderly ``shutdown`` frame
+    (or SIGTERM), not as a KeyboardInterrupt mid-start.
+    """
+    try:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+    except (ValueError, OSError):  # pragma: no cover - exotic platforms
+        pass
+
+    async def body() -> None:
+        service = SimulationService(config=config, policy=policy)
+        _host, port = await service.start()
+        conn.send({"port": port, "pid": os.getpid()})
+        conn.close()
+        await service.run(install_signal_handlers=True)
+
+    asyncio.run(body())
+
+
+@dataclass
+class ShardInfo:
+    """One live shard behind the ring."""
+
+    index: int
+    name: str
+    port: int
+    pid: int
+    process: Any
+    #: Idle pooled connections to this shard ``(reader, writer)``.
+    idle: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = field(
+        default_factory=list
+    )
+
+
+class ShardedService:
+    """Front-end acceptor routing requests over shard worker processes.
+
+    Speaks the same wire protocol as :class:`SimulationService` on the
+    same lifecycle surface (``start``/``run``/``begin_drain``/
+    ``address``/``recorder``/``merged_metrics``), so ``serve``,
+    :class:`~repro.service.server.BackgroundService` and the CLI host
+    either interchangeably.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        policy: Optional[ExecutionPolicy] = None,
+        workers: int = 2,
+        shard_start_timeout_s: float = 120.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.config = config or ServiceConfig()
+        self.policy = policy or ExecutionPolicy()
+        self.workers = workers
+        self.shard_start_timeout_s = shard_start_timeout_s
+        self.registry = MetricsRegistry()
+        self.metrics = RouterMetrics(self.registry)
+        #: Router spans; at drain every shard's spans are absorbed here,
+        #: so ``serve --trace-out`` covers the whole fleet.
+        self.recorder = SpanRecorder("router")
+        self.ring = HashRing(f"shard-{i}" for i in range(workers))
+        self.shards: List[ShardInfo] = []
+        self.address: Optional[Tuple[str, int]] = None
+
+        self._by_name: Dict[str, ShardInfo] = {}
+        self._config_fp: Optional[tuple] = None
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._drain_requested: Optional[asyncio.Event] = None
+        self._draining = False
+        self._busy_handlers = 0
+        self._writers: "set[asyncio.StreamWriter]" = set()
+        self._started_at = time.monotonic()
+        #: Fleet-wide metric snapshot frozen at drain (``merged_metrics``).
+        self._final_metrics: Optional[Dict[str, Any]] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> Tuple[str, int]:
+        """Spawn the shards, bind the front-end, return ``(host, port)``."""
+        self._loop = asyncio.get_running_loop()
+        self._drain_requested = asyncio.Event()
+        self._config_fp = ProcessorConfig.scaled().fingerprint()
+
+        # Partition the prewarm working set the same way requests will
+        # route, so each shard warms exactly the traces it will serve.
+        prewarm_by_shard: Dict[str, List[Tuple[str, int, int]]] = {
+            name: [] for name in self.ring.shards()
+        }
+        for workload, records, seed in self.config.prewarm:
+            key = routing_key(workload, records, seed, self._config_fp)
+            prewarm_by_shard[self.ring.route(key)].append((workload, records, seed))
+
+        ctx = multiprocessing.get_context(
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+        )
+        spawned: List[Tuple[int, Any, Any]] = []
+        for index in range(self.workers):
+            shard_config = dataclasses.replace(
+                self.config,
+                host="127.0.0.1",
+                port=0,
+                shard_index=index,
+                prewarm=tuple(prewarm_by_shard[f"shard-{index}"]),
+            )
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            # NOT daemonic: each shard owns a ProcessPoolExecutor, and
+            # daemonic processes are not allowed to have children.
+            process = ctx.Process(
+                target=_shard_main,
+                args=(index, shard_config, self.policy, child_conn),
+                name=f"repro-shard-{index}",
+                daemon=False,
+            )
+            process.start()
+            child_conn.close()
+            spawned.append((index, parent_conn, process))
+
+        try:
+            ready = await asyncio.gather(
+                *(
+                    self._loop.run_in_executor(
+                        None, self._wait_shard_ready, conn, process
+                    )
+                    for _index, conn, process in spawned
+                )
+            )
+        except Exception:
+            for _index, _conn, process in spawned:
+                if process.is_alive():
+                    process.terminate()
+            raise
+        for (index, conn, process), info in zip(spawned, ready):
+            conn.close()
+            shard = ShardInfo(
+                index=index,
+                name=f"shard-{index}",
+                port=int(info["port"]),
+                pid=int(info["pid"]),
+                process=process,
+            )
+            self.shards.append(shard)
+            self._by_name[shard.name] = shard
+
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self.config.host,
+            port=self.config.port,
+            limit=protocol.MAX_FRAME_BYTES,
+        )
+        sock = self._server.sockets[0]
+        self.address = sock.getsockname()[:2]
+        self._started_at = time.monotonic()
+        self.metrics.shards.set(float(len(self.shards)))
+        log.info(
+            "sharded service listening on %s:%d over %d shard(s): %s",
+            self.address[0],
+            self.address[1],
+            len(self.shards),
+            ", ".join(f"{s.name}=pid{s.pid}:{s.port}" for s in self.shards),
+        )
+        return self.address
+
+    def _wait_shard_ready(self, conn: Any, process: Any) -> Dict[str, Any]:
+        """Block (in an executor thread) for one shard's ready handshake."""
+        deadline = time.monotonic() + self.shard_start_timeout_s
+        while time.monotonic() < deadline:
+            if conn.poll(0.1):
+                return conn.recv()
+            if not process.is_alive():
+                raise RuntimeError(
+                    f"shard process {process.name} exited during start-up "
+                    f"(exitcode {process.exitcode})"
+                )
+        process.terminate()
+        raise TimeoutError(
+            f"shard {process.name} did not report ready within "
+            f"{self.shard_start_timeout_s:.0f}s"
+        )
+
+    async def run(self, install_signal_handlers: bool = False) -> None:
+        """Serve until drained, then wind the whole fleet down."""
+        if self._server is None:
+            await self.start()
+        if install_signal_handlers:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, self.begin_drain)
+                except (NotImplementedError, RuntimeError):  # pragma: no cover
+                    pass
+        assert self._drain_requested is not None
+        await self._drain_requested.wait()
+
+        # In-flight proxied requests finish within the grace period.
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        while self._busy_handlers and time.monotonic() < deadline:
+            await asyncio.sleep(0.01)
+
+        await self._collect_final_telemetry()
+        await self._shutdown_shards()
+        for writer in list(self._writers):
+            writer.close()
+        assert self._server is not None
+        self._server.close()
+        await self._server.wait_closed()
+        self._join_shards()
+        log.info("sharded service drained and stopped")
+
+    def begin_drain(self) -> None:
+        """Stop admission; in-flight requests and the fleet still drain."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._server is not None:
+            self._server.close()
+        if self._drain_requested is not None:
+            self._drain_requested.set()
+        log.info("sharded service draining (no new requests admitted)")
+
+    def begin_drain_threadsafe(self) -> None:
+        loop = self._loop
+        if loop is None or loop.is_closed():
+            return
+        try:
+            loop.call_soon_threadsafe(self.begin_drain)
+        except RuntimeError:
+            pass
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # ------------------------------------------------------------------
+    # Shard links
+    # ------------------------------------------------------------------
+    async def _shard_roundtrip(self, shard: ShardInfo, payload: bytes) -> bytes:
+        """One framed request/response against ``shard``.
+
+        Pooled connections are reused; a send/recv failure on a pooled
+        connection (the shard restarted, an idle socket went stale) is
+        retried once on a fresh connection before surfacing.
+        """
+        for attempt in (0, 1):
+            fresh = attempt == 1 or not shard.idle
+            if fresh:
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", shard.port, limit=protocol.MAX_FRAME_BYTES
+                )
+            else:
+                reader, writer = shard.idle.pop()
+            try:
+                writer.write(payload)
+                await writer.drain()
+                line = await reader.readline()
+                if not line:
+                    raise ConnectionError(f"{shard.name} closed the connection")
+            except (OSError, ConnectionError):
+                writer.close()
+                if fresh:
+                    raise
+                continue
+            shard.idle.append((reader, writer))
+            return line
+        raise ConnectionError(f"{shard.name} unreachable")  # pragma: no cover
+
+    async def _close_links(self) -> None:
+        for shard in self.shards:
+            while shard.idle:
+                _reader, writer = shard.idle.pop()
+                writer.close()
+                try:
+                    await writer.wait_closed()
+                except (ConnectionResetError, BrokenPipeError, OSError):
+                    pass
+
+    def _control_frame(self, request_type: str, **params: Any) -> bytes:
+        frame: Dict[str, Any] = {
+            "v": protocol.PROTOCOL_VERSION,
+            "id": f"router-{request_type}",
+            "type": request_type,
+        }
+        if params:
+            frame["params"] = params
+        return protocol.encode_frame(frame)
+
+    async def _shard_control(
+        self, shard: ShardInfo, request_type: str, **params: Any
+    ) -> Optional[Dict[str, Any]]:
+        """A control request's result payload, or None when unreachable."""
+        try:
+            line = await self._shard_roundtrip(
+                shard, self._control_frame(request_type, **params)
+            )
+            frame = protocol.decode_frame(line)
+        except (OSError, ConnectionError, ProtocolError) as exc:
+            log.warning("%s %s failed: %s", shard.name, request_type, exc)
+            return None
+        if not frame.get("ok"):
+            log.warning("%s %s answered %s", shard.name, request_type, frame.get("error"))
+            return None
+        return frame.get("result", {})
+
+    async def _fan_out(
+        self, request_type: str, **params: Any
+    ) -> List[Optional[Dict[str, Any]]]:
+        """One control request against every shard, concurrently."""
+        return list(
+            await asyncio.gather(
+                *(self._shard_control(s, request_type, **params) for s in self.shards)
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._writers.add(writer)
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (asyncio.LimitOverrunError, ValueError):
+                    writer.write(
+                        protocol.encode_frame(
+                            protocol.error_response(
+                                "",
+                                ErrorCode.MALFORMED_FRAME,
+                                f"frame exceeds {protocol.MAX_FRAME_BYTES} bytes",
+                            )
+                        )
+                    )
+                    await writer.drain()
+                    break
+                if not line:
+                    break
+                self._busy_handlers += 1
+                try:
+                    response = await self._handle_frame(line)
+                finally:
+                    self._busy_handlers -= 1
+                writer.write(response)
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except asyncio.CancelledError:
+            # Drain closes connections out from under blocked readlines;
+            # a cancelled handler is normal shutdown, not an error.
+            pass
+        finally:
+            self._writers.discard(writer)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def _handle_frame(self, line: bytes) -> bytes:
+        try:
+            request = protocol.parse_request(line)
+        except ProtocolError as exc:
+            request_id = str(exc.details.get("request_id", ""))
+            details = {k: v for k, v in exc.details.items() if k != "request_id"}
+            return protocol.encode_frame(
+                protocol.error_response(request_id, exc.code, exc.message, **details)
+            )
+        if request.type == "simulate":
+            return await self._proxy_simulate(request, line)
+        if request.type == "ping":
+            payload: Dict[str, Any] = self._ping_payload()
+        elif request.type == "stats":
+            payload = await self._stats_payload()
+        elif request.type == "metrics":
+            payload = await self._metrics_payload()
+        elif request.type == "telemetry":
+            payload = await self._telemetry_payload(request.params)
+        else:  # shutdown
+            self.begin_drain()
+            payload = {"draining": True}
+        return protocol.encode_frame(protocol.ok_response(request.id, payload))
+
+    async def _proxy_simulate(self, request: Request, line: bytes) -> bytes:
+        """Route one simulate frame to its shard and relay the answer."""
+        if self._draining:
+            return protocol.encode_frame(
+                protocol.error_response(
+                    request.id,
+                    ErrorCode.SHUTTING_DOWN,
+                    "service is draining; not admitting",
+                )
+            )
+        try:
+            params = SimulateParams.from_dict(request.params)
+            self._validate_names(params)
+        except ProtocolError as exc:
+            return protocol.encode_frame(
+                protocol.error_response(request.id, exc.code, exc.message, **exc.details)
+            )
+        key = routing_key(params.workload, params.records, params.seed, self._config_fp)
+        shard = self._by_name[self.ring.route(key)]
+        self.metrics.count_route(shard.name)
+
+        ctx = TraceContext.from_wire(request.trace)
+        span = None
+        payload = line
+        if ctx is not None:
+            # Re-parent the shard's spans under a routing span, so the
+            # client's trace shows front-end → shard → pool worker.
+            span = self.recorder.span(
+                "router:route",
+                parent=ctx,
+                shard=shard.index,
+                shard_pid=shard.pid,
+                request_id=request.id,
+            )
+            span.__enter__()
+            forwarded = request.to_dict()
+            forwarded["trace"] = span.context.to_wire()
+            payload = protocol.encode_frame(forwarded)
+        started = time.monotonic()
+        try:
+            answer = await self._shard_roundtrip(shard, payload)
+        except (OSError, ConnectionError) as exc:
+            self.metrics.errors.inc()
+            if span is not None:
+                span.set(error=type(exc).__name__)
+            return protocol.encode_frame(
+                protocol.error_response(
+                    request.id,
+                    ErrorCode.INTERNAL,
+                    f"{shard.name} (pid {shard.pid}) unreachable: {exc}",
+                )
+            )
+        finally:
+            if span is not None:
+                span.__exit__(None)
+        self.metrics.forward_ms.observe((time.monotonic() - started) * 1000.0)
+        try:
+            frame = protocol.decode_frame(answer)
+        except ProtocolError:
+            self.metrics.errors.inc()
+            return protocol.encode_frame(
+                protocol.error_response(
+                    request.id, ErrorCode.INTERNAL, f"{shard.name} answered garbage"
+                )
+            )
+        frame["shard"] = {"index": shard.index, "pid": shard.pid}
+        return protocol.encode_frame(frame)
+
+    @staticmethod
+    def _validate_names(params: SimulateParams) -> None:
+        if params.workload not in WORKLOADS:
+            raise ProtocolError(
+                ErrorCode.INVALID_REQUEST,
+                f"unknown workload '{params.workload}'",
+                known=sorted(WORKLOADS),
+            )
+        if params.prefetcher not in PREFETCHERS:
+            raise ProtocolError(
+                ErrorCode.INVALID_REQUEST,
+                f"unknown prefetcher '{params.prefetcher}'",
+                known=sorted(PREFETCHERS),
+            )
+
+    # ------------------------------------------------------------------
+    # Control payloads (fleet views)
+    # ------------------------------------------------------------------
+    def _ping_payload(self) -> Dict[str, Any]:
+        return {
+            "pong": True,
+            "version": __version__,
+            "protocol": protocol.PROTOCOL_VERSION,
+            "supported_versions": list(protocol.SUPPORTED_VERSIONS),
+            "pid": os.getpid(),
+            "sharded": True,
+            "workers": len(self.shards),
+            "shards": [
+                {"index": s.index, "pid": s.pid, "port": s.port} for s in self.shards
+            ],
+        }
+
+    async def _stats_payload(self) -> Dict[str, Any]:
+        """The fleet aggregate plus a per-shard breakdown."""
+        shard_stats = await self._fan_out("stats")
+        agg = MetricsRegistry()
+        sim = MetricsRegistry()
+        cache = {"entries": 0, "hits": 0, "misses": 0, "max_entries": 0}
+        disk = {"entries": 0, "hits": 0, "spilled": 0, "quarantined": 0}
+        has_disk = False
+        queue = {"depth": 0, "limit": 0}
+        pool = {"workers": 0, "generation": 0}
+        shards: List[Dict[str, Any]] = []
+        for shard, stats in zip(self.shards, shard_stats):
+            if stats is None:
+                shards.append(
+                    {"index": shard.index, "pid": shard.pid, "unreachable": True}
+                )
+                continue
+            agg.merge(stats.get("metrics", {}))
+            sim.merge(stats.get("simulation", {}))
+            shard_cache = stats.get("cache", {})
+            for field_name in ("entries", "hits", "misses", "max_entries"):
+                cache[field_name] += shard_cache.get(field_name, 0)
+            shard_disk = shard_cache.get("disk")
+            if shard_disk:
+                has_disk = True
+                for field_name in ("hits", "spilled", "quarantined"):
+                    disk[field_name] += shard_disk.get(field_name, 0)
+                # Shards share one spill directory; entries is the
+                # directory's population, not a per-shard sum.
+                disk["entries"] = max(disk["entries"], shard_disk.get("entries", 0))
+            queue["depth"] += stats.get("queue", {}).get("depth", 0)
+            queue["limit"] += stats.get("queue", {}).get("limit", 0)
+            pool["workers"] += stats.get("pool", {}).get("workers", 0)
+            pool["generation"] = max(
+                pool["generation"], stats.get("pool", {}).get("generation", 0)
+            )
+            shard_metrics = stats.get("metrics", {})
+            shards.append(
+                {
+                    "index": shard.index,
+                    "pid": shard.pid,
+                    "uptime_s": stats.get("uptime_s", 0.0),
+                    "requests": shard_metrics.get("requests_received", {}).get(
+                        "value", 0
+                    ),
+                    "routed": self.registry.to_dict()
+                    .get(f"routed.{shard.name}", {})
+                    .get("value", 0),
+                    "cache": shard_cache,
+                    "queue": stats.get("queue", {}),
+                    "latency_ms": stats.get("latency_ms", {}),
+                }
+            )
+        if has_disk:
+            cache["disk"] = disk
+        latency = {"p50": 0.0, "p90": 0.0, "p99": 0.0, "count": 0}
+        if "request_latency_ms" in agg:
+            merged = agg["request_latency_ms"]
+            latency = {
+                "p50": merged.quantile(0.5),
+                "p90": merged.quantile(0.9),
+                "p99": merged.quantile(0.99),
+                "count": merged.total,
+            }
+        return {
+            "pid": os.getpid(),
+            "sharded": True,
+            "workers": len(self.shards),
+            "uptime_s": time.monotonic() - self._started_at,
+            "draining": self._draining,
+            "queue": queue,
+            "cache": cache,
+            "pool": pool,
+            "latency_ms": latency,
+            "metrics": agg.to_dict(),
+            "simulation": sim.to_dict(),
+            "router": self.registry.to_dict(),
+            "shards": shards,
+        }
+
+    async def _live_merged_metrics(self) -> Dict[str, Any]:
+        """Aggregate + per-shard-prefixed snapshot of the whole fleet."""
+        shard_stats = await self._fan_out("stats")
+        agg = MetricsRegistry()
+        for shard, stats in zip(self.shards, shard_stats):
+            if stats is None:
+                continue
+            agg.merge(stats.get("metrics", {}))
+            agg.merge(stats.get("simulation", {}))
+            agg.merge(stats.get("metrics", {}), prefix=f"shard{shard.index}.")
+        snapshot = agg.to_dict()
+        snapshot.update(self.registry.to_dict())
+        return snapshot
+
+    async def _metrics_payload(self) -> Dict[str, Any]:
+        return {
+            "content_type": "text/plain; version=0.0.4",
+            "text": render_prometheus(await self._live_merged_metrics()),
+        }
+
+    async def _telemetry_payload(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Every process's spans plus the aggregated registries."""
+        drain = bool(params.get("drain")) if isinstance(params, dict) else False
+        shard_payloads = await self._fan_out("telemetry", drain=drain)
+        spans = self.recorder.drain() if drain else self.recorder.snapshot()
+        dropped = 0
+        agg = MetricsRegistry()
+        sim = MetricsRegistry()
+        for shard, payload in zip(self.shards, shard_payloads):
+            if payload is None:
+                continue
+            spans.extend(payload.get("spans", ()))
+            dropped += int(payload.get("dropped_spans", 0))
+            agg.merge(payload.get("metrics", {}))
+            agg.merge(payload.get("metrics", {}), prefix=f"shard{shard.index}.")
+            sim.merge(payload.get("simulation", {}))
+        cap = SimulationService.TELEMETRY_SPAN_CAP
+        if len(spans) > cap:
+            dropped += len(spans) - cap
+            spans = spans[-cap:]
+        snapshot = agg.to_dict()
+        snapshot.update(self.registry.to_dict())
+        return {
+            "pid": os.getpid(),
+            "sharded": True,
+            "shard_index": None,
+            "spans": spans,
+            "dropped_spans": dropped,
+            "metrics": snapshot,
+            "simulation": sim.to_dict(),
+        }
+
+    # ------------------------------------------------------------------
+    # Drain plumbing
+    # ------------------------------------------------------------------
+    async def _collect_final_telemetry(self) -> None:
+        """Pull every shard's spans/metrics before shutting the fleet down."""
+        shard_payloads = await self._fan_out("telemetry", drain=True)
+        agg = MetricsRegistry()
+        sim = MetricsRegistry()
+        for shard, payload in zip(self.shards, shard_payloads):
+            if payload is None:
+                continue
+            self.recorder.extend(payload.get("spans", ()))
+            agg.merge(payload.get("metrics", {}))
+            agg.merge(payload.get("metrics", {}), prefix=f"shard{shard.index}.")
+            sim.merge(payload.get("simulation", {}))
+        snapshot = agg.to_dict()
+        snapshot.update(sim.to_dict())
+        snapshot.update(self.registry.to_dict())
+        self._final_metrics = snapshot
+
+    async def _shutdown_shards(self) -> None:
+        await self._fan_out("shutdown")
+        await self._close_links()
+
+    def _join_shards(self) -> None:
+        deadline = time.monotonic() + self.config.drain_timeout_s
+        for shard in self.shards:
+            shard.process.join(max(0.1, deadline - time.monotonic()))
+            if shard.process.is_alive():  # pragma: no cover - drain wedged
+                log.warning("%s did not drain; terminating", shard.name)
+                shard.process.terminate()
+                shard.process.join(5.0)
+
+    def merged_metrics(self) -> Dict[str, Any]:
+        """The fleet-wide registry snapshot (frozen at drain).
+
+        Before the drain has run (or if every shard was unreachable)
+        this is the router's own instruments only.
+        """
+        if self._final_metrics is not None:
+            return dict(self._final_metrics)
+        return self.registry.to_dict()

@@ -40,6 +40,7 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -91,6 +92,21 @@ class ServiceConfig:
     #: Collect worker-side :class:`SimulationMetrics` per job and merge
     #: them into the service-global registry (per-prefetcher prefixed).
     worker_metrics: bool = True
+    #: Disk tier of the result cache: spill lossless snapshots under
+    #: this directory (sha256 sidecars, quarantine-on-corruption) so
+    #: warm hits survive crashes and restarts.  ``None`` = memory only.
+    #: Safe to share across shard processes (content-addressed entries,
+    #: atomic writes).
+    cache_dir: Optional[str] = None
+    #: Disk-tier entry bound (oldest pruned beyond it).
+    max_disk_entries: int = 4096
+    #: ``(workload, records, seed)`` triples to pre-warm (trace + filter
+    #: planes generated, pool workers pre-spawned) before reporting
+    #: ready.  A sharded front-end partitions these per shard.
+    prewarm: Tuple[Tuple[str, int, int], ...] = ()
+    #: Position of this instance behind a sharded front-end; ``None``
+    #: for a standalone service.  Surfaces in ping/stats/telemetry.
+    shard_index: Optional[int] = None
 
 
 @dataclass
@@ -133,7 +149,11 @@ class SimulationService:
         self.bus = bus if bus is not None else EventBus()
         self.registry = registry if registry is not None else MetricsRegistry()
         self.metrics = ServiceMetrics(self.bus, self.registry)
-        self.cache = ResultCache(self.config.cache_entries)
+        self.cache = ResultCache(
+            self.config.cache_entries,
+            spill_dir=self.config.cache_dir,
+            max_disk_entries=self.config.max_disk_entries,
+        )
         self.pool = PersistentPool(self.policy.resolved_jobs())
         #: Server-side span collector; worker spans are absorbed here too,
         #: so after a traced request it holds the whole cross-process tree.
@@ -161,7 +181,14 @@ class SimulationService:
     # Lifecycle
     # ------------------------------------------------------------------
     async def start(self) -> Tuple[str, int]:
-        """Bind, start serving, and return the bound ``(host, port)``."""
+        """Bind, start serving, and return the bound ``(host, port)``.
+
+        With :attr:`ServiceConfig.prewarm` set, the expected working
+        set (traces, filter planes, pool workers) is warmed *before*
+        binding, so a ready service is a warm service.
+        """
+        if self.config.prewarm:
+            await asyncio.get_running_loop().run_in_executor(None, self.prewarm)
         self._loop = asyncio.get_running_loop()
         self._queue = asyncio.Queue(maxsize=self.config.queue_size)
         self._dispatch_gate = asyncio.Event()
@@ -206,6 +233,30 @@ class SimulationService:
         await self._server.wait_closed()
         self.pool.shutdown()
         log.info("simulation service drained and stopped")
+
+    def prewarm(self) -> None:
+        """Warm the configured working set (blocking; called off-loop).
+
+        Generates each prewarm triple's trace and filter planes through
+        the shared on-disk caches and pre-spawns the persistent pool's
+        workers, so the first real request hits warm state.
+        """
+        from ..parallel.jobs import warm_trace_cache
+
+        config = ProcessorConfig.scaled()
+        specs = [
+            JobSpec(workload=w, records=r, seed=s, config=config)
+            for (w, r, s) in self.config.prewarm
+        ]
+        try:
+            warm_trace_cache(specs)
+        except Exception as exc:  # warming is best-effort, never fatal
+            log.warning("prewarm failed (%s); serving cold", exc)
+        if self.pool.max_workers > 1 and (
+            (os.cpu_count() or 1) > 1 or os.environ.get("REPRO_FORCE_POOL") == "1"
+        ):
+            self.pool.warm()
+        log.info("prewarmed %d working-set entr(ies)", len(specs))
 
     def begin_drain(self) -> None:
         """Stop admission; queued and in-flight requests still complete.
@@ -316,6 +367,10 @@ class SimulationService:
             response = protocol.ok_response(request.id, self._stats_payload())
         elif request.type == "metrics":
             response = protocol.ok_response(request.id, self._metrics_payload())
+        elif request.type == "telemetry":
+            response = protocol.ok_response(
+                request.id, self._telemetry_payload(request.params)
+            )
         elif request.type == "shutdown":
             self.begin_drain()
             response = protocol.ok_response(request.id, {"draining": True})
@@ -574,17 +629,23 @@ class SimulationService:
             )
 
     def _ping_payload(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "pong": True,
             "version": __version__,
             "protocol": protocol.PROTOCOL_VERSION,
             "supported_versions": list(protocol.SUPPORTED_VERSIONS),
+            "pid": os.getpid(),
         }
+        if self.config.shard_index is not None:
+            payload["shard_index"] = self.config.shard_index
+        return payload
 
     def _stats_payload(self) -> Dict[str, Any]:
         assert self._queue is not None
         latency = self.metrics.latency_ms
         return {
+            "pid": os.getpid(),
+            "shard_index": self.config.shard_index,
             "uptime_s": time.monotonic() - self._started_at,
             "queue": {"depth": self._queue.qsize(), "limit": self.config.queue_size},
             "cache": self.cache.info(),
@@ -620,6 +681,33 @@ class SimulationService:
             "text": render_prometheus(self.merged_metrics()),
         }
 
+    #: Span ceiling per telemetry response; keeps the frame under
+    #: ``protocol.MAX_FRAME_BYTES`` for long-lived shards.
+    TELEMETRY_SPAN_CAP = 2000
+
+    def _telemetry_payload(self, params: Dict[str, Any]) -> Dict[str, Any]:
+        """Spans + registries for cross-process aggregation (v3).
+
+        ``params["drain"]`` removes the spans on read — what a sharded
+        front-end sends right before shutdown, so each span is shipped
+        exactly once.  The newest :data:`TELEMETRY_SPAN_CAP` spans are
+        kept when the backlog would overflow one frame; the count of
+        dropped older spans is reported instead of silently truncating.
+        """
+        drain = bool(params.get("drain")) if isinstance(params, dict) else False
+        spans = self.recorder.drain() if drain else self.recorder.snapshot()
+        dropped = max(0, len(spans) - self.TELEMETRY_SPAN_CAP)
+        if dropped:
+            spans = spans[-self.TELEMETRY_SPAN_CAP:]
+        return {
+            "pid": os.getpid(),
+            "shard_index": self.config.shard_index,
+            "spans": spans,
+            "dropped_spans": dropped,
+            "metrics": self.registry.to_dict(),
+            "simulation": self.sim_registry.to_dict(),
+        }
+
     def _emit_completed(
         self,
         request_type: str,
@@ -646,19 +734,28 @@ async def serve(
     ready_message: bool = True,
     metrics_out: Optional[str] = None,
     trace_out: Optional[str] = None,
+    workers: int = 1,
 ) -> int:
     """Run one service until it drains (the ``repro-ebcp serve`` body).
 
-    ``metrics_out`` dumps the merged registry (service + aggregated
-    worker metrics) as JSON on shutdown; ``trace_out`` writes every span
-    the service recorded (its own and the worker spans it absorbed) as a
-    Chrome trace.
+    ``workers > 1`` runs the sharded tier instead: a consistent-hash
+    front-end over that many single-shard worker processes
+    (:class:`~repro.service.router.ShardedService`).  ``metrics_out``
+    dumps the merged registry (service + aggregated worker metrics) as
+    JSON on shutdown; ``trace_out`` writes every span the service
+    recorded (its own and the worker spans it absorbed) as a Chrome
+    trace.
     """
     import json as _json
 
     from ..obs.tracing import write_chrome_trace
 
-    service = SimulationService(config=config, policy=policy)
+    if workers > 1:
+        from .router import ShardedService
+
+        service: Any = ShardedService(config=config, policy=policy, workers=workers)
+    else:
+        service = SimulationService(config=config, policy=policy)
     host, port = await service.start()
     if ready_message:
         # The sentinel line CI and scripts wait for before sending traffic.
@@ -686,6 +783,11 @@ class BackgroundService:
 
     >>> with BackgroundService() as svc:        # doctest: +SKIP
     ...     client = ServiceClient(*svc.address)
+
+    ``service`` hosts a prebuilt instance instead — any object with the
+    service lifecycle (``start``/``run``/``begin_drain_threadsafe``/
+    ``address``), which is how the sharded front-end
+    (:class:`~repro.service.router.ShardedService`) reuses this harness.
     """
 
     def __init__(
@@ -693,8 +795,11 @@ class BackgroundService:
         config: Optional[ServiceConfig] = None,
         policy: Optional[ExecutionPolicy] = None,
         start_timeout_s: float = 10.0,
+        service: Optional[Any] = None,
     ) -> None:
-        self.service = SimulationService(
+        if service is not None and (config is not None or policy is not None):
+            raise ValueError("pass either a prebuilt service or config/policy, not both")
+        self.service = service if service is not None else SimulationService(
             config=config or ServiceConfig(port=0), policy=policy
         )
         self._ready = threading.Event()

@@ -1,0 +1,300 @@
+"""Tests for the sharded service tier: ring, routing, multi-process.
+
+Two layers:
+
+* **Unit/property** — the consistent-hash ring's contract, pinned with
+  Hypothesis: routing is deterministic and insertion-order independent,
+  adding a shard only steals keys *for the new shard* (never reshuffles
+  between survivors), removing one only moves the removed shard's keys,
+  and the keyspace stays tolerably balanced.
+* **Integration** — a real :class:`ShardedService` front-end over two
+  worker processes: requests fan out to distinct pids, served results
+  stay bit-identical to local runs, repeats hit the owning shard's
+  cache, stats aggregate across the fleet, and the whole thing drains
+  gracefully.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.engine.config import ProcessorConfig
+from repro.parallel.jobs import JobSpec
+from repro.prefetchers.registry import build_prefetcher
+from repro.resilience.policy import ExecutionPolicy
+from repro.service import (
+    BackgroundService,
+    HashRing,
+    ServiceClient,
+    ServiceConfig,
+    ShardedService,
+    routing_key,
+)
+
+RECORDS = 4_000
+WORKLOAD = "pointer_chase"
+POLICY = ExecutionPolicy(jobs=1)
+
+shard_names = st.lists(
+    st.text(alphabet="abcdefgh0123456789-", min_size=1, max_size=12),
+    min_size=1,
+    max_size=6,
+    unique=True,
+)
+keys = st.lists(st.text(min_size=1, max_size=32), min_size=1, max_size=64)
+
+
+def local_run(workload: str, prefetcher: str, records: int = RECORDS, seed: int = 7):
+    return JobSpec(
+        workload=workload,
+        records=records,
+        seed=seed,
+        config=ProcessorConfig.scaled(),
+        prefetcher=None if prefetcher == "none" else build_prefetcher(prefetcher),
+        label=prefetcher,
+    ).run()
+
+
+class TestRoutingKey:
+    def test_deterministic(self):
+        fp = ProcessorConfig.scaled().fingerprint()
+        assert routing_key("tpcw", 50_000, 7, fp) == routing_key("tpcw", 50_000, 7, fp)
+
+    def test_distinct_parameters_distinct_keys(self):
+        fp = ProcessorConfig.scaled().fingerprint()
+        base = routing_key("tpcw", 50_000, 7, fp)
+        assert routing_key("tpcw", 50_000, 8, fp) != base
+        assert routing_key("tpcw", 50_001, 7, fp) != base
+        assert routing_key("database", 50_000, 7, fp) != base
+
+    def test_prefetcher_not_part_of_the_key(self):
+        # Every prefetcher variant of one trace must share a shard, so
+        # the routing key has no prefetcher dimension at all.
+        fp = ProcessorConfig.scaled().fingerprint()
+        ring = HashRing(["shard-0", "shard-1", "shard-2", "shard-3"])
+        key = routing_key(WORKLOAD, RECORDS, 7, fp)
+        assert ring.route(key) == ring.route(routing_key(WORKLOAD, RECORDS, 7, fp))
+
+    def test_nested_tuple_fingerprint_is_jsonable(self):
+        key = routing_key("tpcw", 1, 2, (3.0, (4, (5, 6))))
+        assert isinstance(key, str) and "5" in key
+
+
+class TestHashRingBasics:
+    def test_empty_ring_raises(self):
+        with pytest.raises(LookupError):
+            HashRing().route("anything")
+
+    def test_membership_and_len(self):
+        ring = HashRing(["a", "b"])
+        assert len(ring) == 2
+        assert "a" in ring and "c" not in ring
+        assert ring.shards() == ("a", "b")
+
+    def test_add_is_idempotent(self):
+        ring = HashRing(["a"])
+        before = list(ring._points)
+        ring.add("a")
+        assert ring._points == before
+
+    def test_remove_unknown_is_noop(self):
+        ring = HashRing(["a"])
+        ring.remove("b")
+        assert ring.shards() == ("a",)
+
+    def test_replicas_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+        with pytest.raises(ValueError):
+            HashRing([""])
+
+    def test_balance_over_many_keys(self):
+        # Deterministic (blake2b): 4 shards x 64 replicas over 4000 keys
+        # must spread within a small factor of the fair share.
+        ring = HashRing([f"shard-{i}" for i in range(4)])
+        counts = {name: 0 for name in ring.shards()}
+        for i in range(4_000):
+            counts[ring.route(f"key-{i}")] += 1
+        fair = 4_000 / 4
+        assert min(counts.values()) > fair / 2.5
+        assert max(counts.values()) < fair * 2.5
+
+
+class TestHashRingProperties:
+    @given(shards=shard_names, ks=keys)
+    @settings(max_examples=60, deadline=None)
+    def test_routing_is_insertion_order_independent(self, shards, ks):
+        forward = HashRing(shards)
+        backward = HashRing(reversed(shards))
+        for key in ks:
+            assert forward.route(key) == backward.route(key)
+
+    @given(shards=shard_names, ks=keys, new=st.text(alphabet="xyz", min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_adding_a_shard_only_steals_for_itself(self, shards, ks, new):
+        # THE consistent-hashing property: growing the ring never
+        # reshuffles keys between existing shards — a moved key moved to
+        # the newcomer, so N-1 of N shard caches stay warm on resize.
+        if new in shards:
+            return
+        ring = HashRing(shards)
+        before = {key: ring.route(key) for key in ks}
+        ring.add(new)
+        for key in ks:
+            after = ring.route(key)
+            assert after == before[key] or after == new
+
+    @given(shards=shard_names, ks=keys)
+    @settings(max_examples=60, deadline=None)
+    def test_removing_a_shard_only_moves_its_keys(self, shards, ks):
+        if len(shards) < 2:
+            return
+        ring = HashRing(shards)
+        victim = shards[0]
+        before = {key: ring.route(key) for key in ks}
+        ring.remove(victim)
+        for key in ks:
+            if before[key] != victim:
+                assert ring.route(key) == before[key]
+            else:
+                assert ring.route(key) != victim
+
+    @pytest.mark.parametrize("n", [1, 2, 4, 8])
+    def test_remapping_fraction_tracks_fair_share(self, n):
+        # Quantitative cousin of the structural property above: growing
+        # an N-shard ring moves ~1/(N+1) of the keyspace to the
+        # newcomer — not ~(N-1)/N as naive modulo hashing would.
+        # Deterministic (blake2b), so tight-ish bounds are CI-safe.
+        ring = HashRing([f"shard-{i}" for i in range(n)])
+        ks = [f"key-{i}" for i in range(2_000)]
+        before = {key: ring.route(key) for key in ks}
+        ring.add("newcomer-x")
+        moved = sum(1 for key in ks if ring.route(key) != before[key])
+        fair = 1 / (n + 1)
+        assert fair / 2 <= moved / len(ks) <= fair * 2
+
+    @given(ks=keys)
+    @settings(max_examples=40, deadline=None)
+    def test_add_then_remove_restores_routing(self, ks):
+        ring = HashRing(["shard-0", "shard-1", "shard-2"])
+        before = {key: ring.route(key) for key in ks}
+        ring.add("transient")
+        ring.remove("transient")
+        assert {key: ring.route(key) for key in ks} == before
+
+
+@pytest.fixture(scope="module")
+def sharded():
+    """One 2-shard service shared by the integration tests (spawn cost)."""
+    config = ServiceConfig(port=0, cache_entries=64)
+    service = ShardedService(config=config, policy=POLICY, workers=2)
+    with BackgroundService(service=service, start_timeout_s=120.0) as svc:
+        yield svc
+
+
+@pytest.fixture
+def client(sharded):
+    with ServiceClient(*sharded.address, timeout_s=120.0, retries=0) as c:
+        yield c
+
+
+class TestShardedService:
+    def test_ping_describes_the_fleet(self, client):
+        payload = client.ping()
+        assert payload["sharded"] is True
+        assert payload["workers"] == 2
+        assert len(payload["shards"]) == 2
+        pids = {shard["pid"] for shard in payload["shards"]}
+        assert len(pids) == 2  # two real processes
+
+    def test_requests_land_on_distinct_pids(self, client):
+        pids = set()
+        for seed in range(8):
+            served = client.simulate(WORKLOAD, "none", records=RECORDS, seed=seed)
+            assert served.shard is not None
+            pids.add(served.shard["pid"])
+        assert len(pids) == 2
+
+    def test_served_result_is_bit_identical(self, client):
+        served = client.simulate(WORKLOAD, "ebcp", records=RECORDS, seed=3)
+        local = local_run(WORKLOAD, "ebcp", seed=3)
+        assert dataclasses.asdict(served.result.stats) == dataclasses.asdict(local.stats)
+
+    def test_repeat_hits_the_owning_shards_cache(self, client):
+        first = client.simulate(WORKLOAD, "none", records=RECORDS, seed=101)
+        second = client.simulate(WORKLOAD, "none", records=RECORDS, seed=101)
+        assert first.cached is False and second.cached is True
+        # Locality: the repeat landed on the very same shard process.
+        assert second.shard == first.shard
+        assert second.result.to_dict() == first.result.to_dict()
+
+    def test_prefetcher_variants_share_a_shard(self, client):
+        a = client.simulate(WORKLOAD, "none", records=RECORDS, seed=55)
+        b = client.simulate(WORKLOAD, "ebcp", records=RECORDS, seed=55)
+        assert a.shard == b.shard
+
+    def test_stats_aggregate_and_break_down(self, client):
+        client.simulate(WORKLOAD, "none", records=RECORDS, seed=200)
+        stats = client.stats()
+        assert stats["sharded"] is True and stats["workers"] == 2
+        assert stats["metrics"]["requests_received"]["value"] >= 1
+        assert stats["router"]["router_requests_routed"]["value"] >= 1
+        shard_rows = stats["shards"]
+        assert len(shard_rows) == 2
+        assert {row["index"] for row in shard_rows} == {0, 1}
+        # The aggregate equals the sum of the per-shard requests.
+        total = sum(row["requests"] for row in shard_rows)
+        assert stats["metrics"]["requests_received"]["value"] == total
+
+    def test_prometheus_metrics_cover_router_and_shards(self, client):
+        client.simulate(WORKLOAD, "none", records=RECORDS, seed=201)
+        text = client.metrics()
+        assert "repro_router_requests_routed" in text
+        assert "repro_shard0_requests_received" in text
+        assert "repro_shard1_requests_received" in text
+
+    def test_telemetry_spans_cross_processes(self, client):
+        from repro.obs import SpanRecorder
+
+        recorder = SpanRecorder("client")
+        traced = ServiceClient(
+            client.host, client.port, timeout_s=120.0, retries=0, recorder=recorder
+        )
+        with traced:
+            served = traced.simulate(WORKLOAD, "none", records=RECORDS, seed=777)
+        telemetry = client.telemetry()
+        spans = telemetry["spans"]
+        names = {span["name"] for span in spans}
+        assert "router:route" in names
+        assert "server:simulate" in names
+        # The routing span and the shard's span share the client trace
+        # and the shard span ran in the pid the response reported.
+        trace_id = recorder.spans[0]["trace_id"]
+        routed = [s for s in spans if s["trace_id"] == trace_id]
+        assert {s["name"] for s in routed} >= {"router:route", "server:simulate"}
+        shard_pids = {
+            s["pid"] for s in routed if s["name"] == "server:simulate"
+        }
+        assert served.shard["pid"] in shard_pids
+
+
+class TestShardedDrain:
+    def test_shutdown_drains_both_shards(self):
+        config = ServiceConfig(port=0, cache_entries=8, drain_timeout_s=30.0)
+        service = ShardedService(config=config, policy=POLICY, workers=2)
+        with BackgroundService(service=service, start_timeout_s=120.0) as svc:
+            with ServiceClient(*svc.address, timeout_s=120.0, retries=0) as c:
+                c.simulate(WORKLOAD, "none", records=RECORDS)
+                assert c.shutdown() == {"draining": True}
+        # The context exit joined the service thread; the shard
+        # processes must be gone too, and their telemetry absorbed.
+        for shard in service.shards:
+            assert not shard.process.is_alive()
+        merged = service.merged_metrics()
+        assert merged["requests_received"]["value"] >= 1
+        assert "shard0.requests_received" in merged
+        assert "shard1.requests_received" in merged
