@@ -22,32 +22,57 @@ Prefetchers
 Execution
     :class:`ExecutionPolicy` (timeouts, retries, checkpoints, fault
     injection), :class:`JobSpec`, :func:`run_jobs`,
-    :class:`SweepRunner`, :class:`ParallelSweepRunner`
+    :class:`SweepRunner`, :class:`ParallelSweepRunner`,
+    :class:`SweepPoint`
+Sweep specs (the declarative surface)
+    :class:`SweepSpec` with :func:`load_spec` / :func:`loads_spec` /
+    :func:`dump_spec`, executed by :func:`run_spec` (local) or
+    :func:`submit_spec` (streamed through a service); :func:`expand`
+    lowers a spec to its job grid, :class:`SweepResult` carries the
+    results, :class:`SpecError` / :class:`SpecVersionError` are the
+    typed validation failures, :data:`SPEC_VERSION` is the schema
+    version this build reads and writes
 Experiments
-    :data:`EXPERIMENTS` — experiment id -> module; each module's
-    ``run(records=..., seed=..., policy=...)`` regenerates one paper
-    table/figure
+    :func:`run_experiment` regenerates one paper table/figure from its
+    committed ``specs/*.toml`` file; :data:`EXPERIMENTS` (experiment
+    id -> module) remains for enumeration and for the deprecated
+    imperative ``module.run()`` entry points, which now warn and
+    delegate to :func:`run_experiment`.  :class:`FigureResult` and
+    :class:`TableResult` are the rendered shapes experiments return.
 Observability
     :class:`EventBus`, :class:`MetricsRegistry`, and the tracing
     vocabulary :class:`TraceContext` / :class:`SpanRecorder` /
     :class:`TelemetrySink` with :func:`render_prometheus` exposition
 Service
     :class:`ServiceClient` / :class:`AsyncServiceClient` (talk to a
-    running ``repro-ebcp serve``), :class:`ServedResult`,
-    :class:`ServiceConfig`, :class:`SimulationService`, the sharded
-    tier :class:`ShardedService` with :class:`HashRing` /
+    running ``repro-ebcp serve``) with :meth:`~ServiceClient.sweep` /
+    :meth:`~ServiceClient.iter_sweep` streaming (:class:`SweepFrame`
+    per job), :class:`ServedResult`, :class:`ServiceConfig`,
+    :class:`SimulationService`, :func:`serve`,
+    :class:`BackgroundService` (in-process harness for tests and
+    notebooks), :class:`ResultCache`, :data:`PROTOCOL_VERSION`, the
+    sharded tier :class:`ShardedService` with :class:`HashRing` /
     :func:`routing_key` consistent-hash routing, and the typed client
     errors :class:`ServiceError` / :class:`ServiceBusyError`
 
+Deprecation plan
+----------------
+``EXPERIMENTS[name].run()`` warns ``DeprecationWarning`` since the spec
+redesign and will be removed in the release after next; call
+:func:`run_experiment` (same results, same signature past the name) or
+``repro sweep run specs/<name>.toml`` instead.  ``SweepRunner`` /
+``ParallelSweepRunner`` remain supported as the imperative layer under
+:func:`run_spec` but new sweeps should be written as spec files.
+
 >>> from repro import api
->>> policy = api.ExecutionPolicy(jobs=2, retries=2, timeout_s=600)
->>> table = api.EXPERIMENTS["table1"].run(records=40_000, policy=policy)
+>>> spec = api.load_spec("specs/table1.toml")
+>>> result = api.run_spec(spec, policy=api.ExecutionPolicy(jobs=2))
 ... # doctest: +SKIP
 """
 
 from __future__ import annotations
 
-from .analysis.sweep import SweepRunner
+from .analysis.sweep import SweepPoint, SweepRunner
 from .core import make_ebcp
 from .engine import (
     CacheConfig,
@@ -57,6 +82,8 @@ from .engine import (
     SimulationStats,
 )
 from .experiments import EXPERIMENTS
+from .experiments.common import FigureResult, TableResult
+from .experiments.from_spec import run_experiment
 from .obs import (
     EventBus,
     MetricsRegistry,
@@ -69,8 +96,11 @@ from .parallel import JobSpec, ParallelSweepRunner, run_jobs
 from .prefetchers import PREFETCHERS, Prefetcher, build_prefetcher
 from .resilience import ExecutionPolicy
 from .service import (
+    PROTOCOL_VERSION,
     AsyncServiceClient,
+    BackgroundService,
     HashRing,
+    ResultCache,
     ServedResult,
     ServiceBusyError,
     ServiceClient,
@@ -79,24 +109,45 @@ from .service import (
     ShardedService,
     SimulationService,
     routing_key,
+    serve,
+)
+from .service.client import SweepFrame
+from .spec import (
+    SPEC_VERSION,
+    SpecError,
+    SpecVersionError,
+    SweepResult,
+    SweepSpec,
+    dump_spec,
+    dumps_spec,
+    expand,
+    load_spec,
+    loads_spec,
+    run_spec,
+    submit_spec,
 )
 from .workloads import COMMERCIAL_WORKLOADS, WORKLOADS, Trace, make_workload
 
 __all__ = [
     "AsyncServiceClient",
+    "BackgroundService",
     "CacheConfig",
     "COMMERCIAL_WORKLOADS",
     "EXPERIMENTS",
     "EpochSimulator",
     "EventBus",
     "ExecutionPolicy",
+    "FigureResult",
     "HashRing",
     "JobSpec",
     "MetricsRegistry",
     "PREFETCHERS",
+    "PROTOCOL_VERSION",
     "ParallelSweepRunner",
     "Prefetcher",
     "ProcessorConfig",
+    "ResultCache",
+    "SPEC_VERSION",
     "ServedResult",
     "ServiceBusyError",
     "ServiceClient",
@@ -107,15 +158,31 @@ __all__ = [
     "SimulationStats",
     "SimulationService",
     "SpanRecorder",
+    "SpecError",
+    "SpecVersionError",
+    "SweepFrame",
+    "SweepPoint",
+    "SweepResult",
     "SweepRunner",
+    "SweepSpec",
+    "TableResult",
     "TelemetrySink",
     "Trace",
     "TraceContext",
     "WORKLOADS",
     "build_prefetcher",
+    "dump_spec",
+    "dumps_spec",
+    "expand",
+    "load_spec",
+    "loads_spec",
     "make_ebcp",
     "make_workload",
     "render_prometheus",
     "routing_key",
+    "run_experiment",
     "run_jobs",
+    "run_spec",
+    "serve",
+    "submit_spec",
 ]

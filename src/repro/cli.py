@@ -30,6 +30,14 @@ Subcommands
                      latency quantiles, per-prefetcher epoch MLP; a
                      sharded service additionally gets per-shard rows
                      and the disk cache tier)
+``sweep``            declarative sweep specs (``specs/*.toml``):
+                     ``validate`` checks schema + expansion and prints
+                     the job grid, ``run`` executes a spec locally
+                     through the parallel runner, ``submit`` streams it
+                     through a running service (protocol v4) with
+                     per-job results arriving as they settle.  The
+                     spec's ``[execution]`` block supplies execution
+                     defaults; explicit CLI flags override it.
 
 Global flags ``-v``/``-q`` raise/lower the stdlib-logging verbosity of
 the ``repro`` logger (repeatable: ``-vv`` for debug); ``--version``
@@ -79,13 +87,18 @@ def _cmd_experiments(_: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
-    module = EXPERIMENTS.get(args.experiment)
-    if module is None:
+    if args.experiment not in EXPERIMENTS:
         print(f"unknown experiment '{args.experiment}'", file=sys.stderr)
         return 2
+    # Straight to the spec-driven path: the committed specs/*.toml file
+    # is the experiment definition; the imperative module.run() entry
+    # points are deprecated shims over the same call.
+    from .experiments.from_spec import run_experiment
+
     started = time.time()
-    result = module.run(
-        records=args.records, seed=args.seed, policy=_policy_from_args(args)
+    result = run_experiment(
+        args.experiment, records=args.records, seed=args.seed,
+        policy=_policy_from_args(args),
     )
     print(banner(f"{args.experiment} ({args.records} records, seed {args.seed})"))
     print(result.render())
@@ -289,8 +302,8 @@ def _cmd_call(args: argparse.Namespace) -> int:
         host=args.host,
         port=args.port,
         timeout_s=args.timeout if args.timeout is not None else 30.0,
-        retries=args.retries,
-        backoff_s=args.backoff,
+        retries=args.retries if args.retries is not None else 1,
+        backoff_s=args.backoff if args.backoff is not None else 0.25,
         recorder=recorder,
     )
     try:
@@ -510,6 +523,147 @@ def _cmd_top(args: argparse.Namespace) -> int:
         return 0
 
 
+def _render_sweep(result) -> str:
+    """The per-job table both sweep execution verbs print."""
+    summary = result.summary()
+    streamed = result.shards is not None
+    headers = ["#", "kind", "workload", "config", "prefetcher", "thr", "cpi"]
+    headers.append("improvement")
+    if streamed:
+        headers += ["cached", "shard"]
+    rows = []
+    for row in summary["points"]:
+        cells = [
+            row["index"],
+            row["kind"],
+            row["workload"],
+            row["config"],
+            row["label"],
+            row["n_threads"] or "-",
+            f"{row['cpi']:.4f}",
+            f"{row['improvement'] * 100:+.1f} %" if "improvement" in row else "-",
+        ]
+        if streamed:
+            shard = row.get("shard") or {}
+            cells.append("hit" if row.get("cached") else "miss")
+            cells.append(shard.get("index", "-"))
+        rows.append(cells)
+    title = (
+        f"sweep '{summary['name']}' -- {summary['jobs']} jobs "
+        f"({summary['baselines']} baselines), "
+        f"fingerprint {summary['fingerprint'][:12]}"
+    )
+    return format_table(headers, rows, title=title)
+
+
+def _cmd_sweep_validate(args: argparse.Namespace) -> int:
+    """Parse + expand each spec; exit non-zero if any is invalid."""
+    from .spec import SpecError, expand, load_spec
+
+    failures = 0
+    for path in args.spec:
+        try:
+            spec = load_spec(path)
+            plan = expand(spec)
+        except SpecError as exc:
+            print(f"{path}: INVALID -- {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        except OSError as exc:
+            print(f"{path}: unreadable -- {exc}", file=sys.stderr)
+            failures += 1
+            continue
+        print(
+            f"{path}: ok -- '{spec.name}' v{spec.version}, "
+            f"{len(plan.jobs)} jobs ({plan.n_baselines} baselines after "
+            f"dedup), fingerprint {spec.fingerprint()[:12]}"
+        )
+        if args.print_plan:
+            for meta in plan.meta:
+                print(
+                    f"  [{meta.index:3d}] {meta.kind:9s} {meta.workload:14s}"
+                    f" cfg={meta.config_label} pf={meta.label}"
+                    f" records={meta.records} seed={meta.seed}"
+                    + (f" threads={meta.n_threads}" if meta.n_threads else "")
+                )
+    return 1 if failures else 0
+
+
+def _cmd_sweep_run(args: argparse.Namespace) -> int:
+    """Expand a spec and execute it locally through the parallel runner."""
+    from .spec import SpecError, load_spec, run_spec
+
+    try:
+        spec = load_spec(args.spec)
+    except (SpecError, OSError) as exc:
+        print(f"{args.spec}: {exc}", file=sys.stderr)
+        return 2
+    if args.no_kernel and spec.execution.kernel:
+        # The spec pins the kernel on; the explicit flag still wins.
+        import dataclasses
+
+        spec = spec.replace(
+            execution=dataclasses.replace(spec.execution, kernel=False)
+        )
+    policy = _policy_from_args(args, execution=spec.execution)
+    started = time.time()
+    result = run_spec(spec, policy=policy)
+    print(_render_sweep(result))
+    print(f"\n[{time.time() - started:.1f} s]")
+    if args.out:
+        _write_json(args.out, result.summary())
+        print(f"sweep summary written to {args.out}")
+    return 0
+
+
+def _cmd_sweep_submit(args: argparse.Namespace) -> int:
+    """Submit a spec to a running service; results stream back per job."""
+    from .service import ServiceError
+    from .spec import SpecError, load_spec, submit_spec
+
+    try:
+        spec = load_spec(args.spec)
+    except (SpecError, OSError) as exc:
+        print(f"{args.spec}: {exc}", file=sys.stderr)
+        return 2
+    started = time.time()
+    try:
+        result = submit_spec(
+            spec,
+            host=args.host,
+            port=args.port,
+            use_cache=not args.no_cache,
+            timeout_s=args.timeout if args.timeout is not None else 600.0,
+            retries=args.retries if args.retries is not None else 1,
+            backoff_s=args.backoff if args.backoff is not None else 0.25,
+        )
+    except ServiceError as exc:
+        print(f"service error: {exc}", file=sys.stderr)
+        return 1
+    except OSError as exc:
+        print(
+            f"cannot reach service at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        return 1
+    print(_render_sweep(result))
+    hits = sum(result.cached or ())
+    shards = sorted(
+        {s["index"] for s in (result.shards or ()) if s and "index" in s}
+    )
+    print(
+        f"\n[{time.time() - started:.1f} s client"
+        + (f", {result.elapsed_ms / 1000.0:.1f} s service" if result.elapsed_ms else "")
+        + f"; {hits}/{len(result)} cache hits"
+        + (f"; shards {shards}" if shards else "")
+        + "]"
+    )
+    if args.out:
+        _write_json(args.out, result.summary())
+        print(f"sweep summary written to {args.out}")
+    return 0
+
+
 def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     """Flags that map one-to-one onto :class:`repro.resilience.ExecutionPolicy`."""
     group = parser.add_argument_group("execution policy")
@@ -525,14 +679,14 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
         "killed and retried (default: no timeout)",
     )
     group.add_argument(
-        "--retries", type=int, default=1, metavar="N",
+        "--retries", type=int, default=None, metavar="N",
         help="retries per failed job attempt before the error propagates "
-        "(default: 1)",
+        "(default: spec [execution] block, else 1)",
     )
     group.add_argument(
-        "--backoff", type=float, default=0.25, metavar="SECONDS",
+        "--backoff", type=float, default=None, metavar="SECONDS",
         help="base delay before a retry, doubling per attempt "
-        "(default: 0.25)",
+        "(default: spec [execution] block, else 0.25)",
     )
     group.add_argument(
         "--checkpoint-dir", metavar="DIR", default=None,
@@ -541,15 +695,53 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
-def _policy_from_args(args: argparse.Namespace) -> "ExecutionPolicy":
+def _add_client_flags(
+    parser: argparse.ArgumentParser, default_timeout: float = 30.0
+) -> None:
+    """Connection flags shared by every verb that talks to a service."""
+    group = parser.add_argument_group("service connection")
+    group.add_argument("--host", default="127.0.0.1")
+    group.add_argument("--port", type=int, default=7421)
+    group.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help=f"per-attempt client timeout (default: {default_timeout:g})",
+    )
+    group.add_argument(
+        "--retries", type=int, default=None, metavar="N",
+        help="transport/backpressure retries before giving up (default: 1)",
+    )
+    group.add_argument(
+        "--backoff", type=float, default=None, metavar="SECONDS",
+        help="base retry delay, doubling per attempt (default: 0.25)",
+    )
+
+
+def _policy_from_args(
+    args: argparse.Namespace, execution: "object | None" = None
+) -> "ExecutionPolicy":
+    """Build the execution policy: explicit flag > spec block > default.
+
+    ``execution`` is a spec's :class:`repro.spec.ExecutionSpec`; without
+    one the built-in defaults stand in, so the merge is uniform across
+    imperative and spec-driven subcommands.
+    """
     from .resilience import ExecutionPolicy, FaultSpec
+    from .spec.schema import ExecutionSpec
+
+    base = execution if execution is not None else ExecutionSpec()
+
+    def pick(flag, spec_value, fallback=None):
+        if flag is not None:
+            return flag
+        return spec_value if spec_value is not None else fallback
 
     return ExecutionPolicy(
-        jobs=args.jobs,
-        timeout_s=args.timeout,
-        retries=args.retries,
-        backoff_s=args.backoff,
-        checkpoint_dir=args.checkpoint_dir,
+        jobs=pick(args.jobs, base.jobs),
+        compressed=False if args.no_compressed else base.compressed,
+        timeout_s=pick(args.timeout, base.timeout_s),
+        retries=pick(args.retries, base.retries, 1),
+        backoff_s=pick(args.backoff, base.backoff_s, 0.25),
+        checkpoint_dir=pick(args.checkpoint_dir, base.checkpoint_dir),
         fault_spec=FaultSpec.from_env(),
     )
 
@@ -732,25 +924,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_call.add_argument("workload", nargs="?", choices=sorted(WORKLOADS))
     p_call.add_argument("prefetcher", nargs="?", choices=sorted(PREFETCHERS))
-    p_call.add_argument("--host", default="127.0.0.1")
-    p_call.add_argument("--port", type=int, default=7421)
+    _add_client_flags(p_call)
     p_call.add_argument("--records", type=int, default=280_000)
     p_call.add_argument("--seed", type=int, default=7)
     p_call.add_argument(
         "--no-cache", action="store_true",
         help="bypass the service's result cache for this request",
-    )
-    p_call.add_argument(
-        "--timeout", type=float, default=None, metavar="SECONDS",
-        help="per-attempt client timeout (default: 30)",
-    )
-    p_call.add_argument(
-        "--retries", type=int, default=1, metavar="N",
-        help="transport/backpressure retries before giving up (default: 1)",
-    )
-    p_call.add_argument(
-        "--backoff", type=float, default=0.25, metavar="SECONDS",
-        help="base retry delay, doubling per attempt (default: 0.25)",
     )
     p_call.add_argument(
         "--traced", action="store_true",
@@ -805,6 +984,54 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-poll client timeout (default: 10)",
     )
     p_top.set_defaults(func=_cmd_top)
+
+    p_sweep = sub.add_parser(
+        "sweep",
+        help="validate / run / submit declarative sweep specs (specs/*.toml)",
+    )
+    sweep_sub = p_sweep.add_subparsers(dest="sweep_command", required=True)
+
+    p_sv = sweep_sub.add_parser(
+        "validate", help="check spec files parse, validate and expand"
+    )
+    p_sv.add_argument("spec", nargs="+", metavar="SPEC",
+                      help="spec file (.toml or .json)")
+    p_sv.add_argument(
+        "--print-plan", action="store_true",
+        help="also print every expanded job (index, kind, workload, "
+        "config, prefetcher)",
+    )
+    p_sv.set_defaults(func=_cmd_sweep_validate)
+
+    p_sr = sweep_sub.add_parser(
+        "run",
+        help="expand a spec and run it locally (bit-identical to the "
+        "imperative runners)",
+    )
+    p_sr.add_argument("spec", metavar="SPEC", help="spec file (.toml or .json)")
+    p_sr.add_argument(
+        "--out", metavar="PATH",
+        help="write the per-job sweep summary as JSON",
+    )
+    _add_execution_flags(p_sr)
+    p_sr.set_defaults(func=_cmd_sweep_run)
+
+    p_ss = sweep_sub.add_parser(
+        "submit",
+        help="submit a spec to a running service; per-job results stream "
+        "back as they settle (a sharded service fans jobs out per shard)",
+    )
+    p_ss.add_argument("spec", metavar="SPEC", help="spec file (.toml or .json)")
+    _add_client_flags(p_ss, default_timeout=600.0)
+    p_ss.add_argument(
+        "--no-cache", action="store_true",
+        help="bypass the service's result cache for every job",
+    )
+    p_ss.add_argument(
+        "--out", metavar="PATH",
+        help="write the per-job sweep summary as JSON",
+    )
+    p_ss.set_defaults(func=_cmd_sweep_submit)
 
     return parser
 

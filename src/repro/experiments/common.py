@@ -15,6 +15,7 @@ of the paper's evaluation (Section 5).  They share:
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 from typing import Any, Callable, Mapping, Sequence
 
@@ -34,6 +35,7 @@ __all__ = [
     "bandwidth_config",
     "make_sweep_ebcp",
     "memoized",
+    "warn_spec_deprecation",
 ]
 
 #: Default trace length for experiment runs.  The paper warms for 150 M
@@ -164,3 +166,21 @@ def memoized(key: tuple, compute: Callable[[], Any]) -> Any:
 
 def new_runner(records: int, seed: int) -> SweepRunner:
     return SweepRunner(records=records, seed=seed, workloads=COMMERCIAL_WORKLOADS)
+
+
+def warn_spec_deprecation(name: str, spec_file: str) -> None:
+    """Warn that an imperative ``run()`` entry point is spec-backed now.
+
+    The imperative entry points remain for one release cycle; the
+    committed spec under ``specs/`` is the source of truth (see
+    EXPERIMENTS.md for the migration table).
+    """
+    warnings.warn(
+        f"repro.experiments.{name}.run() is deprecated; the experiment is "
+        f"driven by specs/{spec_file} now. Use "
+        f"repro.experiments.from_spec.run_experiment({name!r}, ...) or "
+        f"`repro sweep run specs/{spec_file}`. The imperative entry point "
+        f"will be removed in the release after next.",
+        DeprecationWarning,
+        stacklevel=3,
+    )

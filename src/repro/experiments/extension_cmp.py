@@ -36,12 +36,19 @@ from ..prefetchers.base import Prefetcher
 from ..prefetchers.ghb import make_ghb_large
 from ..prefetchers.solihin import make_solihin_6_1
 from ..workloads.multithread import make_cmp_workload
-from .common import DEFAULT_SEED, FigureResult
+from .common import DEFAULT_SEED, FigureResult, warn_spec_deprecation
 
 if TYPE_CHECKING:
     from ..resilience.policy import ExecutionPolicy
 
-__all__ = ["SCHEMES", "THREAD_COUNTS", "ExtensionCMPResult", "run"]
+__all__ = [
+    "SCHEMES",
+    "THREAD_COUNTS",
+    "ExtensionCMPResult",
+    "assemble",
+    "run",
+    "run_legacy",
+]
 
 SCHEMES: tuple[str, ...] = ("ebcp_cmp", "ebcp_interleaved", "solihin_6_1", "ghb_large")
 THREAD_COUNTS: tuple[int, ...] = (1, 2, 4)
@@ -80,14 +87,14 @@ class ExtensionCMPResult:
         }
 
 
-def run(
+def run_legacy(
     records: int = 140_000,
     seed: int = DEFAULT_SEED,
     workloads: Sequence[str] = ("database", "specjbb2005"),
     thread_counts: Sequence[int] = THREAD_COUNTS,
     policy: "ExecutionPolicy | None" = None,
 ) -> ExtensionCMPResult:
-    """Run the CMP interleaving experiment.
+    """Run the CMP interleaving experiment (historical imperative path).
 
     ``records`` is the *total* interleaved trace length per point, so the
     comparison across thread counts holds work constant.
@@ -158,4 +165,38 @@ def _panel(
         x_label="threads",
         x_values=tuple(thread_counts),
         series=series,
+    )
+
+
+def assemble(
+    series_by_workload: "Mapping[str, dict[str, list[float]]]",
+    thread_counts: Sequence[int],
+) -> ExtensionCMPResult:
+    """Build the E1 panels from per-workload improvement series."""
+    return ExtensionCMPResult(
+        panels={
+            workload: _panel(workload, series, thread_counts)
+            for workload, series in series_by_workload.items()
+        }
+    )
+
+
+def run(
+    records: int = 140_000,
+    seed: int = DEFAULT_SEED,
+    workloads: Sequence[str] = ("database", "specjbb2005"),
+    thread_counts: Sequence[int] = THREAD_COUNTS,
+    policy: "ExecutionPolicy | None" = None,
+) -> ExtensionCMPResult:
+    """Deprecated: the experiment is driven by specs/extension_cmp.toml now."""
+    warn_spec_deprecation("extension_cmp", "extension_cmp.toml")
+    from .from_spec import run_experiment
+
+    return run_experiment(
+        "extension_cmp",
+        records=records,
+        seed=seed,
+        policy=policy,
+        workloads=workloads,
+        thread_counts=thread_counts,
     )

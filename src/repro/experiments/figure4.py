@@ -24,12 +24,13 @@ from .common import (
     make_sweep_ebcp,
     memoized,
     new_runner,
+    warn_spec_deprecation,
 )
 
 if TYPE_CHECKING:
     from ..resilience.policy import ExecutionPolicy
 
-__all__ = ["DEGREES", "run", "sweep_points"]
+__all__ = ["DEGREES", "assemble", "run", "run_legacy", "sweep_points"]
 
 DEGREES: tuple[int, ...] = (1, 2, 4, 8, 16, 32)
 
@@ -59,12 +60,8 @@ def sweep_points(
     return memoized(("degree_sweep", records, seed), compute)
 
 
-def run(
-    records: int = DEFAULT_RECORDS,
-    seed: int = DEFAULT_SEED,
-    policy: "ExecutionPolicy | None" = None,
-) -> FigureResult:
-    grid = sweep_points(records, seed, policy=policy)
+def assemble(grid) -> FigureResult:
+    """Build the Figure 4 result from a degree-sweep grid."""
     series = {
         workload: [point.improvement for point in points]
         for workload, points in grid.items()
@@ -77,3 +74,24 @@ def run(
         series=series,
         points=grid,
     )
+
+
+def run_legacy(
+    records: int = DEFAULT_RECORDS,
+    seed: int = DEFAULT_SEED,
+    policy: "ExecutionPolicy | None" = None,
+) -> FigureResult:
+    """The historical imperative path; kept for equivalence testing."""
+    return assemble(sweep_points(records, seed, policy=policy))
+
+
+def run(
+    records: int = DEFAULT_RECORDS,
+    seed: int = DEFAULT_SEED,
+    policy: "ExecutionPolicy | None" = None,
+) -> FigureResult:
+    """Deprecated: the experiment is driven by specs/figure4.toml now."""
+    warn_spec_deprecation("figure4", "figure4.toml")
+    from .from_spec import run_experiment
+
+    return run_experiment("figure4", records=records, seed=seed, policy=policy)

@@ -21,12 +21,13 @@ from .common import (
     FigureResult,
     default_config,
     new_runner,
+    warn_spec_deprecation,
 )
 
 if TYPE_CHECKING:
     from ..resilience.policy import ExecutionPolicy
 
-__all__ = ["TABLE_ENTRIES", "run"]
+__all__ = ["TABLE_ENTRIES", "assemble", "run", "run_legacy"]
 
 TABLE_ENTRIES: tuple[int, ...] = (
     1024,
@@ -38,11 +39,26 @@ TABLE_ENTRIES: tuple[int, ...] = (
 )
 
 
-def run(
+def assemble(grid) -> FigureResult:
+    """Build the Figure 6 result from a table-entries sweep grid."""
+    series = {w: [p.improvement for p in points] for w, points in grid.items()}
+    return FigureResult(
+        figure_id="Figure 6",
+        title="Effect of limiting number of predictor table entries on overall "
+        "performance improvement",
+        x_label="entries",
+        x_values=TABLE_ENTRIES,
+        series=series,
+        points=grid,
+    )
+
+
+def run_legacy(
     records: int = DEFAULT_RECORDS,
     seed: int = DEFAULT_SEED,
     policy: "ExecutionPolicy | None" = None,
 ) -> FigureResult:
+    """The historical imperative path; kept for equivalence testing."""
     runner = new_runner(records, seed)
     config = default_config()
 
@@ -57,13 +73,16 @@ def run(
         config=config,
         policy=policy,
     )
-    series = {w: [p.improvement for p in points] for w, points in grid.items()}
-    return FigureResult(
-        figure_id="Figure 6",
-        title="Effect of limiting number of predictor table entries on overall "
-        "performance improvement",
-        x_label="entries",
-        x_values=TABLE_ENTRIES,
-        series=series,
-        points=grid,
-    )
+    return assemble(grid)
+
+
+def run(
+    records: int = DEFAULT_RECORDS,
+    seed: int = DEFAULT_SEED,
+    policy: "ExecutionPolicy | None" = None,
+) -> FigureResult:
+    """Deprecated: the experiment is driven by specs/figure6.toml now."""
+    warn_spec_deprecation("figure6", "figure6.toml")
+    from .from_spec import run_experiment
+
+    return run_experiment("figure6", records=records, seed=seed, policy=policy)

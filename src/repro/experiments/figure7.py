@@ -19,21 +19,37 @@ from .common import (
     FigureResult,
     default_config,
     new_runner,
+    warn_spec_deprecation,
 )
 
 if TYPE_CHECKING:
     from ..resilience.policy import ExecutionPolicy
 
-__all__ = ["BUFFER_ENTRIES", "run"]
+__all__ = ["BUFFER_ENTRIES", "assemble", "run", "run_legacy"]
 
 BUFFER_ENTRIES: tuple[int, ...] = (16, 32, 64, 128, 256, 1024)
 
 
-def run(
+def assemble(grid) -> FigureResult:
+    """Build the Figure 7 result from a buffer-entries sweep grid."""
+    series = {w: [p.improvement for p in points] for w, points in grid.items()}
+    return FigureResult(
+        figure_id="Figure 7",
+        title="Effect of limiting number of prefetch buffer entries on overall "
+        "performance improvement",
+        x_label="pb_entries",
+        x_values=BUFFER_ENTRIES,
+        series=series,
+        points=grid,
+    )
+
+
+def run_legacy(
     records: int = DEFAULT_RECORDS,
     seed: int = DEFAULT_SEED,
     policy: "ExecutionPolicy | None" = None,
 ) -> FigureResult:
+    """The historical imperative path; kept for equivalence testing."""
     runner = new_runner(records, seed)
 
     def factory(label: str) -> EpochBasedCorrelationPrefetcher:
@@ -45,13 +61,16 @@ def run(
         config_factory=lambda label: default_config(prefetch_buffer_entries=int(label)),
         policy=policy,
     )
-    series = {w: [p.improvement for p in points] for w, points in grid.items()}
-    return FigureResult(
-        figure_id="Figure 7",
-        title="Effect of limiting number of prefetch buffer entries on overall "
-        "performance improvement",
-        x_label="pb_entries",
-        x_values=BUFFER_ENTRIES,
-        series=series,
-        points=grid,
-    )
+    return assemble(grid)
+
+
+def run(
+    records: int = DEFAULT_RECORDS,
+    seed: int = DEFAULT_SEED,
+    policy: "ExecutionPolicy | None" = None,
+) -> FigureResult:
+    """Deprecated: the experiment is driven by specs/figure7.toml now."""
+    warn_spec_deprecation("figure7", "figure7.toml")
+    from .from_spec import run_experiment
+
+    return run_experiment("figure7", records=records, seed=seed, policy=policy)

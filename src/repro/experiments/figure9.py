@@ -34,12 +34,13 @@ from .common import (
     FigureResult,
     default_config,
     new_runner,
+    warn_spec_deprecation,
 )
 
 if TYPE_CHECKING:
     from ..resilience.policy import ExecutionPolicy
 
-__all__ = ["SCHEMES", "run", "build_comparison_prefetcher"]
+__all__ = ["SCHEMES", "assemble", "build_comparison_prefetcher", "run", "run_legacy"]
 
 #: Figure 9's x-axis, in the paper's order.
 SCHEMES: tuple[str, ...] = (
@@ -87,18 +88,8 @@ def build_comparison_prefetcher(name: str) -> Prefetcher:
     raise KeyError(f"unknown Figure 9 scheme '{name}'")
 
 
-def run(
-    records: int = DEFAULT_RECORDS,
-    seed: int = DEFAULT_SEED,
-    policy: "ExecutionPolicy | None" = None,
-) -> FigureResult:
-    runner = new_runner(records, seed)
-    grid = runner.sweep(
-        labels=list(SCHEMES),
-        prefetcher_factory=build_comparison_prefetcher,
-        config=default_config(),
-        policy=policy,
-    )
+def assemble(grid) -> FigureResult:
+    """Build the Figure 9 result from a scheme-comparison grid."""
     series = {w: [p.improvement for p in points] for w, points in grid.items()}
     return FigureResult(
         figure_id="Figure 9",
@@ -109,3 +100,31 @@ def run(
         series=series,
         points=grid,
     )
+
+
+def run_legacy(
+    records: int = DEFAULT_RECORDS,
+    seed: int = DEFAULT_SEED,
+    policy: "ExecutionPolicy | None" = None,
+) -> FigureResult:
+    """The historical imperative path; kept for equivalence testing."""
+    runner = new_runner(records, seed)
+    grid = runner.sweep(
+        labels=list(SCHEMES),
+        prefetcher_factory=build_comparison_prefetcher,
+        config=default_config(),
+        policy=policy,
+    )
+    return assemble(grid)
+
+
+def run(
+    records: int = DEFAULT_RECORDS,
+    seed: int = DEFAULT_SEED,
+    policy: "ExecutionPolicy | None" = None,
+) -> FigureResult:
+    """Deprecated: the experiment is driven by specs/figure9.toml now."""
+    warn_spec_deprecation("figure9", "figure9.toml")
+    from .from_spec import run_experiment
+
+    return run_experiment("figure9", records=records, seed=seed, policy=policy)

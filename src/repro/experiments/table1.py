@@ -11,12 +11,18 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 from ..analysis.calibration import TABLE1_TARGETS, CalibrationReport, check_baseline
-from .common import DEFAULT_RECORDS, DEFAULT_SEED, TableResult, default_config
+from .common import (
+    DEFAULT_RECORDS,
+    DEFAULT_SEED,
+    TableResult,
+    default_config,
+    warn_spec_deprecation,
+)
 
 if TYPE_CHECKING:
     from ..resilience.policy import ExecutionPolicy
 
-__all__ = ["run"]
+__all__ = ["run", "run_legacy", "tabulate"]
 
 
 def _reports(
@@ -41,13 +47,8 @@ def _reports(
     ]
 
 
-def run(
-    records: int = DEFAULT_RECORDS,
-    seed: int = DEFAULT_SEED,
-    policy: "ExecutionPolicy | None" = None,
-) -> TableResult:
-    """Simulate all four baselines and tabulate measured vs paper values."""
-    config = default_config()
+def tabulate(reports: "list[CalibrationReport]") -> TableResult:
+    """Format calibration reports as the paper's Table 1 layout."""
     headers = [
         "workload",
         "CPI",
@@ -60,7 +61,7 @@ def run(
         "L-miss/1k(paper)",
     ]
     rows = []
-    for report in _reports(records, seed, config, policy):
+    for report in reports:
         targets = report.targets
         m = report.measured
         rows.append(
@@ -82,3 +83,25 @@ def run(
         headers=headers,
         rows=rows,
     )
+
+
+def run_legacy(
+    records: int = DEFAULT_RECORDS,
+    seed: int = DEFAULT_SEED,
+    policy: "ExecutionPolicy | None" = None,
+) -> TableResult:
+    """The historical imperative path; kept for equivalence testing."""
+    config = default_config()
+    return tabulate(_reports(records, seed, config, policy))
+
+
+def run(
+    records: int = DEFAULT_RECORDS,
+    seed: int = DEFAULT_SEED,
+    policy: "ExecutionPolicy | None" = None,
+) -> TableResult:
+    """Deprecated: the experiment is driven by specs/table1.toml now."""
+    warn_spec_deprecation("table1", "table1.toml")
+    from .from_spec import run_experiment
+
+    return run_experiment("table1", records=records, seed=seed, policy=policy)

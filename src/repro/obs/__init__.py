@@ -41,6 +41,7 @@ from .events import (
     RequestReceived,
     TableRead,
     TableWrite,
+    TraceCacheWarmed,
     WorkerCrashed,
     event_payload,
 )
@@ -107,6 +108,7 @@ __all__ = [
     "TableRead",
     "TableWrite",
     "TelemetrySink",
+    "TraceCacheWarmed",
     "TraceContext",
     "WorkerCrashed",
     "chrome_trace_from_spans",

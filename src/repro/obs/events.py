@@ -85,6 +85,7 @@ __all__ = [
     "RequestReceived",
     "RequestCompleted",
     "QueueSaturated",
+    "TraceCacheWarmed",
     "EVENT_TYPES",
     "event_payload",
 ]
@@ -342,6 +343,23 @@ class QueueSaturated(Event):
     request_id: str = ""
 
 
+@dataclass(frozen=True)
+class TraceCacheWarmed(Event):
+    """A pre-warm pass generated traces / filter planes / epoch segments.
+
+    Emitted once per warming call that did any new work.  The counts are
+    the *newly* warmed entries; anything already in the process-wide warm
+    registry (e.g. warmed by an earlier sweep batch) is skipped and not
+    counted.  ``total_specs`` is the size of the job list that was
+    scanned.
+    """
+
+    traces: int
+    planes: int
+    segments: int
+    total_specs: int = 0
+
+
 #: The full catalogue, in a stable order (used by exporters and tests).
 EVENT_TYPES: Tuple[type, ...] = (
     EpochClosed,
@@ -363,6 +381,7 @@ EVENT_TYPES: Tuple[type, ...] = (
     RequestReceived,
     RequestCompleted,
     QueueSaturated,
+    TraceCacheWarmed,
 )
 
 

@@ -23,6 +23,7 @@ from __future__ import annotations
 import copy
 import logging
 import os
+import threading
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Optional, Sequence
 
@@ -43,7 +44,14 @@ if TYPE_CHECKING:  # pragma: no cover - cycle: resilience.executor imports us
     from ..obs.bus import EventBus
     from ..resilience.policy import ExecutionPolicy
 
-__all__ = ["JobSpec", "run_job", "run_jobs", "resolve_jobs", "warm_trace_cache"]
+__all__ = [
+    "JobSpec",
+    "run_job",
+    "run_jobs",
+    "resolve_jobs",
+    "warm_trace_cache",
+    "reset_warm_registry",
+]
 
 log = logging.getLogger(__name__)
 
@@ -157,7 +165,25 @@ def run_job(spec: JobSpec) -> SimulationResult:
     return spec.run()
 
 
-def _warm_trace_cache(specs: Sequence[JobSpec]) -> None:
+#: Process-wide registry of already-warmed content keys.  A spec-expanded
+#: grid reaches :func:`execute` (and hence the warmer) in several calls —
+#: checkpoint-resumed retries, micro-batches inside the service, one call
+#: per panel in multi-panel experiments — and the registry is what makes
+#: each distinct (trace, L1 geometry, L2/ROB segment) warm exactly once
+#: across the whole sweep instead of once per call.
+_WARM_REGISTRY: set = set()
+_WARM_LOCK = threading.Lock()
+
+
+def reset_warm_registry() -> None:
+    """Forget every recorded warm (tests; cache-eviction escape hatch)."""
+    with _WARM_LOCK:
+        _WARM_REGISTRY.clear()
+
+
+def _warm_trace_cache(
+    specs: Sequence[JobSpec], bus: "Optional[EventBus]" = None
+) -> None:
     """Generate each distinct trace — and its filter planes — once in the
     parent before fanning out.
 
@@ -166,11 +192,15 @@ def _warm_trace_cache(specs: Sequence[JobSpec]) -> None:
     regenerating the same trace concurrently.  Filter planes are warmed
     per distinct ``(trace, L1 geometry)`` pair, so a sweep of many L2 /
     prefetcher configurations over one workload computes each plane once
-    rather than once per job.
+    rather than once per job — and the process-wide :data:`_WARM_REGISTRY`
+    extends that guarantee across *calls*, so the many ``execute`` batches
+    of one spec-expanded sweep never re-warm a key.  Emits one
+    :class:`~repro.obs.events.TraceCacheWarmed` event per call that did
+    new work.
     """
-    seen: set = set()
-    warmed_planes: set = set()
-    warmed_segments: set = set()
+    new_traces = 0
+    new_planes = 0
+    new_segments = 0
     for spec in specs:
         if spec.n_threads > 0:
             continue  # CMP composites are built from cached per-thread traces
@@ -182,11 +212,17 @@ def _warm_trace_cache(specs: Sequence[JobSpec]) -> None:
             if plane_key is not None and spec.wants_kernel()
             else None
         )
-        if (
-            key in seen
-            and (plane_key is None or plane_key in warmed_planes)
-            and (segment_key is None or segment_key in warmed_segments)
-        ):
+        with _WARM_LOCK:
+            want_trace = ("trace",) + key not in _WARM_REGISTRY
+            want_plane = (
+                plane_key is not None
+                and ("plane",) + plane_key not in _WARM_REGISTRY
+            )
+            want_segment = (
+                segment_key is not None
+                and ("segment",) + segment_key not in _WARM_REGISTRY
+            )
+        if not (want_trace or want_plane or want_segment):
             continue
         try:
             # Memoised by the registry: a repeat call is a dict lookup.
@@ -195,19 +231,42 @@ def _warm_trace_cache(specs: Sequence[JobSpec]) -> None:
             )
         except KeyError:
             continue  # unknown name: let the worker raise the real error
-        seen.add(key)
+        if want_trace:
+            new_traces += 1
+        with _WARM_LOCK:
+            _WARM_REGISTRY.add(("trace",) + key)
         if plane_key is not None:
-            warmed_planes.add(plane_key)
             plane = get_filter_plane(trace, *geometry)
-            if segment_key is not None and segment_key not in warmed_segments:
+            if want_plane:
+                new_planes += 1
+            with _WARM_LOCK:
+                _WARM_REGISTRY.add(("plane",) + plane_key)
+            if want_segment:
                 # Kernel-eligible jobs also consult the epoch-segment plane
                 # (per distinct L2 geometry + ROB size) — warm it alongside.
-                warmed_segments.add(segment_key)
                 l2_geometry, rob_size = spec.segment_geometry_key()
                 get_epoch_segments(trace, plane, l2_geometry, rob_size)
+                new_segments += 1
+                with _WARM_LOCK:
+                    _WARM_REGISTRY.add(("segment",) + segment_key)
+    if new_traces or new_planes or new_segments:
+        from ..obs.bus import peek_global_bus
+        from ..obs.events import TraceCacheWarmed
+
+        event = TraceCacheWarmed(
+            traces=new_traces,
+            planes=new_planes,
+            segments=new_segments,
+            total_specs=len(specs),
+        )
+        target = bus if bus is not None else peek_global_bus()
+        if target is not None and target.wants(TraceCacheWarmed):
+            target.emit(event)
 
 
-def warm_trace_cache(specs: Sequence[JobSpec]) -> None:
+def warm_trace_cache(
+    specs: Sequence[JobSpec], bus: "Optional[EventBus]" = None
+) -> None:
     """Public pre-warming entry point (what shard start-up calls).
 
     A shard that knows its expected working set (``serve --prewarm``)
@@ -215,7 +274,7 @@ def warm_trace_cache(specs: Sequence[JobSpec]) -> None:
     before reporting ready, so its first real request is answered from
     warm state instead of paying generation cost under traffic.
     """
-    _warm_trace_cache(specs)
+    _warm_trace_cache(specs, bus=bus)
 
 
 def run_jobs(

@@ -41,6 +41,20 @@ def _ebcp_onchip(**kwargs: object) -> Prefetcher:
     return make_ebcp_onchip(**kwargs)  # type: ignore[arg-type]
 
 
+def _ebcp_cmp(**kwargs: object) -> Prefetcher:
+    from ..core.cmp import CMPEBCPConfig, PerThreadEpochPrefetcher
+    from ..core.prefetcher import EBCPConfig
+
+    return PerThreadEpochPrefetcher(CMPEBCPConfig(EBCPConfig(**kwargs)))  # type: ignore[arg-type]
+
+
+def _ebcp_interleaved(**kwargs: object) -> Prefetcher:
+    from ..core.cmp import CMPEBCPConfig, InterleavedStreamEBCP
+    from ..core.prefetcher import EBCPConfig
+
+    return InterleavedStreamEBCP(CMPEBCPConfig(EBCPConfig(**kwargs)))  # type: ignore[arg-type]
+
+
 _FACTORIES: dict[str, Callable[..., Prefetcher]] = {
     "none": NoPrefetcher,
     "stream": StreamPrefetcher,
@@ -54,6 +68,8 @@ _FACTORIES: dict[str, Callable[..., Prefetcher]] = {
     "ebcp": _ebcp,
     "ebcp_minus": _ebcp_minus,
     "ebcp_onchip": _ebcp_onchip,
+    "ebcp_cmp": _ebcp_cmp,
+    "ebcp_interleaved": _ebcp_interleaved,
 }
 
 #: All registered prefetcher names (Figure 9's x-axis plus variants).

@@ -296,14 +296,14 @@ def execute(
                         ExecutionDegraded(reason="unpicklable", cause=str(exc)),
                     )
                 else:
-                    _warm_trace_cache([specs[i] for i in pending])
+                    _warm_trace_cache([specs[i] for i in pending], bus=bus)
                     pooled = _run_pooled(
                         specs, keys, pending, results, n_workers, policy,
                         faults, journal, bus, manager=pool,
                         ctx_wire=ctx_wire, collect=collect, telemetry=telemetry,
                     )
             if not pooled:
-                _warm_trace_cache([specs[i] for i in pending])
+                _warm_trace_cache([specs[i] for i in pending], bus=bus)
                 for i in pending:
                     if results[i] is None:
                         results[i] = _run_resilient(

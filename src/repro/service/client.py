@@ -41,6 +41,7 @@ from ..obs.tracing import SpanRecorder, TraceContext
 from ..resilience.policy import ExecutionPolicy
 from . import protocol
 from .protocol import (
+    ErrorCode,
     ProtocolError,
     Request,
     ServiceBusyError,
@@ -52,6 +53,7 @@ __all__ = [
     "ServiceClient",
     "AsyncServiceClient",
     "ServedResult",
+    "SweepFrame",
     "ServiceError",
     "ServiceBusyError",
 ]
@@ -84,6 +86,75 @@ def _decode_served(frame: Dict[str, Any]) -> ServedResult:
         elapsed_ms=float(frame.get("elapsed_ms", 0.0)),
         shard=shard if isinstance(shard, dict) else None,
     )
+
+
+@dataclass(frozen=True)
+class SweepFrame:
+    """One frame of a streamed sweep (v4).
+
+    Job frames carry ``index``/``job``/``result``; the terminal frame
+    has ``done=True`` with the server's run ``summary`` instead.
+    """
+
+    done: bool
+    index: Optional[int]
+    #: The server's per-job identity block (index, kind, workload, seed,
+    #: records, n_threads, label, config); ``None`` on the done frame.
+    job: Optional[Dict[str, Any]]
+    result: Optional[SimulationResult]
+    cached: bool
+    elapsed_ms: float
+    #: Worker-process metadata when served by a sharded front-end.
+    shard: Optional[Dict[str, Any]] = None
+    #: Terminal-frame summary (jobs, errors, fingerprint, elapsed_ms).
+    summary: Optional[Dict[str, Any]] = None
+
+
+def _decode_sweep_frame(frame: Dict[str, Any]) -> SweepFrame:
+    """One wire frame of a sweep stream as a :class:`SweepFrame`.
+
+    Raises the typed service error for failed jobs and failed sweeps
+    (the ``job`` block, when present, is attached to the exception's
+    details so callers can tell *which* job died).
+    """
+    job = frame.get("job")
+    if frame.get("done"):
+        protocol.raise_for_error(frame)
+        summary = frame.get("result") if isinstance(frame.get("result"), dict) else {}
+        return SweepFrame(
+            done=True,
+            index=None,
+            job=None,
+            result=None,
+            cached=False,
+            elapsed_ms=float(summary.get("elapsed_ms", 0.0)),
+            summary=summary,
+        )
+    if not frame.get("ok") and isinstance(job, dict):
+        error = frame.setdefault("error", {})
+        if isinstance(error, dict):
+            error.setdefault("job", job)
+    protocol.raise_for_error(frame)
+    if not isinstance(job, dict) or "index" not in job:
+        raise ProtocolError(
+            ErrorCode.MALFORMED_FRAME, "sweep stream frame carries no job identity"
+        )
+    shard = frame.get("shard")
+    return SweepFrame(
+        done=False,
+        index=int(job["index"]),
+        job=job,
+        result=SimulationResult.from_snapshot(frame["result"]),
+        cached=bool(frame.get("cached", False)),
+        elapsed_ms=float(frame.get("elapsed_ms", 0.0)),
+        shard=shard if isinstance(shard, dict) else None,
+    )
+
+
+def _sweep_params(spec: Any, use_cache: bool) -> Dict[str, Any]:
+    from ..spec.loader import dump_spec
+
+    return {"spec": dump_spec(spec), "use_cache": bool(use_cache)}
 
 
 class _ClientBase:
@@ -298,6 +369,42 @@ class ServiceClient(_ClientBase):
                 return served
         return _decode_served(self._request("simulate", params.to_dict(), trace=trace))
 
+    def iter_sweep(self, spec: Any, use_cache: bool = True):
+        """Submit a :class:`~repro.spec.SweepSpec` and stream its frames.
+
+        Yields one :class:`SweepFrame` per job *as shards finish them*
+        (arrival order, not index order — each frame carries its job
+        index), then the terminal ``done`` frame.  The stream is one
+        long-lived exchange on the persistent socket, so there is no
+        mid-stream retry: a transport failure raises and closes the
+        connection (re-submitting re-streams; completed jobs answer
+        from the result cache).
+        """
+        frame_bytes = self._frame_for("sweep", _sweep_params(spec, use_cache))
+        try:
+            self._connect()
+            assert self._sock is not None and self._rfile is not None
+            self._sock.settimeout(self.timeout_s)
+            self._sock.sendall(frame_bytes)
+            while True:
+                line = self._rfile.readline()
+                if not line:
+                    raise ConnectionError("service closed the connection mid-sweep")
+                parsed = _decode_sweep_frame(protocol.decode_frame(line))
+                yield parsed
+                if parsed.done:
+                    return
+        except BaseException:
+            # A half-consumed stream is not line-synchronised; the next
+            # request must start on a fresh connection.
+            self.close()
+            raise
+
+    def sweep(self, spec: Any, use_cache: bool = True) -> "list[SweepFrame]":
+        """Submit a sweep and collect its job frames, ordered by index."""
+        frames = [f for f in self.iter_sweep(spec, use_cache=use_cache) if not f.done]
+        return sorted(frames, key=lambda f: f.index or 0)
+
     def stats(self) -> Dict[str, Any]:
         """The service's metrics-registry snapshot plus queue/cache state."""
         frame = protocol.raise_for_error(self._request("stats"))
@@ -414,6 +521,45 @@ class AsyncServiceClient(_ClientBase):
         return _decode_served(
             await self._request("simulate", params.to_dict(), trace=trace)
         )
+
+    async def iter_sweep(self, spec: Any, use_cache: bool = True):
+        """Async counterpart of :meth:`ServiceClient.iter_sweep`.
+
+        Opens one dedicated connection for the stream; yields
+        :class:`SweepFrame` objects and finishes after the ``done``
+        frame.  No mid-stream retry.
+        """
+        frame_bytes = self._frame_for("sweep", _sweep_params(spec, use_cache))
+        reader, writer = await asyncio.wait_for(
+            asyncio.open_connection(
+                self.host, self.port, limit=protocol.MAX_FRAME_BYTES
+            ),
+            self.timeout_s,
+        )
+        try:
+            writer.write(frame_bytes)
+            await writer.drain()
+            while True:
+                line = await asyncio.wait_for(reader.readline(), self.timeout_s)
+                if not line:
+                    raise ConnectionError("service closed the connection mid-sweep")
+                parsed = _decode_sweep_frame(protocol.decode_frame(line))
+                yield parsed
+                if parsed.done:
+                    return
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+
+    async def sweep(self, spec: Any, use_cache: bool = True) -> "list[SweepFrame]":
+        """Submit a sweep and collect its job frames, ordered by index."""
+        frames = [
+            f async for f in self.iter_sweep(spec, use_cache=use_cache) if not f.done
+        ]
+        return sorted(frames, key=lambda f: f.index or 0)
 
     async def stats(self) -> Dict[str, Any]:
         frame = protocol.raise_for_error(await self._request("stats"))

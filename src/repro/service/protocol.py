@@ -15,9 +15,16 @@ not speak is answered with an ``unsupported_version`` error that lists
 guessing.  Version 2 added the ``metrics`` request type and an optional
 ``trace`` field on request frames; version 3 adds the ``telemetry``
 request type and shard metadata on simulate responses served by a
-sharded front-end.  Each version is a strict superset of the previous
-one, so v1/v2 clients are still served — the server accepts every
-version in ``SUPPORTED_VERSIONS``.
+sharded front-end.  Version 4 adds the streaming ``sweep`` request type
+(one request, many response frames) and the extended simulate
+parameters that carry a declarative-spec job: ``config`` (a
+``{"base", "overrides"}`` processor-config payload),
+``prefetcher_overrides``, ``n_threads``, ``scale`` and ``label``.  The
+extended parameters are omitted from the wire at their defaults, so a
+v4 client issuing a plain simulate emits frames a v1 server parses.
+Each version is a strict superset of the previous one, so v1-v3
+clients are still served — the server accepts every version in
+``SUPPORTED_VERSIONS``.
 
 Request frames
 --------------
@@ -32,7 +39,13 @@ type           params
 ``ping``       none — liveness and version discovery
 ``simulate``   ``workload``, ``prefetcher``, ``records``, ``seed``,
                optional ``warmup_records``, ``use_cache`` (default
-               true)
+               true); v4 adds optional ``config``,
+               ``prefetcher_overrides``, ``n_threads``, ``scale``,
+               ``label``
+``sweep``      ``spec`` (a version-1 sweep-spec document, JSON form),
+               optional ``use_cache`` — streams one frame per job
+               (``{"job": {...}, "result": {...}}``) as they settle,
+               then a terminal ``{"done": true}`` frame (v4+)
 ``stats``      none — the service's metrics-registry snapshot (sharded:
                the cross-shard aggregate plus a per-shard breakdown)
 ``metrics``    none — the merged registry as Prometheus text (v2+)
@@ -80,14 +93,14 @@ __all__ = [
 ]
 
 #: The protocol version this build speaks natively.
-PROTOCOL_VERSION = 3
-#: Every version the server accepts (negotiation surface).  v1/v2
+PROTOCOL_VERSION = 4
+#: Every version the server accepts (negotiation surface).  v1-v3
 #: clients never send the newer request types and are served unchanged.
-SUPPORTED_VERSIONS: Tuple[int, ...] = (1, 2, 3)
+SUPPORTED_VERSIONS: Tuple[int, ...] = (1, 2, 3, 4)
 #: Upper bound on one frame; a longer line is a malformed frame.
 MAX_FRAME_BYTES = 1 << 20
 
-REQUEST_TYPES = ("ping", "simulate", "stats", "metrics", "telemetry", "shutdown")
+REQUEST_TYPES = ("ping", "simulate", "sweep", "stats", "metrics", "telemetry", "shutdown")
 
 
 class ErrorCode(str, Enum):
@@ -149,6 +162,14 @@ class SimulateParams:
     seed: int = 7
     warmup_records: Optional[int] = None
     use_cache: bool = True
+    # v4 extensions (spec-expanded jobs).  All default to the value a
+    # v1-v3 server assumes, and to_dict omits them at their defaults, so
+    # a plain simulate stays wire-compatible in both directions.
+    config: Optional[Dict[str, Any]] = None
+    prefetcher_overrides: Optional[Dict[str, Any]] = None
+    n_threads: int = 0
+    scale: float = 1.0
+    label: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not isinstance(self.workload, str) or not self.workload:
@@ -165,6 +186,24 @@ class SimulateParams:
             raise ProtocolError(
                 ErrorCode.INVALID_REQUEST, "warmup_records must be a non-negative integer"
             )
+        if self.config is not None and not isinstance(self.config, dict):
+            raise ProtocolError(ErrorCode.INVALID_REQUEST, "config must be an object")
+        if self.prefetcher_overrides is not None and not isinstance(
+            self.prefetcher_overrides, dict
+        ):
+            raise ProtocolError(
+                ErrorCode.INVALID_REQUEST, "prefetcher_overrides must be an object"
+            )
+        if not isinstance(self.n_threads, int) or isinstance(self.n_threads, bool) \
+                or self.n_threads < 0:
+            raise ProtocolError(
+                ErrorCode.INVALID_REQUEST, "n_threads must be a non-negative integer"
+            )
+        if not isinstance(self.scale, (int, float)) or isinstance(self.scale, bool) \
+                or self.scale <= 0:
+            raise ProtocolError(ErrorCode.INVALID_REQUEST, "scale must be a positive number")
+        if self.label is not None and not isinstance(self.label, str):
+            raise ProtocolError(ErrorCode.INVALID_REQUEST, "label must be a string")
 
     def to_dict(self) -> Dict[str, Any]:
         payload: Dict[str, Any] = {
@@ -176,13 +215,35 @@ class SimulateParams:
         }
         if self.warmup_records is not None:
             payload["warmup_records"] = self.warmup_records
+        if self.config is not None:
+            payload["config"] = self.config
+        if self.prefetcher_overrides is not None:
+            payload["prefetcher_overrides"] = self.prefetcher_overrides
+        if self.n_threads:
+            payload["n_threads"] = self.n_threads
+        if self.scale != 1.0:
+            payload["scale"] = self.scale
+        if self.label is not None:
+            payload["label"] = self.label
         return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "SimulateParams":
         if not isinstance(payload, dict):
             raise ProtocolError(ErrorCode.INVALID_REQUEST, "params must be an object")
-        known = {"workload", "prefetcher", "records", "seed", "warmup_records", "use_cache"}
+        known = {
+            "workload",
+            "prefetcher",
+            "records",
+            "seed",
+            "warmup_records",
+            "use_cache",
+            "config",
+            "prefetcher_overrides",
+            "n_threads",
+            "scale",
+            "label",
+        }
         unknown = set(payload) - known
         if unknown:
             raise ProtocolError(
@@ -192,6 +253,15 @@ class SimulateParams:
         if "workload" not in payload:
             raise ProtocolError(ErrorCode.INVALID_REQUEST, "simulate requires 'workload'")
         return cls(**payload)
+
+    def is_extended(self) -> bool:
+        """True when any v4-only field departs from its v1-v3 default."""
+        return (
+            self.config is not None
+            or self.prefetcher_overrides is not None
+            or self.n_threads != 0
+            or self.scale != 1.0
+        )
 
 
 @dataclass(frozen=True)

@@ -414,7 +414,7 @@ class ShardedService:
                     break
                 self._busy_handlers += 1
                 try:
-                    response = await self._handle_frame(line)
+                    response = await self._handle_frame(line, writer)
                 finally:
                     self._busy_handlers -= 1
                 writer.write(response)
@@ -433,7 +433,9 @@ class ShardedService:
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
-    async def _handle_frame(self, line: bytes) -> bytes:
+    async def _handle_frame(
+        self, line: bytes, writer: Optional[asyncio.StreamWriter] = None
+    ) -> bytes:
         try:
             request = protocol.parse_request(line)
         except ProtocolError as exc:
@@ -444,6 +446,8 @@ class ShardedService:
             )
         if request.type == "simulate":
             return await self._proxy_simulate(request, line)
+        if request.type == "sweep":
+            return await self._proxy_sweep(request, writer)
         if request.type == "ping":
             payload: Dict[str, Any] = self._ping_payload()
         elif request.type == "stats":
@@ -474,7 +478,21 @@ class ShardedService:
             return protocol.encode_frame(
                 protocol.error_response(request.id, exc.code, exc.message, **exc.details)
             )
-        key = routing_key(params.workload, params.records, params.seed, self._config_fp)
+        config_fp = self._config_fp
+        if params.config is not None:
+            # v4 extended simulate: route by the job's *built* config, so
+            # every run of one (trace, config) cell lands on one shard.
+            from ..spec.wire import config_from_wire
+
+            try:
+                config_fp = config_from_wire(params.config).fingerprint()
+            except Exception as exc:
+                return protocol.encode_frame(
+                    protocol.error_response(
+                        request.id, ErrorCode.INVALID_REQUEST, f"bad config payload: {exc}"
+                    )
+                )
+        key = routing_key(params.workload, params.records, params.seed, config_fp)
         shard = self._by_name[self.ring.route(key)]
         self.metrics.count_route(shard.name)
 
@@ -524,6 +542,145 @@ class ShardedService:
             )
         frame["shard"] = {"index": shard.index, "pid": shard.pid}
         return protocol.encode_frame(frame)
+
+    #: Per-shard in-flight bound for sweep fan-out; keeps a big sweep
+    #: from monopolising a shard's admission queue (plain simulates keep
+    #: getting through) while still saturating its micro-batcher.
+    SWEEP_SHARD_INFLIGHT = 16
+    #: Bounded retries when a shard answers ``queue_full`` for a sweep
+    #: job (each waits the shard's ``retry_after_s`` hint first).
+    SWEEP_RETRIES = 50
+
+    async def _proxy_sweep(
+        self, request: Request, writer: Optional[asyncio.StreamWriter]
+    ) -> bytes:
+        """Expand a sweep spec and fan its jobs out across the shards.
+
+        The router — not the shards — expands the spec: each shard only
+        ever sees plain (extended) simulate frames, routed by
+        ``routing_key(workload, records, seed, built-config
+        fingerprint)`` so a sweep enjoys the same cache/trace locality
+        as individual requests.  Per-job result frames are streamed back
+        to the client as shards answer, then a terminal done frame.
+        """
+        from ..spec import SpecError, SweepSpec, expand
+        from ..spec.wire import simulate_params_for
+
+        if writer is None:  # pragma: no cover - defensive
+            return protocol.encode_frame(
+                protocol.error_response(
+                    request.id, ErrorCode.INVALID_REQUEST, "sweep requires a streaming connection"
+                )
+            )
+        if self._draining:
+            return protocol.encode_frame(
+                protocol.error_response(
+                    request.id, ErrorCode.SHUTTING_DOWN, "service is draining; not admitting"
+                )
+            )
+        use_cache = request.params.get("use_cache", True)
+        try:
+            spec_payload = request.params.get("spec")
+            if not isinstance(spec_payload, dict):
+                raise ProtocolError(ErrorCode.INVALID_REQUEST, "sweep requires a 'spec' object")
+            spec = SweepSpec.from_dict(spec_payload)
+        except SpecError as exc:
+            return protocol.encode_frame(
+                protocol.error_response(
+                    request.id, ErrorCode.INVALID_REQUEST, str(exc),
+                    path=getattr(exc, "path", ""),
+                )
+            )
+        except ProtocolError as exc:
+            return protocol.encode_frame(
+                protocol.error_response(request.id, exc.code, exc.message, **exc.details)
+            )
+
+        started = time.monotonic()
+        plan = expand(spec)
+        fp_by_label = {cfg.label: cfg.build().fingerprint() for cfg in spec.configs}
+        write_lock = asyncio.Lock()
+        limits = {
+            shard.name: asyncio.Semaphore(
+                max(1, min(self.SWEEP_SHARD_INFLIGHT, self.config.queue_size // 2))
+            )
+            for shard in self.shards
+        }
+        errors = 0
+
+        async def run_job(meta: Any) -> None:
+            nonlocal errors
+            params = dict(simulate_params_for(meta))
+            params["use_cache"] = bool(use_cache)
+            key = routing_key(
+                meta.workload, meta.records, meta.seed, fp_by_label[meta.config_label]
+            )
+            shard = self._by_name[self.ring.route(key)]
+            self.metrics.count_route(shard.name)
+            job_frame: Dict[str, Any] = {
+                "v": protocol.PROTOCOL_VERSION,
+                "id": f"{request.id}#{meta.index}",
+                "type": "simulate",
+                "params": params,
+            }
+            if request.trace:
+                job_frame["trace"] = request.trace
+            payload = protocol.encode_frame(job_frame)
+            frame: Optional[Dict[str, Any]] = None
+            async with limits[shard.name]:
+                for _attempt in range(self.SWEEP_RETRIES):
+                    try:
+                        answer = await self._shard_roundtrip(shard, payload)
+                        frame = protocol.decode_frame(answer)
+                    except (OSError, ConnectionError, ProtocolError) as exc:
+                        self.metrics.errors.inc()
+                        frame = protocol.error_response(
+                            request.id,
+                            ErrorCode.INTERNAL,
+                            f"{shard.name} (pid {shard.pid}): {exc}",
+                        )
+                        break
+                    error = frame.get("error") or {}
+                    if not frame.get("ok") and error.get("code") == ErrorCode.QUEUE_FULL.value:
+                        await asyncio.sleep(
+                            max(0.01, float(error.get("retry_after_s", 0.05)))
+                        )
+                        continue
+                    break
+            assert frame is not None
+            frame["id"] = request.id
+            frame["shard"] = {"index": shard.index, "pid": shard.pid}
+            frame["job"] = {
+                "index": meta.index,
+                "kind": meta.kind,
+                "workload": meta.workload,
+                "seed": meta.seed,
+                "records": meta.records,
+                "n_threads": meta.n_threads,
+                "label": meta.label,
+                "config": meta.config_label,
+            }
+            if not frame.get("ok"):
+                errors += 1
+            async with write_lock:
+                writer.write(protocol.encode_frame(frame))
+                await writer.drain()
+
+        await asyncio.gather(*(run_job(meta) for meta in plan.meta))
+        terminal = protocol.ok_response(
+            request.id,
+            {
+                "name": spec.name,
+                "fingerprint": spec.fingerprint(),
+                "jobs": len(plan.meta),
+                "streamed": len(plan.meta),
+                "errors": errors,
+                "aborted": False,
+                "elapsed_ms": (time.monotonic() - started) * 1000.0,
+            },
+        )
+        terminal["done"] = True
+        return protocol.encode_frame(terminal)
 
     @staticmethod
     def _validate_names(params: SimulateParams) -> None:

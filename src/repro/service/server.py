@@ -333,7 +333,7 @@ class SimulationService:
                     break  # EOF: client hung up
                 self._busy_handlers += 1
                 try:
-                    response = await self._handle_frame(line)
+                    response = await self._handle_frame(line, writer)
                 finally:
                     self._busy_handlers -= 1
                 writer.write(protocol.encode_frame(response))
@@ -348,7 +348,9 @@ class SimulationService:
             except (ConnectionResetError, BrokenPipeError, OSError):
                 pass
 
-    async def _handle_frame(self, line: bytes) -> Dict[str, Any]:
+    async def _handle_frame(
+        self, line: bytes, writer: Optional[asyncio.StreamWriter] = None
+    ) -> Dict[str, Any]:
         started = time.monotonic()
         try:
             request = protocol.parse_request(line)
@@ -374,6 +376,10 @@ class SimulationService:
         elif request.type == "shutdown":
             self.begin_drain()
             response = protocol.ok_response(request.id, {"draining": True})
+        elif request.type == "sweep":
+            # Streams one frame per job through ``writer``; the returned
+            # frame is the terminal done marker.  Emits its own completion.
+            return await self._handle_sweep(request, writer, started)
         else:  # simulate
             response = await self._handle_simulate(request, started)
             return response  # _handle_simulate emits its own completion
@@ -455,6 +461,131 @@ class SimulationService:
             cached=cached,
             elapsed_ms=elapsed_ms,
         )
+
+    # ------------------------------------------------------------------
+    # Sweep streaming (v4)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _job_payload(meta: Any) -> Dict[str, Any]:
+        """The per-job identity block carried on every sweep frame."""
+        return {
+            "index": meta.index,
+            "kind": meta.kind,
+            "workload": meta.workload,
+            "seed": meta.seed,
+            "records": meta.records,
+            "n_threads": meta.n_threads,
+            "label": meta.label,
+            "config": meta.config_label,
+        }
+
+    async def _handle_sweep(
+        self,
+        request: Request,
+        writer: Optional[asyncio.StreamWriter],
+        started: float,
+    ) -> Dict[str, Any]:
+        """Expand a sweep spec and stream per-job frames as they settle.
+
+        Every job enters the same admission queue and micro-batching
+        dispatcher as a plain simulate (so results are bit-identical to
+        individual requests), but admission *blocks* instead of
+        answering ``queue_full`` — a sweep is one request and its
+        backpressure is the stream itself.
+        """
+        from ..spec import SpecError, SweepSpec, expand
+        from ..spec.wire import simulate_params_for
+
+        if writer is None:  # pragma: no cover - defensive
+            return protocol.error_response(
+                request.id, ErrorCode.INVALID_REQUEST, "sweep requires a streaming connection"
+            )
+        if self._draining:
+            self._emit_completed("sweep", request.id, started, ok=False)
+            return protocol.error_response(
+                request.id, ErrorCode.SHUTTING_DOWN, "service is draining; not admitting"
+            )
+        use_cache = request.params.get("use_cache", True)
+        try:
+            spec_payload = request.params.get("spec")
+            if not isinstance(spec_payload, dict):
+                raise ProtocolError(ErrorCode.INVALID_REQUEST, "sweep requires a 'spec' object")
+            spec = SweepSpec.from_dict(spec_payload)
+        except SpecError as exc:
+            self._emit_completed("sweep", request.id, started, ok=False)
+            return protocol.error_response(
+                request.id, ErrorCode.INVALID_REQUEST, str(exc), path=getattr(exc, "path", "")
+            )
+        except ProtocolError as exc:
+            self._emit_completed("sweep", request.id, started, ok=False)
+            return protocol.error_response(request.id, exc.code, exc.message, **exc.details)
+
+        plan = expand(spec)
+        ctx = TraceContext.from_wire(request.trace)
+        assert self._queue is not None and self._loop is not None
+        pendings: List[_PendingRequest] = []
+        aborted = False
+        for meta in plan.meta:
+            if self._draining:
+                aborted = True
+                break
+            params = SimulateParams.from_dict(
+                {**simulate_params_for(meta), "use_cache": bool(use_cache)}
+            )
+            pending = _PendingRequest(
+                request_id=f"{request.id}#{meta.index}",
+                params=params,
+                received_at=time.monotonic(),
+                future=self._loop.create_future(),
+                trace=ctx,
+                received_us=wall_us(),
+            )
+            await self._queue.put(pending)
+            pendings.append(pending)
+        self.metrics.queue_depth.set(float(self._queue.qsize()))
+
+        async def settle(pending: _PendingRequest, meta: Any):
+            try:
+                result, cached = await pending.future
+                return meta, result, cached, None
+            except Exception as exc:
+                return meta, None, False, exc
+
+        errors = 0
+        tasks = [
+            asyncio.ensure_future(settle(p, m)) for p, m in zip(pendings, plan.meta)
+        ]
+        for fut in asyncio.as_completed(tasks):
+            meta, result, cached, exc = await fut
+            if exc is not None:
+                errors += 1
+                frame = protocol.error_response(
+                    request.id, ErrorCode.INTERNAL, f"{type(exc).__name__}: {exc}"
+                )
+            else:
+                frame = protocol.ok_response(
+                    request.id, result.snapshot(), cached=cached
+                )
+            frame["job"] = self._job_payload(meta)
+            writer.write(protocol.encode_frame(frame))
+            await writer.drain()
+        elapsed_ms = (time.monotonic() - started) * 1000.0
+        ok = not errors and not aborted
+        self._emit_completed("sweep", request.id, started, ok=ok)
+        terminal = protocol.ok_response(
+            request.id,
+            {
+                "name": spec.name,
+                "fingerprint": spec.fingerprint(),
+                "jobs": len(plan.meta),
+                "streamed": len(pendings),
+                "errors": errors,
+                "aborted": aborted,
+                "elapsed_ms": elapsed_ms,
+            },
+        )
+        terminal["done"] = True
+        return terminal
 
     # ------------------------------------------------------------------
     # Micro-batching dispatcher
@@ -545,24 +676,35 @@ class SimulationService:
             results=[None] * len(batch), cached=[False] * len(batch)
         )
         try:
+            from ..spec.wire import config_from_wire, extended_cache_key, jobspec_from_simulate
+
             config = ProcessorConfig.scaled()
             specs: List[JobSpec] = []
             spec_slots: Dict[tuple, List[int]] = {}
             spec_order: List[tuple] = []
+            jobs_by_key: Dict[tuple, JobSpec] = {}
             for i, pending in enumerate(batch):
                 params = pending.params
-                # The registry memoises traces in-process, and Trace
-                # caches its fingerprint, so a warm repeat costs a dict
-                # lookup — this is what keys the result cache.
-                trace = make_workload(
-                    params.workload, records=params.records, seed=params.seed
-                )
-                key = ResultCache.key(
-                    trace.fingerprint(),
-                    config.fingerprint(),
-                    params.prefetcher,
-                    params.warmup_records,
-                )
+                if params.is_extended():
+                    # Spec-expanded job (v4): content-address from the
+                    # generation parameters themselves — no trace build
+                    # at admission (interleaved traces are expensive).
+                    job_config = config_from_wire(params.config)
+                    key = extended_cache_key(params, job_config.fingerprint())
+                    jobs_by_key[key] = jobspec_from_simulate(params, config=job_config)
+                else:
+                    # The registry memoises traces in-process, and Trace
+                    # caches its fingerprint, so a warm repeat costs a dict
+                    # lookup — this is what keys the result cache.
+                    trace = make_workload(
+                        params.workload, records=params.records, seed=params.seed
+                    )
+                    key = ResultCache.key(
+                        trace.fingerprint(),
+                        config.fingerprint(),
+                        params.prefetcher,
+                        params.warmup_records,
+                    )
                 pending.cache_key = key
                 if params.use_cache:
                     if pending.trace is not None:
@@ -582,21 +724,24 @@ class SimulationService:
                     continue
                 spec_slots[key] = [i]
                 spec_order.append(key)
-                specs.append(
-                    JobSpec(
-                        workload=params.workload,
-                        records=params.records,
-                        seed=params.seed,
-                        config=config,
-                        prefetcher=(
-                            None
-                            if params.prefetcher == "none"
-                            else build_prefetcher(params.prefetcher)
-                        ),
-                        label=params.prefetcher,
-                        warmup_records=params.warmup_records,
+                if key in jobs_by_key:
+                    specs.append(jobs_by_key[key])
+                else:
+                    specs.append(
+                        JobSpec(
+                            workload=params.workload,
+                            records=params.records,
+                            seed=params.seed,
+                            config=config,
+                            prefetcher=(
+                                None
+                                if params.prefetcher == "none"
+                                else build_prefetcher(params.prefetcher)
+                            ),
+                            label=params.prefetcher,
+                            warmup_records=params.warmup_records,
+                        )
                     )
-                )
             if specs:
                 job_results = execute(
                     specs, self.policy, bus=self.bus, pool=self.pool,

@@ -1,0 +1,37 @@
+"""Typed validation errors for the sweep-spec schema.
+
+Every validation failure raises :class:`SpecError` carrying the *field
+path* of the offending value (``"prefetchers[2].overrides.degree"``),
+so callers — the CLI, the service's ``sweep`` handler, tests — can
+report exactly which part of a spec is wrong without parsing prose.
+"""
+
+from __future__ import annotations
+
+__all__ = ["SpecError", "SpecVersionError"]
+
+
+class SpecError(ValueError):
+    """A sweep spec failed validation.
+
+    ``path`` locates the offending field using dotted/indexed notation
+    rooted at the spec document (empty string for document-level
+    problems, e.g. an unknown top-level key).
+    """
+
+    def __init__(self, path: str, message: str) -> None:
+        self.path = path
+        self.message = message
+        where = path if path else "<spec>"
+        super().__init__(f"{where}: {message}")
+
+    def to_dict(self) -> dict:
+        return {"path": self.path, "message": self.message}
+
+
+class SpecVersionError(SpecError):
+    """The spec declares a schema version this build cannot execute."""
+
+    def __init__(self, path: str, message: str, found: object = None) -> None:
+        super().__init__(path, message)
+        self.found = found

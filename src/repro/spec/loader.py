@@ -1,0 +1,68 @@
+"""Loading and dumping sweep specs (TOML and JSON).
+
+TOML is the committed-file format (``specs/*.toml``); JSON is the wire
+format (the ``sweep`` request carries ``SweepSpec.to_dict()``).  Both
+lower to the same :meth:`SweepSpec.from_dict` validation, so a spec
+that loads locally is exactly a spec the service will accept.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from .errors import SpecError
+from .schema import SweepSpec
+
+try:  # Python >= 3.11
+    import tomllib
+except ModuleNotFoundError:  # pragma: no cover - 3.9/3.10 fallback
+    try:
+        import tomli as tomllib  # type: ignore[no-redef]
+    except ModuleNotFoundError:
+        tomllib = None  # type: ignore[assignment]
+
+__all__ = ["load_spec", "loads_spec", "dump_spec", "dumps_spec"]
+
+
+def loads_spec(text: str, fmt: str = "toml") -> SweepSpec:
+    """Parse a spec from a string (``fmt``: ``"toml"`` or ``"json"``)."""
+    if fmt == "toml":
+        if tomllib is None:  # pragma: no cover - baked-in on the CI floor
+            raise SpecError(
+                "", "no TOML parser available (need Python >= 3.11 or tomli)"
+            )
+        try:
+            payload = tomllib.loads(text)
+        except tomllib.TOMLDecodeError as exc:
+            raise SpecError("", f"invalid TOML: {exc}")
+    elif fmt == "json":
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise SpecError("", f"invalid JSON: {exc}")
+    else:
+        raise SpecError("", f"unknown spec format {fmt!r} (expected toml or json)")
+    return SweepSpec.from_dict(payload)
+
+
+def load_spec(path: Union[str, Path]) -> SweepSpec:
+    """Load and validate a spec file (format chosen by suffix)."""
+    path = Path(path)
+    fmt = "json" if path.suffix.lower() == ".json" else "toml"
+    try:
+        text = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        raise SpecError("", f"cannot read {path}: {exc}")
+    return loads_spec(text, fmt)
+
+
+def dump_spec(spec: SweepSpec) -> dict:
+    """The canonical payload form (what the wire and fingerprint use)."""
+    return spec.to_dict()
+
+
+def dumps_spec(spec: SweepSpec, indent: int = 2) -> str:
+    """The canonical JSON text of a spec."""
+    return json.dumps(spec.to_dict(), sort_keys=True, indent=indent)

@@ -1,0 +1,159 @@
+"""Lowering planned jobs to the protocol-v4 wire and back.
+
+A sweep crosses the wire twice: the client sends the whole spec in one
+``sweep`` request, and the entry service (router or single server)
+expands it and fans each planned job out as an *extended* ``simulate``
+request — plain v1–v3 params plus optional ``config`` /
+``prefetcher_overrides`` / ``n_threads`` / ``scale`` / ``label`` fields.
+Shards therefore never see a ``sweep`` frame; they execute ordinary
+(extended) simulate requests, which is what lets the existing
+micro-batching, dedup and cache machinery serve sweep traffic unchanged.
+
+This module is deliberately protocol-agnostic (it works on plain dicts
+and duck-typed params), so :mod:`repro.service` can depend on it without
+a cycle.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Mapping, Optional, Tuple
+
+from ..engine.config import ProcessorConfig
+from ..parallel.jobs import JobSpec
+from ..prefetchers.registry import build_prefetcher
+from .errors import SpecError
+from .expand import PlannedJob
+from .schema import ConfigSpec
+
+__all__ = [
+    "config_from_wire",
+    "simulate_params_for",
+    "jobspec_from_simulate",
+    "extended_cache_key",
+    "is_extended",
+]
+
+
+def config_from_wire(payload: Optional[Mapping]) -> ProcessorConfig:
+    """Build the processor config named by a wire ``config`` payload.
+
+    ``None`` (the field omitted) is the default scaled config —
+    identical to what plain ``simulate`` requests run against.  The
+    payload shape is ``{"base": "scaled"|"paper", "overrides": {...}}``,
+    validated through :class:`~repro.spec.schema.ConfigSpec` so wire and
+    file specs reject the same inputs.
+    """
+    if payload is None:
+        return ProcessorConfig.scaled()
+    spec = ConfigSpec.from_dict(
+        {"label": "wire", **dict(payload)}, path="params.config"
+    )
+    return spec.build()
+
+
+def simulate_params_for(meta: PlannedJob) -> dict:
+    """The extended ``simulate`` params dict for one planned job.
+
+    Default-valued extension fields are omitted, so a default-config
+    single-thread job is byte-identical to a v3 ``simulate`` payload —
+    and routes/caches identically to one.
+    """
+    params: dict = {
+        "workload": meta.workload,
+        "prefetcher": meta.prefetcher,
+        "records": meta.records,
+        "seed": meta.seed,
+    }
+    if meta.warmup_records is not None:
+        params["warmup_records"] = meta.warmup_records
+    if meta.config_base != "scaled" or meta.config_overrides:
+        config: dict = {"base": meta.config_base}
+        if meta.config_overrides:
+            config["overrides"] = {
+                key: dict(value) if isinstance(value, tuple) else value
+                for key, value in meta.config_overrides
+            }
+        params["config"] = config
+    if meta.prefetcher_overrides:
+        params["prefetcher_overrides"] = dict(meta.prefetcher_overrides)
+    if meta.n_threads:
+        params["n_threads"] = meta.n_threads
+    if meta.scale != 1.0:
+        params["scale"] = meta.scale
+    if meta.label and meta.label != meta.prefetcher:
+        params["label"] = meta.label
+    return params
+
+
+def is_extended(params: Any) -> bool:
+    """Whether duck-typed simulate params use any v4 extension field."""
+    return bool(
+        getattr(params, "config", None) is not None
+        or getattr(params, "prefetcher_overrides", None)
+        or getattr(params, "n_threads", 0)
+        or getattr(params, "scale", 1.0) != 1.0
+    )
+
+
+def jobspec_from_simulate(params: Any, config: Optional[ProcessorConfig] = None) -> JobSpec:
+    """Build the :class:`JobSpec` an extended simulate request describes.
+
+    ``params`` is duck-typed (``protocol.SimulateParams`` or anything
+    with the same fields).  ``config`` short-circuits the wire-config
+    build when the caller already resolved it (the batch path resolves
+    it once per request for the cache key).
+    """
+    if config is None:
+        config = config_from_wire(getattr(params, "config", None))
+    prefetcher = None
+    if params.prefetcher != "none":
+        overrides = getattr(params, "prefetcher_overrides", None) or {}
+        try:
+            prefetcher = build_prefetcher(params.prefetcher, **dict(overrides))
+        except (KeyError, TypeError) as exc:
+            raise SpecError(
+                "params.prefetcher_overrides",
+                f"cannot build {params.prefetcher!r}: {exc}",
+            )
+    return JobSpec(
+        workload=params.workload,
+        records=params.records,
+        seed=params.seed,
+        config=config,
+        prefetcher=prefetcher,
+        label=getattr(params, "label", "") or params.prefetcher,
+        scale=getattr(params, "scale", 1.0),
+        n_threads=getattr(params, "n_threads", 0),
+        warmup_records=params.warmup_records,
+    )
+
+
+def _canonical_overrides(overrides: Optional[Mapping]) -> str:
+    if not overrides:
+        return ""
+    return json.dumps(dict(overrides), sort_keys=True, separators=(",", ":"))
+
+
+def extended_cache_key(params: Any, config_fp: tuple) -> Tuple:
+    """The content-addressed cache key of an extended simulate request.
+
+    Built from *generation parameters* rather than a trace fingerprint,
+    so admission never has to construct the trace: the extra identity
+    axes (threads, scale, config, prefetcher overrides) are all explicit
+    here.  Plain v1–v3 requests keep their historical
+    :meth:`ResultCache.key` shape — existing caches and disk spills stay
+    valid.
+    """
+    return (
+        "jobv4",
+        params.workload,
+        params.records,
+        params.seed,
+        getattr(params, "n_threads", 0),
+        getattr(params, "scale", 1.0),
+        params.warmup_records,
+        config_fp,
+        params.prefetcher,
+        _canonical_overrides(getattr(params, "prefetcher_overrides", None)),
+    )

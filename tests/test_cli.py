@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import pathlib
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -180,3 +182,57 @@ class TestServeCallParser:
         assert main(["call", "--ping", "--port", "1", "--retries", "0",
                      "--timeout", "2"]) == 1
         assert "cannot reach service" in capsys.readouterr().err
+
+
+class TestSweepCommand:
+    SPEC_DIR = pathlib.Path(__file__).resolve().parents[1] / "specs"
+    SPEC = str(SPEC_DIR / "smoke.toml")
+
+    def test_validate_committed_specs(self, capsys):
+        specs = sorted(str(p) for p in self.SPEC_DIR.glob("*.toml"))
+        assert specs, "committed spec files are missing"
+        assert main(["sweep", "validate", *specs]) == 0
+        out = capsys.readouterr().out
+        assert out.count(": ok") == len(specs)
+
+    def test_validate_prints_plan(self, capsys):
+        assert main(["sweep", "validate", self.SPEC, "--print-plan"]) == 0
+        out = capsys.readouterr().out
+        assert "baseline" in out and "candidate" in out
+
+    def test_validate_rejects_bad_spec(self, tmp_path, capsys):
+        bad = tmp_path / "bad.toml"
+        bad.write_text('version = 1\nname = "x"\nworkloads = ["nope"]\n')
+        assert main(["sweep", "validate", str(bad)]) == 1
+        assert "INVALID" in capsys.readouterr().err
+
+    def test_sweep_run_writes_summary(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "sweep.json"
+        spec = tmp_path / "tiny.toml"
+        spec.write_text(
+            "version = 1\n"
+            'name = "tiny"\n'
+            'workloads = ["pointer_chase"]\n'
+            "[grid]\n"
+            "records = 8000\n"
+            "seeds = [7]\n"
+            "[[prefetchers]]\n"
+            'name = "ebcp"\n'
+        )
+        assert main(["sweep", "run", str(spec), "--out", str(out_path)]) == 0
+        out = capsys.readouterr().out
+        assert "2 jobs" in out and "improvement" in out
+        summary = json.loads(out_path.read_text())
+        assert summary["name"] == "tiny"
+        assert len(summary["points"]) == 2
+
+    def test_sweep_submit_refused_connection(self, capsys):
+        assert main(["sweep", "submit", self.SPEC, "--port", "1",
+                     "--retries", "0", "--timeout", "2"]) == 1
+        assert "cannot reach service" in capsys.readouterr().err
+
+    def test_sweep_requires_verb(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sweep"])
