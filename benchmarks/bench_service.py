@@ -37,6 +37,7 @@ from __future__ import annotations
 import asyncio
 import json
 import os
+import signal
 import subprocess
 import sys
 import time
@@ -53,6 +54,7 @@ from repro.service import (
     HashRing,
     ServiceClient,
     ServiceConfig,
+    ServiceError,
     ShardedService,
     routing_key,
 )
@@ -391,3 +393,108 @@ def test_sharded_scaling():
         f"{single_warm_p50_s * 1000:.2f} ms single-process p50); "
         f"ceiling is {SHARDED_WARM_CEILING}x"
     )
+
+
+# ----------------------------------------------------------------------
+# Crash recovery
+# ----------------------------------------------------------------------
+
+_RECOVERY_RECORDS_CAP = 12_000
+_RECOVERY_HEARTBEAT_S = 0.25
+
+#: Hard sanity ceilings; the interesting drift is tracked against the
+#: blessed baseline by ``check_regression.py`` (``recovery_ready_s`` /
+#: ``recovery_error_window_s``), these just catch a wedged supervisor.
+RECOVERY_READY_CEILING_S = 60.0
+RECOVERY_WINDOW_CEILING_S = 90.0
+
+
+def test_shard_recovery(tmp_path):
+    """SIGKILL one shard of a supervised 2-shard fleet and time the
+    recovery: supervisor time-to-ready and the client-visible error
+    window until the victim's own key answers again (warm, from the
+    shared disk tier, bit-identically)."""
+    records = min(BENCH_RECORDS, _RECOVERY_RECORDS_CAP)
+    policy = ExecutionPolicy(jobs=1, retries=1)
+    service = ShardedService(
+        config=ServiceConfig(
+            port=0, cache_entries=256, cache_dir=str(tmp_path / "tier")
+        ),
+        policy=policy,
+        workers=2,
+        heartbeat_s=_RECOVERY_HEARTBEAT_S,
+    )
+    with BackgroundService(service=service, start_timeout_s=180.0) as svc:
+        with ServiceClient(*svc.address, timeout_s=600.0, retries=1) as client:
+            first = client.simulate(WORKLOAD, PREFETCHER, records=records,
+                                    seed=BENCH_SEED)
+            victim = first.shard["index"]
+            victim_pid = first.shard["pid"]
+
+        killed_at = time.perf_counter()
+        os.kill(victim_pid, signal.SIGKILL)
+
+        # Zero-retry probes of the victim's own key: every failure is the
+        # retryable window a real client's retry policy would absorb.
+        window_s = None
+        probes = 0
+        with ServiceClient(*svc.address, timeout_s=600.0, retries=0) as probe:
+            deadline = time.perf_counter() + RECOVERY_WINDOW_CEILING_S
+            while time.perf_counter() < deadline:
+                probes += 1
+                try:
+                    served = probe.simulate(WORKLOAD, PREFETCHER,
+                                            records=records, seed=BENCH_SEED)
+                except (ServiceError, OSError):
+                    time.sleep(0.02)
+                    continue
+                window_s = time.perf_counter() - killed_at
+                break
+            assert window_s is not None, (
+                f"victim key still failing {RECOVERY_WINDOW_CEILING_S}s "
+                f"after the kill ({probes} probes)"
+            )
+            # The reborn shard owns the same key range and answers warm
+            # from the disk tier, bit-identically.
+            assert served.shard["index"] == victim
+            assert served.shard["pid"] != victim_pid
+            assert served.cached is True
+            assert served.result.snapshot() == first.result.snapshot()
+
+            row = {r["index"]: r for r in probe.ping()["shards"]}[victim]
+            assert row["restarts"] == 1
+            # uptime_s dates from the moment the replacement finished its
+            # handshake, so kill-to-ready = elapsed-since-kill - uptime.
+            ready_s = max(
+                0.0, (time.perf_counter() - killed_at) - row["uptime_s"]
+            )
+
+    lines = [
+        "shard crash recovery "
+        f"({WORKLOAD}/{PREFETCHER}, {records} records, 2 workers, "
+        f"heartbeat {_RECOVERY_HEARTBEAT_S}s)",
+        f"  supervisor time-to-ready  {ready_s * 1000:9.1f} ms",
+        f"  client error window       {window_s * 1000:9.1f} ms"
+        f"  ({probes} zero-retry probes)",
+    ]
+    text = "\n".join(lines)
+    data = {
+        "recovery_records": records,
+        "recovery_heartbeat_s": _RECOVERY_HEARTBEAT_S,
+        "recovery_ready_s": ready_s,
+        "recovery_error_window_s": window_s,
+        "recovery_probes": probes,
+    }
+    base_path = RESULTS_DIR / "BENCH_service.json"
+    if base_path.exists():
+        base = json.loads(base_path.read_text(encoding="utf-8"))
+        for stamp in ("bench", "records", "seed"):
+            base.pop(stamp, None)
+        data = {**base, **data}
+    text_path = RESULTS_DIR / "service.txt"
+    if text_path.exists():
+        text = text_path.read_text(encoding="utf-8").rstrip() + "\n\n" + text
+    publish("service", text, data=data)
+
+    assert ready_s <= RECOVERY_READY_CEILING_S
+    assert window_s <= RECOVERY_WINDOW_CEILING_S

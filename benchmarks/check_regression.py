@@ -55,6 +55,12 @@ RATIO_METRICS: Dict[str, List[Tuple[Tuple[str, ...], str, float]]] = {
         # overhead vs the single-process service.
         (("scaling_throughput_ratio_4w",), "min_ratio", 0.60),
         (("sharded_warm_over_single_ratio",), "max_ratio", 0.50),
+        # Supervisor crash recovery: time-to-ready after a shard kill
+        # and the client-visible error window.  Dominated by process
+        # fork + pool boot, so very runner-sensitive — the tolerance
+        # only trips on a multiple, not a wobble.
+        (("recovery_ready_s",), "max_ratio", 1.00),
+        (("recovery_error_window_s",), "max_ratio", 1.00),
     ],
     "speed": [
         (("filter_plane_speedup", "none"), "min_ratio", 0.25),

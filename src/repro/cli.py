@@ -288,6 +288,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             metrics_out=args.metrics_out,
             trace_out=args.trace_out,
             workers=args.workers,
+            heartbeat_s=args.heartbeat_s,
+            max_restarts=args.max_restarts,
         )
     )
 
@@ -325,13 +327,25 @@ def _cmd_call(args: argparse.Namespace) -> int:
                 print(f"# {len(spans)} spans from pid {payload.get('pid')}",
                       file=sys.stderr)
                 return 0
+            if args.resize is not None:
+                report = client.resize(args.resize)
+                print(json.dumps(report, indent=2, sort_keys=True))
+                print(
+                    f"# fleet resized {report.get('previous_workers')} -> "
+                    f"{report.get('workers')} workers"
+                    f" (added {list(report.get('added', []))},"
+                    f" removed {list(report.get('removed', []))})",
+                    file=sys.stderr,
+                )
+                return 0
             if args.shutdown:
                 print(json.dumps(client.shutdown(), indent=2, sort_keys=True))
                 return 0
             if not args.workload or not args.prefetcher:
                 print(
                     "call requires WORKLOAD and PREFETCHER (or one of "
-                    "--ping/--stats/--metrics/--telemetry/--shutdown)",
+                    "--ping/--stats/--metrics/--telemetry/--resize/"
+                    "--shutdown)",
                     file=sys.stderr,
                 )
                 return 2
@@ -431,12 +445,17 @@ def _render_top(stats: dict, req_per_s: float) -> str:
             f"  shards ({stats.get('workers', 0)} workers, consistent-hash routed):"
         )
         lines.append(
-            f"    {'shard':>5s} {'pid':>8s} {'requests':>9s} {'routed':>7s}"
+            f"    {'shard':>5s} {'pid':>8s} {'state':>10s} {'up s':>7s}"
+            f" {'rst':>3s} {'requests':>9s} {'routed':>7s}"
             f" {'cache hit%':>10s} {'queue':>6s} {'p50 ms':>9s}"
         )
         for shard in stats.get("shards", []):
             if shard.get("unreachable"):
-                lines.append(f"    {shard.get('index', '?'):>5} UNREACHABLE")
+                lines.append(
+                    f"    {shard.get('index', '?'):>5} {'-':>8s}"
+                    f" {shard.get('state', 'unreachable'):>10s} {'-':>7s}"
+                    f" {shard.get('restarts', 0):>3d} UNREACHABLE"
+                )
                 continue
             shard_cache = shard.get("cache", {})
             shard_hits = shard_cache.get("hits", 0)
@@ -444,6 +463,9 @@ def _render_top(stats: dict, req_per_s: float) -> str:
             shard_ratio = (shard_hits / shard_lookups * 100) if shard_lookups else 0.0
             lines.append(
                 f"    {shard.get('index', 0):>5d} {shard.get('pid', 0):>8d}"
+                f" {shard.get('state', 'ready'):>10s}"
+                f" {shard.get('uptime_s', 0.0):>7.1f}"
+                f" {shard.get('restarts', 0):>3d}"
                 f" {shard.get('requests', 0):>9d} {shard.get('routed', 0):>7d}"
                 f" {shard_ratio:>9.1f}%"
                 f" {shard.get('queue', {}).get('depth', 0):>6d}"
@@ -884,6 +906,16 @@ def build_parser() -> argparse.ArgumentParser:
         "process, no front-end)",
     )
     p_srv.add_argument(
+        "--heartbeat-s", type=float, default=2.0, metavar="SECONDS",
+        help="sharded only: seconds between supervisor health probes of "
+        "each shard; 0 disables supervision (default: 2.0)",
+    )
+    p_srv.add_argument(
+        "--max-restarts", type=int, default=5, metavar="N",
+        help="sharded only: how many times the supervisor respawns a "
+        "crashed shard before retiring it from the ring (default: 5)",
+    )
+    p_srv.add_argument(
         "--cache-dir", metavar="DIR", default=None,
         help="spill result-cache entries to DIR as checksummed JSON so "
         "warm results survive restarts; shards share the directory "
@@ -957,6 +989,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="fetch the service's spans and metric registries "
                        "as JSON (a sharded service answers for the whole "
                        "fleet)")
+    group.add_argument("--resize", type=int, metavar="N",
+                       help="resize a sharded service to N worker shards "
+                       "(grows warm from the disk tier; shrinks drain "
+                       "in-flight work before retiring)")
     group.add_argument("--shutdown", action="store_true",
                        help="ask the service to drain and exit")
     p_call.set_defaults(func=_cmd_call)

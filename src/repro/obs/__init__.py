@@ -29,6 +29,7 @@ from .events import (
     EpochClosed,
     Event,
     ExecutionDegraded,
+    FleetResized,
     JobResumed,
     JobRetried,
     JobTimedOut,
@@ -39,6 +40,8 @@ from .events import (
     QueueSaturated,
     RequestCompleted,
     RequestReceived,
+    ShardRestarted,
+    ShardSuspect,
     TableRead,
     TableWrite,
     TraceCacheWarmed,
@@ -84,6 +87,7 @@ __all__ = [
     "EventBus",
     "EVENT_TYPES",
     "ExecutionDegraded",
+    "FleetResized",
     "Gauge",
     "Histogram",
     "JobResumed",
@@ -103,6 +107,8 @@ __all__ = [
     "RouterMetrics",
     "RunManifest",
     "ServiceMetrics",
+    "ShardRestarted",
+    "ShardSuspect",
     "SimulationMetrics",
     "SpanRecorder",
     "TableRead",

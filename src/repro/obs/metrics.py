@@ -547,6 +547,12 @@ class RouterMetrics:
             "router_forward_errors", "proxied frames that failed at the shard link"
         )
         self.shards = r.gauge("router_shards", "live shard processes behind the ring")
+        self.restarts = r.counter(
+            "router_restarts_total", "dead shards replaced by the supervisor"
+        )
+        self.resizes = r.counter(
+            "router_resizes_total", "admin resize operations completed"
+        )
         self.forward_ms = r.histogram(
             "router_forward_latency_ms",
             FORWARD_LATENCY_MS_BUCKETS,
@@ -557,6 +563,17 @@ class RouterMetrics:
         """One frame routed to ``shard`` (also bumps the per-shard tally)."""
         self.routed.inc()
         self.registry.counter(f"routed.{shard}").inc()
+
+    def count_restart(self, shard: str) -> None:
+        """One shard respawn (also bumps the per-shard restart tally)."""
+        self.restarts.inc()
+        self.registry.counter(f"restarts.{shard}").inc()
+
+    def set_uptime(self, shard: str, seconds: float) -> None:
+        """Refresh the per-shard uptime gauge (probe-driven)."""
+        self.registry.gauge(
+            f"shard_uptime_s.{shard}", "seconds since this shard process became ready"
+        ).set(seconds)
 
     def to_dict(self) -> dict:
         return self.registry.to_dict()

@@ -47,6 +47,8 @@ Modules
 ``sharding``  :class:`HashRing` / :func:`routing_key` — consistent-hash
               request routing
 ``router``    :class:`ShardedService` — the multi-process front-end
+``supervisor``  :class:`ShardSupervisor` — shard liveness, crash
+              recovery and live resize for the sharded front-end
 """
 
 from .cache import ResultCache
@@ -61,6 +63,7 @@ from .protocol import PROTOCOL_VERSION, SUPPORTED_VERSIONS, ErrorCode
 from .router import ShardedService
 from .server import BackgroundService, ServiceConfig, SimulationService, serve
 from .sharding import HashRing, routing_key
+from .supervisor import ShardState, ShardSupervisor
 
 __all__ = [
     "AsyncServiceClient",
@@ -75,6 +78,8 @@ __all__ = [
     "ServiceClient",
     "ServiceConfig",
     "ServiceError",
+    "ShardState",
+    "ShardSupervisor",
     "ShardedService",
     "SimulationService",
     "routing_key",

@@ -74,6 +74,18 @@ def _key_jsonable(key: CacheKey) -> List[Any]:
     )
 
 
+def _tupled(value: Any) -> Any:
+    """Recursively turn JSON lists back into tuples.
+
+    The inverse of :func:`_key_jsonable` for cache keys: keys are built
+    from scalars and (nested) tuples only, so list→tuple recursion
+    reconstructs the exact in-memory key a disk entry was stored under.
+    """
+    if isinstance(value, list):
+        return tuple(_tupled(v) for v in value)
+    return value
+
+
 class ResultCache:
     """LRU of simulation results with an optional write-through disk tier."""
 
@@ -245,6 +257,59 @@ class ResultCache:
                     path.unlink()
                 except OSError:
                     pass
+
+    def preload(self, limit: Optional[int] = None) -> int:
+        """Warm the memory tier from the disk tier; returns entries loaded.
+
+        Reads the newest disk entries (recency = mtime, which ``get``
+        refreshes on every disk hit) into the memory LRU without
+        counting hits or misses — this is boot-time warming for a shard
+        that just joined (or rejoined) the ring over a shared
+        ``spill_dir``, not request traffic.  Corrupt entries are
+        quarantined exactly as a ``get`` would.
+        """
+        if self.spill_dir is None or self.max_entries == 0:
+            return 0
+        budget = self.max_entries if limit is None else min(limit, self.max_entries)
+        try:
+            entries = [p for p in self.spill_dir.glob("*.json") if p.is_file()]
+        except OSError:
+            return 0
+
+        def mtime(p: Path) -> float:
+            try:
+                return p.stat().st_mtime
+            except OSError:
+                return 0.0
+
+        loaded = 0
+        # Take the newest ``budget`` entries, but insert oldest-first so
+        # the LRU's eviction order matches disk recency.
+        newest = sorted(entries, key=mtime, reverse=True)[:budget]
+        for path in reversed(newest):
+            reason = verify_checksum(path)
+            if reason is not None:
+                self.quarantined += 1
+                quarantine_entry(path, "result", reason)
+                continue
+            try:
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                stored_key = payload["key"]
+                snapshot = payload["snapshot"]
+            except (OSError, ValueError, KeyError, TypeError) as exc:
+                self.quarantined += 1
+                quarantine_entry(path, "result", f"undecodable entry ({exc})")
+                continue
+            if not isinstance(stored_key, list) or not isinstance(snapshot, dict):
+                self.quarantined += 1
+                quarantine_entry(path, "result", "malformed preload entry")
+                continue
+            key = _tupled(stored_key)
+            with self._lock:
+                if key not in self._entries:
+                    self._remember(key, snapshot)
+                    loaded += 1
+        return loaded
 
     def disk_entries(self) -> int:
         """How many entries the disk tier currently holds."""

@@ -424,6 +424,23 @@ class ServiceClient(_ClientBase):
         frame = protocol.raise_for_error(self._request("telemetry", {"drain": drain}))
         return frame["result"]
 
+    def admin(self, command: str, **arguments: Any) -> Dict[str, Any]:
+        """Issue one fleet-control command (protocol v5, sharded only)."""
+        frame = protocol.raise_for_error(
+            self._request("admin", {"command": command, **arguments})
+        )
+        return frame["result"]
+
+    def resize(self, workers: int) -> Dict[str, Any]:
+        """Resize a sharded fleet to ``workers`` shards, live.
+
+        Returns the supervisor's resize report (``workers``,
+        ``previous_workers``, ``added``, ``removed``, per-shard rows).
+        Only the added/removed shards' key ranges remap; a shrink drains
+        its victims before they exit.
+        """
+        return self.admin("resize", workers=workers)
+
     def shutdown(self) -> Dict[str, Any]:
         """Ask the service to drain and exit (in-flight work completes)."""
         frame = protocol.raise_for_error(self._request("shutdown"))
@@ -576,6 +593,17 @@ class AsyncServiceClient(_ClientBase):
             await self._request("telemetry", {"drain": drain})
         )
         return frame["result"]
+
+    async def admin(self, command: str, **arguments: Any) -> Dict[str, Any]:
+        """Issue one fleet-control command (protocol v5, sharded only)."""
+        frame = protocol.raise_for_error(
+            await self._request("admin", {"command": command, **arguments})
+        )
+        return frame["result"]
+
+    async def resize(self, workers: int) -> Dict[str, Any]:
+        """Resize a sharded fleet to ``workers`` shards, live."""
+        return await self.admin("resize", workers=workers)
 
     async def shutdown(self) -> Dict[str, Any]:
         frame = protocol.raise_for_error(await self._request("shutdown"))

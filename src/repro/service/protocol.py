@@ -22,9 +22,11 @@ parameters that carry a declarative-spec job: ``config`` (a
 ``prefetcher_overrides``, ``n_threads``, ``scale`` and ``label``.  The
 extended parameters are omitted from the wire at their defaults, so a
 v4 client issuing a plain simulate emits frames a v1 server parses.
-Each version is a strict superset of the previous one, so v1-v3
-clients are still served — the server accepts every version in
-``SUPPORTED_VERSIONS``.
+Version 5 adds the ``admin`` request type (fleet control: live resize
+of a sharded front-end) and per-shard liveness fields on sharded
+``ping``/``stats`` payloads.  Each version is a strict superset of the
+previous one, so v1-v4 clients are still served — the server accepts
+every version in ``SUPPORTED_VERSIONS``.
 
 Request frames
 --------------
@@ -52,6 +54,10 @@ type           params
 ``telemetry``  optional ``drain`` (default false) — the spans and
                metric registries the service holds, for cross-process
                aggregation; ``drain`` removes the spans on read (v3+)
+``admin``      ``command`` (currently only ``"resize"``) plus its
+               arguments (``resize``: ``workers``, the target fleet
+               size) — fleet control; only a sharded front-end accepts
+               it (v5+)
 ``shutdown``   none — begin graceful drain (in-flight requests finish)
 =============  ========================================================
 
@@ -93,14 +99,16 @@ __all__ = [
 ]
 
 #: The protocol version this build speaks natively.
-PROTOCOL_VERSION = 4
-#: Every version the server accepts (negotiation surface).  v1-v3
+PROTOCOL_VERSION = 5
+#: Every version the server accepts (negotiation surface).  v1-v4
 #: clients never send the newer request types and are served unchanged.
-SUPPORTED_VERSIONS: Tuple[int, ...] = (1, 2, 3, 4)
+SUPPORTED_VERSIONS: Tuple[int, ...] = (1, 2, 3, 4, 5)
 #: Upper bound on one frame; a longer line is a malformed frame.
 MAX_FRAME_BYTES = 1 << 20
 
-REQUEST_TYPES = ("ping", "simulate", "sweep", "stats", "metrics", "telemetry", "shutdown")
+REQUEST_TYPES = (
+    "ping", "simulate", "sweep", "stats", "metrics", "telemetry", "admin", "shutdown"
+)
 
 
 class ErrorCode(str, Enum):

@@ -25,7 +25,12 @@ localhost port — its own admission queue, micro-batcher,
   requests, pull each shard's spans and metrics (``telemetry`` with
   ``drain=true``), forward ``shutdown``, and join the processes — so
   ``--trace-out``/``--metrics-out`` on the front-end cover the whole
-  fleet.
+  fleet;
+* **is supervised**: a :class:`~repro.service.supervisor.ShardSupervisor`
+  probes the fleet every ``heartbeat_s``, replaces dead shards in place
+  (the ring untouched, so the replacement owns the same key range) and
+  executes live resizes requested over the protocol v5 ``admin``
+  request — see :mod:`repro.service.supervisor`.
 
 Shards share one ``cache_dir`` when configured: the disk tier is
 content-addressed and written atomically, so warm results survive not
@@ -38,15 +43,15 @@ from __future__ import annotations
 import asyncio
 import dataclasses
 import logging
-import multiprocessing
 import os
 import signal
 import time
-from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from .. import __version__
 from ..engine.config import ProcessorConfig
+from ..obs.bus import EventBus
+from ..obs.events import Event
 from ..obs.metrics import MetricsRegistry, RouterMetrics
 from ..obs.prometheus import render_prometheus
 from ..obs.tracing import SpanRecorder, TraceContext
@@ -57,52 +62,16 @@ from . import protocol
 from .protocol import ErrorCode, ProtocolError, Request, SimulateParams
 from .server import ServiceConfig, SimulationService
 from .sharding import HashRing, routing_key
+from .supervisor import (
+    ShardInfo,
+    ShardState,
+    ShardSupervisor,
+    drop_idle_links,
+)
 
-__all__ = ["ShardedService", "ShardInfo"]
+__all__ = ["ShardedService", "ShardInfo", "ShardState"]
 
 log = logging.getLogger(__name__)
-
-
-def _shard_main(
-    index: int, config: ServiceConfig, policy: ExecutionPolicy, conn: Any
-) -> None:
-    """Worker-process entry point: run one shard until drained.
-
-    Reports ``{"port", "pid"}`` through ``conn`` once the shard is
-    bound (and pre-warmed, when configured), so the front-end only
-    advertises readiness when the whole fleet can serve.  SIGINT is
-    ignored before the loop starts — a Ctrl-C against the process group
-    must reach the shard as the front-end's orderly ``shutdown`` frame
-    (or SIGTERM), not as a KeyboardInterrupt mid-start.
-    """
-    try:
-        signal.signal(signal.SIGINT, signal.SIG_IGN)
-    except (ValueError, OSError):  # pragma: no cover - exotic platforms
-        pass
-
-    async def body() -> None:
-        service = SimulationService(config=config, policy=policy)
-        _host, port = await service.start()
-        conn.send({"port": port, "pid": os.getpid()})
-        conn.close()
-        await service.run(install_signal_handlers=True)
-
-    asyncio.run(body())
-
-
-@dataclass
-class ShardInfo:
-    """One live shard behind the ring."""
-
-    index: int
-    name: str
-    port: int
-    pid: int
-    process: Any
-    #: Idle pooled connections to this shard ``(reader, writer)``.
-    idle: List[Tuple[asyncio.StreamReader, asyncio.StreamWriter]] = field(
-        default_factory=list
-    )
 
 
 class ShardedService:
@@ -121,6 +90,9 @@ class ShardedService:
         policy: Optional[ExecutionPolicy] = None,
         workers: int = 2,
         shard_start_timeout_s: float = 120.0,
+        heartbeat_s: float = 2.0,
+        max_restarts: int = 5,
+        bus: Optional[EventBus] = None,
     ) -> None:
         if workers < 1:
             raise ValueError(f"workers must be >= 1, got {workers}")
@@ -128,6 +100,7 @@ class ShardedService:
         self.policy = policy or ExecutionPolicy()
         self.workers = workers
         self.shard_start_timeout_s = shard_start_timeout_s
+        self.bus = bus
         self.registry = MetricsRegistry()
         self.metrics = RouterMetrics(self.registry)
         #: Router spans; at drain every shard's spans are absorbed here,
@@ -136,6 +109,10 @@ class ShardedService:
         self.ring = HashRing(f"shard-{i}" for i in range(workers))
         self.shards: List[ShardInfo] = []
         self.address: Optional[Tuple[str, int]] = None
+        #: Shard lifecycle owner (probes, respawns, live resize).
+        self.supervisor = ShardSupervisor(
+            self, heartbeat_s=heartbeat_s, max_restarts=max_restarts
+        )
 
         self._by_name: Dict[str, ShardInfo] = {}
         self._config_fp: Optional[tuple] = None
@@ -146,8 +123,17 @@ class ShardedService:
         self._busy_handlers = 0
         self._writers: "set[asyncio.StreamWriter]" = set()
         self._started_at = time.monotonic()
+        #: Final telemetry payloads of shards removed by a live resize —
+        #: their request counts keep counting in fleet aggregates.
+        self._retired: List[Tuple[int, Dict[str, Any]]] = []
         #: Fleet-wide metric snapshot frozen at drain (``merged_metrics``).
         self._final_metrics: Optional[Dict[str, Any]] = None
+
+    def emit(self, event: Event) -> None:
+        """Publish an obs event when a bus is attached and listening."""
+        bus = self.bus
+        if bus is not None and bus.wants(type(event)):
+            bus.emit(event)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -167,56 +153,34 @@ class ShardedService:
             key = routing_key(workload, records, seed, self._config_fp)
             prewarm_by_shard[self.ring.route(key)].append((workload, records, seed))
 
-        ctx = multiprocessing.get_context(
-            "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
-        )
-        spawned: List[Tuple[int, Any, Any]] = []
-        for index in range(self.workers):
-            shard_config = dataclasses.replace(
+        shard_configs = {
+            index: dataclasses.replace(
                 self.config,
                 host="127.0.0.1",
                 port=0,
                 shard_index=index,
                 prewarm=tuple(prewarm_by_shard[f"shard-{index}"]),
             )
-            parent_conn, child_conn = ctx.Pipe(duplex=False)
-            # NOT daemonic: each shard owns a ProcessPoolExecutor, and
-            # daemonic processes are not allowed to have children.
-            process = ctx.Process(
-                target=_shard_main,
-                args=(index, shard_config, self.policy, child_conn),
-                name=f"repro-shard-{index}",
-                daemon=False,
-            )
-            process.start()
-            child_conn.close()
-            spawned.append((index, parent_conn, process))
-
-        try:
-            ready = await asyncio.gather(
-                *(
-                    self._loop.run_in_executor(
-                        None, self._wait_shard_ready, conn, process
-                    )
-                    for _index, conn, process in spawned
-                )
-            )
-        except Exception:
-            for _index, _conn, process in spawned:
-                if process.is_alive():
-                    process.terminate()
-            raise
-        for (index, conn, process), info in zip(spawned, ready):
-            conn.close()
-            shard = ShardInfo(
-                index=index,
-                name=f"shard-{index}",
-                port=int(info["port"]),
-                pid=int(info["pid"]),
-                process=process,
-            )
+            for index in range(self.workers)
+        }
+        results = await asyncio.gather(
+            *(
+                self.supervisor.spawn_shard(index, shard_config)
+                for index, shard_config in shard_configs.items()
+            ),
+            return_exceptions=True,
+        )
+        failures = [r for r in results if isinstance(r, BaseException)]
+        if failures:
+            for r in results:
+                if isinstance(r, ShardInfo) and r.process.is_alive():
+                    r.process.terminate()
+            raise failures[0]
+        for shard in results:
+            assert isinstance(shard, ShardInfo)
             self.shards.append(shard)
             self._by_name[shard.name] = shard
+        self.shards.sort(key=lambda s: s.index)
 
         self._server = await asyncio.start_server(
             self._handle_connection,
@@ -228,6 +192,7 @@ class ShardedService:
         self.address = sock.getsockname()[:2]
         self._started_at = time.monotonic()
         self.metrics.shards.set(float(len(self.shards)))
+        self.supervisor.start()
         log.info(
             "sharded service listening on %s:%d over %d shard(s): %s",
             self.address[0],
@@ -236,23 +201,6 @@ class ShardedService:
             ", ".join(f"{s.name}=pid{s.pid}:{s.port}" for s in self.shards),
         )
         return self.address
-
-    def _wait_shard_ready(self, conn: Any, process: Any) -> Dict[str, Any]:
-        """Block (in an executor thread) for one shard's ready handshake."""
-        deadline = time.monotonic() + self.shard_start_timeout_s
-        while time.monotonic() < deadline:
-            if conn.poll(0.1):
-                return conn.recv()
-            if not process.is_alive():
-                raise RuntimeError(
-                    f"shard process {process.name} exited during start-up "
-                    f"(exitcode {process.exitcode})"
-                )
-        process.terminate()
-        raise TimeoutError(
-            f"shard {process.name} did not report ready within "
-            f"{self.shard_start_timeout_s:.0f}s"
-        )
 
     async def run(self, install_signal_handlers: bool = False) -> None:
         """Serve until drained, then wind the whole fleet down."""
@@ -273,6 +221,9 @@ class ShardedService:
         while self._busy_handlers and time.monotonic() < deadline:
             await asyncio.sleep(0.01)
 
+        # Stop the supervisor first: no probe, respawn or resize may
+        # race the fleet teardown below.
+        await self.supervisor.stop()
         await self._collect_final_telemetry()
         await self._shutdown_shards()
         for writer in list(self._writers):
@@ -313,32 +264,48 @@ class ShardedService:
     async def _shard_roundtrip(self, shard: ShardInfo, payload: bytes) -> bytes:
         """One framed request/response against ``shard``.
 
-        Pooled connections are reused; a send/recv failure on a pooled
-        connection (the shard restarted, an idle socket went stale) is
-        retried once on a fresh connection before surfacing.
+        Pooled connections are reused.  *Any* write/read failure — a
+        stale idle socket, the shard mid-restart, even a fresh connect
+        refused — invalidates the whole pool for that shard and is
+        retried once on a brand-new connection, re-reading
+        ``shard.port`` (a respawned shard listens on a new ephemeral
+        port).  ``inflight`` brackets the round-trip so a drain-aware
+        rebalance knows when a departing shard has gone quiet.
         """
-        for attempt in (0, 1):
-            fresh = attempt == 1 or not shard.idle
-            if fresh:
-                reader, writer = await asyncio.open_connection(
-                    "127.0.0.1", shard.port, limit=protocol.MAX_FRAME_BYTES
-                )
-            else:
-                reader, writer = shard.idle.pop()
-            try:
-                writer.write(payload)
-                await writer.drain()
-                line = await reader.readline()
-                if not line:
-                    raise ConnectionError(f"{shard.name} closed the connection")
-            except (OSError, ConnectionError):
-                writer.close()
-                if fresh:
-                    raise
-                continue
-            shard.idle.append((reader, writer))
-            return line
-        raise ConnectionError(f"{shard.name} unreachable")  # pragma: no cover
+        shard.inflight += 1
+        last_error: Optional[BaseException] = None
+        try:
+            for attempt in (0, 1):
+                if attempt == 0 and shard.idle:
+                    reader, writer = shard.idle.pop()
+                else:
+                    try:
+                        reader, writer = await asyncio.open_connection(
+                            "127.0.0.1", shard.port, limit=protocol.MAX_FRAME_BYTES
+                        )
+                    except (OSError, ConnectionError) as exc:
+                        last_error = exc
+                        drop_idle_links(shard)
+                        continue
+                try:
+                    writer.write(payload)
+                    await writer.drain()
+                    line = await reader.readline()
+                    if not line:
+                        raise ConnectionError(f"{shard.name} closed the connection")
+                except (OSError, ConnectionError) as exc:
+                    last_error = exc
+                    writer.close()
+                    # The pool points at the same (possibly dead)
+                    # process; a retry must start from clean sockets.
+                    drop_idle_links(shard)
+                    continue
+                shard.idle.append((reader, writer))
+                return line
+            assert last_error is not None
+            raise last_error
+        finally:
+            shard.inflight -= 1
 
     async def _close_links(self) -> None:
         for shard in self.shards:
@@ -456,10 +423,50 @@ class ShardedService:
             payload = await self._metrics_payload()
         elif request.type == "telemetry":
             payload = await self._telemetry_payload(request.params)
+        elif request.type == "admin":
+            return await self._handle_admin(request)
         else:  # shutdown
             self.begin_drain()
             payload = {"draining": True}
         return protocol.encode_frame(protocol.ok_response(request.id, payload))
+
+    async def _handle_admin(self, request: Request) -> bytes:
+        """Fleet control (protocol v5): currently ``resize``."""
+        if self._draining:
+            return protocol.encode_frame(
+                protocol.error_response(
+                    request.id, ErrorCode.SHUTTING_DOWN, "service is draining"
+                )
+            )
+        command = request.params.get("command")
+        if command != "resize":
+            return protocol.encode_frame(
+                protocol.error_response(
+                    request.id,
+                    ErrorCode.INVALID_REQUEST,
+                    f"unknown admin command {command!r}",
+                    known=["resize"],
+                )
+            )
+        workers = request.params.get("workers")
+        if not isinstance(workers, int) or isinstance(workers, bool) or workers < 1:
+            return protocol.encode_frame(
+                protocol.error_response(
+                    request.id,
+                    ErrorCode.INVALID_REQUEST,
+                    "resize requires a positive integer 'workers'",
+                )
+            )
+        try:
+            result = await self.supervisor.resize(workers)
+        except Exception as exc:  # pragma: no cover - spawn failure
+            log.exception("resize to %d workers failed", workers)
+            return protocol.encode_frame(
+                protocol.error_response(
+                    request.id, ErrorCode.INTERNAL, f"resize failed: {exc}"
+                )
+            )
+        return protocol.encode_frame(protocol.ok_response(request.id, result))
 
     async def _proxy_simulate(self, request: Request, line: bytes) -> bytes:
         """Route one simulate frame to its shard and relay the answer."""
@@ -493,7 +500,26 @@ class ShardedService:
                     )
                 )
         key = routing_key(params.workload, params.records, params.seed, config_fp)
-        shard = self._by_name[self.ring.route(key)]
+        try:
+            shard = self._by_name[self.ring.route(key)]
+        except (KeyError, LookupError):
+            return protocol.encode_frame(
+                protocol.error_response(
+                    request.id, ErrorCode.INTERNAL, "no live shards behind the ring"
+                )
+            )
+        if shard.state in (ShardState.RESPAWNING, ShardState.DEAD):
+            # Fail fast and retryable: the shard is being replaced, and
+            # its key range will be served again within a heartbeat or
+            # two — the SDK's queue_full retry absorbs the window.
+            return protocol.encode_frame(
+                protocol.error_response(
+                    request.id,
+                    ErrorCode.QUEUE_FULL,
+                    f"{shard.name} is being replaced; retry shortly",
+                    retry_after_s=self.supervisor.retry_after_s(),
+                )
+            )
         self.metrics.count_route(shard.name)
 
         ctx = TraceContext.from_wire(request.trace)
@@ -520,6 +546,20 @@ class ShardedService:
             self.metrics.errors.inc()
             if span is not None:
                 span.set(error=type(exc).__name__)
+            self.supervisor.note_failure(shard, str(exc))
+            if self.supervisor.enabled:
+                # Transport failure on a supervised fleet is transient
+                # by construction (the supervisor replaces the shard);
+                # surface it as retryable backpressure, not a hard 500.
+                return protocol.encode_frame(
+                    protocol.error_response(
+                        request.id,
+                        ErrorCode.QUEUE_FULL,
+                        f"{shard.name} (pid {shard.pid}) unreachable: {exc}; "
+                        "being replaced",
+                        retry_after_s=self.supervisor.retry_after_s(),
+                    )
+                )
             return protocol.encode_frame(
                 protocol.error_response(
                     request.id,
@@ -600,12 +640,13 @@ class ShardedService:
         plan = expand(spec)
         fp_by_label = {cfg.label: cfg.build().fingerprint() for cfg in spec.configs}
         write_lock = asyncio.Lock()
-        limits = {
-            shard.name: asyncio.Semaphore(
+
+        def shard_limit() -> asyncio.Semaphore:
+            return asyncio.Semaphore(
                 max(1, min(self.SWEEP_SHARD_INFLIGHT, self.config.queue_size // 2))
             )
-            for shard in self.shards
-        }
+
+        limits = {shard.name: shard_limit() for shard in self.shards}
         errors = 0
 
         async def run_job(meta: Any) -> None:
@@ -615,8 +656,6 @@ class ShardedService:
             key = routing_key(
                 meta.workload, meta.records, meta.seed, fp_by_label[meta.config_label]
             )
-            shard = self._by_name[self.ring.route(key)]
-            self.metrics.count_route(shard.name)
             job_frame: Dict[str, Any] = {
                 "v": protocol.PROTOCOL_VERSION,
                 "id": f"{request.id}#{meta.index}",
@@ -627,12 +666,30 @@ class ShardedService:
                 job_frame["trace"] = request.trace
             payload = protocol.encode_frame(job_frame)
             frame: Optional[Dict[str, Any]] = None
-            async with limits[shard.name]:
-                for _attempt in range(self.SWEEP_RETRIES):
+            shard: Optional[ShardInfo] = None
+            routed_to: Optional[str] = None
+            for _attempt in range(self.SWEEP_RETRIES):
+                # Re-route every attempt: a mid-sweep respawn keeps the
+                # owner but changes its port, and a mid-sweep resize may
+                # hand the key to a different shard entirely.
+                try:
+                    shard = self._by_name.get(self.ring.route(key))
+                except LookupError:
+                    shard = None
+                if shard is None or shard.state in (
+                    ShardState.RESPAWNING, ShardState.DEAD
+                ):
+                    await asyncio.sleep(self.supervisor.retry_after_s())
+                    continue
+                if routed_to != shard.name:
+                    self.metrics.count_route(shard.name)
+                    routed_to = shard.name
+                retry_sleep: Optional[float] = None
+                async with limits.setdefault(shard.name, shard_limit()):
                     try:
                         answer = await self._shard_roundtrip(shard, payload)
                         frame = protocol.decode_frame(answer)
-                    except (OSError, ConnectionError, ProtocolError) as exc:
+                    except ProtocolError as exc:
                         self.metrics.errors.inc()
                         frame = protocol.error_response(
                             request.id,
@@ -640,16 +697,43 @@ class ShardedService:
                             f"{shard.name} (pid {shard.pid}): {exc}",
                         )
                         break
-                    error = frame.get("error") or {}
-                    if not frame.get("ok") and error.get("code") == ErrorCode.QUEUE_FULL.value:
-                        await asyncio.sleep(
-                            max(0.01, float(error.get("retry_after_s", 0.05)))
-                        )
-                        continue
-                    break
-            assert frame is not None
+                    except (OSError, ConnectionError) as exc:
+                        self.metrics.errors.inc()
+                        self.supervisor.note_failure(shard, str(exc))
+                        if self.supervisor.enabled:
+                            # Transient: the supervisor will replace the
+                            # shard; hold the job and try again.
+                            frame = None
+                            retry_sleep = self.supervisor.retry_after_s()
+                        else:
+                            frame = protocol.error_response(
+                                request.id,
+                                ErrorCode.INTERNAL,
+                                f"{shard.name} (pid {shard.pid}): {exc}",
+                            )
+                            break
+                if retry_sleep is not None:
+                    await asyncio.sleep(retry_sleep)
+                    continue
+                assert frame is not None
+                error = frame.get("error") or {}
+                if not frame.get("ok") and error.get("code") == ErrorCode.QUEUE_FULL.value:
+                    frame = None
+                    await asyncio.sleep(
+                        max(0.01, float(error.get("retry_after_s", 0.05)))
+                    )
+                    continue
+                break
+            if frame is None:
+                frame = protocol.error_response(
+                    request.id,
+                    ErrorCode.INTERNAL,
+                    f"sweep job {meta.index} still unroutable after "
+                    f"{self.SWEEP_RETRIES} attempts",
+                )
             frame["id"] = request.id
-            frame["shard"] = {"index": shard.index, "pid": shard.pid}
+            if shard is not None:
+                frame["shard"] = {"index": shard.index, "pid": shard.pid}
             frame["job"] = {
                 "index": meta.index,
                 "kind": meta.kind,
@@ -709,8 +793,18 @@ class ShardedService:
             "pid": os.getpid(),
             "sharded": True,
             "workers": len(self.shards),
+            "supervised": self.supervisor.enabled,
+            "heartbeat_s": self.supervisor.heartbeat_s,
             "shards": [
-                {"index": s.index, "pid": s.pid, "port": s.port} for s in self.shards
+                {
+                    "index": s.index,
+                    "pid": s.pid,
+                    "port": s.port,
+                    "state": s.state.value,
+                    "restarts": s.restarts,
+                    "uptime_s": s.uptime_s,
+                }
+                for s in self.shards
             ],
         }
 
@@ -728,7 +822,13 @@ class ShardedService:
         for shard, stats in zip(self.shards, shard_stats):
             if stats is None:
                 shards.append(
-                    {"index": shard.index, "pid": shard.pid, "unreachable": True}
+                    {
+                        "index": shard.index,
+                        "pid": shard.pid,
+                        "state": shard.state.value,
+                        "restarts": shard.restarts,
+                        "unreachable": True,
+                    }
                 )
                 continue
             agg.merge(stats.get("metrics", {}))
@@ -755,6 +855,8 @@ class ShardedService:
                 {
                     "index": shard.index,
                     "pid": shard.pid,
+                    "state": shard.state.value,
+                    "restarts": shard.restarts,
                     "uptime_s": stats.get("uptime_s", 0.0),
                     "requests": shard_metrics.get("requests_received", {}).get(
                         "value", 0
@@ -767,6 +869,12 @@ class ShardedService:
                     "latency_ms": stats.get("latency_ms", {}),
                 }
             )
+        for _index, payload in self._retired:
+            # Shards removed by a live resize keep counting in the
+            # fleet aggregate; their processes are gone but their work
+            # happened.
+            agg.merge(payload.get("metrics", {}))
+            sim.merge(payload.get("simulation", {}))
         if has_disk:
             cache["disk"] = disk
         latency = {"p50": 0.0, "p90": 0.0, "p99": 0.0, "count": 0}
@@ -804,6 +912,10 @@ class ShardedService:
             agg.merge(stats.get("metrics", {}))
             agg.merge(stats.get("simulation", {}))
             agg.merge(stats.get("metrics", {}), prefix=f"shard{shard.index}.")
+        for index, payload in self._retired:
+            agg.merge(payload.get("metrics", {}))
+            agg.merge(payload.get("simulation", {}))
+            agg.merge(payload.get("metrics", {}), prefix=f"shard{index}.")
         snapshot = agg.to_dict()
         snapshot.update(self.registry.to_dict())
         return snapshot
@@ -829,6 +941,10 @@ class ShardedService:
             dropped += int(payload.get("dropped_spans", 0))
             agg.merge(payload.get("metrics", {}))
             agg.merge(payload.get("metrics", {}), prefix=f"shard{shard.index}.")
+            sim.merge(payload.get("simulation", {}))
+        for index, payload in self._retired:
+            agg.merge(payload.get("metrics", {}))
+            agg.merge(payload.get("metrics", {}), prefix=f"shard{index}.")
             sim.merge(payload.get("simulation", {}))
         cap = SimulationService.TELEMETRY_SPAN_CAP
         if len(spans) > cap:
@@ -860,6 +976,12 @@ class ShardedService:
             self.recorder.extend(payload.get("spans", ()))
             agg.merge(payload.get("metrics", {}))
             agg.merge(payload.get("metrics", {}), prefix=f"shard{shard.index}.")
+            sim.merge(payload.get("simulation", {}))
+        for index, payload in self._retired:
+            # Spans were absorbed at retirement; only the registries
+            # still need to fold into the final fleet snapshot.
+            agg.merge(payload.get("metrics", {}))
+            agg.merge(payload.get("metrics", {}), prefix=f"shard{index}.")
             sim.merge(payload.get("simulation", {}))
         snapshot = agg.to_dict()
         snapshot.update(sim.to_dict())

@@ -107,6 +107,10 @@ class ServiceConfig:
     #: Position of this instance behind a sharded front-end; ``None``
     #: for a standalone service.  Surfaces in ping/stats/telemetry.
     shard_index: Optional[int] = None
+    #: Load the newest ``cache_dir`` entries into the memory tier before
+    #: binding.  Off by default; a live resize sets it on newcomers so
+    #: a shard joining the ring serves warm from its first request.
+    preload_disk: bool = False
 
 
 @dataclass
@@ -189,6 +193,12 @@ class SimulationService:
         """
         if self.config.prewarm:
             await asyncio.get_running_loop().run_in_executor(None, self.prewarm)
+        if self.config.preload_disk and self.config.cache_dir:
+            loaded = await asyncio.get_running_loop().run_in_executor(
+                None, self.cache.preload
+            )
+            if loaded:
+                log.info("preloaded %d result(s) from the disk cache tier", loaded)
         self._loop = asyncio.get_running_loop()
         self._queue = asyncio.Queue(maxsize=self.config.queue_size)
         self._dispatch_gate = asyncio.Event()
@@ -373,6 +383,14 @@ class SimulationService:
             response = protocol.ok_response(
                 request.id, self._telemetry_payload(request.params)
             )
+        elif request.type == "admin":
+            response = protocol.error_response(
+                request.id,
+                ErrorCode.INVALID_REQUEST,
+                "admin commands require a sharded front-end (serve --workers N)",
+            )
+            self._emit_completed(request.type, request.id, started, ok=False)
+            return response
         elif request.type == "shutdown":
             self.begin_drain()
             response = protocol.ok_response(request.id, {"draining": True})
@@ -780,6 +798,9 @@ class SimulationService:
             "protocol": protocol.PROTOCOL_VERSION,
             "supported_versions": list(protocol.SUPPORTED_VERSIONS),
             "pid": os.getpid(),
+            # The health frame a supervising front-end probes (v5).
+            "uptime_s": time.monotonic() - self._started_at,
+            "state": "draining" if self._draining else "ready",
         }
         if self.config.shard_index is not None:
             payload["shard_index"] = self.config.shard_index
@@ -880,16 +901,19 @@ async def serve(
     metrics_out: Optional[str] = None,
     trace_out: Optional[str] = None,
     workers: int = 1,
+    heartbeat_s: float = 2.0,
+    max_restarts: int = 5,
 ) -> int:
     """Run one service until it drains (the ``repro-ebcp serve`` body).
 
     ``workers > 1`` runs the sharded tier instead: a consistent-hash
     front-end over that many single-shard worker processes
-    (:class:`~repro.service.router.ShardedService`).  ``metrics_out``
-    dumps the merged registry (service + aggregated worker metrics) as
-    JSON on shutdown; ``trace_out`` writes every span the service
-    recorded (its own and the worker spans it absorbed) as a Chrome
-    trace.
+    (:class:`~repro.service.router.ShardedService`), supervised every
+    ``heartbeat_s`` (``<= 0`` disables supervision) with at most
+    ``max_restarts`` respawns per shard.  ``metrics_out`` dumps the
+    merged registry (service + aggregated worker metrics) as JSON on
+    shutdown; ``trace_out`` writes every span the service recorded (its
+    own and the worker spans it absorbed) as a Chrome trace.
     """
     import json as _json
 
@@ -898,7 +922,13 @@ async def serve(
     if workers > 1:
         from .router import ShardedService
 
-        service: Any = ShardedService(config=config, policy=policy, workers=workers)
+        service: Any = ShardedService(
+            config=config,
+            policy=policy,
+            workers=workers,
+            heartbeat_s=heartbeat_s,
+            max_restarts=max_restarts,
+        )
     else:
         service = SimulationService(config=config, policy=policy)
     host, port = await service.start()

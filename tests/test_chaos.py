@@ -10,6 +10,13 @@ the end state is bit-identical to an undisturbed run.
 from __future__ import annotations
 
 import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
 
 import pytest
 
@@ -111,3 +118,111 @@ def test_runs_survive_cache_corruption(tmp_path, monkeypatch):
     assert surviving
     for entry in surviving:
         assert verify_checksum(entry) is None
+
+
+def test_shard_sigkill_recovery_drill(tmp_path):
+    """SIGKILL one shard of a live CLI fleet under concurrent load.
+
+    The full supervision story, end to end through the real console
+    entry point: the supervisor respawns the victim under its shard id
+    (new pid, ring untouched), concurrent clients ride out the window on
+    retryable errors with zero permanently failed calls, the reborn
+    shard answers its old keys bit-identically — warm from the shared
+    disk tier — and the fleet still drains gracefully.
+    """
+    from repro.service import ServiceClient
+
+    src = Path(__file__).resolve().parents[1] / "src"
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [str(src)] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro", "serve", "--port", "0",
+            "--workers", "2", "--cache-dir", str(tmp_path / "tier"),
+            "--heartbeat-s", "0.25", "-j", "1",
+        ],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.DEVNULL,
+        text=True,
+        env=env,
+    )
+    try:
+        assert proc.stdout is not None
+        line = proc.stdout.readline()
+        match = re.search(r"listening on ([\d.]+):(\d+)", line)
+        assert match, f"no ready sentinel in {line!r}"
+        host, port = match.group(1), int(match.group(2))
+        seeds = range(6)
+
+        with ServiceClient(host, port, timeout_s=120.0, retries=0) as c:
+            baseline = {}
+            owners = {}
+            for seed in seeds:
+                served = c.simulate("pointer_chase", "none",
+                                    records=RECORDS, seed=seed)
+                baseline[seed] = served.result.to_dict()
+                owners[seed] = served.shard
+            victim = owners[0]["index"]
+            victim_pid = owners[0]["pid"]
+
+        failures = []
+
+        def hammer(worker: int) -> None:
+            try:
+                with ServiceClient(
+                    host, port, timeout_s=120.0, retries=15, backoff_s=0.1
+                ) as hc:
+                    for round_ in range(4):
+                        for seed in seeds:
+                            served = hc.simulate(
+                                "pointer_chase", "none",
+                                records=RECORDS, seed=seed,
+                            )
+                            if served.result.to_dict() != baseline[seed]:
+                                failures.append(
+                                    (worker, round_, seed, "result drift")
+                                )
+            except Exception as exc:  # noqa: BLE001 - drill verdict
+                failures.append((worker, "exception", repr(exc)))
+
+        threads = [
+            threading.Thread(target=hammer, args=(i,)) for i in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.3)  # let load build before pulling the trigger
+        os.kill(victim_pid, signal.SIGKILL)
+        for thread in threads:
+            thread.join(timeout=300.0)
+        assert not failures, f"client calls failed across the crash: {failures}"
+
+        with ServiceClient(host, port, timeout_s=120.0, retries=5,
+                           backoff_s=0.2) as c:
+            deadline = time.monotonic() + 60.0
+            row = None
+            while time.monotonic() < deadline:
+                row = {r["index"]: r for r in c.ping()["shards"]}[victim]
+                if row["state"] == "ready" and row["pid"] != victim_pid:
+                    break
+                time.sleep(0.2)
+            assert row is not None and row["pid"] != victim_pid
+            assert row["restarts"] >= 1
+
+            # The reborn shard serves the victim's old key range, warm
+            # from the disk tier.
+            served = c.simulate("pointer_chase", "none",
+                                records=RECORDS, seed=0)
+            assert served.shard["index"] == victim
+            assert served.shard["pid"] != victim_pid
+            assert served.result.to_dict() == baseline[0]
+            stats_row = {r["index"]: r for r in c.stats()["shards"]}[victim]
+            assert stats_row["cache"]["disk"]["hits"] >= 1
+
+            assert c.shutdown() == {"draining": True}
+        assert proc.wait(timeout=120.0) == 0
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30.0)

@@ -177,6 +177,47 @@ class TestHashRingProperties:
         fair = 1 / (n + 1)
         assert fair / 2 <= moved / len(ks) <= fair * 2
 
+    @given(
+        ks=keys,
+        ops=st.lists(
+            st.tuples(st.booleans(), st.sampled_from("uvwxyz")),
+            min_size=1,
+            max_size=12,
+        ),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_interleaved_mutation_moves_only_the_touched_shards_keys(self, ks, ops):
+        # Live resize interleaves add() and remove() on a serving ring.
+        # After EVERY step — not just at a quiescent end state — a key
+        # either kept its owner, moved TO the shard just added, or moved
+        # FROM the shard just removed.  Any other movement would cold-miss
+        # a surviving shard's cache mid-resize.
+        ring = HashRing(["shard-0", "shard-1"])
+        members = {"shard-0", "shard-1"}
+        owners = {key: ring.route(key) for key in ks}
+        for add, name in ops:
+            if add:
+                if name in members:
+                    continue
+                ring.add(name)
+                members.add(name)
+                for key in ks:
+                    after = ring.route(key)
+                    assert after == owners[key] or after == name
+                    owners[key] = after
+            else:
+                if name not in members or len(members) == 1:
+                    continue
+                ring.remove(name)
+                members.remove(name)
+                for key in ks:
+                    after = ring.route(key)
+                    if owners[key] == name:
+                        assert after != name
+                    else:
+                        assert after == owners[key]
+                    owners[key] = after
+
     @given(ks=keys)
     @settings(max_examples=40, deadline=None)
     def test_add_then_remove_restores_routing(self, ks):
